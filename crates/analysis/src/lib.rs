@@ -1,0 +1,28 @@
+//! # raqlet-analysis
+//!
+//! Static analyses over DLIR (Section 4 of the paper). Every analysis is
+//! implemented once, at the DLIR level, independent of the source query
+//! language:
+//!
+//! * [`linearity`] — is every recursive rule *linear* (at most one recursive
+//!   atom in its body)? Backends limited to recursive CTEs require this.
+//! * [`mutual`] — does the program contain mutually recursive predicates
+//!   (an SCC with more than one member)? RDBMS backends reject these.
+//! * [`monotonicity`] — is the program monotonic under set inclusion
+//!   (no negation, no aggregation over a recursive predicate)?
+//! * [`termination`] — may the program fail to terminate (value-inventing
+//!   arithmetic in recursive rules without a bound or a lattice annotation)?
+//! * [`report`] — a combined [`AnalysisReport`] plus backend capability
+//!   checks used by the compiler driver to reject or warn early.
+
+pub mod linearity;
+pub mod monotonicity;
+pub mod mutual;
+pub mod report;
+pub mod termination;
+
+pub use linearity::{is_linear, linearity, Linearity};
+pub use monotonicity::{is_monotonic, monotonicity, Monotonicity};
+pub use mutual::{has_mutual_recursion, mutual_recursion_groups};
+pub use report::{analyze, check_backend, AnalysisReport, BackendCapabilities};
+pub use termination::{termination, TerminationRisk};

@@ -1,0 +1,148 @@
+//! Monotonicity analysis.
+//!
+//! A DLIR program is *monotonic under set inclusion* when adding facts to the
+//! EDBs can only add (never remove) derived facts. Monotonicity is what makes
+//! the bottom-up fixpoint converge to the least model; negation and
+//! aggregation break it. Raqlet distinguishes:
+//!
+//! * fully monotonic programs — no negation, no aggregation;
+//! * stratified programs — negation/aggregation only over lower strata, which
+//!   most engines support;
+//! * non-stratifiable programs — rejected outright.
+//!
+//! Lattice-annotated recursion (shortest-path `@min`) counts as monotonic
+//! with respect to the lattice order (the Datalog° view cited by the paper),
+//! and is reported separately so backends without that feature can reject it.
+
+use raqlet_dlir::{stratify, DlirProgram, LatticeMerge};
+
+/// Monotonicity classification of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Monotonicity {
+    /// No negation or aggregation anywhere: monotone under set inclusion.
+    Monotonic,
+    /// Monotone only up to a lattice order: recursion uses `@min`/`@max`
+    /// annotations but no stratification violation exists.
+    LatticeMonotonic,
+    /// Uses negation/aggregation but only over fully-computed lower strata.
+    Stratified,
+    /// Negation or aggregation occurs inside a recursive cycle; the program
+    /// has no well-defined least model. The message explains where.
+    NonMonotonic { reason: String },
+}
+
+impl Monotonicity {
+    /// True if a standard stratified-Datalog engine can evaluate the program.
+    pub fn is_evaluable(&self) -> bool {
+        !matches!(self, Monotonicity::NonMonotonic { .. })
+    }
+}
+
+/// Classify the monotonicity of a program.
+pub fn monotonicity(program: &DlirProgram) -> Monotonicity {
+    let uses_negation = program.rules.iter().any(|r| !r.negative_dependencies().is_empty());
+    let uses_aggregation = program.rules.iter().any(|r| r.aggregation.is_some());
+    let uses_lattice = program
+        .annotations
+        .values()
+        .any(|a| !matches!(a.lattice, LatticeMerge::Set));
+
+    match stratify(program) {
+        Err(e) => Monotonicity::NonMonotonic { reason: e.to_string() },
+        Ok(_) => {
+            if uses_negation || uses_aggregation {
+                Monotonicity::Stratified
+            } else if uses_lattice {
+                Monotonicity::LatticeMonotonic
+            } else {
+                Monotonicity::Monotonic
+            }
+        }
+    }
+}
+
+/// True when the program is monotonic (plain or lattice).
+pub fn is_monotonic(program: &DlirProgram) -> bool {
+    matches!(monotonicity(program), Monotonicity::Monotonic | Monotonicity::LatticeMonotonic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_dlir::{AggFunc, Aggregation, Atom, BodyElem, Rule};
+
+    fn atom(name: &str, vars: &[&str]) -> BodyElem {
+        BodyElem::Atom(Atom::with_vars(name, vars))
+    }
+
+    fn tc() -> DlirProgram {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("tc", &["x", "y"]),
+            vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
+        ));
+        p
+    }
+
+    #[test]
+    fn plain_recursion_is_monotonic() {
+        assert_eq!(monotonicity(&tc()), Monotonicity::Monotonic);
+        assert!(is_monotonic(&tc()));
+    }
+
+    #[test]
+    fn stratified_negation_is_reported_as_stratified() {
+        let mut p = tc();
+        p.add_rule(Rule::new(
+            Atom::with_vars("unreachable", &["x"]),
+            vec![atom("node", &["x"]), BodyElem::Negated(Atom::with_vars("tc", &["s", "x"]))],
+        ));
+        assert_eq!(monotonicity(&p), Monotonicity::Stratified);
+        assert!(monotonicity(&p).is_evaluable());
+        assert!(!is_monotonic(&p));
+    }
+
+    #[test]
+    fn aggregation_outside_recursion_is_stratified() {
+        let mut p = tc();
+        let mut rule = Rule::new(
+            Atom::with_vars("deg", &["x", "d"]),
+            vec![atom("tc", &["x", "y"])],
+        );
+        rule.aggregation = Some(Aggregation {
+            func: AggFunc::Count,
+            input_var: Some("y".into()),
+            output_var: "d".into(),
+            group_by: vec!["x".into()],
+            distinct: false,
+        });
+        p.add_rule(rule);
+        assert_eq!(monotonicity(&p), Monotonicity::Stratified);
+    }
+
+    #[test]
+    fn negation_in_cycle_is_non_monotonic() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::with_vars("p", &["x"]), vec![atom("q", &["x"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x"]),
+            vec![atom("base", &["x"]), BodyElem::Negated(Atom::with_vars("p", &["x"]))],
+        ));
+        let m = monotonicity(&p);
+        assert!(matches!(m, Monotonicity::NonMonotonic { .. }));
+        assert!(!m.is_evaluable());
+    }
+
+    #[test]
+    fn lattice_recursion_is_lattice_monotonic() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("dist", &["s", "d", "l"]),
+            vec![atom("edge", &["s", "d", "l"])],
+        ));
+        p.set_lattice("dist", LatticeMerge::MinOnColumn(2));
+        assert_eq!(monotonicity(&p), Monotonicity::LatticeMonotonic);
+        assert!(is_monotonic(&p));
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation of the Section 5 optimizations: each pass toggled individually,
+//! plus compile-time cost of the optimizer itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raqlet::{DatalogEngine, OptLevel};
+use raqlet_bench::Workload;
+use raqlet_opt::{optimize_with, PassConfig};
+
+fn optimization_ablation(c: &mut Criterion) {
+    let workload = Workload::new(1.0);
+    let compiled = workload.compile(raqlet_ldbc::CQ2.cypher, OptLevel::None);
+    let program = compiled.unoptimized.clone();
+
+    let mut group = c.benchmark_group("optimizations/cq2");
+    group.sample_size(10);
+
+    let configs: Vec<(&str, PassConfig)> = vec![
+        ("none", PassConfig::for_level(OptLevel::None)),
+        ("basic", PassConfig::for_level(OptLevel::Basic)),
+        ("full", PassConfig::for_level(OptLevel::Full)),
+        ("full-minus-inline", {
+            let mut c = PassConfig::for_level(OptLevel::Full);
+            c.inline = false;
+            c
+        }),
+        ("full-minus-semantic-joins", {
+            let mut c = PassConfig::for_level(OptLevel::Full);
+            c.semantic_joins = false;
+            c
+        }),
+        ("full-minus-magic-sets", {
+            let mut c = PassConfig::for_level(OptLevel::Full);
+            c.magic_sets = false;
+            c
+        }),
+    ];
+    for (name, config) in &configs {
+        let optimized = optimize_with(&program, config).unwrap().program;
+        let engine = DatalogEngine::new();
+        group.bench_function(format!("execute/{name}"), |b| {
+            b.iter(|| engine.run_output(&optimized, &workload.db, "Return").unwrap())
+        });
+    }
+    group.bench_function("compile-time/full", |b| {
+        b.iter(|| optimize_with(&program, &PassConfig::for_level(OptLevel::Full)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = optimization_ablation
+}
+criterion_main!(benches);

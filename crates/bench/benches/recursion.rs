@@ -1,0 +1,55 @@
+//! Recursive-query comparisons backing the Section 2 discussion: transitive
+//! closure / reachability / shortest path across the three engines, naive vs
+//! semi-naive Datalog evaluation, and magic sets on/off for
+//! reachability-from-a-source.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raqlet::{DatalogEngine, OptLevel, SqlProfile};
+use raqlet_bench::Workload;
+use raqlet_ldbc::{CQ13, REACHABILITY};
+
+fn recursion(c: &mut Criterion) {
+    let workload = Workload::new(1.0);
+
+    // Reachability (transitive closure from a source person).
+    let reach_unopt = workload.compile(REACHABILITY.cypher, OptLevel::None);
+    let reach_opt = workload.compile(REACHABILITY.cypher, OptLevel::Full);
+    let mut group = c.benchmark_group("recursion/reachability");
+    group.sample_size(10);
+    group.bench_function("graph-engine", |b| {
+        b.iter(|| reach_unopt.execute_graph(&workload.graph).unwrap())
+    });
+    group.bench_function("datalog/semi-naive/unoptimized", |b| {
+        b.iter(|| reach_unopt.execute_datalog(&workload.db).unwrap())
+    });
+    group.bench_function("datalog/semi-naive/magic-sets", |b| {
+        b.iter(|| reach_opt.execute_datalog(&workload.db).unwrap())
+    });
+    group.bench_function("datalog/naive/unoptimized", |b| {
+        let engine = DatalogEngine::naive();
+        b.iter(|| engine.run_output(reach_unopt.dlir(), &workload.db, "Return").unwrap())
+    });
+    group.bench_function("sql/duckdb-sim/recursive-cte", |b| {
+        b.iter(|| reach_unopt.execute_sql(&workload.db, SqlProfile::Duck).unwrap())
+    });
+    group.finish();
+
+    // Shortest path (lattice recursion).
+    let sp = workload.compile(CQ13.cypher, OptLevel::Basic);
+    let mut group = c.benchmark_group("recursion/shortest-path");
+    group.sample_size(10);
+    group.bench_function("graph-engine-bfs", |b| {
+        b.iter(|| sp.execute_graph(&workload.graph).unwrap())
+    });
+    group.bench_function("datalog-min-lattice", |b| {
+        b.iter(|| sp.execute_datalog(&workload.db).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = recursion
+}
+criterion_main!(benches);

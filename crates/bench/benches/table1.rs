@@ -1,0 +1,45 @@
+//! Regenerates **Table 1** of the paper: execution time for LDBC SQ1 and CQ2,
+//! unoptimized vs fully optimized, on the four simulated backends
+//! (Neo4j-sim = graph engine, Soufflé-sim = Datalog engine,
+//! DuckDB-sim / HyPer-sim = the two SQL-engine profiles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raqlet::{OptLevel, SqlProfile};
+use raqlet_bench::Workload;
+use raqlet_ldbc::TABLE1_QUERIES;
+
+fn table1(c: &mut Criterion) {
+    let workload = Workload::new(1.0);
+    for query in TABLE1_QUERIES {
+        let mut group = c.benchmark_group(format!("table1/{}", query.name));
+        group.sample_size(10);
+        let unopt = workload.compile(query.cypher, OptLevel::None);
+        let opt = workload.compile(query.cypher, OptLevel::Full);
+
+        group.bench_function(BenchmarkId::new("neo4j-sim", "original"), |b| {
+            b.iter(|| unopt.execute_graph(&workload.graph).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("souffle-sim", "unoptimized"), |b| {
+            b.iter(|| unopt.execute_datalog(&workload.db).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("souffle-sim", "optimized"), |b| {
+            b.iter(|| opt.execute_datalog(&workload.db).unwrap())
+        });
+        for profile in [SqlProfile::Duck, SqlProfile::Hyper] {
+            group.bench_function(BenchmarkId::new(profile.name(), "unoptimized"), |b| {
+                b.iter(|| unopt.execute_sql(&workload.db, profile).unwrap())
+            });
+            group.bench_function(BenchmarkId::new(profile.name(), "optimized"), |b| {
+                b.iter(|| opt.execute_sql(&workload.db, profile).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = table1
+}
+criterion_main!(benches);

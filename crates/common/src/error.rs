@@ -1,0 +1,154 @@
+//! Common error type shared by all Raqlet crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = RaqletError> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the Raqlet pipeline.
+///
+/// The variants are organised by pipeline stage so that callers can surface
+/// the right kind of diagnostic (parse error vs. semantic error vs. backend
+/// limitation) without needing stage-specific error types everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaqletError {
+    /// Lexing failed (unexpected character, unterminated string, ...).
+    Lex { message: String, line: u32, column: u32 },
+    /// Parsing failed (unexpected token, missing clause, ...).
+    Parse { message: String, line: u32, column: u32 },
+    /// A name (label, property, relation, variable) could not be resolved
+    /// against the active schema or rule set.
+    UnknownName { kind: &'static str, name: String },
+    /// The query is well-formed but uses a feature Raqlet does not support.
+    Unsupported(String),
+    /// A semantic check failed during lowering (type mismatch, unbound
+    /// variable, unsafe rule, ...).
+    Semantic(String),
+    /// Static analysis rejected the query for the chosen backend
+    /// (e.g. mutual recursion targeted at a recursive-CTE backend).
+    BackendRejected { backend: String, reason: String },
+    /// An optimization pass detected an internal inconsistency.
+    Optimization(String),
+    /// Execution of a query against one of the built-in engines failed.
+    Execution(String),
+    /// Schema violation (duplicate relation, arity mismatch, ...).
+    Schema(String),
+    /// Catch-all for internal invariant violations. Seeing this is a bug.
+    Internal(String),
+}
+
+impl RaqletError {
+    /// Construct a parse error with position information.
+    pub fn parse(message: impl Into<String>, line: u32, column: u32) -> Self {
+        RaqletError::Parse { message: message.into(), line, column }
+    }
+
+    /// Construct a lex error with position information.
+    pub fn lex(message: impl Into<String>, line: u32, column: u32) -> Self {
+        RaqletError::Lex { message: message.into(), line, column }
+    }
+
+    /// Construct a semantic error.
+    pub fn semantic(message: impl Into<String>) -> Self {
+        RaqletError::Semantic(message.into())
+    }
+
+    /// Construct an unsupported-feature error.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        RaqletError::Unsupported(message.into())
+    }
+
+    /// Construct an execution error.
+    pub fn execution(message: impl Into<String>) -> Self {
+        RaqletError::Execution(message.into())
+    }
+
+    /// Construct an internal error (invariant violation).
+    pub fn internal(message: impl Into<String>) -> Self {
+        RaqletError::Internal(message.into())
+    }
+
+    /// Construct a schema error.
+    pub fn schema(message: impl Into<String>) -> Self {
+        RaqletError::Schema(message.into())
+    }
+
+    /// True if this error originated in the frontend (lexer or parser).
+    pub fn is_syntax_error(&self) -> bool {
+        matches!(self, RaqletError::Lex { .. } | RaqletError::Parse { .. })
+    }
+}
+
+impl fmt::Display for RaqletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaqletError::Lex { message, line, column } => {
+                write!(f, "lex error at {line}:{column}: {message}")
+            }
+            RaqletError::Parse { message, line, column } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+            RaqletError::UnknownName { kind, name } => write!(f, "unknown {kind}: `{name}`"),
+            RaqletError::Unsupported(m) => write!(f, "unsupported feature: {m}"),
+            RaqletError::Semantic(m) => write!(f, "semantic error: {m}"),
+            RaqletError::BackendRejected { backend, reason } => {
+                write!(f, "query rejected for backend `{backend}`: {reason}")
+            }
+            RaqletError::Optimization(m) => write!(f, "optimization error: {m}"),
+            RaqletError::Execution(m) => write!(f, "execution error: {m}"),
+            RaqletError::Schema(m) => write!(f, "schema error: {m}"),
+            RaqletError::Internal(m) => write!(f, "internal error (please report): {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RaqletError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_for_parse_errors() {
+        let e = RaqletError::parse("expected RETURN", 3, 14);
+        let s = e.to_string();
+        assert!(s.contains("3:14"), "{s}");
+        assert!(s.contains("expected RETURN"), "{s}");
+    }
+
+    #[test]
+    fn display_includes_position_for_lex_errors() {
+        let e = RaqletError::lex("unterminated string", 1, 7);
+        assert_eq!(e.to_string(), "lex error at 1:7: unterminated string");
+    }
+
+    #[test]
+    fn is_syntax_error_distinguishes_frontend_errors() {
+        assert!(RaqletError::parse("x", 1, 1).is_syntax_error());
+        assert!(RaqletError::lex("x", 1, 1).is_syntax_error());
+        assert!(!RaqletError::semantic("x").is_syntax_error());
+        assert!(!RaqletError::execution("x").is_syntax_error());
+    }
+
+    #[test]
+    fn unknown_name_display() {
+        let e = RaqletError::UnknownName { kind: "label", name: "Persn".into() };
+        assert_eq!(e.to_string(), "unknown label: `Persn`");
+    }
+
+    #[test]
+    fn backend_rejected_display_names_backend() {
+        let e = RaqletError::BackendRejected {
+            backend: "recursive-sql".into(),
+            reason: "mutual recursion is not supported".into(),
+        };
+        assert!(e.to_string().contains("recursive-sql"));
+        assert!(e.to_string().contains("mutual recursion"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RaqletError::semantic("a"), RaqletError::semantic("a"));
+        assert_ne!(RaqletError::semantic("a"), RaqletError::semantic("b"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # raqlet-common
+//!
+//! Shared data model for the Raqlet cross-paradigm compiler.
+//!
+//! This crate contains the types that every other Raqlet crate builds on:
+//!
+//! * [`value::Value`] — the dynamically typed scalar value that flows through
+//!   every engine (graph, relational, deductive);
+//! * [`types::ValueType`] — the static type lattice used by schemas and by
+//!   type inference in the IR lowerings;
+//! * [`schema`] — the property-graph schema (PG-Schema) and the Datalog
+//!   schema (DL-Schema) models, mirroring Figure 2 of the paper;
+//! * [`relation`] — in-memory relations (tuple sets) and databases, shared by
+//!   the Datalog and SQL execution substrates;
+//! * [`symbol`] — a string interner so relation/variable names compare by id;
+//! * [`error`] — the common error type.
+//!
+//! The crate is dependency-light on purpose: it only depends on `serde`
+//! (optional serialization of plans and results).
+
+pub mod error;
+pub mod ids;
+pub mod relation;
+pub mod schema;
+pub mod symbol;
+pub mod types;
+pub mod value;
+
+pub use error::{RaqletError, Result};
+pub use relation::{Database, Relation, Tuple};
+pub use schema::{DlSchema, PgSchema};
+pub use symbol::{Interner, Symbol};
+pub use types::ValueType;
+pub use value::Value;

@@ -1,0 +1,380 @@
+//! In-memory relations and databases.
+//!
+//! These are the storage substrate shared by the deductive (Datalog) and
+//! relational (SQL) execution engines. A [`Relation`] is a *set* of tuples —
+//! all of Raqlet's backends use set semantics, matching the paper's use of
+//! `RETURN DISTINCT` / `SELECT DISTINCT` — with optional hash indexes built
+//! on demand for join columns.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::error::{RaqletError, Result};
+use crate::value::Value;
+
+/// A single row: a fixed-arity vector of values.
+pub type Tuple = Vec<Value>;
+
+/// A set of tuples of uniform arity, with lazily built hash indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: HashSet<Tuple>,
+    /// Hash indexes keyed by the column positions they cover. Values map the
+    /// projected key to the matching tuples. Indexes are invalidated (cleared)
+    /// on insertion.
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<Tuple>>>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation { arity, tuples: HashSet::new(), indexes: HashMap::new() }
+    }
+
+    /// Create a relation from an iterator of tuples. All tuples must share
+    /// the same arity.
+    pub fn from_tuples<I>(arity: usize, tuples: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut rel = Relation::new(arity);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// Arity (number of columns).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` if the tuple was new.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.len() != self.arity {
+            return Err(RaqletError::Execution(format!(
+                "arity mismatch: relation has arity {}, tuple has arity {}",
+                self.arity,
+                tuple.len()
+            )));
+        }
+        let inserted = self.tuples.insert(tuple);
+        if inserted {
+            self.indexes.clear();
+        }
+        Ok(inserted)
+    }
+
+    /// Insert without arity checking (hot path in the engines; callers have
+    /// already validated arity via the schema).
+    pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity, "arity mismatch in insert_unchecked");
+        let inserted = self.tuples.insert(tuple);
+        if inserted {
+            self.indexes.clear();
+        }
+        inserted
+    }
+
+    /// True if the relation contains `tuple`.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterate over the tuples in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples, sorted, for deterministic output and comparisons in tests.
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Set-union with another relation, returning the number of new tuples.
+    pub fn merge(&mut self, other: &Relation) -> Result<usize> {
+        if other.arity != self.arity && !other.is_empty() {
+            return Err(RaqletError::Execution(format!(
+                "cannot merge relation of arity {} into relation of arity {}",
+                other.arity, self.arity
+            )));
+        }
+        let before = self.len();
+        for t in other.iter() {
+            self.tuples.insert(t.clone());
+        }
+        if self.len() != before {
+            self.indexes.clear();
+        }
+        Ok(self.len() - before)
+    }
+
+    /// The tuples of `other` not present in `self` (the semi-naive "delta").
+    pub fn difference(&self, other: &Relation) -> Relation {
+        let mut out = Relation::new(self.arity);
+        for t in self.iter() {
+            if !other.contains(t) {
+                out.tuples.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Build (or fetch) a hash index over the given columns and return the
+    /// matching tuples for `key`.
+    pub fn probe(&mut self, columns: &[usize], key: &[Value]) -> &[Tuple] {
+        static EMPTY: Vec<Tuple> = Vec::new();
+        let cols = columns.to_vec();
+        if let Entry::Vacant(e) = self.indexes.entry(cols.clone()) {
+            let mut index: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+            for t in &self.tuples {
+                let k: Vec<Value> = columns.iter().map(|&c| t[c].clone()).collect();
+                index.entry(k).or_default().push(t.clone());
+            }
+            e.insert(index);
+        }
+        self.indexes
+            .get(&cols)
+            .and_then(|idx| idx.get(key))
+            .map(|v| v.as_slice())
+            .unwrap_or(&EMPTY)
+    }
+
+    /// Project the relation onto the given column positions (with
+    /// deduplication, since relations are sets).
+    pub fn project(&self, columns: &[usize]) -> Relation {
+        let mut out = Relation::new(columns.len());
+        for t in self.iter() {
+            let projected: Tuple = columns.iter().map(|&c| t[c].clone()).collect();
+            out.tuples.insert(projected);
+        }
+        out
+    }
+
+    /// Keep only tuples satisfying `pred`.
+    pub fn filter<F: Fn(&Tuple) -> bool>(&self, pred: F) -> Relation {
+        let mut out = Relation::new(self.arity);
+        for t in self.iter() {
+            if pred(t) {
+                out.tuples.insert(t.clone());
+            }
+        }
+        out
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.sorted() {
+            let row = t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\t");
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A named collection of relations: the extensional database handed to the
+/// engines, and also the container for computed IDB results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a relation under `name`.
+    pub fn set(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Fetch a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Fetch a relation by name, returning an execution error if absent.
+    pub fn require(&self, name: &str) -> Result<&Relation> {
+        self.get(name)
+            .ok_or_else(|| RaqletError::execution(format!("relation `{name}` not loaded")))
+    }
+
+    /// Mutable access, creating an empty relation of the given arity if the
+    /// name is not yet present.
+    pub fn get_or_create(&mut self, name: &str, arity: usize) -> &mut Relation {
+        self.relations.entry(name.to_string()).or_insert_with(|| Relation::new(arity))
+    }
+
+    /// Insert a single fact into the named relation (creating it on demand).
+    pub fn insert_fact(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
+        let arity = tuple.len();
+        self.get_or_create(name, arity).insert(tuple)
+    }
+
+    /// Iterate over `(name, relation)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Names of all stored relations, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.relations.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the database holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1, 2])).unwrap());
+        assert!(!r.insert(t(&[1, 2])).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1])).is_err());
+        assert!(r.insert(t(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn merge_counts_new_tuples_only() {
+        let mut a = Relation::from_tuples(2, vec![t(&[1, 2]), t(&[3, 4])]).unwrap();
+        let b = Relation::from_tuples(2, vec![t(&[3, 4]), t(&[5, 6])]).unwrap();
+        let added = a.merge(&b).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn merge_rejects_arity_mismatch_unless_empty() {
+        let mut a = Relation::new(2);
+        let empty = Relation::new(3);
+        assert!(a.merge(&empty).is_ok());
+        let b = Relation::from_tuples(3, vec![t(&[1, 2, 3])]).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn difference_computes_semi_naive_delta() {
+        let new = Relation::from_tuples(1, vec![t(&[1]), t(&[2]), t(&[3])]).unwrap();
+        let old = Relation::from_tuples(1, vec![t(&[2])]).unwrap();
+        let delta = new.difference(&old);
+        assert_eq!(delta.sorted(), vec![t(&[1]), t(&[3])]);
+    }
+
+    #[test]
+    fn probe_returns_matching_tuples() {
+        let mut r = Relation::from_tuples(2, vec![t(&[1, 10]), t(&[1, 11]), t(&[2, 20])]).unwrap();
+        let hits = r.probe(&[0], &[Value::Int(1)]).to_vec();
+        assert_eq!(hits.len(), 2);
+        let misses = r.probe(&[0], &[Value::Int(99)]);
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn probe_index_is_invalidated_by_inserts() {
+        let mut r = Relation::from_tuples(2, vec![t(&[1, 10])]).unwrap();
+        assert_eq!(r.probe(&[0], &[Value::Int(1)]).len(), 1);
+        r.insert(t(&[1, 11])).unwrap();
+        assert_eq!(r.probe(&[0], &[Value::Int(1)]).len(), 2);
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        let r = Relation::from_tuples(2, vec![t(&[1, 10]), t(&[1, 20])]).unwrap();
+        let p = r.project(&[0]);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn filter_keeps_matching_tuples() {
+        let r = Relation::from_tuples(1, vec![t(&[1]), t(&[2]), t(&[3])]).unwrap();
+        let f = r.filter(|row| row[0].as_int().unwrap() >= 2);
+        assert_eq!(f.sorted(), vec![t(&[2]), t(&[3])]);
+    }
+
+    #[test]
+    fn relations_compare_as_sets() {
+        let a = Relation::from_tuples(1, vec![t(&[1]), t(&[2])]).unwrap();
+        let b = Relation::from_tuples(1, vec![t(&[2]), t(&[1])]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_is_sorted_and_tab_separated() {
+        let r = Relation::from_tuples(2, vec![t(&[2, 20]), t(&[1, 10])]).unwrap();
+        assert_eq!(r.to_string(), "1\t10\n2\t20\n");
+    }
+
+    #[test]
+    fn database_basic_operations() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        db.insert_fact("edge", t(&[1, 2])).unwrap();
+        db.insert_fact("edge", t(&[2, 3])).unwrap();
+        assert_eq!(db.get("edge").unwrap().len(), 2);
+        assert_eq!(db.names(), vec!["edge".to_string()]);
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.require("missing").is_err());
+    }
+
+    #[test]
+    fn get_or_create_reuses_existing_relation() {
+        let mut db = Database::new();
+        db.insert_fact("r", t(&[1])).unwrap();
+        let r = db.get_or_create("r", 1);
+        assert_eq!(r.len(), 1);
+    }
+}

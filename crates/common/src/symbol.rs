@@ -1,0 +1,162 @@
+//! String interning.
+//!
+//! Relation names, variable names, labels and string constants are interned
+//! into [`Symbol`]s so that equality checks and hashing in the hot evaluation
+//! loops are integer comparisons instead of string comparisons.
+//!
+//! The interner is deliberately simple (a `Vec<String>` plus a `HashMap`);
+//! Raqlet programs have at most a few thousand distinct names.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, hash and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Resolve this symbol back to its string using the global interner.
+    pub fn as_str(&self) -> String {
+        global().resolve(*self)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({}: {:?})", self.0, self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// A string interner mapping strings to dense [`Symbol`] ids.
+#[derive(Default, Debug)]
+pub struct Interner {
+    names: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.lookup.get(name) {
+            return Symbol(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.lookup.insert(name.to_string(), id);
+        Symbol(id)
+    }
+
+    /// Resolve a symbol to its string. Panics if the symbol was produced by a
+    /// different interner.
+    pub fn resolve(&self, sym: Symbol) -> String {
+        self.names
+            .get(sym.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("<unknown symbol {}>", sym.0))
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no strings have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+fn global() -> &'static GlobalInterner {
+    static GLOBAL: OnceLock<GlobalInterner> = OnceLock::new();
+    GLOBAL.get_or_init(GlobalInterner::default)
+}
+
+/// Process-wide interner behind a mutex. Symbols used in IR structures are
+/// interned here so they can be resolved from `Display` impls without
+/// threading an interner through every call.
+#[derive(Default)]
+struct GlobalInterner {
+    inner: Mutex<Interner>,
+}
+
+impl GlobalInterner {
+    fn intern(&self, name: &str) -> Symbol {
+        self.inner.lock().expect("interner poisoned").intern(name)
+    }
+
+    fn resolve(&self, sym: Symbol) -> String {
+        self.inner.lock().expect("interner poisoned").resolve(sym)
+    }
+}
+
+/// Intern `name` in the global interner.
+pub fn intern(name: &str) -> Symbol {
+    global().intern(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("Person");
+        let b = intern("Person");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = intern("Person");
+        let b = intern("City");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn symbols_resolve_back_to_their_string() {
+        let a = intern("KNOWS");
+        assert_eq!(a.as_str(), "KNOWS");
+        assert_eq!(a.to_string(), "KNOWS");
+    }
+
+    #[test]
+    fn local_interner_is_independent() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let a2 = i.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "x");
+        assert_eq!(i.resolve(b), "y");
+    }
+
+    #[test]
+    fn resolving_unknown_symbol_does_not_panic() {
+        let i = Interner::new();
+        let s = i.resolve(Symbol(999));
+        assert!(s.contains("unknown"));
+    }
+
+    #[test]
+    fn symbols_are_ordered_by_interning_order_in_local_interner() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Static types used by schemas and IR type inference.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The static type of a column, property or IR expression.
+///
+/// The lattice is deliberately small: it mirrors the Soufflé `number` /
+/// `symbol` split from the paper's DL-Schema (Figure 2b), extended with
+/// booleans (for predicate results) and an `Unknown` bottom element used
+/// during type inference before a type has been established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// 64-bit integer — unparsed as Soufflé `number`, SQL `BIGINT`.
+    Int,
+    /// String — unparsed as Soufflé `symbol`, SQL `VARCHAR`.
+    Text,
+    /// Boolean — SQL `BOOLEAN`; Soufflé encodes it as `number`.
+    Bool,
+    /// Not yet inferred. Joins with every other type.
+    Unknown,
+}
+
+impl ValueType {
+    /// Least upper bound of two types during inference. `Unknown` is the
+    /// identity; incompatible concrete types return `None`.
+    pub fn unify(self, other: ValueType) -> Option<ValueType> {
+        use ValueType::*;
+        match (self, other) {
+            (Unknown, t) | (t, Unknown) => Some(t),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The Soufflé type name used by the Datalog unparser.
+    pub fn souffle_name(&self) -> &'static str {
+        match self {
+            ValueType::Int => "number",
+            ValueType::Text => "symbol",
+            ValueType::Bool => "number",
+            ValueType::Unknown => "number",
+        }
+    }
+
+    /// The SQL type name used by the SQL unparser.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            ValueType::Int => "BIGINT",
+            ValueType::Text => "VARCHAR",
+            ValueType::Bool => "BOOLEAN",
+            ValueType::Unknown => "BIGINT",
+        }
+    }
+
+    /// The PG-Schema property type name used by the schema unparser.
+    pub fn pg_name(&self) -> &'static str {
+        match self {
+            ValueType::Int => "INT",
+            ValueType::Text => "STRING",
+            ValueType::Bool => "BOOL",
+            ValueType::Unknown => "INT",
+        }
+    }
+
+    /// Parse a PG-Schema property type name (`INT`, `STRING`, ...).
+    pub fn from_pg_name(name: &str) -> Option<ValueType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "LONG" | "BIGINT" | "INT32" | "INT64" | "DATE" | "DATETIME" => {
+                Some(ValueType::Int)
+            }
+            "STRING" | "TEXT" | "VARCHAR" | "SYMBOL" => Some(ValueType::Text),
+            "BOOL" | "BOOLEAN" => Some(ValueType::Bool),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "Int",
+            ValueType::Text => "Text",
+            ValueType::Bool => "Bool",
+            ValueType::Unknown => "Unknown",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_with_unknown_is_identity() {
+        assert_eq!(ValueType::Unknown.unify(ValueType::Int), Some(ValueType::Int));
+        assert_eq!(ValueType::Text.unify(ValueType::Unknown), Some(ValueType::Text));
+        assert_eq!(ValueType::Unknown.unify(ValueType::Unknown), Some(ValueType::Unknown));
+    }
+
+    #[test]
+    fn unify_equal_types_succeeds() {
+        assert_eq!(ValueType::Int.unify(ValueType::Int), Some(ValueType::Int));
+    }
+
+    #[test]
+    fn unify_conflicting_types_fails() {
+        assert_eq!(ValueType::Int.unify(ValueType::Text), None);
+        assert_eq!(ValueType::Bool.unify(ValueType::Int), None);
+    }
+
+    #[test]
+    fn backend_type_names_match_paper_figures() {
+        // Figure 2b uses `number` and `symbol`.
+        assert_eq!(ValueType::Int.souffle_name(), "number");
+        assert_eq!(ValueType::Text.souffle_name(), "symbol");
+        // Figure 2a uses INT and STRING.
+        assert_eq!(ValueType::Int.pg_name(), "INT");
+        assert_eq!(ValueType::Text.pg_name(), "STRING");
+        // SQL backend.
+        assert_eq!(ValueType::Int.sql_name(), "BIGINT");
+        assert_eq!(ValueType::Text.sql_name(), "VARCHAR");
+    }
+
+    #[test]
+    fn pg_names_parse_case_insensitively_and_cover_aliases() {
+        assert_eq!(ValueType::from_pg_name("int"), Some(ValueType::Int));
+        assert_eq!(ValueType::from_pg_name("STRING"), Some(ValueType::Text));
+        assert_eq!(ValueType::from_pg_name("DateTime"), Some(ValueType::Int));
+        assert_eq!(ValueType::from_pg_name("boolean"), Some(ValueType::Bool));
+        assert_eq!(ValueType::from_pg_name("blob"), None);
+    }
+}

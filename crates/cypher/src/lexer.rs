@@ -1,0 +1,353 @@
+//! Hand-written lexer shared by the Cypher and PG-Schema parsers.
+
+use raqlet_common::{RaqletError, Result};
+
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `input` into a vector of tokens terminated by [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().collect(), pos: 0, line: 1, column: 1, _src: src }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> RaqletError {
+        RaqletError::lex(msg, self.line, self.column)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else {
+                tokens.push(Token::new(TokenKind::Eof, line, column));
+                break;
+            };
+            let kind = match c {
+                '(' => self.single(TokenKind::LParen),
+                ')' => self.single(TokenKind::RParen),
+                '[' => self.single(TokenKind::LBracket),
+                ']' => self.single(TokenKind::RBracket),
+                '{' => self.single(TokenKind::LBrace),
+                '}' => self.single(TokenKind::RBrace),
+                ':' => self.single(TokenKind::Colon),
+                ',' => self.single(TokenKind::Comma),
+                ';' => self.single(TokenKind::Semicolon),
+                '|' => self.single(TokenKind::Pipe),
+                '+' => self.single(TokenKind::Plus),
+                '*' => self.single(TokenKind::Star),
+                '%' => self.single(TokenKind::Percent),
+                '/' => self.single(TokenKind::Slash),
+                '.' => {
+                    self.bump();
+                    if self.peek() == Some('.') {
+                        self.bump();
+                        TokenKind::DotDot
+                    } else {
+                        TokenKind::Dot
+                    }
+                }
+                '-' => {
+                    self.bump();
+                    if self.peek() == Some('>') {
+                        // A lone `->` without a preceding `-` only appears
+                        // after `]`, the parser handles the combination.
+                        self.bump();
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Minus
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('>') => {
+                            self.bump();
+                            TokenKind::Neq
+                        }
+                        Some('=') => {
+                            self.bump();
+                            TokenKind::Le
+                        }
+                        Some('-') => {
+                            self.bump();
+                            TokenKind::BackArrow
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '=' => self.single(TokenKind::Eq),
+                '\'' | '"' => self.string(c)?,
+                '$' => {
+                    self.bump();
+                    let name = self.ident_body();
+                    if name.is_empty() {
+                        return Err(self.error("expected parameter name after `$`"));
+                    }
+                    TokenKind::Parameter(name)
+                }
+                '`' => {
+                    // Backtick-quoted identifier.
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('`') => break,
+                            Some(ch) => s.push(ch),
+                            None => return Err(self.error("unterminated backtick identifier")),
+                        }
+                    }
+                    TokenKind::Ident(s)
+                }
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_alphabetic() || c == '_' => TokenKind::Ident(self.ident_body()),
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            };
+            tokens.push(Token::new(kind, line, column));
+        }
+        Ok(tokens)
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                // Line comments: `//` and `--` (PG-Schema examples use `--`).
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => break,
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn ident_body(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let v: i64 = s
+            .parse()
+            .map_err(|_| self.error(format!("integer literal `{s}` out of range")))?;
+        Ok(TokenKind::Int(v))
+    }
+
+    fn string(&mut self, quote: char) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some(c) => s.push(c),
+                    None => return Err(self.error("unterminated string literal")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+        Ok(TokenKind::Str(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_running_example_query() {
+        let src = "MATCH (n:Person {id:42})-[:IS_LOCATED_IN]->(p:City)\n\
+                   RETURN DISTINCT n.firstName AS firstName, p.id AS cityId";
+        let toks = kinds(src);
+        assert!(toks.contains(&TokenKind::Ident("MATCH".into())));
+        assert!(toks.contains(&TokenKind::Int(42)));
+        assert!(toks.contains(&TokenKind::Arrow));
+        assert!(toks.contains(&TokenKind::Ident("IS_LOCATED_IN".into())));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> <- ->"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::BackArrow,
+                TokenKind::Arrow,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_variable_length_range() {
+        assert_eq!(
+            kinds("*1..2"),
+            vec![TokenKind::Star, TokenKind::Int(1), TokenKind::DotDot, TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_string_literals_with_both_quotes_and_escapes() {
+        assert_eq!(
+            kinds(r#"'hello' "wo\'rld" 'a\nb'"#),
+            vec![
+                TokenKind::Str("hello".into()),
+                TokenKind::Str("wo'rld".into()),
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_parameters() {
+        assert_eq!(
+            kinds("$personId"),
+            vec![TokenKind::Parameter("personId".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let toks = kinds("MATCH // a comment\n /* block \n comment */ (n)");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("MATCH".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("n".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_position_of_errors() {
+        let err = tokenize("MATCH (n) WHERE n.id = 'oops").unwrap_err();
+        assert!(err.is_syntax_error());
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        let err = tokenize("MATCH ~").unwrap_err();
+        assert!(err.to_string().contains('~'));
+    }
+
+    #[test]
+    fn backtick_identifiers() {
+        assert_eq!(
+            kinds("`weird name`"),
+            vec![TokenKind::Ident("weird name".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = tokenize("MATCH\n(n)").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].column, 1);
+    }
+}

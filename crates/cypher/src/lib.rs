@@ -1,0 +1,38 @@
+//! # raqlet-cypher
+//!
+//! The Cypher frontend of Raqlet.
+//!
+//! This crate turns Cypher query text and PG-Schema text (`CREATE GRAPH`
+//! declarations, Figure 2a of the paper) into ASTs that the rest of the
+//! pipeline lowers into PGIR. It is a hand-written lexer + recursive-descent
+//! parser covering the Cypher subset required by the LDBC SNB interactive
+//! read workload:
+//!
+//! * `MATCH` / `OPTIONAL MATCH` with node patterns, relationship patterns,
+//!   variable-length relationships (`*`, `*1..2`) and `shortestPath`;
+//! * `WHERE` with comparison, boolean, arithmetic and `IN` expressions;
+//! * `WITH` / `RETURN` (with `DISTINCT`, aliases and aggregation functions);
+//! * `ORDER BY` / `SKIP` / `LIMIT`, which are parsed and then *dropped* by the
+//!   pipeline, matching the paper's simplification for set-semantics
+//!   backends;
+//! * `UNWIND` and parameters (`$param`) for completeness.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pgschema;
+pub mod token;
+
+pub use ast::*;
+pub use parser::parse_query;
+pub use pgschema::parse_pg_schema;
+
+/// Parse a Cypher query, returning the AST.
+///
+/// ```
+/// let q = raqlet_cypher::parse("MATCH (n:Person) RETURN n.id AS id").unwrap();
+/// assert_eq!(q.clauses.len(), 2);
+/// ```
+pub fn parse(input: &str) -> raqlet_common::Result<ast::Query> {
+    parser::parse_query(input)
+}

@@ -1,0 +1,757 @@
+//! Recursive-descent parser for the supported Cypher subset.
+
+use raqlet_common::{RaqletError, Result, Value};
+
+use crate::ast::*;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse a Cypher query into its AST.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser::new(tokens);
+    let query = parser.query()?;
+    parser.expect_eof()?;
+    Ok(query)
+}
+
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn current(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> RaqletError {
+        let t = self.current();
+        RaqletError::parse(
+            format!("{} (found `{}`)", msg.into(), t.kind),
+            t.line,
+            t.column,
+        )
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kind}`")))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    pub(crate) fn expect_eof(&mut self) -> Result<()> {
+        // Trailing semicolons are accepted.
+        while self.eat(&TokenKind::Semicolon) {}
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("expected end of query"))
+        }
+    }
+
+    // ----- clauses ---------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        let mut clauses = Vec::new();
+        loop {
+            if matches!(self.peek(), TokenKind::Eof | TokenKind::Semicolon) {
+                break;
+            }
+            clauses.push(self.clause()?);
+        }
+        if clauses.is_empty() {
+            return Err(self.error("empty query"));
+        }
+        if !clauses.iter().any(|c| matches!(c, Clause::Return(_))) {
+            return Err(self.error("query has no RETURN clause"));
+        }
+        Ok(Query { clauses })
+    }
+
+    fn clause(&mut self) -> Result<Clause> {
+        if self.peek().is_keyword("OPTIONAL") {
+            self.bump();
+            self.expect_keyword("MATCH")?;
+            return self.match_clause(true);
+        }
+        if self.eat_keyword("MATCH") {
+            return self.match_clause(false);
+        }
+        if self.eat_keyword("WITH") {
+            return Ok(Clause::With(self.projection()?));
+        }
+        if self.eat_keyword("RETURN") {
+            return Ok(Clause::Return(self.projection()?));
+        }
+        if self.eat_keyword("UNWIND") {
+            let expr = self.expr()?;
+            self.expect_keyword("AS")?;
+            let alias = self.expect_ident()?;
+            return Ok(Clause::Unwind { expr, alias });
+        }
+        Err(self.error("expected MATCH, OPTIONAL MATCH, WITH, UNWIND or RETURN"))
+    }
+
+    fn match_clause(&mut self, optional: bool) -> Result<Clause> {
+        let mut patterns = vec![self.path_pattern()?];
+        while self.eat(&TokenKind::Comma) {
+            patterns.push(self.path_pattern()?);
+        }
+        let where_clause =
+            if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Clause::Match(MatchClause { optional, patterns, where_clause }))
+    }
+
+    fn projection(&mut self) -> Result<Projection> {
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.return_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.return_item()?);
+        }
+        let mut order_by = Vec::new();
+        if self.peek().is_keyword("ORDER") {
+            self.bump();
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_keyword("DESC") || self.eat_keyword("DESCENDING") {
+                    false
+                } else {
+                    let _ = self.eat_keyword("ASC") || self.eat_keyword("ASCENDING");
+                    true
+                };
+                order_by.push(OrderItem { expr, ascending });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let skip = if self.eat_keyword("SKIP") { Some(self.expect_int()?) } else { None };
+        let limit = if self.eat_keyword("LIMIT") { Some(self.expect_int()?) } else { None };
+        let where_clause =
+            if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Projection { distinct, items, where_clause, order_by, skip, limit })
+    }
+
+    fn expect_int(&mut self) -> Result<i64> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(v),
+            other => Err(self.error(format!("expected integer, found `{other}`"))),
+        }
+    }
+
+    fn return_item(&mut self) -> Result<ReturnItem> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(ReturnItem { expr: Expr::Var("*".into()), alias: None });
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
+        Ok(ReturnItem { expr, alias })
+    }
+
+    // ----- patterns --------------------------------------------------------
+
+    fn path_pattern(&mut self) -> Result<PathPattern> {
+        // Optional `p = ...` path variable.
+        let mut path_var = None;
+        if let TokenKind::Ident(name) = self.peek() {
+            if !self.is_shortest_keyword(name) && matches!(self.peek_at(1), TokenKind::Eq) {
+                path_var = Some(name.clone());
+                self.bump();
+                self.bump();
+            }
+        }
+        // Optional shortestPath wrapper.
+        let mut shortest = None;
+        if let TokenKind::Ident(name) = self.peek() {
+            if name.eq_ignore_ascii_case("shortestPath") {
+                shortest = Some(ShortestKind::Single);
+            } else if name.eq_ignore_ascii_case("allShortestPaths") {
+                shortest = Some(ShortestKind::All);
+            }
+        }
+        if shortest.is_some() {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let (start, steps) = self.path_body()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(PathPattern { path_var, shortest, start, steps });
+        }
+        let (start, steps) = self.path_body()?;
+        Ok(PathPattern { path_var, shortest: None, start, steps })
+    }
+
+    fn is_shortest_keyword(&self, name: &str) -> bool {
+        name.eq_ignore_ascii_case("shortestPath") || name.eq_ignore_ascii_case("allShortestPaths")
+    }
+
+    fn path_body(&mut self) -> Result<(NodePattern, Vec<(RelPattern, NodePattern)>)> {
+        let start = self.node_pattern()?;
+        let mut steps = Vec::new();
+        while matches!(self.peek(), TokenKind::Minus | TokenKind::BackArrow) {
+            let rel = self.rel_pattern()?;
+            let node = self.node_pattern()?;
+            steps.push((rel, node));
+        }
+        Ok((start, steps))
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern> {
+        self.expect(&TokenKind::LParen)?;
+        let mut node = NodePattern::default();
+        if let TokenKind::Ident(name) = self.peek() {
+            node.var = Some(name.clone());
+            self.bump();
+        }
+        while self.eat(&TokenKind::Colon) {
+            node.labels.push(self.expect_ident()?);
+        }
+        if matches!(self.peek(), TokenKind::LBrace) {
+            node.properties = self.property_map()?;
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(node)
+    }
+
+    fn rel_pattern(&mut self) -> Result<RelPattern> {
+        // Leading `-` (outgoing/undirected) or `<-` (incoming).
+        let incoming_prefix = match self.bump() {
+            TokenKind::Minus => false,
+            TokenKind::BackArrow => true,
+            other => return Err(self.error(format!("expected relationship pattern, found `{other}`"))),
+        };
+        let mut rel = RelPattern {
+            var: None,
+            types: Vec::new(),
+            direction: Direction::Undirected,
+            length: None,
+            properties: Vec::new(),
+        };
+        if self.eat(&TokenKind::LBracket) {
+            if let TokenKind::Ident(name) = self.peek() {
+                rel.var = Some(name.clone());
+                self.bump();
+            }
+            if self.eat(&TokenKind::Colon) {
+                rel.types.push(self.expect_ident()?);
+                while self.eat(&TokenKind::Pipe) {
+                    let _ = self.eat(&TokenKind::Colon);
+                    rel.types.push(self.expect_ident()?);
+                }
+            }
+            if self.eat(&TokenKind::Star) {
+                rel.length = Some(self.var_length()?);
+            }
+            if matches!(self.peek(), TokenKind::LBrace) {
+                rel.properties = self.property_map()?;
+            }
+            self.expect(&TokenKind::RBracket)?;
+        }
+        // Trailing `->` (outgoing), `-` (undirected/close of incoming).
+        let outgoing_suffix = match self.bump() {
+            TokenKind::Arrow => true,
+            TokenKind::Minus => false,
+            other => {
+                return Err(self.error(format!(
+                    "expected `->` or `-` to close relationship pattern, found `{other}`"
+                )))
+            }
+        };
+        rel.direction = match (incoming_prefix, outgoing_suffix) {
+            (false, true) => Direction::Outgoing,
+            (true, false) => Direction::Incoming,
+            (false, false) => Direction::Undirected,
+            (true, true) => {
+                return Err(self.error("relationship pattern cannot be both `<-` and `->`"))
+            }
+        };
+        Ok(rel)
+    }
+
+    fn var_length(&mut self) -> Result<VarLength> {
+        let mut len = VarLength { min: None, max: None };
+        if let TokenKind::Int(v) = self.peek() {
+            len.min = Some(*v as u32);
+            self.bump();
+        }
+        if self.eat(&TokenKind::DotDot) {
+            if let TokenKind::Int(v) = self.peek() {
+                len.max = Some(*v as u32);
+                self.bump();
+            }
+        } else if len.min.is_some() {
+            // `*2` means exactly two hops.
+            len.max = len.min;
+        }
+        Ok(len)
+    }
+
+    fn property_map(&mut self) -> Result<Vec<(String, Expr)>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut props = Vec::new();
+        if !matches!(self.peek(), TokenKind::RBrace) {
+            loop {
+                let key = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let value = self.expr()?;
+                props.push((key, value));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(props)
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::Neq => Some(BinaryOp::Neq),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::Le => Some(BinaryOp::Le),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::Ge => Some(BinaryOp::Ge),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("IN") => Some(BinaryOp::In),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut expr = self.atom()?;
+        while self.eat(&TokenKind::Dot) {
+            let prop = self.expect_ident()?;
+            expr = Expr::Property(Box::new(expr), prop);
+        }
+        Ok(expr)
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Parameter(p) => {
+                self.bump();
+                Ok(Expr::Parameter(p))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !matches!(self.peek(), TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            TokenKind::Ident(name) => {
+                // Literal keywords.
+                if name.eq_ignore_ascii_case("true") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("null") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                self.bump();
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let distinct = self.eat_keyword("DISTINCT");
+                    let mut args = Vec::new();
+                    if self.eat(&TokenKind::Star) {
+                        // count(*): no arguments.
+                    } else if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::FunctionCall { name, distinct, args });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(self.error(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Figure 3a).
+    const FIGURE3A: &str = "MATCH (n:Person {id:42})-[:IS_LOCATED_IN]->(p:City)\n\
+                            RETURN DISTINCT n.firstName AS firstName, p.id AS cityId";
+
+    #[test]
+    fn parses_the_running_example() {
+        let q = parse_query(FIGURE3A).unwrap();
+        assert_eq!(q.clauses.len(), 2);
+        let Clause::Match(m) = &q.clauses[0] else { panic!("expected MATCH") };
+        assert!(!m.optional);
+        assert_eq!(m.patterns.len(), 1);
+        let p = &m.patterns[0];
+        assert_eq!(p.start.var.as_deref(), Some("n"));
+        assert_eq!(p.start.labels, vec!["Person"]);
+        assert_eq!(p.start.properties.len(), 1);
+        assert_eq!(p.steps.len(), 1);
+        let (rel, dst) = &p.steps[0];
+        assert_eq!(rel.types, vec!["IS_LOCATED_IN"]);
+        assert_eq!(rel.direction, Direction::Outgoing);
+        assert_eq!(dst.var.as_deref(), Some("p"));
+        assert_eq!(dst.labels, vec!["City"]);
+
+        let Clause::Return(r) = &q.clauses[1] else { panic!("expected RETURN") };
+        assert!(r.distinct);
+        assert_eq!(r.items.len(), 2);
+        assert_eq!(r.items[0].output_name(), "firstName");
+        assert_eq!(r.items[1].output_name(), "cityId");
+    }
+
+    #[test]
+    fn parses_incoming_and_undirected_relationships() {
+        let q = parse_query("MATCH (a)<-[:KNOWS]-(b), (c)-[:KNOWS]-(d) RETURN a").unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        assert_eq!(m.patterns[0].steps[0].0.direction, Direction::Incoming);
+        assert_eq!(m.patterns[1].steps[0].0.direction, Direction::Undirected);
+    }
+
+    #[test]
+    fn parses_variable_length_relationships() {
+        let q = parse_query("MATCH (a:Person)-[:KNOWS*1..2]->(b:Person) RETURN b.id").unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        let len = m.patterns[0].steps[0].0.length.unwrap();
+        assert_eq!(len.min, Some(1));
+        assert_eq!(len.max, Some(2));
+        assert!(q.uses_recursion());
+    }
+
+    #[test]
+    fn parses_unbounded_variable_length() {
+        let q = parse_query("MATCH (a)-[:KNOWS*]->(b) RETURN b").unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        let len = m.patterns[0].steps[0].0.length.unwrap();
+        assert_eq!(len.min, None);
+        assert_eq!(len.max, None);
+    }
+
+    #[test]
+    fn parses_exact_hop_count() {
+        let q = parse_query("MATCH (a)-[:KNOWS*2]->(b) RETURN b").unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        let len = m.patterns[0].steps[0].0.length.unwrap();
+        assert_eq!(len.min, Some(2));
+        assert_eq!(len.max, Some(2));
+    }
+
+    #[test]
+    fn parses_shortest_path() {
+        let q = parse_query(
+            "MATCH p = shortestPath((a:Person {id: 1})-[:KNOWS*]-(b:Person {id: 2})) RETURN b.id",
+        )
+        .unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        assert_eq!(m.patterns[0].shortest, Some(ShortestKind::Single));
+        assert_eq!(m.patterns[0].path_var.as_deref(), Some("p"));
+        assert!(q.uses_recursion());
+    }
+
+    #[test]
+    fn parses_where_with_boolean_operators() {
+        let q = parse_query(
+            "MATCH (n:Person) WHERE n.id = 42 AND (n.age > 18 OR NOT n.name = 'Bob') RETURN n.id",
+        )
+        .unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        let w = m.where_clause.as_ref().unwrap();
+        assert!(matches!(w, Expr::Binary(BinaryOp::And, _, _)));
+    }
+
+    #[test]
+    fn parses_with_aggregation_and_order_by() {
+        let q = parse_query(
+            "MATCH (p:Person)-[:KNOWS]->(f:Person)\n\
+             WITH f, count(p) AS cnt\n\
+             RETURN DISTINCT f.id AS id, cnt ORDER BY cnt DESC LIMIT 20",
+        )
+        .unwrap();
+        assert!(q.uses_aggregation());
+        let Clause::With(w) = &q.clauses[1] else { panic!("expected WITH") };
+        assert_eq!(w.items.len(), 2);
+        let Clause::Return(r) = &q.clauses[2] else { panic!("expected RETURN") };
+        assert_eq!(r.order_by.len(), 1);
+        assert!(!r.order_by[0].ascending);
+        assert_eq!(r.limit, Some(20));
+    }
+
+    #[test]
+    fn parses_count_star_and_distinct_aggregates() {
+        let q = parse_query("MATCH (n) RETURN count(*) AS c, count(DISTINCT n.id) AS d").unwrap();
+        let Clause::Return(r) = &q.clauses[1] else { panic!() };
+        let Expr::FunctionCall { name, args, distinct } = &r.items[0].expr else { panic!() };
+        assert_eq!(name, "count");
+        assert!(args.is_empty());
+        assert!(!distinct);
+        let Expr::FunctionCall { distinct, .. } = &r.items[1].expr else { panic!() };
+        assert!(distinct);
+    }
+
+    #[test]
+    fn parses_optional_match_and_parameters() {
+        let q = parse_query(
+            "MATCH (p:Person {id: $personId}) OPTIONAL MATCH (p)-[:KNOWS]->(f) RETURN f.id",
+        )
+        .unwrap();
+        let Clause::Match(m0) = &q.clauses[0] else { panic!() };
+        assert!(!m0.optional);
+        assert!(matches!(m0.patterns[0].start.properties[0].1, Expr::Parameter(_)));
+        let Clause::Match(m1) = &q.clauses[1] else { panic!() };
+        assert!(m1.optional);
+    }
+
+    #[test]
+    fn parses_multiple_relationship_types() {
+        let q = parse_query("MATCH (a)-[:LIKES|KNOWS]->(b) RETURN b").unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        assert_eq!(m.patterns[0].steps[0].0.types, vec!["LIKES", "KNOWS"]);
+    }
+
+    #[test]
+    fn parses_multi_hop_chain_pattern() {
+        let q = parse_query(
+            "MATCH (m:Message)-[:HAS_CREATOR]->(p:Person)-[:IS_LOCATED_IN]->(c:City) RETURN c.name",
+        )
+        .unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        assert_eq!(m.patterns[0].steps.len(), 2);
+        assert_eq!(m.patterns[0].nodes().len(), 3);
+    }
+
+    #[test]
+    fn parses_unwind() {
+        let q = parse_query("UNWIND [1, 2, 3] AS x RETURN x").unwrap();
+        assert!(matches!(&q.clauses[0], Clause::Unwind { alias, .. } if alias == "x"));
+    }
+
+    #[test]
+    fn parses_in_operator() {
+        let q = parse_query("MATCH (n) WHERE n.id IN [1, 2, 3] RETURN n").unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        assert!(matches!(m.where_clause.as_ref().unwrap(), Expr::Binary(BinaryOp::In, _, _)));
+    }
+
+    #[test]
+    fn rejects_query_without_return() {
+        let err = parse_query("MATCH (n:Person)").unwrap_err();
+        assert!(err.to_string().contains("RETURN"));
+    }
+
+    #[test]
+    fn rejects_empty_query() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("   ").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("MATCH (n) RETURN n )").is_err());
+    }
+
+    #[test]
+    fn rejects_double_headed_relationship() {
+        assert!(parse_query("MATCH (a)<-[:KNOWS]->(b) RETURN a").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query("match (n:Person) return distinct n.id as id").unwrap();
+        let Clause::Return(r) = &q.clauses[1] else { panic!() };
+        assert!(r.distinct);
+        assert_eq!(r.items[0].output_name(), "id");
+    }
+
+    #[test]
+    fn accepts_trailing_semicolon() {
+        assert!(parse_query("MATCH (n) RETURN n;").is_ok());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("MATCH (n) RETURN n.a + n.b * 2 AS v").unwrap();
+        let Clause::Return(r) = &q.clauses[1] else { panic!() };
+        // + at the top, * nested.
+        let Expr::Binary(BinaryOp::Add, _, rhs) = &r.items[0].expr else {
+            panic!("expected + at the top: {:?}", r.items[0].expr)
+        };
+        assert!(matches!(**rhs, Expr::Binary(BinaryOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn anonymous_nodes_and_relationships() {
+        let q = parse_query("MATCH ()-->() RETURN count(*) AS c").unwrap();
+        let Clause::Match(m) = &q.clauses[0] else { panic!() };
+        let p = &m.patterns[0];
+        assert!(p.start.var.is_none());
+        assert!(p.steps[0].0.types.is_empty());
+        assert_eq!(p.steps[0].0.direction, Direction::Outgoing);
+    }
+}

@@ -1,0 +1,263 @@
+//! Parser for PG-Schema `CREATE GRAPH` declarations (Figure 2a of the paper).
+//!
+//! The accepted syntax follows the paper's example:
+//!
+//! ```text
+//! CREATE GRAPH {
+//!   (personType : Person { id INT, firstName STRING, locationIP STRING }),
+//!   (cityType : City { id INT, name STRING }),
+//!   (:personType)-[locationType: isLocatedIn { id INT }]->(:cityType)
+//! }
+//! ```
+//!
+//! Node declarations are `(typeName : Label { prop TYPE, ... })`; edge
+//! declarations are `(:srcType)-[typeName : label { prop TYPE, ... }]->(:dstType)`.
+
+use raqlet_common::schema::{EdgeType, NodeType, PgSchema, Property};
+use raqlet_common::{RaqletError, Result, ValueType};
+
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse a PG-Schema `CREATE GRAPH` declaration.
+pub fn parse_pg_schema(input: &str) -> Result<PgSchema> {
+    let tokens = tokenize(input)?;
+    SchemaParser { tokens, pos: 0 }.parse()
+}
+
+struct SchemaParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl SchemaParser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn current(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> RaqletError {
+        let t = self.current();
+        RaqletError::parse(format!("{} (found `{}`)", msg.into(), t.kind), t.line, t.column)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kind}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(mut self) -> Result<PgSchema> {
+        if !self.eat_keyword("CREATE") {
+            return Err(self.error("expected `CREATE GRAPH`"));
+        }
+        if !(self.eat_keyword("GRAPH") || self.eat_keyword("PROPERTY")) {
+            return Err(self.error("expected `GRAPH` after `CREATE`"));
+        }
+        // Accept `CREATE PROPERTY GRAPH` too.
+        let _ = self.eat_keyword("GRAPH");
+        // Optional graph name.
+        if let TokenKind::Ident(_) = self.peek() {
+            self.bump();
+        }
+        self.expect(&TokenKind::LBrace)?;
+
+        let mut schema = PgSchema::new();
+        loop {
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+            self.declaration(&mut schema)?;
+            let _ = self.eat(&TokenKind::Comma);
+        }
+        if !matches!(self.peek(), TokenKind::Eof) && !self.eat(&TokenKind::Semicolon) {
+            return Err(self.error("unexpected tokens after schema"));
+        }
+        Ok(schema)
+    }
+
+    /// Parses either a node-type declaration or an edge-type declaration.
+    fn declaration(&mut self, schema: &mut PgSchema) -> Result<()> {
+        self.expect(&TokenKind::LParen)?;
+        if self.eat(&TokenKind::Colon) {
+            // `(:srcType)-[...]->(:dstType)` — an edge declaration.
+            let src = self.expect_ident()?;
+            self.expect(&TokenKind::RParen)?;
+            self.expect(&TokenKind::Minus)?;
+            self.expect(&TokenKind::LBracket)?;
+            let type_name = self.expect_ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let label = self.expect_ident()?;
+            let properties = if matches!(self.peek(), TokenKind::LBrace) {
+                self.property_list()?
+            } else {
+                Vec::new()
+            };
+            self.expect(&TokenKind::RBracket)?;
+            self.expect(&TokenKind::Arrow)?;
+            self.expect(&TokenKind::LParen)?;
+            self.expect(&TokenKind::Colon)?;
+            let dst = self.expect_ident()?;
+            self.expect(&TokenKind::RParen)?;
+            schema.add_edge(EdgeType { type_name, label, src, dst, properties })?;
+        } else {
+            // `(typeName : Label { ... })` — a node declaration.
+            let type_name = self.expect_ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let label = self.expect_ident()?;
+            let properties = if matches!(self.peek(), TokenKind::LBrace) {
+                self.property_list()?
+            } else {
+                Vec::new()
+            };
+            self.expect(&TokenKind::RParen)?;
+            schema.add_node(NodeType { type_name, label, properties })?;
+        }
+        Ok(())
+    }
+
+    fn property_list(&mut self) -> Result<Vec<Property>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut props = Vec::new();
+        if !matches!(self.peek(), TokenKind::RBrace) {
+            loop {
+                let name = self.expect_ident()?;
+                let ty_name = self.expect_ident()?;
+                let ty = ValueType::from_pg_name(&ty_name).ok_or_else(|| {
+                    self.error(format!("unknown property type `{ty_name}`"))
+                })?;
+                props.push(Property::new(name, ty));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(props)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2a from the paper.
+    const FIGURE2A: &str = "CREATE GRAPH {\n\
+        (personType : Person { id INT, firstName STRING, locationIP STRING }),\n\
+        (cityType : City { id INT, name STRING }),\n\
+        (:personType)-[locationType: isLocatedIn { id INT }]->(:cityType)\n\
+    }";
+
+    #[test]
+    fn parses_the_paper_schema() {
+        let s = parse_pg_schema(FIGURE2A).unwrap();
+        assert_eq!(s.nodes.len(), 2);
+        assert_eq!(s.edges.len(), 1);
+
+        let person = s.node_by_label("Person").unwrap();
+        assert_eq!(person.type_name, "personType");
+        assert_eq!(person.properties.len(), 3);
+        assert_eq!(person.properties[0].name, "id");
+        assert_eq!(person.properties[0].ty, ValueType::Int);
+        assert_eq!(person.properties[1].ty, ValueType::Text);
+
+        let edge = &s.edges[0];
+        assert_eq!(edge.label, "isLocatedIn");
+        assert_eq!(edge.src, "personType");
+        assert_eq!(edge.dst, "cityType");
+        assert_eq!(edge.properties.len(), 1);
+    }
+
+    #[test]
+    fn edge_is_resolvable_by_cypher_spelling() {
+        let s = parse_pg_schema(FIGURE2A).unwrap();
+        assert!(s.edge_between("IS_LOCATED_IN", "Person", "City").is_some());
+    }
+
+    #[test]
+    fn parses_nodes_without_properties() {
+        let s = parse_pg_schema("CREATE GRAPH { (t : Thing) }").unwrap();
+        assert_eq!(s.nodes.len(), 1);
+        assert!(s.nodes[0].properties.is_empty());
+    }
+
+    #[test]
+    fn parses_edges_without_properties() {
+        let s = parse_pg_schema(
+            "CREATE GRAPH { (a : A {id INT}), (b : B {id INT}), (:a)-[e: rel]->(:b) }",
+        )
+        .unwrap();
+        assert_eq!(s.edges.len(), 1);
+        assert!(s.edges[0].properties.is_empty());
+    }
+
+    #[test]
+    fn rejects_edges_with_unknown_endpoints() {
+        let err = parse_pg_schema("CREATE GRAPH { (a : A), (:a)-[e: rel]->(:missing) }")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown node type"));
+    }
+
+    #[test]
+    fn rejects_unknown_property_types() {
+        let err =
+            parse_pg_schema("CREATE GRAPH { (a : A { id BLOB }) }").unwrap_err();
+        assert!(err.to_string().contains("unknown property type"));
+    }
+
+    #[test]
+    fn rejects_missing_create_keyword() {
+        assert!(parse_pg_schema("GRAPH { (a : A) }").is_err());
+    }
+
+    #[test]
+    fn accepts_create_property_graph_spelling_and_graph_name() {
+        let s = parse_pg_schema("CREATE PROPERTY GRAPH snb { (a : A { id INT }) }").unwrap();
+        assert_eq!(s.nodes.len(), 1);
+    }
+
+    #[test]
+    fn date_typed_properties_map_to_int() {
+        let s = parse_pg_schema("CREATE GRAPH { (m : Message { id INT, creationDate DATETIME }) }")
+            .unwrap();
+        assert_eq!(s.nodes[0].properties[1].ty, ValueType::Int);
+    }
+}

@@ -1,0 +1,149 @@
+//! Token definitions for the Cypher and PG-Schema lexers.
+
+use std::fmt;
+
+/// A lexical token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub column: u32,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, line: u32, column: u32) -> Self {
+        Token { kind, line, column }
+    }
+}
+
+/// The kinds of tokens produced by the lexer.
+///
+/// Keywords are lexed as [`TokenKind::Ident`] and classified by the parser,
+/// because Cypher keywords are not reserved (e.g. `count` is both a function
+/// name and a legal variable name).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`MATCH`, `Person`, `firstName`, ...).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (single or double quoted in the source).
+    Str(String),
+    /// Query parameter, e.g. `$personId`.
+    Parameter(String),
+
+    LParen,    // (
+    RParen,    // )
+    LBracket,  // [
+    RBracket,  // ]
+    LBrace,    // {
+    RBrace,    // }
+    Colon,     // :
+    Comma,     // ,
+    Dot,       // .
+    DotDot,    // ..
+    Semicolon, // ;
+    Pipe,      // |
+
+    Plus,    // +
+    Minus,   // -
+    Star,    // *
+    Slash,   // /
+    Percent, // %
+
+    Eq,       // =
+    Neq,      // <>
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    Arrow,    // ->
+    BackArrow, // <- (lexed as Lt + Minus by the parser when inside patterns)
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// If this token is an identifier, return it.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this is an identifier equal to `kw`, compared
+    /// case-insensitively (Cypher keywords are case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Parameter(p) => write!(f, "${p}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::DotDot => write!(f, ".."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Neq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::BackArrow => write!(f, "<-"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_match_case_insensitively() {
+        let k = TokenKind::Ident("match".into());
+        assert!(k.is_keyword("MATCH"));
+        assert!(k.is_keyword("match"));
+        assert!(!k.is_keyword("RETURN"));
+    }
+
+    #[test]
+    fn as_ident_only_for_identifiers() {
+        assert_eq!(TokenKind::Ident("x".into()).as_ident(), Some("x"));
+        assert_eq!(TokenKind::Int(1).as_ident(), None);
+    }
+
+    #[test]
+    fn display_of_punctuation() {
+        assert_eq!(TokenKind::Arrow.to_string(), "->");
+        assert_eq!(TokenKind::Neq.to_string(), "<>");
+        assert_eq!(TokenKind::DotDot.to_string(), "..");
+        assert_eq!(TokenKind::Parameter("p".into()).to_string(), "$p");
+    }
+}

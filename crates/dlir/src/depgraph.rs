@@ -1,0 +1,283 @@
+//! Predicate dependency graph and strongly connected components.
+//!
+//! The dependency graph has one vertex per relation; there is an edge
+//! `p → q` when some rule with head `p` mentions `q` in its body. Edges are
+//! tagged with the polarity (positive / negated) and with whether the rule
+//! also aggregates. The SCCs of this graph drive recursion detection,
+//! stratification and the evaluation order used by the Datalog engine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ir::DlirProgram;
+
+/// Polarity / kind of a dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Head depends on a positive body atom.
+    Positive,
+    /// Head depends on a negated body atom.
+    Negative,
+    /// Head depends on a body atom through an aggregation.
+    Aggregated,
+}
+
+/// The predicate dependency graph of a DLIR program.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// Adjacency: for each head relation, the relations it depends on.
+    edges: BTreeMap<String, Vec<(String, DepKind)>>,
+    /// All relation names appearing anywhere (heads and bodies).
+    nodes: BTreeSet<String>,
+}
+
+impl DepGraph {
+    /// Build the dependency graph of a program.
+    pub fn build(program: &DlirProgram) -> Self {
+        let mut graph = DepGraph::default();
+        for rule in &program.rules {
+            let head = rule.head.relation.clone();
+            graph.nodes.insert(head.clone());
+            let entry = graph.edges.entry(head).or_default();
+            let aggregated = rule.aggregation.is_some();
+            for dep in rule.positive_dependencies() {
+                graph.nodes.insert(dep.to_string());
+                let kind = if aggregated { DepKind::Aggregated } else { DepKind::Positive };
+                entry.push((dep.to_string(), kind));
+            }
+            for dep in rule.negative_dependencies() {
+                graph.nodes.insert(dep.to_string());
+                entry.push((dep.to_string(), DepKind::Negative));
+            }
+        }
+        graph
+    }
+
+    /// All relation names (sorted).
+    pub fn nodes(&self) -> impl Iterator<Item = &String> {
+        self.nodes.iter()
+    }
+
+    /// Dependencies of a relation (empty for EDBs).
+    pub fn dependencies_of(&self, name: &str) -> &[(String, DepKind)] {
+        self.edges.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// True if `from` depends (directly) on `to`.
+    pub fn depends_on(&self, from: &str, to: &str) -> bool {
+        self.dependencies_of(from).iter().any(|(d, _)| d == to)
+    }
+
+    /// Strongly connected components in reverse topological order
+    /// (dependencies come before dependents), computed with Tarjan's
+    /// algorithm.
+    pub fn sccs(&self) -> Vec<Vec<String>> {
+        struct Tarjan<'g> {
+            graph: &'g DepGraph,
+            index: usize,
+            indices: BTreeMap<String, usize>,
+            lowlink: BTreeMap<String, usize>,
+            on_stack: BTreeSet<String>,
+            stack: Vec<String>,
+            sccs: Vec<Vec<String>>,
+        }
+
+        impl<'g> Tarjan<'g> {
+            fn strongconnect(&mut self, v: &str) {
+                self.indices.insert(v.to_string(), self.index);
+                self.lowlink.insert(v.to_string(), self.index);
+                self.index += 1;
+                self.stack.push(v.to_string());
+                self.on_stack.insert(v.to_string());
+
+                let deps: Vec<String> = self
+                    .graph
+                    .dependencies_of(v)
+                    .iter()
+                    .map(|(d, _)| d.clone())
+                    .collect();
+                for w in deps {
+                    if !self.indices.contains_key(&w) {
+                        self.strongconnect(&w);
+                        let low = (*self.lowlink.get(v).unwrap()).min(*self.lowlink.get(&w).unwrap());
+                        self.lowlink.insert(v.to_string(), low);
+                    } else if self.on_stack.contains(&w) {
+                        let low = (*self.lowlink.get(v).unwrap()).min(*self.indices.get(&w).unwrap());
+                        self.lowlink.insert(v.to_string(), low);
+                    }
+                }
+
+                if self.lowlink.get(v) == self.indices.get(v) {
+                    let mut component = Vec::new();
+                    while let Some(w) = self.stack.pop() {
+                        self.on_stack.remove(&w);
+                        let done = w == v;
+                        component.push(w);
+                        if done {
+                            break;
+                        }
+                    }
+                    component.reverse();
+                    self.sccs.push(component);
+                }
+            }
+        }
+
+        let mut t = Tarjan {
+            graph: self,
+            index: 0,
+            indices: BTreeMap::new(),
+            lowlink: BTreeMap::new(),
+            on_stack: BTreeSet::new(),
+            stack: Vec::new(),
+            sccs: Vec::new(),
+        };
+        for node in &self.nodes {
+            if !t.indices.contains_key(node) {
+                t.strongconnect(node);
+            }
+        }
+        t.sccs
+    }
+
+    /// The SCC containing `name` (singleton for non-recursive relations).
+    pub fn scc_of(&self, name: &str) -> Vec<String> {
+        self.sccs()
+            .into_iter()
+            .find(|scc| scc.iter().any(|n| n == name))
+            .unwrap_or_else(|| vec![name.to_string()])
+    }
+
+    /// True if the relation is recursive: it is in a multi-element SCC, or it
+    /// depends directly on itself.
+    pub fn is_recursive(&self, name: &str) -> bool {
+        self.depends_on(name, name) || self.scc_of(name).len() > 1
+    }
+
+    /// All recursive relations.
+    pub fn recursive_relations(&self) -> Vec<String> {
+        self.nodes.iter().filter(|n| self.is_recursive(n)).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Atom, BodyElem, Rule};
+
+    fn program_tc() -> DlirProgram {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("tc", &["x", "y"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("tc", &["x", "y"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("tc", &["x", "z"])),
+                BodyElem::Atom(Atom::with_vars("edge", &["z", "y"])),
+            ],
+        ));
+        p
+    }
+
+    fn program_mutual() -> DlirProgram {
+        // even(x) :- zero(x).
+        // even(x) :- odd(y), succ(y, x).
+        // odd(x)  :- even(y), succ(y, x).
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("even", &["x"]),
+            vec![BodyElem::Atom(Atom::with_vars("zero", &["x"]))],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("even", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("odd", &["y"])),
+                BodyElem::Atom(Atom::with_vars("succ", &["y", "x"])),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("odd", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("even", &["y"])),
+                BodyElem::Atom(Atom::with_vars("succ", &["y", "x"])),
+            ],
+        ));
+        p
+    }
+
+    #[test]
+    fn builds_edges_with_polarity() {
+        let mut p = program_tc();
+        p.add_rule(Rule::new(
+            Atom::with_vars("unreachable", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("node", &["x"])),
+                BodyElem::Negated(Atom::with_vars("tc", &["s", "x"])),
+            ],
+        ));
+        let g = DepGraph::build(&p);
+        assert!(g.depends_on("tc", "edge"));
+        assert!(g.depends_on("tc", "tc"));
+        assert!(g.depends_on("unreachable", "tc"));
+        let kinds: Vec<DepKind> = g
+            .dependencies_of("unreachable")
+            .iter()
+            .map(|(_, k)| *k)
+            .collect();
+        assert!(kinds.contains(&DepKind::Negative));
+    }
+
+    #[test]
+    fn detects_self_recursion() {
+        let g = DepGraph::build(&program_tc());
+        assert!(g.is_recursive("tc"));
+        assert!(!g.is_recursive("edge"));
+        assert_eq!(g.recursive_relations(), vec!["tc"]);
+    }
+
+    #[test]
+    fn detects_mutual_recursion_as_one_scc() {
+        let g = DepGraph::build(&program_mutual());
+        let scc = g.scc_of("even");
+        assert_eq!(scc.len(), 2);
+        assert!(scc.contains(&"odd".to_string()));
+        assert!(g.is_recursive("even"));
+        assert!(g.is_recursive("odd"));
+    }
+
+    #[test]
+    fn sccs_are_in_dependency_order() {
+        let g = DepGraph::build(&program_tc());
+        let sccs = g.sccs();
+        let pos_edge = sccs.iter().position(|s| s.contains(&"edge".to_string())).unwrap();
+        let pos_tc = sccs.iter().position(|s| s.contains(&"tc".to_string())).unwrap();
+        assert!(pos_edge < pos_tc, "dependencies must come before dependents: {sccs:?}");
+    }
+
+    #[test]
+    fn edbs_have_no_dependencies() {
+        let g = DepGraph::build(&program_tc());
+        assert!(g.dependencies_of("edge").is_empty());
+    }
+
+    #[test]
+    fn aggregated_dependencies_are_tagged() {
+        use crate::ir::{AggFunc, Aggregation};
+        let mut p = DlirProgram::default();
+        let mut rule = Rule::new(
+            Atom::with_vars("degree", &["x", "d"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+        );
+        rule.aggregation = Some(Aggregation {
+            func: AggFunc::Count,
+            input_var: Some("y".into()),
+            output_var: "d".into(),
+            group_by: vec!["x".into()],
+            distinct: false,
+        });
+        p.add_rule(rule);
+        let g = DepGraph::build(&p);
+        assert_eq!(g.dependencies_of("degree")[0].1, DepKind::Aggregated);
+    }
+}

@@ -1,0 +1,29 @@
+//! # raqlet-dlir
+//!
+//! DLIR — the Datalog Intermediate Representation — is the core of Raqlet's
+//! pipeline and the level at which static analysis and optimization happen
+//! (Sections 3–5 of the paper). This crate provides:
+//!
+//! * [`ir`] — the DLIR data structures: rules, atoms, terms, constraints,
+//!   aggregation, lattice annotations and whole programs;
+//! * [`schema_gen`] — the data-model transformation from PG-Schema to
+//!   DL-Schema (Figure 2);
+//! * [`lower`] — the PGIR → DLIR translation (Figure 3b → Figure 3c);
+//! * [`depgraph`] — the predicate dependency graph and its SCCs;
+//! * [`stratify`] — stratification (negation/aggregation must not occur in a
+//!   recursive cycle);
+//! * [`validate`] — safety (range restriction) and arity validation.
+
+pub mod depgraph;
+pub mod ir;
+pub mod lower;
+pub mod schema_gen;
+pub mod stratify;
+pub mod validate;
+
+pub use depgraph::{DepGraph, DepKind};
+pub use ir::*;
+pub use lower::{lower_pgir, lower_pgir_with_schema, LoweredQuery};
+pub use schema_gen::{edge_label_to_snake, generate_dl_schema};
+pub use stratify::{stratify, Stratification};
+pub use validate::validate;

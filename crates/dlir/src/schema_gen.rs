@@ -1,0 +1,213 @@
+//! Data-model transformation: PG-Schema → DL-Schema (Figure 2 of the paper).
+//!
+//! Every node type becomes an EDB named after its label whose first column is
+//! the node key (`id`); every edge type becomes an EDB named
+//! `<SrcLabel>_<EDGE_LABEL>_<DstLabel>` whose first two columns are the source
+//! and target node keys (`id1`, `id2`) followed by the edge's own properties.
+
+use raqlet_common::schema::{Column, DlSchema, EdgeType, NodeType, PgSchema, RelationDecl, RelationKind};
+use raqlet_common::{RaqletError, Result, ValueType};
+
+/// Convert a camelCase / mixedCase edge label to the SCREAMING_SNAKE_CASE
+/// spelling used for EDB names and matched against Cypher relationship types
+/// (`isLocatedIn` → `IS_LOCATED_IN`).
+pub fn edge_label_to_snake(label: &str) -> String {
+    let mut out = String::with_capacity(label.len() + 4);
+    let mut prev_lower = false;
+    for c in label.chars() {
+        if c == '_' {
+            out.push('_');
+            prev_lower = false;
+            continue;
+        }
+        if c.is_uppercase() && prev_lower {
+            out.push('_');
+        }
+        prev_lower = c.is_lowercase() || c.is_ascii_digit();
+        out.push(c.to_ascii_uppercase());
+    }
+    out
+}
+
+/// Name of the EDB generated for a node type: its label verbatim.
+pub fn node_edb_name(node: &NodeType) -> String {
+    node.label.clone()
+}
+
+/// Name of the EDB generated for an edge type:
+/// `<SrcLabel>_<EDGE_LABEL>_<DstLabel>`.
+pub fn edge_edb_name(schema: &PgSchema, edge: &EdgeType) -> Result<String> {
+    let src = schema
+        .node_by_type_name(&edge.src)
+        .ok_or_else(|| RaqletError::schema(format!("unknown node type `{}`", edge.src)))?;
+    let dst = schema
+        .node_by_type_name(&edge.dst)
+        .ok_or_else(|| RaqletError::schema(format!("unknown node type `{}`", edge.dst)))?;
+    Ok(format!("{}_{}_{}", src.label, edge_label_to_snake(&edge.label), dst.label))
+}
+
+/// Generate the DL-Schema for a PG-Schema (the paper's data-model
+/// transformation, Figure 2a → Figure 2b).
+pub fn generate_dl_schema(pg: &PgSchema) -> Result<DlSchema> {
+    let mut dl = DlSchema::new();
+
+    for node in &pg.nodes {
+        if node.properties.is_empty() {
+            return Err(RaqletError::schema(format!(
+                "node type `{}` must declare at least a key property",
+                node.label
+            )));
+        }
+        let columns: Vec<Column> =
+            node.properties.iter().map(|p| Column::new(p.name.clone(), p.ty)).collect();
+        let mut decl = RelationDecl::new(node_edb_name(node), columns, RelationKind::NodeEdb);
+        decl.key = vec![0];
+        decl.source_label = Some(node.label.clone());
+        dl.add(decl)?;
+    }
+
+    for edge in &pg.edges {
+        let name = edge_edb_name(pg, edge)?;
+        let mut columns = vec![Column::new("id1", ValueType::Int), Column::new("id2", ValueType::Int)];
+        columns.extend(edge.properties.iter().map(|p| Column::new(p.name.clone(), p.ty)));
+        let mut decl = RelationDecl::new(name, columns, RelationKind::EdgeEdb);
+        decl.key = vec![0, 1];
+        decl.source_label = Some(edge.label.clone());
+        dl.add(decl)?;
+    }
+
+    Ok(dl)
+}
+
+/// Find the edge EDB connecting two node labels with the given Cypher
+/// relationship type, if the schema declares one (in either direction).
+///
+/// Returns `(edb_name, reversed)` where `reversed` is true when the schema
+/// stores the edge in the opposite direction to the requested one.
+pub fn resolve_edge_edb(
+    pg: &PgSchema,
+    rel_type: &str,
+    src_label: Option<&str>,
+    dst_label: Option<&str>,
+) -> Result<(String, bool)> {
+    let mut candidates = Vec::new();
+    for edge in &pg.edges {
+        if !raqlet_common::schema::labels_match(&edge.label, rel_type) {
+            continue;
+        }
+        let src = pg.node_by_type_name(&edge.src).map(|n| n.label.clone()).unwrap_or_default();
+        let dst = pg.node_by_type_name(&edge.dst).map(|n| n.label.clone()).unwrap_or_default();
+        let forward = src_label.map_or(true, |l| raqlet_common::schema::labels_match(&src, l))
+            && dst_label.map_or(true, |l| raqlet_common::schema::labels_match(&dst, l));
+        let backward = src_label.map_or(true, |l| raqlet_common::schema::labels_match(&dst, l))
+            && dst_label.map_or(true, |l| raqlet_common::schema::labels_match(&src, l));
+        if forward {
+            candidates.push((edge_edb_name(pg, edge)?, false));
+        } else if backward {
+            candidates.push((edge_edb_name(pg, edge)?, true));
+        }
+    }
+    match candidates.len() {
+        0 => Err(RaqletError::UnknownName { kind: "edge type", name: rel_type.to_string() }),
+        1 => Ok(candidates.remove(0)),
+        _ => {
+            // Prefer an exact forward match when both directions matched
+            // (e.g. Person-KNOWS-Person with unlabeled endpoints).
+            Ok(candidates.remove(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_cypher::parse_pg_schema;
+
+    const FIGURE2A: &str = "CREATE GRAPH {\n\
+        (personType : Person { id INT, firstName STRING, locationIP STRING }),\n\
+        (cityType : City { id INT, name STRING }),\n\
+        (:personType)-[locationType: isLocatedIn { id INT }]->(:cityType)\n\
+    }";
+
+    #[test]
+    fn edge_label_conversion_matches_paper() {
+        assert_eq!(edge_label_to_snake("isLocatedIn"), "IS_LOCATED_IN");
+        assert_eq!(edge_label_to_snake("knows"), "KNOWS");
+        assert_eq!(edge_label_to_snake("KNOWS"), "KNOWS");
+        assert_eq!(edge_label_to_snake("hasCreator"), "HAS_CREATOR");
+        assert_eq!(edge_label_to_snake("replyOf"), "REPLY_OF");
+        assert_eq!(edge_label_to_snake("IS_LOCATED_IN"), "IS_LOCATED_IN");
+    }
+
+    #[test]
+    fn generates_figure2b_schema() {
+        let pg = parse_pg_schema(FIGURE2A).unwrap();
+        let dl = generate_dl_schema(&pg).unwrap();
+
+        // .decl Person(id: number, firstName: symbol, locationIP: symbol)
+        let person = dl.get("Person").unwrap();
+        assert_eq!(person.arity(), 3);
+        assert_eq!(person.columns[0].name, "id");
+        assert_eq!(person.columns[0].ty, ValueType::Int);
+        assert_eq!(person.columns[1].ty, ValueType::Text);
+        assert_eq!(person.key, vec![0]);
+        assert_eq!(person.kind, RelationKind::NodeEdb);
+
+        // .decl City(id: number, name: symbol)
+        let city = dl.get("City").unwrap();
+        assert_eq!(city.arity(), 2);
+
+        // .decl Person_IS_LOCATED_IN_City(id1: number, id2: number, id: number)
+        let edge = dl.get("Person_IS_LOCATED_IN_City").unwrap();
+        assert_eq!(edge.arity(), 3);
+        assert_eq!(edge.columns[0].name, "id1");
+        assert_eq!(edge.columns[1].name, "id2");
+        assert_eq!(edge.columns[2].name, "id");
+        assert_eq!(edge.key, vec![0, 1]);
+        assert_eq!(edge.kind, RelationKind::EdgeEdb);
+    }
+
+    #[test]
+    fn display_of_generated_schema_matches_souffle_decls() {
+        let pg = parse_pg_schema(FIGURE2A).unwrap();
+        let dl = generate_dl_schema(&pg).unwrap();
+        let text = dl.to_string();
+        assert!(text.contains(".decl Person(id: number, firstName: symbol, locationIP: symbol)"));
+        assert!(text.contains(".decl City(id: number, name: symbol)"));
+        assert!(text
+            .contains(".decl Person_IS_LOCATED_IN_City(id1: number, id2: number, id: number)"));
+    }
+
+    #[test]
+    fn rejects_node_types_without_properties() {
+        let pg = parse_pg_schema("CREATE GRAPH { (t : Thing) }").unwrap();
+        assert!(generate_dl_schema(&pg).is_err());
+    }
+
+    #[test]
+    fn resolve_edge_edb_forward_and_reverse() {
+        let pg = parse_pg_schema(FIGURE2A).unwrap();
+        let (name, reversed) =
+            resolve_edge_edb(&pg, "IS_LOCATED_IN", Some("Person"), Some("City")).unwrap();
+        assert_eq!(name, "Person_IS_LOCATED_IN_City");
+        assert!(!reversed);
+
+        let (name, reversed) =
+            resolve_edge_edb(&pg, "IS_LOCATED_IN", Some("City"), Some("Person")).unwrap();
+        assert_eq!(name, "Person_IS_LOCATED_IN_City");
+        assert!(reversed);
+    }
+
+    #[test]
+    fn resolve_edge_edb_with_unlabeled_endpoints() {
+        let pg = parse_pg_schema(FIGURE2A).unwrap();
+        let (name, _) = resolve_edge_edb(&pg, "isLocatedIn", None, None).unwrap();
+        assert_eq!(name, "Person_IS_LOCATED_IN_City");
+    }
+
+    #[test]
+    fn resolve_edge_edb_unknown_type_errors() {
+        let pg = parse_pg_schema(FIGURE2A).unwrap();
+        assert!(resolve_edge_edb(&pg, "LIKES", None, None).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! DLIR program validation: safety (range restriction), arity checks, and
+//! output sanity. Run before analysis, optimization and execution.
+
+use std::collections::BTreeSet;
+
+use raqlet_common::{RaqletError, Result};
+
+use crate::ir::{BodyElem, DlExpr, DlirProgram, Rule, Term};
+
+/// Validate a DLIR program:
+///
+/// 1. **Arity**: every atom's arity matches its relation's declaration (when
+///    the relation is declared in the schema).
+/// 2. **Safety / range restriction**: every variable used in the head, in a
+///    negated atom, or on either side of a constraint is bound by a positive
+///    body atom or by an equality with a bound expression.
+/// 3. **Outputs**: every `.output` relation is derived by at least one rule.
+pub fn validate(program: &DlirProgram) -> Result<()> {
+    for rule in &program.rules {
+        validate_arities(program, rule)?;
+        validate_safety(rule)?;
+    }
+    for output in &program.outputs {
+        if !program.is_idb(output) && program.schema.get(output).is_none() {
+            return Err(RaqletError::semantic(format!(
+                "output relation `{output}` is never defined"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn validate_arities(program: &DlirProgram, rule: &Rule) -> Result<()> {
+    let check = |relation: &str, arity: usize| -> Result<()> {
+        if let Some(decl) = program.schema.get(relation) {
+            if decl.arity() != arity {
+                return Err(RaqletError::semantic(format!(
+                    "atom `{relation}` has arity {arity} but the schema declares arity {}",
+                    decl.arity()
+                )));
+            }
+        }
+        Ok(())
+    };
+    check(&rule.head.relation, rule.head.arity())?;
+    for elem in &rule.body {
+        if let Some(atom) = elem.as_any_atom() {
+            check(&atom.relation, atom.arity())?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_safety(rule: &Rule) -> Result<()> {
+    // Variables bound by positive atoms.
+    let mut bound: BTreeSet<String> = rule.bound_variables();
+
+    // Equality constraints can bind a fresh variable from an expression whose
+    // variables are already bound (e.g. `l = l0 + 1`, `p = cityId`). Iterate
+    // until no new variables become bound.
+    loop {
+        let mut changed = false;
+        for elem in &rule.body {
+            if let BodyElem::Constraint { op: crate::ir::CmpOp::Eq, lhs, rhs } = elem {
+                changed |= try_bind(&mut bound, lhs, rhs);
+                changed |= try_bind(&mut bound, rhs, lhs);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Head variables must be bound (unless the head is produced by an
+    // aggregation output variable).
+    let agg_output = rule.aggregation.as_ref().map(|a| a.output_var.clone());
+    for term in &rule.head.terms {
+        if let Term::Var(v) = term {
+            if Some(v.clone()) == agg_output {
+                continue;
+            }
+            if !bound.contains(v) {
+                return Err(RaqletError::semantic(format!(
+                    "unsafe rule `{rule}`: head variable `{v}` is not bound by a positive body atom"
+                )));
+            }
+        }
+    }
+
+    // Variables inside negated atoms must be bound (or wildcards).
+    for elem in &rule.body {
+        if let BodyElem::Negated(atom) = elem {
+            for term in &atom.terms {
+                if let Term::Var(v) = term {
+                    if !bound.contains(v) {
+                        return Err(RaqletError::semantic(format!(
+                            "unsafe rule `{rule}`: variable `{v}` in negated atom `{atom}` is unbound"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    // Variables in non-equality constraints must be bound.
+    for elem in &rule.body {
+        if let BodyElem::Constraint { op, lhs, rhs } = elem {
+            if *op == crate::ir::CmpOp::Eq {
+                continue;
+            }
+            for side in [lhs, rhs] {
+                let mut vars = Vec::new();
+                side.variables(&mut vars);
+                for v in vars {
+                    if !bound.contains(&v) {
+                        return Err(RaqletError::semantic(format!(
+                            "unsafe rule `{rule}`: variable `{v}` in constraint is unbound"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    // The aggregation input variable must be bound.
+    if let Some(agg) = &rule.aggregation {
+        if let Some(input) = &agg.input_var {
+            if !bound.contains(input) {
+                return Err(RaqletError::semantic(format!(
+                    "unsafe rule `{rule}`: aggregate input `{input}` is unbound"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// If `target` is a single unbound variable and every variable of `source` is
+/// bound, mark the target variable as bound. Returns true if anything changed.
+fn try_bind(bound: &mut BTreeSet<String>, target: &DlExpr, source: &DlExpr) -> bool {
+    let DlExpr::Var(t) = target else { return false };
+    if bound.contains(t) {
+        return false;
+    }
+    let mut src_vars = Vec::new();
+    source.variables(&mut src_vars);
+    if src_vars.iter().all(|v| bound.contains(v)) {
+        bound.insert(t.clone());
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Atom, CmpOp, DlirProgram, Term};
+    use raqlet_common::schema::{Column, DlSchema, RelationDecl, RelationKind};
+    use raqlet_common::ValueType;
+
+    fn edge_schema() -> DlSchema {
+        let mut s = DlSchema::new();
+        s.add(RelationDecl::new(
+            "edge",
+            vec![Column::new("src", ValueType::Int), Column::new("dst", ValueType::Int)],
+            RelationKind::BaseTable,
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn valid_tc_program_passes() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("tc", &["x", "y"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("tc", &["x", "y"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("tc", &["x", "z"])),
+                BodyElem::Atom(Atom::with_vars("edge", &["z", "y"])),
+            ],
+        ));
+        p.add_output("tc");
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("tc", &["x", "y"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y", "z"]))],
+        ));
+        let err = validate(&p).unwrap_err();
+        assert!(err.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn unbound_head_variable_is_rejected() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("r", &["x", "w"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+        ));
+        let err = validate(&p).unwrap_err();
+        assert!(err.to_string().contains("`w`"));
+    }
+
+    #[test]
+    fn head_variable_bound_through_equality_chain_is_safe() {
+        // r(x, l) :- edge(x, y), l0 = 1, l = l0 + 1.
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("r", &["x", "l"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+                BodyElem::eq(DlExpr::var("l0"), DlExpr::int(1)),
+                BodyElem::eq(
+                    DlExpr::var("l"),
+                    DlExpr::Arith {
+                        op: crate::ir::ArithOp::Add,
+                        lhs: Box::new(DlExpr::var("l0")),
+                        rhs: Box::new(DlExpr::int(1)),
+                    },
+                ),
+            ],
+        ));
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn unbound_variable_in_negation_is_rejected() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("r", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+                BodyElem::Negated(Atom::with_vars("blocked", &["z"])),
+            ],
+        ));
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn wildcards_in_negation_are_fine() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("r", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+                BodyElem::Negated(Atom::new("blocked", vec![Term::var("x"), Term::Wildcard])),
+            ],
+        ));
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn unbound_variable_in_comparison_is_rejected() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("r", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+                BodyElem::Constraint { op: CmpOp::Lt, lhs: DlExpr::var("q"), rhs: DlExpr::int(3) },
+            ],
+        ));
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn undefined_output_is_rejected() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_output("missing");
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn output_backed_by_schema_relation_is_accepted() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_output("edge");
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn aggregate_output_variable_does_not_need_body_binding() {
+        use crate::ir::{AggFunc, Aggregation};
+        let mut p = DlirProgram::new(edge_schema());
+        let mut rule = Rule::new(
+            Atom::with_vars("deg", &["x", "d"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+        );
+        rule.aggregation = Some(Aggregation {
+            func: AggFunc::Count,
+            input_var: Some("y".into()),
+            output_var: "d".into(),
+            group_by: vec!["x".into()],
+            distinct: false,
+        });
+        p.add_rule(rule);
+        assert!(validate(&p).is_ok());
+    }
+}

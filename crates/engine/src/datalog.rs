@@ -1,0 +1,958 @@
+//! Bottom-up Datalog engine: the stand-in for Soufflé in the paper's
+//! evaluation.
+//!
+//! The engine evaluates a stratified [`DlirProgram`] against an extensional
+//! [`Database`]:
+//!
+//! * strata are computed with [`raqlet_dlir::stratify`] and evaluated bottom
+//!   up;
+//! * inside a stratum, rules are iterated to a fixpoint using either naive or
+//!   **semi-naive** evaluation (the default; naive is kept for the ablation
+//!   benchmarks);
+//! * joins are index-driven: bound columns of an atom probe a hash index on
+//!   the stored relation;
+//! * negation reads fully-computed lower strata; aggregation groups the
+//!   deduplicated bindings of its group-by and input variables;
+//! * relations annotated with a `@min` lattice keep only the minimal value of
+//!   the annotated column per group, which makes shortest-path recursion
+//!   terminate on cyclic data.
+
+use std::collections::HashMap;
+
+use raqlet_common::{Database, RaqletError, Relation, Result, Tuple, Value};
+use raqlet_dlir::{
+    stratify, Aggregation, Atom, BodyElem, DepGraph, DlExpr, DlirProgram, LatticeMerge, Rule, Term,
+};
+
+/// Fixpoint evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Re-derive everything each iteration (kept for comparison benchmarks).
+    Naive,
+    /// Only join against the tuples derived in the previous iteration.
+    #[default]
+    SemiNaive,
+}
+
+/// Counters describing an evaluation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of strata evaluated.
+    pub strata: usize,
+    /// Total fixpoint iterations across all strata.
+    pub iterations: usize,
+    /// Total number of rule applications (rule × iteration).
+    pub rule_applications: usize,
+    /// Total tuples derived (including duplicates discarded by set
+    /// semantics).
+    pub tuples_derived: usize,
+}
+
+/// The result of evaluating a program.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The database containing the EDBs plus every derived IDB.
+    pub database: Database,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl EvalResult {
+    /// The relation derived for `name` (empty if nothing was derived).
+    pub fn relation(&self, name: &str) -> Relation {
+        self.database.get(name).cloned().unwrap_or_else(|| Relation::new(0))
+    }
+}
+
+/// The Datalog engine.
+#[derive(Debug, Clone, Default)]
+pub struct DatalogEngine {
+    /// Evaluation strategy.
+    pub strategy: EvalStrategy,
+}
+
+impl DatalogEngine {
+    /// An engine using semi-naive evaluation.
+    pub fn new() -> Self {
+        DatalogEngine { strategy: EvalStrategy::SemiNaive }
+    }
+
+    /// An engine using naive evaluation (for ablation benchmarks).
+    pub fn naive() -> Self {
+        DatalogEngine { strategy: EvalStrategy::Naive }
+    }
+
+    /// Evaluate `program` over the extensional database `edb`.
+    pub fn evaluate(&self, program: &DlirProgram, edb: &Database) -> Result<EvalResult> {
+        raqlet_dlir::validate(program)?;
+        let stratification = stratify(program)?;
+        let graph = DepGraph::build(program);
+
+        let mut db = edb.clone();
+        let mut stats = EvalStats { strata: stratification.len(), ..Default::default() };
+
+        // Ensure every IDB exists (possibly empty) so downstream negation and
+        // outputs behave deterministically.
+        for idb in program.idb_names() {
+            let arity = program
+                .rules_for(&idb)
+                .first()
+                .map(|r| r.head.arity())
+                .unwrap_or(0);
+            db.get_or_create(&idb, arity);
+        }
+
+        for stratum in &stratification.strata {
+            let rules: Vec<&Rule> = program
+                .rules
+                .iter()
+                .filter(|r| stratum.contains(&r.head.relation))
+                .collect();
+            if rules.is_empty() {
+                continue;
+            }
+            self.evaluate_stratum(program, &graph, &rules, &mut db, &mut stats)?;
+        }
+        Ok(EvalResult { database: db, stats })
+    }
+
+    /// Evaluate the output relation of a program directly.
+    pub fn run_output(&self, program: &DlirProgram, edb: &Database, output: &str) -> Result<Relation> {
+        Ok(self.evaluate(program, edb)?.relation(output))
+    }
+
+    fn evaluate_stratum(
+        &self,
+        program: &DlirProgram,
+        graph: &DepGraph,
+        rules: &[&Rule],
+        db: &mut Database,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        // Relations derived in this stratum (the ones whose deltas matter).
+        let mut stratum_relations: Vec<String> = Vec::new();
+        for rule in rules {
+            if !stratum_relations.contains(&rule.head.relation) {
+                stratum_relations.push(rule.head.relation.clone());
+            }
+        }
+
+        // Aggregating rules are never recursive, and stratification places
+        // everything they read in a strictly lower stratum — so they are
+        // evaluated once, *before* the fixpoint rules of this stratum (which
+        // may consume their output).
+        let (agg_rules, fix_rules): (Vec<&&Rule>, Vec<&&Rule>) =
+            rules.iter().partition(|r| r.aggregation.is_some());
+        for rule in &agg_rules {
+            stats.rule_applications += 1;
+            let derived = self.apply_rule(program, rule, db, None)?;
+            stats.tuples_derived += derived.len();
+            let mut unused = HashMap::new();
+            merge_derived(program, db, &mut unused, &rule.head.relation, derived)?;
+        }
+
+        // Initial round: evaluate every rule against the full database.
+        let mut deltas: HashMap<String, Relation> = HashMap::new();
+        for name in &stratum_relations {
+            let arity = db.get(name).map(|r| r.arity()).unwrap_or(0);
+            deltas.insert(name.clone(), Relation::new(arity));
+        }
+        for rule in &fix_rules {
+            stats.rule_applications += 1;
+            let derived = self.apply_rule(program, rule, db, None)?;
+            stats.tuples_derived += derived.len();
+            merge_derived(program, db, &mut deltas, &rule.head.relation, derived)?;
+        }
+        stats.iterations += 1;
+
+        // Fixpoint iterations.
+        let recursive = fix_rules.iter().any(|r| {
+            r.positive_dependencies().iter().any(|d| stratum_relations.contains(&d.to_string()))
+        }) || stratum_relations.iter().any(|r| graph.is_recursive(r));
+        if recursive {
+            loop {
+                let mut new_deltas: HashMap<String, Relation> = HashMap::new();
+                for name in &stratum_relations {
+                    let arity = db.get(name).map(|r| r.arity()).unwrap_or(0);
+                    new_deltas.insert(name.clone(), Relation::new(arity));
+                }
+                let mut any_new = false;
+                for rule in &fix_rules {
+                    // Which body atoms reference relations of this stratum?
+                    let recursive_positions: Vec<usize> = rule
+                        .body
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| match b.as_positive_atom() {
+                            Some(a) if stratum_relations.contains(&a.relation) => Some(i),
+                            _ => None,
+                        })
+                        .collect();
+                    if recursive_positions.is_empty() {
+                        continue;
+                    }
+                    match self.strategy {
+                        EvalStrategy::Naive => {
+                            stats.rule_applications += 1;
+                            let derived = self.apply_rule(program, rule, db, None)?;
+                            stats.tuples_derived += derived.len();
+                            any_new |= merge_derived(
+                                program,
+                                db,
+                                &mut new_deltas,
+                                &rule.head.relation,
+                                derived,
+                            )?;
+                        }
+                        EvalStrategy::SemiNaive => {
+                            // One evaluation per recursive atom occurrence,
+                            // reading the delta for that occurrence.
+                            for &pos in &recursive_positions {
+                                stats.rule_applications += 1;
+                                let derived =
+                                    self.apply_rule(program, rule, db, Some((pos, &deltas)))?;
+                                stats.tuples_derived += derived.len();
+                                any_new |= merge_derived(
+                                    program,
+                                    db,
+                                    &mut new_deltas,
+                                    &rule.head.relation,
+                                    derived,
+                                )?;
+                            }
+                        }
+                    }
+                }
+                stats.iterations += 1;
+                deltas = new_deltas;
+                if !any_new {
+                    break;
+                }
+            }
+        }
+
+        Ok(())
+    }
+
+    /// Evaluate one rule, returning the derived head tuples. When
+    /// `delta_for` is given, the positive atom at that body position reads
+    /// from the supplied delta relations instead of the full database.
+    fn apply_rule(
+        &self,
+        program: &DlirProgram,
+        rule: &Rule,
+        db: &Database,
+        delta_for: Option<(usize, &HashMap<String, Relation>)>,
+    ) -> Result<Vec<Tuple>> {
+        let bindings = self.join_body(rule, db, delta_for)?;
+        match &rule.aggregation {
+            None => {
+                let mut out = Vec::with_capacity(bindings.len());
+                for env in &bindings {
+                    out.push(instantiate_head(&rule.head, env)?);
+                }
+                Ok(out)
+            }
+            Some(agg) => Ok(aggregate(program, rule, agg, &bindings)?),
+        }
+    }
+
+    /// Join the positive atoms, apply constraints and negation, and return
+    /// the variable bindings satisfying the body.
+    fn join_body(
+        &self,
+        rule: &Rule,
+        db: &Database,
+        delta_for: Option<(usize, &HashMap<String, Relation>)>,
+    ) -> Result<Vec<Env>> {
+        let mut envs: Vec<Env> = vec![Env::new()];
+
+        // Positive atoms first (in body order), then constraints interleaved
+        // greedily once their variables are bound, then negations last.
+        let mut pending_constraints: Vec<&BodyElem> = Vec::new();
+        for (idx, elem) in rule.body.iter().enumerate() {
+            match elem {
+                BodyElem::Atom(atom) => {
+                    let use_delta = matches!(delta_for, Some((pos, _)) if pos == idx);
+                    let empty = Relation::new(atom.arity());
+                    let relation: &Relation = if use_delta {
+                        let (_, deltas) = delta_for.unwrap();
+                        deltas.get(&atom.relation).unwrap_or(&empty)
+                    } else {
+                        db.get(&atom.relation).unwrap_or(&empty)
+                    };
+                    envs = extend_with_atom(envs, atom, relation)?;
+                    // Apply any pending constraints that are now evaluable to
+                    // prune early.
+                    pending_constraints.retain(|c| {
+                        if let BodyElem::Constraint { op, lhs, rhs } = c {
+                            if envs.iter().all(|e| constraint_ready(e, lhs, rhs)) {
+                                envs.retain(|e| eval_constraint(e, *op, lhs, rhs).unwrap_or(false));
+                                return false;
+                            }
+                        }
+                        true
+                    });
+                }
+                BodyElem::Constraint { op, lhs, rhs } => {
+                    // Equality with an unbound side acts as an assignment.
+                    let mut next = Vec::with_capacity(envs.len());
+                    let mut all_handled = true;
+                    for env in &envs {
+                        match apply_constraint(env, *op, lhs, rhs)? {
+                            ConstraintOutcome::Keep(new_env) => next.push(new_env),
+                            ConstraintOutcome::Drop => {}
+                            ConstraintOutcome::NotReady => {
+                                all_handled = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_handled {
+                        envs = next;
+                    } else {
+                        pending_constraints.push(elem);
+                    }
+                }
+                BodyElem::Negated(_) => {
+                    // Handled after all positive atoms below.
+                }
+            }
+            if envs.is_empty() {
+                return Ok(Vec::new());
+            }
+        }
+
+        // Remaining constraints must now be evaluable.
+        for elem in pending_constraints {
+            let BodyElem::Constraint { op, lhs, rhs } = elem else { continue };
+            let mut next = Vec::with_capacity(envs.len());
+            for env in &envs {
+                match apply_constraint(env, *op, lhs, rhs)? {
+                    ConstraintOutcome::Keep(e) => next.push(e),
+                    ConstraintOutcome::Drop => {}
+                    ConstraintOutcome::NotReady => {
+                        return Err(RaqletError::execution(format!(
+                            "constraint `{elem}` in rule `{rule}` references unbound variables"
+                        )))
+                    }
+                }
+            }
+            envs = next;
+        }
+
+        // Negation.
+        for elem in &rule.body {
+            let BodyElem::Negated(atom) = elem else { continue };
+            let relation = db
+                .get(&atom.relation)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(atom.arity()));
+            envs.retain(|env| !matches_negated(env, atom, &relation));
+        }
+        Ok(envs)
+    }
+}
+
+/// A variable environment.
+type Env = HashMap<String, Value>;
+
+/// Extend each environment with every tuple of `relation` that matches
+/// `atom` under the environment.
+fn extend_with_atom(envs: Vec<Env>, atom: &Atom, relation: &Relation) -> Result<Vec<Env>> {
+    if relation.arity() != atom.arity() && !relation.is_empty() {
+        return Err(RaqletError::execution(format!(
+            "atom `{atom}` has arity {} but relation `{}` has arity {}",
+            atom.arity(),
+            atom.relation,
+            relation.arity()
+        )));
+    }
+    // Columns whose value is known in every environment (all environments
+    // processed so far bind the same variable set), plus constant columns.
+    let bound_columns: Vec<usize> = match envs.first() {
+        Some(first) => atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Var(v) => first.contains_key(v),
+                Term::Const(_) => true,
+                Term::Wildcard => false,
+            })
+            .map(|(i, _)| i)
+            .collect(),
+        None => Vec::new(),
+    };
+
+    // Build a transient hash index over the bound columns so each
+    // environment probes instead of scanning the whole relation.
+    let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    if !bound_columns.is_empty() {
+        for tuple in relation.iter() {
+            let key: Vec<Value> = bound_columns.iter().map(|&i| tuple[i].clone()).collect();
+            index.entry(key).or_default().push(tuple);
+        }
+    }
+    let all_tuples: Vec<&Tuple> = if bound_columns.is_empty() {
+        relation.iter().collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut out = Vec::new();
+    for env in envs {
+        let candidates: &[&Tuple] = if bound_columns.is_empty() {
+            &all_tuples
+        } else {
+            let key: Vec<Value> = bound_columns
+                .iter()
+                .map(|&i| match &atom.terms[i] {
+                    Term::Var(v) => env.get(v).cloned().unwrap_or(Value::Null),
+                    Term::Const(c) => c.clone(),
+                    Term::Wildcard => Value::Null,
+                })
+                .collect();
+            index.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+        };
+        'tuples: for tuple in candidates {
+            let mut new_env = env.clone();
+            for (i, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Wildcard => {}
+                    Term::Const(c) => {
+                        if &tuple[i] != c {
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match new_env.get(v) {
+                        Some(existing) => {
+                            if existing != &tuple[i] {
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            new_env.insert(v.clone(), tuple[i].clone());
+                        }
+                    },
+                }
+            }
+            out.push(new_env);
+        }
+    }
+    Ok(out)
+}
+
+enum ConstraintOutcome {
+    Keep(Env),
+    Drop,
+    NotReady,
+}
+
+fn constraint_ready(env: &Env, lhs: &DlExpr, rhs: &DlExpr) -> bool {
+    eval_expr(env, lhs).is_some() && eval_expr(env, rhs).is_some()
+}
+
+fn apply_constraint(
+    env: &Env,
+    op: raqlet_dlir::CmpOp,
+    lhs: &DlExpr,
+    rhs: &DlExpr,
+) -> Result<ConstraintOutcome> {
+    let lv = eval_expr(env, lhs);
+    let rv = eval_expr(env, rhs);
+    match (lv, rv) {
+        (Some(a), Some(b)) => {
+            if op.eval(&a, &b) {
+                Ok(ConstraintOutcome::Keep(env.clone()))
+            } else {
+                Ok(ConstraintOutcome::Drop)
+            }
+        }
+        // Assignment forms: `x = <expr>` with exactly one side unbound.
+        (None, Some(v)) if op == raqlet_dlir::CmpOp::Eq => {
+            if let DlExpr::Var(name) = lhs {
+                let mut e = env.clone();
+                e.insert(name.clone(), v);
+                Ok(ConstraintOutcome::Keep(e))
+            } else {
+                Ok(ConstraintOutcome::NotReady)
+            }
+        }
+        (Some(v), None) if op == raqlet_dlir::CmpOp::Eq => {
+            if let DlExpr::Var(name) = rhs {
+                let mut e = env.clone();
+                e.insert(name.clone(), v);
+                Ok(ConstraintOutcome::Keep(e))
+            } else {
+                Ok(ConstraintOutcome::NotReady)
+            }
+        }
+        _ => Ok(ConstraintOutcome::NotReady),
+    }
+}
+
+fn eval_constraint(env: &Env, op: raqlet_dlir::CmpOp, lhs: &DlExpr, rhs: &DlExpr) -> Option<bool> {
+    Some(op.eval(&eval_expr(env, lhs)?, &eval_expr(env, rhs)?))
+}
+
+fn eval_expr(env: &Env, expr: &DlExpr) -> Option<Value> {
+    match expr {
+        DlExpr::Var(v) => env.get(v).cloned(),
+        DlExpr::Const(c) => Some(c.clone()),
+        DlExpr::Arith { op, lhs, rhs } => op.eval(&eval_expr(env, lhs)?, &eval_expr(env, rhs)?),
+    }
+}
+
+fn matches_negated(env: &Env, atom: &Atom, relation: &Relation) -> bool {
+    relation.iter().any(|tuple| {
+        atom.terms.iter().enumerate().all(|(i, term)| match term {
+            Term::Wildcard => true,
+            Term::Const(c) => &tuple[i] == c,
+            Term::Var(v) => env.get(v).map(|val| val == &tuple[i]).unwrap_or(false),
+        })
+    })
+}
+
+fn instantiate_head(head: &Atom, env: &Env) -> Result<Tuple> {
+    head.terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => env.get(v).cloned().ok_or_else(|| {
+                RaqletError::execution(format!("head variable `{v}` is unbound at instantiation"))
+            }),
+            Term::Const(c) => Ok(c.clone()),
+            Term::Wildcard => Err(RaqletError::execution("wildcard in rule head")),
+        })
+        .collect()
+}
+
+/// Evaluate a rule-level aggregation over the body bindings.
+fn aggregate(
+    _program: &DlirProgram,
+    rule: &Rule,
+    agg: &Aggregation,
+    bindings: &[Env],
+) -> Result<Vec<Tuple>> {
+    // Deduplicate the (group key, input value) projection: Datalog set
+    // semantics, matching the SQL backend's `AGG(DISTINCT input)` encoding.
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<Vec<Value>, Vec<Value>> = BTreeMap::new();
+    let mut seen: std::collections::HashSet<(Vec<Value>, Option<Value>)> =
+        std::collections::HashSet::new();
+    for env in bindings {
+        let key: Vec<Value> = agg
+            .group_by
+            .iter()
+            .map(|v| env.get(v).cloned().unwrap_or(Value::Null))
+            .collect();
+        let input = match &agg.input_var {
+            Some(v) => Some(env.get(v).cloned().ok_or_else(|| {
+                RaqletError::execution(format!("aggregate input `{v}` unbound"))
+            })?),
+            None => None,
+        };
+        if !seen.insert((key.clone(), input.clone())) {
+            continue;
+        }
+        let entry = groups.entry(key).or_default();
+        if let Some(v) = input {
+            entry.push(v);
+        } else {
+            entry.push(Value::Int(1));
+        }
+    }
+
+    let mut out = Vec::new();
+    for (key, values) in groups {
+        let agg_value = match agg.func {
+            raqlet_dlir::AggFunc::Count => Value::Int(values.len() as i64),
+            raqlet_dlir::AggFunc::Sum => {
+                Value::Int(values.iter().filter_map(|v| v.as_int()).sum::<i64>())
+            }
+            raqlet_dlir::AggFunc::Min => {
+                values.iter().min().cloned().unwrap_or(Value::Null)
+            }
+            raqlet_dlir::AggFunc::Max => {
+                values.iter().max().cloned().unwrap_or(Value::Null)
+            }
+            raqlet_dlir::AggFunc::Avg => {
+                let ints: Vec<i64> = values.iter().filter_map(|v| v.as_int()).collect();
+                if ints.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Int(ints.iter().sum::<i64>() / ints.len() as i64)
+                }
+            }
+        };
+        // Build the head tuple: group-by variables in head order plus the
+        // aggregate output.
+        let mut env: Env = HashMap::new();
+        for (v, val) in agg.group_by.iter().zip(key.iter()) {
+            env.insert(v.clone(), val.clone());
+        }
+        env.insert(agg.output_var.clone(), agg_value);
+        out.push(instantiate_head(&rule.head, &env)?);
+    }
+    Ok(out)
+}
+
+/// Merge freshly derived tuples into the database (respecting lattice
+/// annotations) and record genuinely new tuples in `deltas`. Returns true if
+/// anything new was added.
+fn merge_derived(
+    program: &DlirProgram,
+    db: &mut Database,
+    deltas: &mut HashMap<String, Relation>,
+    relation: &str,
+    derived: Vec<Tuple>,
+) -> Result<bool> {
+    if derived.is_empty() {
+        return Ok(false);
+    }
+    let arity = derived[0].len();
+    let lattice = program.lattice_for(relation);
+    let mut any_new = false;
+    for tuple in derived {
+        let added = match lattice {
+            LatticeMerge::Set => db.get_or_create(relation, arity).insert(tuple.clone())?,
+            LatticeMerge::MinOnColumn(col) => {
+                lattice_insert(db.get_or_create(relation, arity), tuple.clone(), col, true)?
+            }
+            LatticeMerge::MaxOnColumn(col) => {
+                lattice_insert(db.get_or_create(relation, arity), tuple.clone(), col, false)?
+            }
+        };
+        if added {
+            any_new = true;
+            deltas
+                .entry(relation.to_string())
+                .or_insert_with(|| Relation::new(arity))
+                .insert(tuple)?;
+        }
+    }
+    Ok(any_new)
+}
+
+/// Insert under min/max-lattice semantics: the tuple is added only if its
+/// annotated column improves on the stored value for the same group (all
+/// other columns); a dominated stored tuple is replaced.
+fn lattice_insert(relation: &mut Relation, tuple: Tuple, col: usize, minimize: bool) -> Result<bool> {
+    let group: Vec<Value> =
+        tuple.iter().enumerate().filter(|(i, _)| *i != col).map(|(_, v)| v.clone()).collect();
+    let mut dominated: Option<Tuple> = None;
+    for existing in relation.iter() {
+        let existing_group: Vec<Value> = existing
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != col)
+            .map(|(_, v)| v.clone())
+            .collect();
+        if existing_group != group {
+            continue;
+        }
+        let better = if minimize {
+            tuple[col] < existing[col]
+        } else {
+            tuple[col] > existing[col]
+        };
+        if better {
+            dominated = Some(existing.clone());
+            break;
+        } else {
+            // An equal-or-better tuple already exists.
+            return Ok(false);
+        }
+    }
+    if let Some(old) = dominated {
+        let remaining: Vec<Tuple> =
+            relation.iter().filter(|t| **t != old).cloned().collect();
+        *relation = Relation::from_tuples(relation.arity(), remaining)?;
+    }
+    relation.insert(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_dlir::CmpOp;
+
+    fn atom(name: &str, vars: &[&str]) -> BodyElem {
+        BodyElem::Atom(Atom::with_vars(name, vars))
+    }
+
+    fn chain_edges(n: i64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert_fact("edge", vec![Value::Int(i), Value::Int(i + 1)]).unwrap();
+        }
+        db
+    }
+
+    fn tc_program() -> DlirProgram {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("tc", &["x", "y"]),
+            vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
+        ));
+        p.add_output("tc");
+        p
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let result = DatalogEngine::new().evaluate(&tc_program(), &chain_edges(5)).unwrap();
+        // A chain of 5 edges has 5+4+3+2+1 = 15 pairs in its closure.
+        assert_eq!(result.relation("tc").len(), 15);
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let db = chain_edges(8);
+        let semi = DatalogEngine::new().evaluate(&tc_program(), &db).unwrap();
+        let naive = DatalogEngine::naive().evaluate(&tc_program(), &db).unwrap();
+        assert_eq!(semi.relation("tc"), naive.relation("tc"));
+        // Semi-naive derives strictly fewer (or equal) tuples in total.
+        assert!(semi.stats.tuples_derived <= naive.stats.tuples_derived);
+    }
+
+    #[test]
+    fn cyclic_graphs_terminate() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            db.insert_fact("edge", vec![Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        let result = DatalogEngine::new().evaluate(&tc_program(), &db).unwrap();
+        // Every node reaches every node (including itself) in a 3-cycle.
+        assert_eq!(result.relation("tc").len(), 9);
+    }
+
+    #[test]
+    fn constants_and_constraints_filter_tuples() {
+        // q(y) :- edge(x, y), x = 1.
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["y"]),
+            vec![
+                atom("edge", &["x", "y"]),
+                BodyElem::Constraint { op: CmpOp::Eq, lhs: DlExpr::var("x"), rhs: DlExpr::int(1) },
+            ],
+        ));
+        p.add_output("q");
+        let result = DatalogEngine::new().evaluate(&p, &chain_edges(5)).unwrap();
+        assert_eq!(result.relation("q").sorted(), vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn assignment_constraints_bind_new_variables() {
+        // q(x, l) :- edge(x, y), l = y + 10.
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x", "l"]),
+            vec![
+                atom("edge", &["x", "y"]),
+                BodyElem::eq(
+                    DlExpr::var("l"),
+                    DlExpr::Arith {
+                        op: raqlet_dlir::ArithOp::Add,
+                        lhs: Box::new(DlExpr::var("y")),
+                        rhs: Box::new(DlExpr::int(10)),
+                    },
+                ),
+            ],
+        ));
+        p.add_output("q");
+        let result = DatalogEngine::new().evaluate(&p, &chain_edges(2)).unwrap();
+        assert!(result.relation("q").contains(&[Value::Int(0), Value::Int(11)]));
+    }
+
+    #[test]
+    fn stratified_negation() {
+        // unreachable(y) :- node(y), !tc(0, y).
+        let mut p = tc_program();
+        p.add_rule(Rule::new(Atom::with_vars("node", &["x"]), vec![atom("edge", &["x", "y"])]));
+        p.add_rule(Rule::new(Atom::with_vars("node", &["y"]), vec![atom("edge", &["x", "y"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("unreachable", &["y"]),
+            vec![
+                atom("node", &["y"]),
+                BodyElem::Negated(Atom::new("tc", vec![Term::int(0), Term::var("y")])),
+            ],
+        ));
+        p.add_output("unreachable");
+        // Graph: 0 -> 1 -> 2 plus an isolated edge 10 -> 11.
+        let mut db = chain_edges(2);
+        db.insert_fact("edge", vec![Value::Int(10), Value::Int(11)]).unwrap();
+        let result = DatalogEngine::new().evaluate(&p, &db).unwrap();
+        let unreachable = result.relation("unreachable").sorted();
+        assert_eq!(
+            unreachable,
+            vec![vec![Value::Int(0)], vec![Value::Int(10)], vec![Value::Int(11)]]
+        );
+    }
+
+    #[test]
+    fn aggregation_counts_distinct_inputs() {
+        // deg(x, d) :- edge(x, y) group by x with d = count(y).
+        let mut p = DlirProgram::default();
+        let mut rule =
+            Rule::new(Atom::with_vars("deg", &["x", "d"]), vec![atom("edge", &["x", "y"])]);
+        rule.aggregation = Some(Aggregation {
+            func: raqlet_dlir::AggFunc::Count,
+            input_var: Some("y".into()),
+            output_var: "d".into(),
+            group_by: vec!["x".into()],
+            distinct: false,
+        });
+        p.add_rule(rule);
+        p.add_output("deg");
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (1, 3), (1, 3), (2, 3)] {
+            db.insert_fact("edge", vec![Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        let result = DatalogEngine::new().evaluate(&p, &db).unwrap();
+        let deg = result.relation("deg").sorted();
+        assert_eq!(
+            deg,
+            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(2), Value::Int(1)]]
+        );
+    }
+
+    #[test]
+    fn min_and_max_and_sum_aggregates() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 5), (1, 9), (2, 4)] {
+            db.insert_fact("m", vec![Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        for (func, expected_for_1) in [
+            (raqlet_dlir::AggFunc::Min, 5),
+            (raqlet_dlir::AggFunc::Max, 9),
+            (raqlet_dlir::AggFunc::Sum, 14),
+            (raqlet_dlir::AggFunc::Avg, 7),
+        ] {
+            let mut p = DlirProgram::default();
+            let mut rule =
+                Rule::new(Atom::with_vars("out", &["x", "v"]), vec![atom("m", &["x", "y"])]);
+            rule.aggregation = Some(Aggregation {
+                func,
+                input_var: Some("y".into()),
+                output_var: "v".into(),
+                group_by: vec!["x".into()],
+                distinct: false,
+            });
+            p.add_rule(rule);
+            p.add_output("out");
+            let result = DatalogEngine::new().evaluate(&p, &db).unwrap();
+            assert!(
+                result.relation("out").contains(&[Value::Int(1), Value::Int(expected_for_1)]),
+                "{func:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_min_recursion_terminates_on_cycles_and_finds_shortest_paths() {
+        // dist(s, d, l): shortest hop count, on a cyclic graph.
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("dist", &["s", "d", "l"]),
+            vec![atom("edge", &["s", "d"]), BodyElem::eq(DlExpr::var("l"), DlExpr::int(1))],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("dist", &["s", "d", "l"]),
+            vec![
+                atom("dist", &["s", "m", "l0"]),
+                atom("edge", &["m", "d"]),
+                BodyElem::eq(
+                    DlExpr::var("l"),
+                    DlExpr::Arith {
+                        op: raqlet_dlir::ArithOp::Add,
+                        lhs: Box::new(DlExpr::var("l0")),
+                        rhs: Box::new(DlExpr::int(1)),
+                    },
+                ),
+            ],
+        ));
+        p.set_lattice("dist", LatticeMerge::MinOnColumn(2));
+        p.add_output("dist");
+
+        // A 4-cycle: 0 -> 1 -> 2 -> 3 -> 0.
+        let mut db = Database::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            db.insert_fact("edge", vec![Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        let result = DatalogEngine::new().evaluate(&p, &db).unwrap();
+        let dist = result.relation("dist");
+        // Shortest distance 0 -> 3 is 3 hops, 0 -> 0 is 4 hops (a full cycle).
+        assert!(dist.contains(&[Value::Int(0), Value::Int(3), Value::Int(3)]));
+        assert!(dist.contains(&[Value::Int(0), Value::Int(0), Value::Int(4)]));
+        // Only one distance per pair survives.
+        assert_eq!(dist.len(), 16);
+    }
+
+    #[test]
+    fn mutual_recursion_even_odd() {
+        // even(x) :- zero(x). even(x) :- odd(y), succ(y, x). odd(x) :- even(y), succ(y, x).
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::with_vars("even", &["x"]), vec![atom("zero", &["x"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("even", &["x"]),
+            vec![atom("odd", &["y"]), atom("succ", &["y", "x"])],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("odd", &["x"]),
+            vec![atom("even", &["y"]), atom("succ", &["y", "x"])],
+        ));
+        p.add_output("even");
+        let mut db = Database::new();
+        db.insert_fact("zero", vec![Value::Int(0)]).unwrap();
+        for i in 0..10 {
+            db.insert_fact("succ", vec![Value::Int(i), Value::Int(i + 1)]).unwrap();
+        }
+        let result = DatalogEngine::new().evaluate(&p, &db).unwrap();
+        let even = result.relation("even");
+        assert!(even.contains(&[Value::Int(0)]));
+        assert!(even.contains(&[Value::Int(10)]));
+        assert!(!even.contains(&[Value::Int(7)]));
+        assert_eq!(even.len(), 6);
+    }
+
+    #[test]
+    fn empty_edb_yields_empty_idbs_not_errors() {
+        let result = DatalogEngine::new().evaluate(&tc_program(), &Database::new()).unwrap();
+        assert!(result.relation("tc").is_empty());
+    }
+
+    #[test]
+    fn fact_rules_seed_relations() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::new("seed", vec![Term::int(7)]), vec![]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["y"]),
+            vec![atom("seed", &["x"]), atom("edge", &["x", "y"])],
+        ));
+        p.add_output("q");
+        let mut db = chain_edges(9);
+        db.insert_fact("seed_unused", vec![Value::Int(0)]).unwrap();
+        let result = DatalogEngine::new().evaluate(&p, &db).unwrap();
+        assert_eq!(result.relation("q").sorted(), vec![vec![Value::Int(8)]]);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let result = DatalogEngine::new().evaluate(&tc_program(), &chain_edges(6)).unwrap();
+        assert!(result.stats.iterations >= 2);
+        assert!(result.stats.rule_applications > 0);
+        assert!(result.stats.tuples_derived >= result.relation("tc").len());
+        assert!(result.stats.strata >= 1);
+    }
+
+    #[test]
+    fn unsafe_programs_are_rejected_before_execution() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::with_vars("q", &["x", "w"]), vec![atom("edge", &["x", "y"])]));
+        p.add_output("q");
+        assert!(DatalogEngine::new().evaluate(&p, &chain_edges(2)).is_err());
+    }
+}

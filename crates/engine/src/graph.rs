@@ -1,0 +1,821 @@
+//! In-memory property-graph engine: the stand-in for Neo4j in the paper's
+//! evaluation.
+//!
+//! Two pieces live here:
+//!
+//! * [`PropertyGraph`] — an adjacency-list property-graph store (labelled
+//!   nodes and edges, each with a property map);
+//! * [`GraphEngine`] — a clause-by-clause PGIR interpreter. It evaluates each
+//!   `MATCH` construct by expanding pattern elements over the adjacency
+//!   lists, applies `WHERE` filters *after* the expansion, and projects
+//!   `WITH`/`RETURN` items (with aggregation) at the end. This late-filtering,
+//!   per-clause pipeline mirrors how an un-tuned graph engine executes the
+//!   original Cypher query, which is exactly the role Neo4j plays in the
+//!   paper's Table 1.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use raqlet_common::{RaqletError, Relation, Result, Value};
+use raqlet_pgir::{
+    AggFunc, ArithOp, CmpOp, MatchConstruct, OutputItem, PathPat, PathSemantics, PatternElem,
+    PgirClause, PgirExpr, PgirQuery,
+};
+
+/// A node in the property graph.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// Node label (e.g. `Person`).
+    pub label: String,
+    /// Property map.
+    pub properties: HashMap<String, Value>,
+}
+
+/// An edge in the property graph.
+#[derive(Debug, Clone)]
+pub struct GraphEdge {
+    /// Edge label in Cypher spelling (e.g. `KNOWS`, `IS_LOCATED_IN`).
+    pub label: String,
+    /// Source node index.
+    pub src: usize,
+    /// Target node index.
+    pub dst: usize,
+    /// Property map.
+    pub properties: HashMap<String, Value>,
+}
+
+/// An in-memory property graph with adjacency indexes.
+#[derive(Debug, Clone, Default)]
+pub struct PropertyGraph {
+    nodes: Vec<GraphNode>,
+    edges: Vec<GraphEdge>,
+    /// label -> node indexes.
+    by_label: HashMap<String, Vec<usize>>,
+    /// (src node, edge label) -> edge indexes.
+    outgoing: HashMap<(usize, String), Vec<usize>>,
+    /// (dst node, edge label) -> edge indexes.
+    incoming: HashMap<(usize, String), Vec<usize>>,
+}
+
+impl PropertyGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node, returning its index.
+    pub fn add_node(&mut self, label: &str, properties: Vec<(&str, Value)>) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(GraphNode {
+            label: label.to_string(),
+            properties: properties.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+        self.by_label.entry(label.to_string()).or_default().push(idx);
+        idx
+    }
+
+    /// Add an edge, returning its index.
+    pub fn add_edge(
+        &mut self,
+        label: &str,
+        src: usize,
+        dst: usize,
+        properties: Vec<(&str, Value)>,
+    ) -> usize {
+        let idx = self.edges.len();
+        self.edges.push(GraphEdge {
+            label: label.to_string(),
+            src,
+            dst,
+            properties: properties.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+        self.outgoing.entry((src, label.to_string())).or_default().push(idx);
+        self.incoming.entry((dst, label.to_string())).or_default().push(idx);
+        idx
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node data by index.
+    pub fn node(&self, idx: usize) -> &GraphNode {
+        &self.nodes[idx]
+    }
+
+    /// Edge data by index.
+    pub fn edge(&self, idx: usize) -> &GraphEdge {
+        &self.edges[idx]
+    }
+
+    /// All node indexes with the given label (matched case-tolerantly).
+    pub fn nodes_with_label(&self, label: &str) -> Vec<usize> {
+        self.by_label
+            .iter()
+            .filter(|(l, _)| raqlet_common::schema::labels_match(l, label))
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
+    /// All node indexes.
+    pub fn all_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len()).collect()
+    }
+
+    /// Outgoing edges of `node` with a label matching `label` (or all labels
+    /// when `None`).
+    pub fn outgoing_edges(&self, node: usize, label: Option<&str>) -> Vec<usize> {
+        self.edges_from_index(&self.outgoing, node, label)
+    }
+
+    /// Incoming edges of `node` with a label matching `label`.
+    pub fn incoming_edges(&self, node: usize, label: Option<&str>) -> Vec<usize> {
+        self.edges_from_index(&self.incoming, node, label)
+    }
+
+    fn edges_from_index(
+        &self,
+        index: &HashMap<(usize, String), Vec<usize>>,
+        node: usize,
+        label: Option<&str>,
+    ) -> Vec<usize> {
+        index
+            .iter()
+            .filter(|((n, l), _)| {
+                *n == node
+                    && label.map_or(true, |want| raqlet_common::schema::labels_match(l, want))
+            })
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
+    /// Neighbours reachable by one hop over `label` edges, respecting
+    /// direction when `directed` is true.
+    pub fn neighbours(&self, node: usize, label: Option<&str>, directed: bool) -> Vec<usize> {
+        let mut out: Vec<usize> =
+            self.outgoing_edges(node, label).iter().map(|&e| self.edges[e].dst).collect();
+        if !directed {
+            out.extend(self.incoming_edges(node, label).iter().map(|&e| self.edges[e].src));
+        }
+        out
+    }
+}
+
+/// A value bound to a PGIR variable during graph execution.
+#[derive(Debug, Clone, PartialEq)]
+enum Binding {
+    Node(usize),
+    Edge(usize),
+    Scalar(Value),
+}
+
+type Row = HashMap<String, Binding>;
+
+/// Statistics from a graph-engine run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Total pattern-element expansions performed.
+    pub expansions: usize,
+    /// Rows alive after each clause, summed (a proxy for intermediate result
+    /// size).
+    pub intermediate_rows: usize,
+}
+
+/// Result of executing a PGIR query on the graph engine.
+#[derive(Debug, Clone)]
+pub struct GraphResult {
+    /// Output rows.
+    pub rows: Relation,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Execution statistics.
+    pub stats: GraphStats,
+}
+
+/// The property-graph execution engine.
+#[derive(Debug, Clone, Default)]
+pub struct GraphEngine;
+
+impl GraphEngine {
+    /// Create a new engine.
+    pub fn new() -> Self {
+        GraphEngine
+    }
+
+    /// Execute a PGIR query against a property graph.
+    pub fn execute(&self, query: &PgirQuery, graph: &PropertyGraph) -> Result<GraphResult> {
+        let mut rows: Vec<Row> = vec![HashMap::new()];
+        let mut stats = GraphStats::default();
+        let mut output: Option<(Relation, Vec<String>)> = None;
+
+        for clause in &query.clauses {
+            match clause {
+                PgirClause::Match(m) => {
+                    rows = self.eval_match(m, graph, rows, &mut stats)?;
+                }
+                PgirClause::Where(w) => {
+                    let mut kept = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        if eval_predicate(&w.predicate, &row, graph)?.is_truthy() {
+                            kept.push(row);
+                        }
+                    }
+                    rows = kept;
+                }
+                PgirClause::With(w) => {
+                    rows = self.eval_projection(&w.items, &rows, graph, w.distinct)?;
+                    if let Some(having) = &w.having {
+                        let mut kept = Vec::with_capacity(rows.len());
+                        for row in rows {
+                            if eval_predicate(having, &row, graph)?.is_truthy() {
+                                kept.push(row);
+                            }
+                        }
+                        rows = kept;
+                    }
+                }
+                PgirClause::Return(r) => {
+                    let projected = self.eval_projection(&r.items, &rows, graph, true)?;
+                    let columns: Vec<String> = r.items.iter().map(|i| i.alias.clone()).collect();
+                    let mut rel = Relation::new(columns.len());
+                    for row in &projected {
+                        let tuple: Vec<Value> = columns
+                            .iter()
+                            .map(|c| binding_to_value(row.get(c), graph))
+                            .collect();
+                        rel.insert_unchecked(tuple);
+                    }
+                    output = Some((rel, columns));
+                }
+            }
+            stats.intermediate_rows += rows.len();
+        }
+
+        let (rows, columns) =
+            output.ok_or_else(|| RaqletError::semantic("PGIR query has no RETURN construct"))?;
+        Ok(GraphResult { rows, columns, stats })
+    }
+
+    fn eval_match(
+        &self,
+        m: &MatchConstruct,
+        graph: &PropertyGraph,
+        rows: Vec<Row>,
+        stats: &mut GraphStats,
+    ) -> Result<Vec<Row>> {
+        if m.optional {
+            return Err(RaqletError::unsupported("OPTIONAL MATCH on the graph engine"));
+        }
+        let mut rows = rows;
+        for pattern in &m.patterns {
+            rows = self.expand_pattern(pattern, graph, rows, stats)?;
+        }
+        Ok(rows)
+    }
+
+    fn expand_pattern(
+        &self,
+        pattern: &PatternElem,
+        graph: &PropertyGraph,
+        rows: Vec<Row>,
+        stats: &mut GraphStats,
+    ) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        match pattern {
+            PatternElem::Node(n) => {
+                for row in rows {
+                    stats.expansions += 1;
+                    match row.get(&n.var) {
+                        Some(Binding::Node(idx)) => {
+                            if node_label_matches(graph, *idx, n.label.as_deref()) {
+                                out.push(row);
+                            }
+                        }
+                        Some(_) => {
+                            return Err(RaqletError::semantic(format!(
+                                "variable `{}` is not a node",
+                                n.var
+                            )))
+                        }
+                        None => {
+                            let candidates = match &n.label {
+                                Some(l) => graph.nodes_with_label(l),
+                                None => graph.all_nodes(),
+                            };
+                            for idx in candidates {
+                                let mut r = row.clone();
+                                r.insert(n.var.clone(), Binding::Node(idx));
+                                out.push(r);
+                            }
+                        }
+                    }
+                }
+            }
+            PatternElem::Edge(e) => {
+                for row in rows {
+                    stats.expansions += 1;
+                    let src_bound = match row.get(&e.src.var) {
+                        Some(Binding::Node(i)) => Some(*i),
+                        _ => None,
+                    };
+                    let dst_bound = match row.get(&e.dst.var) {
+                        Some(Binding::Node(i)) => Some(*i),
+                        _ => None,
+                    };
+                    // Candidate edges.
+                    let candidates: Vec<usize> = if let Some(s) = src_bound {
+                        let mut c = graph.outgoing_edges(s, e.label.as_deref());
+                        if !e.directed {
+                            c.extend(graph.incoming_edges(s, e.label.as_deref()));
+                        }
+                        c
+                    } else if let Some(d) = dst_bound {
+                        let mut c = graph.incoming_edges(d, e.label.as_deref());
+                        if !e.directed {
+                            c.extend(graph.outgoing_edges(d, e.label.as_deref()));
+                        }
+                        c
+                    } else {
+                        (0..graph.edge_count())
+                            .filter(|&i| {
+                                e.label.as_deref().map_or(true, |l| {
+                                    raqlet_common::schema::labels_match(&graph.edge(i).label, l)
+                                })
+                            })
+                            .collect()
+                    };
+                    for edge_idx in candidates {
+                        let edge = graph.edge(edge_idx);
+                        // Try both orientations for undirected patterns.
+                        let orientations: Vec<(usize, usize)> = if e.directed {
+                            vec![(edge.src, edge.dst)]
+                        } else {
+                            vec![(edge.src, edge.dst), (edge.dst, edge.src)]
+                        };
+                        for (s, d) in orientations {
+                            if let Some(b) = src_bound {
+                                if b != s {
+                                    continue;
+                                }
+                            }
+                            if let Some(b) = dst_bound {
+                                if b != d {
+                                    continue;
+                                }
+                            }
+                            if !node_label_matches(graph, s, e.src.label.as_deref())
+                                || !node_label_matches(graph, d, e.dst.label.as_deref())
+                            {
+                                continue;
+                            }
+                            let mut r = row.clone();
+                            r.insert(e.src.var.clone(), Binding::Node(s));
+                            r.insert(e.dst.var.clone(), Binding::Node(d));
+                            r.insert(e.var.clone(), Binding::Edge(edge_idx));
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+            PatternElem::Path(p) => {
+                for row in rows {
+                    stats.expansions += 1;
+                    let sources: Vec<usize> = match row.get(&p.src.var) {
+                        Some(Binding::Node(i)) => vec![*i],
+                        _ => match &p.src.label {
+                            Some(l) => graph.nodes_with_label(l),
+                            None => graph.all_nodes(),
+                        },
+                    };
+                    let target_filter: Option<usize> = match row.get(&p.dst.var) {
+                        Some(Binding::Node(i)) => Some(*i),
+                        _ => None,
+                    };
+                    for source in sources {
+                        let reached = self.traverse(graph, source, p);
+                        for (node, dist) in reached {
+                            if let Some(t) = target_filter {
+                                if t != node {
+                                    continue;
+                                }
+                            }
+                            if !node_label_matches(graph, node, p.dst.label.as_deref()) {
+                                continue;
+                            }
+                            let mut r = row.clone();
+                            r.insert(p.src.var.clone(), Binding::Node(source));
+                            r.insert(p.dst.var.clone(), Binding::Node(node));
+                            r.insert(p.var.clone(), Binding::Scalar(Value::Int(dist as i64)));
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// BFS traversal implementing variable-length and shortest-path
+    /// semantics. Returns reached nodes with their hop distance (for
+    /// reachability the minimal distance at which the node was first seen).
+    fn traverse(&self, graph: &PropertyGraph, source: usize, p: &PathPat) -> Vec<(usize, u32)> {
+        let max = p.max_hops.unwrap_or(u32::MAX);
+        // BFS over *positive* hop counts: the source itself is only reached
+        // again through a cycle (distance ≥ 1), matching Cypher's semantics
+        // for `*1..` patterns on cyclic graphs.
+        let mut dist: HashMap<usize, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        for next in graph.neighbours(source, p.label.as_deref(), p.directed) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(next) {
+                e.insert(1);
+                queue.push_back(next);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            let d = dist[&n];
+            if d >= max {
+                continue;
+            }
+            for next in graph.neighbours(n, p.label.as_deref(), p.directed) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(next) {
+                    e.insert(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        // A zero-hop match (src = dst with no traversal) is only allowed when
+        // the pattern's minimum is 0, and it dominates any cyclic path back.
+        if p.min_hops == 0 {
+            dist.insert(source, 0);
+        }
+        // BFS already yields minimal distances, so for shortest-path
+        // semantics every surviving (node, d) pair is a shortest path; for
+        // plain reachability the distance is informational only.
+        let _ = PathSemantics::Reachability;
+        dist.into_iter().filter(|(_, d)| *d >= p.min_hops && *d <= max).collect()
+    }
+
+    fn eval_projection(
+        &self,
+        items: &[OutputItem],
+        rows: &[Row],
+        graph: &PropertyGraph,
+        distinct: bool,
+    ) -> Result<Vec<Row>> {
+        let has_aggregate = items.iter().any(|i| i.expr.contains_aggregate());
+        if !has_aggregate {
+            let mut out = Vec::with_capacity(rows.len());
+            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            for row in rows {
+                let mut new_row: Row = HashMap::new();
+                let mut key = Vec::new();
+                for item in items {
+                    let binding = eval_item(&item.expr, row, graph)?;
+                    key.push(binding_to_value(Some(&binding), graph));
+                    new_row.insert(item.alias.clone(), binding);
+                }
+                if distinct && !seen.insert(key) {
+                    continue;
+                }
+                out.push(new_row);
+            }
+            return Ok(out);
+        }
+
+        // Group by the non-aggregate items.
+        let group_items: Vec<&OutputItem> =
+            items.iter().filter(|i| !i.expr.contains_aggregate()).collect();
+        let mut groups: HashMap<Vec<Value>, (Row, Vec<&Row>)> = HashMap::new();
+        for row in rows {
+            let mut key = Vec::new();
+            let mut group_row: Row = HashMap::new();
+            for item in &group_items {
+                let binding = eval_item(&item.expr, row, graph)?;
+                key.push(binding_to_value(Some(&binding), graph));
+                group_row.insert(item.alias.clone(), binding);
+            }
+            groups.entry(key).or_insert_with(|| (group_row, Vec::new())).1.push(row);
+        }
+        let mut out = Vec::new();
+        for (_, (mut group_row, members)) in groups {
+            for item in items {
+                if let PgirExpr::Aggregate { func, distinct: agg_distinct, arg } = &item.expr {
+                    let mut values = Vec::new();
+                    for member in &members {
+                        let v = match arg {
+                            Some(a) => binding_to_value(Some(&eval_item(a, member, graph)?), graph),
+                            None => Value::Int(1),
+                        };
+                        values.push(v);
+                    }
+                    // Set semantics: Raqlet aggregates over distinct values,
+                    // matching the Datalog and SQL backends.
+                    if *agg_distinct || arg.is_some() {
+                        values.sort();
+                        values.dedup();
+                    }
+                    let result = match func {
+                        AggFunc::Count => Value::Int(values.len() as i64),
+                        AggFunc::Sum => {
+                            Value::Int(values.iter().filter_map(|v| v.as_int()).sum::<i64>())
+                        }
+                        AggFunc::Min => values.iter().min().cloned().unwrap_or(Value::Null),
+                        AggFunc::Max => values.iter().max().cloned().unwrap_or(Value::Null),
+                        AggFunc::Avg => {
+                            let ints: Vec<i64> =
+                                values.iter().filter_map(|v| v.as_int()).collect();
+                            if ints.is_empty() {
+                                Value::Null
+                            } else {
+                                Value::Int(ints.iter().sum::<i64>() / ints.len() as i64)
+                            }
+                        }
+                        AggFunc::Collect => {
+                            return Err(RaqletError::unsupported("collect() on the graph engine"))
+                        }
+                    };
+                    group_row.insert(item.alias.clone(), Binding::Scalar(result));
+                }
+            }
+            out.push(group_row);
+        }
+        Ok(out)
+    }
+}
+
+fn node_label_matches(graph: &PropertyGraph, node: usize, label: Option<&str>) -> bool {
+    match label {
+        None => true,
+        Some(l) => raqlet_common::schema::labels_match(&graph.node(node).label, l),
+    }
+}
+
+fn eval_item(expr: &PgirExpr, row: &Row, graph: &PropertyGraph) -> Result<Binding> {
+    match expr {
+        PgirExpr::Var(v) => row
+            .get(v)
+            .cloned()
+            .ok_or_else(|| RaqletError::semantic(format!("unknown variable `{v}`"))),
+        other => Ok(Binding::Scalar(eval_predicate(other, row, graph)?)),
+    }
+}
+
+/// Evaluate a scalar/boolean PGIR expression over a row.
+fn eval_predicate(expr: &PgirExpr, row: &Row, graph: &PropertyGraph) -> Result<Value> {
+    match expr {
+        PgirExpr::Const(v) => Ok(v.clone()),
+        PgirExpr::Var(v) => match row.get(v) {
+            Some(b) => Ok(binding_to_value(Some(b), graph)),
+            None => Err(RaqletError::semantic(format!("unknown variable `{v}`"))),
+        },
+        PgirExpr::Property { var, prop } => {
+            let binding = row
+                .get(var)
+                .ok_or_else(|| RaqletError::semantic(format!("unknown variable `{var}`")))?;
+            match binding {
+                Binding::Node(idx) => {
+                    Ok(graph.node(*idx).properties.get(prop).cloned().unwrap_or(Value::Null))
+                }
+                Binding::Edge(idx) => {
+                    Ok(graph.edge(*idx).properties.get(prop).cloned().unwrap_or(Value::Null))
+                }
+                Binding::Scalar(_) => Err(RaqletError::semantic(format!(
+                    "cannot access property `{prop}` of scalar `{var}`"
+                ))),
+            }
+        }
+        PgirExpr::Cmp { op, lhs, rhs } => {
+            let l = eval_predicate(lhs, row, graph)?;
+            let r = eval_predicate(rhs, row, graph)?;
+            let result = match op {
+                CmpOp::Eq => l == r,
+                CmpOp::Neq => l != r,
+                CmpOp::Lt => l < r,
+                CmpOp::Le => l <= r,
+                CmpOp::Gt => l > r,
+                CmpOp::Ge => l >= r,
+            };
+            Ok(Value::Bool(result))
+        }
+        PgirExpr::And(a, b) => Ok(Value::Bool(
+            eval_predicate(a, row, graph)?.is_truthy() && eval_predicate(b, row, graph)?.is_truthy(),
+        )),
+        PgirExpr::Or(a, b) => Ok(Value::Bool(
+            eval_predicate(a, row, graph)?.is_truthy() || eval_predicate(b, row, graph)?.is_truthy(),
+        )),
+        PgirExpr::Not(e) => Ok(Value::Bool(!eval_predicate(e, row, graph)?.is_truthy())),
+        PgirExpr::InList { expr, list } => {
+            let v = eval_predicate(expr, row, graph)?;
+            Ok(Value::Bool(list.contains(&v)))
+        }
+        PgirExpr::Arith { op, lhs, rhs } => {
+            let l = eval_predicate(lhs, row, graph)?;
+            let r = eval_predicate(rhs, row, graph)?;
+            let (Some(a), Some(b)) = (l.as_int(), r.as_int()) else { return Ok(Value::Null) };
+            Ok(match op {
+                ArithOp::Add => Value::Int(a + b),
+                ArithOp::Sub => Value::Int(a - b),
+                ArithOp::Mul => Value::Int(a * b),
+                ArithOp::Div => {
+                    if b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a / b)
+                    }
+                }
+                ArithOp::Mod => {
+                    if b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a % b)
+                    }
+                }
+            })
+        }
+        PgirExpr::Aggregate { .. } => {
+            Err(RaqletError::semantic("aggregate outside of WITH/RETURN projection"))
+        }
+    }
+}
+
+/// Convert a binding to the scalar value placed in an output tuple: nodes
+/// and edges are represented by their `id` property (falling back to their
+/// internal index).
+fn binding_to_value(binding: Option<&Binding>, graph: &PropertyGraph) -> Value {
+    match binding {
+        None => Value::Null,
+        Some(Binding::Scalar(v)) => v.clone(),
+        Some(Binding::Node(idx)) => graph
+            .node(*idx)
+            .properties
+            .get("id")
+            .cloned()
+            .unwrap_or(Value::Int(*idx as i64)),
+        Some(Binding::Edge(idx)) => graph
+            .edge(*idx)
+            .properties
+            .get("id")
+            .cloned()
+            .unwrap_or(Value::Int(*idx as i64)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_pgir::{cypher_to_pgir, LowerOptions};
+
+    /// Small social graph: Alice -KNOWS-> Bob -KNOWS-> Carol; Alice located
+    /// in Edinburgh, Bob and Carol in Glasgow.
+    fn sample_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let alice = g.add_node(
+            "Person",
+            vec![("id", Value::Int(1)), ("firstName", Value::str("Alice"))],
+        );
+        let bob = g.add_node(
+            "Person",
+            vec![("id", Value::Int(2)), ("firstName", Value::str("Bob"))],
+        );
+        let carol = g.add_node(
+            "Person",
+            vec![("id", Value::Int(3)), ("firstName", Value::str("Carol"))],
+        );
+        let edinburgh =
+            g.add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))]);
+        let glasgow =
+            g.add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))]);
+        g.add_edge("KNOWS", alice, bob, vec![("id", Value::Int(10))]);
+        g.add_edge("KNOWS", bob, carol, vec![("id", Value::Int(11))]);
+        g.add_edge("IS_LOCATED_IN", alice, edinburgh, vec![("id", Value::Int(20))]);
+        g.add_edge("IS_LOCATED_IN", bob, glasgow, vec![("id", Value::Int(21))]);
+        g.add_edge("IS_LOCATED_IN", carol, glasgow, vec![("id", Value::Int(22))]);
+        g
+    }
+
+    fn run(src: &str, graph: &PropertyGraph) -> GraphResult {
+        let pgir = cypher_to_pgir(src, &LowerOptions::new()).unwrap();
+        GraphEngine::new().execute(&pgir, graph).unwrap()
+    }
+
+    #[test]
+    fn single_hop_pattern_with_filter() {
+        let g = sample_graph();
+        let result = run(
+            "MATCH (n:Person {id: 1})-[:IS_LOCATED_IN]->(c:City) \
+             RETURN DISTINCT n.firstName AS firstName, c.name AS city",
+            &g,
+        );
+        assert_eq!(result.columns, vec!["firstName", "city"]);
+        assert_eq!(
+            result.rows.sorted(),
+            vec![vec![Value::str("Alice"), Value::str("Edinburgh")]]
+        );
+    }
+
+    #[test]
+    fn incoming_and_undirected_patterns() {
+        let g = sample_graph();
+        let incoming = run(
+            "MATCH (c:City)<-[:IS_LOCATED_IN]-(p:Person) WHERE c.name = 'Glasgow' \
+             RETURN p.firstName AS name",
+            &g,
+        );
+        assert_eq!(incoming.rows.len(), 2);
+        let undirected =
+            run("MATCH (a:Person {id: 2})-[:KNOWS]-(b:Person) RETURN b.id AS id", &g);
+        // Bob knows Carol and is known by Alice.
+        assert_eq!(undirected.rows.len(), 2);
+    }
+
+    #[test]
+    fn variable_length_reachability() {
+        let g = sample_graph();
+        let result =
+            run("MATCH (a:Person {id: 1})-[:KNOWS*1..2]->(b:Person) RETURN b.id AS id", &g);
+        assert_eq!(
+            result.rows.sorted(),
+            vec![vec![Value::Int(2)], vec![Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn unbounded_reachability_handles_cycles() {
+        let mut g = sample_graph();
+        // close the cycle: Carol knows Alice.
+        g.add_edge("KNOWS", 2, 0, vec![("id", Value::Int(12))]);
+        let result = run("MATCH (a:Person {id: 1})-[:KNOWS*]->(b:Person) RETURN b.id AS id", &g);
+        // Alice reaches Bob, Carol and (around the cycle) herself.
+        assert_eq!(result.rows.len(), 3);
+    }
+
+    #[test]
+    fn shortest_path_query() {
+        let g = sample_graph();
+        let result = run(
+            "MATCH p = shortestPath((a:Person {id: 1})-[:KNOWS*]-(b:Person {id: 3})) \
+             RETURN b.id AS id",
+            &g,
+        );
+        assert_eq!(result.rows.sorted(), vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn aggregation_in_with() {
+        let g = sample_graph();
+        let result = run(
+            "MATCH (c:City)<-[:IS_LOCATED_IN]-(p:Person) \
+             WITH c, count(p) AS inhabitants \
+             RETURN c.name AS name, inhabitants AS inhabitants",
+            &g,
+        );
+        let rows = result.rows.sorted();
+        assert!(rows.contains(&vec![Value::str("Edinburgh"), Value::Int(1)]));
+        assert!(rows.contains(&vec![Value::str("Glasgow"), Value::Int(2)]));
+    }
+
+    #[test]
+    fn distinct_return_deduplicates() {
+        let g = sample_graph();
+        // Two persons live in Glasgow -> one distinct city name.
+        let result = run(
+            "MATCH (p:Person)-[:IS_LOCATED_IN]->(c:City {name: 'Glasgow'}) \
+             RETURN DISTINCT c.name AS name",
+            &g,
+        );
+        assert_eq!(result.rows.len(), 1);
+    }
+
+    #[test]
+    fn missing_properties_are_null_not_errors() {
+        let g = sample_graph();
+        let result = run("MATCH (p:Person {id: 1}) RETURN p.nickname AS nick", &g);
+        assert_eq!(result.rows.sorted(), vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn stats_track_expansion_work() {
+        let g = sample_graph();
+        let result = run("MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN q.id AS id", &g);
+        assert!(result.stats.expansions > 0);
+        assert!(result.stats.intermediate_rows > 0);
+    }
+
+    #[test]
+    fn graph_store_basic_accessors() {
+        let g = sample_graph();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.nodes_with_label("Person").len(), 3);
+        assert_eq!(g.nodes_with_label("City").len(), 2);
+        assert_eq!(g.outgoing_edges(0, Some("KNOWS")).len(), 1);
+        assert_eq!(g.incoming_edges(1, Some("KNOWS")).len(), 1);
+        assert_eq!(g.neighbours(1, Some("KNOWS"), false).len(), 2);
+        assert_eq!(g.neighbours(1, Some("KNOWS"), true).len(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # raqlet-engine
+//!
+//! Execution substrates for Raqlet. The paper evaluates its generated queries
+//! on Neo4j (Cypher), Soufflé (Datalog), DuckDB and Tableau HyPer (SQL);
+//! this crate provides laptop-scale in-memory simulators of those backends so
+//! the whole evaluation can run hermetically (the substitutions are listed in
+//! DESIGN.md §3):
+//!
+//! * [`datalog`] — a stratified naive/semi-naive Datalog engine with lattice
+//!   (shortest-path) support — the Soufflé stand-in and Raqlet's golden
+//!   reference implementation;
+//! * [`sql`] — a SQIR interpreter (CTE chains, recursive CTEs, hash or
+//!   nested-loop joins, aggregation, NOT EXISTS) with DuckDB-like and
+//!   HyPer-like profiles;
+//! * [`graph`] — a property-graph store plus a clause-by-clause PGIR
+//!   interpreter — the Neo4j stand-in executing the original Cypher query.
+
+pub mod datalog;
+pub mod graph;
+pub mod sql;
+
+pub use datalog::{DatalogEngine, EvalResult, EvalStats, EvalStrategy};
+pub use graph::{GraphEngine, GraphResult, GraphStats, PropertyGraph};
+pub use sql::{SqlEngine, SqlProfile, SqlResult, SqlStats, TableCatalog};

@@ -1,0 +1,25 @@
+//! # raqlet-ldbc
+//!
+//! A laptop-scale, deterministic stand-in for the LDBC Social Network
+//! Benchmark interactive workload used in the paper's evaluation:
+//!
+//! * [`schema`] — the SNB property-graph schema (PG-Schema text);
+//! * [`generator`] — a deterministic synthetic social-network generator
+//!   parameterised by a scale factor;
+//! * [`loaders`] — conversions into the relational/deductive [`Database`]
+//!   and the [`PropertyGraph`] store;
+//! * [`queries`] — the Cypher query corpus (SQ1, CQ2, and the other reads the
+//!   benchmarks exercise).
+//!
+//! [`Database`]: raqlet_common::Database
+//! [`PropertyGraph`]: raqlet_engine::PropertyGraph
+
+pub mod generator;
+pub mod loaders;
+pub mod queries;
+pub mod schema;
+
+pub use generator::{generate, GeneratorConfig, SocialNetwork};
+pub use loaders::{to_database, to_property_graph};
+pub use queries::{BenchmarkQuery, ALL_QUERIES, CQ1, CQ13, CQ2, FRIEND_MESSAGE_COUNTS, REACHABILITY, SQ1, SQ3, TABLE1_QUERIES};
+pub use schema::SNB_PG_SCHEMA;

@@ -1,0 +1,286 @@
+//! Loaders: turn a generated [`SocialNetwork`](crate::generator::SocialNetwork)
+//! into the representations each execution substrate consumes:
+//!
+//! * a relational / deductive [`Database`] whose relation names follow the
+//!   DL-Schema generated from [`crate::schema::SNB_PG_SCHEMA`]
+//!   (`Person`, `Person_KNOWS_Person`, ...), shared by the Datalog and SQL
+//!   engines;
+//! * a [`PropertyGraph`] for the graph engine.
+
+use raqlet_common::{Database, Value};
+use raqlet_engine::PropertyGraph;
+
+use crate::generator::SocialNetwork;
+
+/// Load the network into a relational/deductive database following the
+/// generated DL-Schema's relation and column layout.
+pub fn to_database(network: &SocialNetwork) -> Database {
+    let mut db = Database::new();
+    // Node EDBs: the first column is the key, remaining columns follow the
+    // PG-Schema property order.
+    for p in &network.persons {
+        db.insert_fact(
+            "Person",
+            vec![
+                Value::Int(p.id),
+                Value::str(&p.first_name),
+                Value::str(&p.last_name),
+                Value::str(&p.gender),
+                Value::Int(p.birthday),
+                Value::Int(p.creation_date),
+                Value::str(&p.location_ip),
+                Value::str(&p.browser_used),
+            ],
+        )
+        .expect("person arity");
+    }
+    for (id, name) in &network.cities {
+        db.insert_fact("City", vec![Value::Int(*id), Value::str(name)]).expect("city arity");
+    }
+    for (id, name) in &network.countries {
+        db.insert_fact("Country", vec![Value::Int(*id), Value::str(name)]).expect("country arity");
+    }
+    for (id, name) in &network.tags {
+        db.insert_fact("Tag", vec![Value::Int(*id), Value::str(name)]).expect("tag arity");
+    }
+    for m in &network.messages {
+        db.insert_fact(
+            "Message",
+            vec![
+                Value::Int(m.id),
+                Value::Int(m.creation_date),
+                Value::str(&m.content),
+                Value::Int(m.length),
+            ],
+        )
+        .expect("message arity");
+    }
+
+    // Edge EDBs: id1, id2, then the edge's own properties (synthetic edge ids).
+    let mut edge_id = 1i64;
+    let mut next_edge_id = || {
+        let id = edge_id;
+        edge_id += 1;
+        id
+    };
+    for (a, b, date) in &network.knows {
+        db.insert_fact(
+            "Person_KNOWS_Person",
+            vec![Value::Int(*a), Value::Int(*b), Value::Int(next_edge_id()), Value::Int(*date)],
+        )
+        .expect("knows arity");
+    }
+    for p in &network.persons {
+        db.insert_fact(
+            "Person_IS_LOCATED_IN_City",
+            vec![Value::Int(p.id), Value::Int(p.city), Value::Int(next_edge_id())],
+        )
+        .expect("located arity");
+    }
+    for (city, country) in &network.city_in_country {
+        db.insert_fact(
+            "City_IS_PART_OF_Country",
+            vec![Value::Int(*city), Value::Int(*country), Value::Int(next_edge_id())],
+        )
+        .expect("part-of arity");
+    }
+    for m in &network.messages {
+        db.insert_fact(
+            "Message_HAS_CREATOR_Person",
+            vec![Value::Int(m.id), Value::Int(m.creator), Value::Int(next_edge_id())],
+        )
+        .expect("creator arity");
+        if let Some(parent) = m.reply_of {
+            db.insert_fact(
+                "Message_REPLY_OF_Message",
+                vec![Value::Int(m.id), Value::Int(parent), Value::Int(next_edge_id())],
+            )
+            .expect("reply arity");
+        }
+        for tag in &m.tags {
+            db.insert_fact(
+                "Message_HAS_TAG_Tag",
+                vec![Value::Int(m.id), Value::Int(*tag), Value::Int(next_edge_id())],
+            )
+            .expect("tag edge arity");
+        }
+    }
+    for (person, message, date) in &network.likes {
+        db.insert_fact(
+            "Person_LIKES_Message",
+            vec![
+                Value::Int(*person),
+                Value::Int(*message),
+                Value::Int(next_edge_id()),
+                Value::Int(*date),
+            ],
+        )
+        .expect("likes arity");
+    }
+    db
+}
+
+/// Load the network into a property graph for the graph engine.
+pub fn to_property_graph(network: &SocialNetwork) -> PropertyGraph {
+    let mut graph = PropertyGraph::new();
+    let mut person_idx = std::collections::HashMap::new();
+    let mut city_idx = std::collections::HashMap::new();
+    let mut country_idx = std::collections::HashMap::new();
+    let mut message_idx = std::collections::HashMap::new();
+    let mut tag_idx = std::collections::HashMap::new();
+
+    for p in &network.persons {
+        let idx = graph.add_node(
+            "Person",
+            vec![
+                ("id", Value::Int(p.id)),
+                ("firstName", Value::str(&p.first_name)),
+                ("lastName", Value::str(&p.last_name)),
+                ("gender", Value::str(&p.gender)),
+                ("birthday", Value::Int(p.birthday)),
+                ("creationDate", Value::Int(p.creation_date)),
+                ("locationIP", Value::str(&p.location_ip)),
+                ("browserUsed", Value::str(&p.browser_used)),
+            ],
+        );
+        person_idx.insert(p.id, idx);
+    }
+    for (id, name) in &network.cities {
+        let idx = graph.add_node("City", vec![("id", Value::Int(*id)), ("name", Value::str(name))]);
+        city_idx.insert(*id, idx);
+    }
+    for (id, name) in &network.countries {
+        let idx =
+            graph.add_node("Country", vec![("id", Value::Int(*id)), ("name", Value::str(name))]);
+        country_idx.insert(*id, idx);
+    }
+    for (id, name) in &network.tags {
+        let idx = graph.add_node("Tag", vec![("id", Value::Int(*id)), ("name", Value::str(name))]);
+        tag_idx.insert(*id, idx);
+    }
+    for m in &network.messages {
+        let idx = graph.add_node(
+            "Message",
+            vec![
+                ("id", Value::Int(m.id)),
+                ("creationDate", Value::Int(m.creation_date)),
+                ("content", Value::str(&m.content)),
+                ("length", Value::Int(m.length)),
+            ],
+        );
+        message_idx.insert(m.id, idx);
+    }
+
+    let mut edge_id = 1i64;
+    let mut next = || {
+        let id = edge_id;
+        edge_id += 1;
+        id
+    };
+    for (a, b, date) in &network.knows {
+        graph.add_edge(
+            "KNOWS",
+            person_idx[a],
+            person_idx[b],
+            vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
+        );
+    }
+    for p in &network.persons {
+        graph.add_edge(
+            "IS_LOCATED_IN",
+            person_idx[&p.id],
+            city_idx[&p.city],
+            vec![("id", Value::Int(next()))],
+        );
+    }
+    for (city, country) in &network.city_in_country {
+        graph.add_edge(
+            "IS_PART_OF",
+            city_idx[city],
+            country_idx[country],
+            vec![("id", Value::Int(next()))],
+        );
+    }
+    for m in &network.messages {
+        graph.add_edge(
+            "HAS_CREATOR",
+            message_idx[&m.id],
+            person_idx[&m.creator],
+            vec![("id", Value::Int(next()))],
+        );
+        if let Some(parent) = m.reply_of {
+            graph.add_edge(
+                "REPLY_OF",
+                message_idx[&m.id],
+                message_idx[&parent],
+                vec![("id", Value::Int(next()))],
+            );
+        }
+        for tag in &m.tags {
+            graph.add_edge(
+                "HAS_TAG",
+                message_idx[&m.id],
+                tag_idx[tag],
+                vec![("id", Value::Int(next()))],
+            );
+        }
+    }
+    for (person, message, date) in &network.likes {
+        graph.add_edge(
+            "LIKES",
+            person_idx[person],
+            message_idx[message],
+            vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
+        );
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    fn small_network() -> SocialNetwork {
+        generate(&GeneratorConfig { scale: 0.2, seed: 7 })
+    }
+
+    #[test]
+    fn database_relations_match_the_dl_schema() {
+        let net = small_network();
+        let db = to_database(&net);
+        let pg = raqlet_cypher::parse_pg_schema(crate::schema::SNB_PG_SCHEMA).unwrap();
+        let dl = raqlet_dlir::generate_dl_schema(&pg).unwrap();
+        for (name, relation) in db.iter() {
+            let decl = dl.get(name).unwrap_or_else(|| panic!("relation `{name}` not in schema"));
+            assert_eq!(
+                relation.arity(),
+                decl.arity(),
+                "arity mismatch for `{name}`"
+            );
+        }
+        assert_eq!(db.get("Person").unwrap().len(), net.persons.len());
+        assert_eq!(db.get("Person_KNOWS_Person").unwrap().len(), net.knows.len());
+    }
+
+    #[test]
+    fn property_graph_counts_match_the_network() {
+        let net = small_network();
+        let graph = to_property_graph(&net);
+        let expected_nodes = net.persons.len()
+            + net.cities.len()
+            + net.countries.len()
+            + net.tags.len()
+            + net.messages.len();
+        assert_eq!(graph.node_count(), expected_nodes);
+        assert!(graph.edge_count() >= net.knows.len() + net.persons.len() + net.messages.len());
+    }
+
+    #[test]
+    fn both_loaders_agree_on_person_count() {
+        let net = small_network();
+        let db = to_database(&net);
+        let graph = to_property_graph(&net);
+        assert_eq!(db.get("Person").unwrap().len(), graph.nodes_with_label("Person").len());
+    }
+}

@@ -1,0 +1,145 @@
+//! The query corpus: simplified LDBC SNB interactive reads plus the classic
+//! recursive benchmark queries, all written in Cypher against
+//! [`crate::schema::SNB_PG_SCHEMA`].
+//!
+//! As in the paper (Section 3), the queries use `RETURN DISTINCT` and carry
+//! no `ORDER BY`/`LIMIT` so the translated versions are set-semantics
+//! equivalent across all backends. Queries are parameterised by `$personId`
+//! (and `$maxDate` where relevant); bind them with
+//! [`raqlet_pgir::LowerOptions::with_param`] or the facade's compile options.
+
+/// A named benchmark query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkQuery {
+    /// Short identifier (`SQ1`, `CQ2`, ...).
+    pub name: &'static str,
+    /// What the query computes.
+    pub description: &'static str,
+    /// Cypher text.
+    pub cypher: &'static str,
+    /// True if the query is recursive after lowering (variable-length path or
+    /// shortest path).
+    pub recursive: bool,
+}
+
+/// LDBC short query 1 (the paper's "SQ1"): a person's profile joined with
+/// their city. This is the running example of Figure 3 extended to the full
+/// profile.
+pub const SQ1: BenchmarkQuery = BenchmarkQuery {
+    name: "SQ1",
+    description: "person profile with city (LDBC interactive short 1)",
+    cypher: "MATCH (n:Person {id: $personId})-[:IS_LOCATED_IN]->(p:City)\n\
+             RETURN DISTINCT n.firstName AS firstName, n.lastName AS lastName,\n\
+                    n.birthday AS birthday, n.locationIP AS locationIP,\n\
+                    n.browserUsed AS browserUsed, p.id AS cityId, n.gender AS gender,\n\
+                    n.creationDate AS creationDate",
+    recursive: false,
+};
+
+/// LDBC complex query 2 (the paper's "CQ2"): recent messages of a person's
+/// friends, simplified to set semantics (no ORDER BY / LIMIT).
+pub const CQ2: BenchmarkQuery = BenchmarkQuery {
+    name: "CQ2",
+    description: "friends' messages before a date (LDBC interactive complex 2)",
+    cypher: "MATCH (p:Person {id: $personId})-[:KNOWS]-(friend:Person)<-[:HAS_CREATOR]-(m:Message)\n\
+             WHERE m.creationDate <= $maxDate\n\
+             RETURN DISTINCT friend.id AS personId, friend.firstName AS personFirstName,\n\
+                    friend.lastName AS personLastName, m.id AS messageId,\n\
+                    m.content AS messageContent, m.creationDate AS messageCreationDate",
+    recursive: false,
+};
+
+/// LDBC short query 3: a person's direct friends.
+pub const SQ3: BenchmarkQuery = BenchmarkQuery {
+    name: "SQ3",
+    description: "direct friends of a person (LDBC interactive short 3)",
+    cypher: "MATCH (n:Person {id: $personId})-[:KNOWS]-(friend:Person)\n\
+             RETURN DISTINCT friend.id AS personId, friend.firstName AS firstName,\n\
+                    friend.lastName AS lastName",
+    recursive: false,
+};
+
+/// LDBC complex query 1 (simplified): friends up to three hops away with a
+/// given first name — the variable-length-path query of the read workload.
+pub const CQ1: BenchmarkQuery = BenchmarkQuery {
+    name: "CQ1",
+    description: "friends up to 3 hops with a given first name (LDBC interactive complex 1)",
+    cypher: "MATCH (p:Person {id: $personId})-[:KNOWS*1..3]-(friend:Person)\n\
+             WHERE friend.firstName = $firstName\n\
+             RETURN DISTINCT friend.id AS friendId, friend.lastName AS lastName",
+    recursive: true,
+};
+
+/// Friend-of-friend reachability (unbounded): the transitive closure of the
+/// KNOWS graph from one person.
+pub const REACHABILITY: BenchmarkQuery = BenchmarkQuery {
+    name: "REACH",
+    description: "all persons reachable over KNOWS from a person (transitive closure)",
+    cypher: "MATCH (p:Person {id: $personId})-[:KNOWS*]-(other:Person)\n\
+             RETURN DISTINCT other.id AS personId",
+    recursive: true,
+};
+
+/// Shortest KNOWS-path between two persons (LDBC interactive complex 13
+/// simplified to the endpoint id).
+pub const CQ13: BenchmarkQuery = BenchmarkQuery {
+    name: "CQ13",
+    description: "shortest path between two persons over KNOWS (LDBC interactive complex 13)",
+    cypher: "MATCH p = shortestPath((a:Person {id: $personId})-[:KNOWS*]-(b:Person {id: $otherId}))\n\
+             RETURN DISTINCT b.id AS targetId",
+    recursive: true,
+};
+
+/// Message counts per friend — the aggregation-heavy query used by the
+/// optimizer ablation benchmarks.
+pub const FRIEND_MESSAGE_COUNTS: BenchmarkQuery = BenchmarkQuery {
+    name: "AGG1",
+    description: "message count per friend (aggregation workload)",
+    cypher: "MATCH (p:Person {id: $personId})-[:KNOWS]-(friend:Person)<-[:HAS_CREATOR]-(m:Message)\n\
+             WITH friend, count(m) AS messageCount\n\
+             RETURN DISTINCT friend.id AS personId, messageCount AS messageCount",
+    recursive: false,
+};
+
+/// All queries, in the order the benchmark harness reports them.
+pub const ALL_QUERIES: &[BenchmarkQuery] =
+    &[SQ1, CQ2, SQ3, CQ1, REACHABILITY, CQ13, FRIEND_MESSAGE_COUNTS];
+
+/// The two queries of the paper's Table 1.
+pub const TABLE1_QUERIES: &[BenchmarkQuery] = &[SQ1, CQ2];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse_as_cypher() {
+        for q in ALL_QUERIES {
+            let parsed = raqlet_cypher::parse(q.cypher);
+            assert!(parsed.is_ok(), "query {} failed to parse: {:?}", q.name, parsed.err());
+        }
+    }
+
+    #[test]
+    fn recursive_flags_match_the_query_text() {
+        for q in ALL_QUERIES {
+            let parsed = raqlet_cypher::parse(q.cypher).unwrap();
+            assert_eq!(parsed.uses_recursion(), q.recursive, "query {}", q.name);
+        }
+    }
+
+    #[test]
+    fn table1_contains_sq1_and_cq2() {
+        let names: Vec<&str> = TABLE1_QUERIES.iter().map(|q| q.name).collect();
+        assert_eq!(names, vec!["SQ1", "CQ2"]);
+    }
+
+    #[test]
+    fn queries_have_unique_names() {
+        let mut names: Vec<&str> = ALL_QUERIES.iter().map(|q| q.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

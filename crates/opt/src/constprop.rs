@@ -1,0 +1,284 @@
+//! Constant propagation and constraint simplification.
+//!
+//! Within a single rule, an equality constraint between a variable and a
+//! constant (`n = 42`) lets the optimizer substitute the constant for every
+//! occurrence of the variable in body atoms, pushing the selection into the
+//! scan of the underlying relation — the single-rule half of "pushing
+//! operators past recursion". Trivially true constraints are removed and
+//! trivially false constraints mark the rule as unsatisfiable so it can be
+//! deleted.
+
+use std::collections::HashMap;
+
+use raqlet_common::Value;
+use raqlet_dlir::{Atom, BodyElem, CmpOp, DlExpr, DlirProgram, Rule, Term};
+
+/// Run constant propagation over every rule. Returns the rewritten program
+/// and whether anything changed.
+pub fn propagate_constants(program: &DlirProgram) -> (DlirProgram, bool) {
+    let mut out = DlirProgram::new(program.schema.clone());
+    out.outputs = program.outputs.clone();
+    out.annotations = program.annotations.clone();
+    let mut changed = false;
+    for rule in &program.rules {
+        match simplify_rule(rule) {
+            SimplifyResult::Unchanged => out.add_rule(rule.clone()),
+            SimplifyResult::Rewritten(r) => {
+                changed = true;
+                out.add_rule(r);
+            }
+            SimplifyResult::Unsatisfiable => {
+                changed = true;
+                // Dropping the rule preserves semantics: it can never fire.
+            }
+        }
+    }
+    (out, changed)
+}
+
+enum SimplifyResult {
+    Unchanged,
+    Rewritten(Rule),
+    Unsatisfiable,
+}
+
+fn simplify_rule(rule: &Rule) -> SimplifyResult {
+    // Head variables must keep their names (they define the IDB's columns),
+    // so only substitute variables that do not appear in the head. The
+    // aggregation's variables are likewise preserved.
+    let mut protected: Vec<String> = rule.head.variables();
+    if let Some(agg) = &rule.aggregation {
+        protected.push(agg.output_var.clone());
+        protected.extend(agg.group_by.iter().cloned());
+        if let Some(v) = &agg.input_var {
+            protected.push(v.clone());
+        }
+    }
+
+    // Collect var -> constant bindings from equality constraints.
+    let mut consts: HashMap<String, Value> = HashMap::new();
+    for elem in &rule.body {
+        if let BodyElem::Constraint { op: CmpOp::Eq, lhs, rhs } = elem {
+            match (lhs, rhs) {
+                (DlExpr::Var(v), DlExpr::Const(c)) | (DlExpr::Const(c), DlExpr::Var(v)) => {
+                    if !protected.contains(v) {
+                        consts.insert(v.clone(), c.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut changed = false;
+    let mut new_body: Vec<BodyElem> = Vec::new();
+    for elem in &rule.body {
+        match elem {
+            BodyElem::Atom(a) => {
+                let (atom, c) = substitute_atom(a, &consts);
+                changed |= c;
+                new_body.push(BodyElem::Atom(atom));
+            }
+            BodyElem::Negated(a) => {
+                let (atom, c) = substitute_atom(a, &consts);
+                changed |= c;
+                new_body.push(BodyElem::Negated(atom));
+            }
+            BodyElem::Constraint { op, lhs, rhs } => {
+                let (l, cl) = substitute_expr(lhs, &consts);
+                let (r, cr) = substitute_expr(rhs, &consts);
+                let (l, fl) = fold_expr(&l);
+                let (r, fr) = fold_expr(&r);
+                changed |= cl || cr || fl || fr;
+                // Evaluate constraints over two constants.
+                if let (DlExpr::Const(a), DlExpr::Const(b)) = (&l, &r) {
+                    changed = true;
+                    if op.eval(a, b) {
+                        continue; // trivially true, drop it
+                    } else {
+                        return SimplifyResult::Unsatisfiable;
+                    }
+                }
+                // Keep var = const constraints for variables we could not
+                // substitute (head variables), drop the ones we fully
+                // propagated only if the variable appears nowhere else...
+                // keeping them is always safe, so we keep them.
+                new_body.push(BodyElem::Constraint { op: *op, lhs: l, rhs: r });
+            }
+        }
+    }
+
+    if !changed {
+        return SimplifyResult::Unchanged;
+    }
+    let mut new_rule = rule.clone();
+    new_rule.body = new_body;
+    SimplifyResult::Rewritten(new_rule)
+}
+
+fn substitute_atom(atom: &Atom, consts: &HashMap<String, Value>) -> (Atom, bool) {
+    let mut changed = false;
+    let terms = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => {
+                if let Some(c) = consts.get(v) {
+                    changed = true;
+                    Term::Const(c.clone())
+                } else {
+                    t.clone()
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    (Atom::new(atom.relation.clone(), terms), changed)
+}
+
+fn substitute_expr(expr: &DlExpr, consts: &HashMap<String, Value>) -> (DlExpr, bool) {
+    match expr {
+        DlExpr::Var(v) => {
+            if let Some(c) = consts.get(v) {
+                (DlExpr::Const(c.clone()), true)
+            } else {
+                (expr.clone(), false)
+            }
+        }
+        DlExpr::Const(_) => (expr.clone(), false),
+        DlExpr::Arith { op, lhs, rhs } => {
+            let (l, cl) = substitute_expr(lhs, consts);
+            let (r, cr) = substitute_expr(rhs, consts);
+            (DlExpr::Arith { op: *op, lhs: Box::new(l), rhs: Box::new(r) }, cl || cr)
+        }
+    }
+}
+
+/// Fold constant arithmetic (`2 + 3` → `5`).
+fn fold_expr(expr: &DlExpr) -> (DlExpr, bool) {
+    match expr {
+        DlExpr::Arith { op, lhs, rhs } => {
+            let (l, cl) = fold_expr(lhs);
+            let (r, cr) = fold_expr(rhs);
+            if let (DlExpr::Const(a), DlExpr::Const(b)) = (&l, &r) {
+                if let Some(v) = op.eval(a, b) {
+                    return (DlExpr::Const(v), true);
+                }
+            }
+            (DlExpr::Arith { op: *op, lhs: Box::new(l), rhs: Box::new(r) }, cl || cr)
+        }
+        other => (other.clone(), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_dlir::ArithOp;
+
+    fn atom(name: &str, vars: &[&str]) -> BodyElem {
+        BodyElem::Atom(Atom::with_vars(name, vars))
+    }
+
+    #[test]
+    fn constants_are_pushed_into_atoms() {
+        // q(y) :- edge(x, y), x = 7.   =>   q(y) :- edge(7, y), x = 7 (kept).
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["y"]),
+            vec![
+                atom("edge", &["x", "y"]),
+                BodyElem::eq(DlExpr::var("x"), DlExpr::int(7)),
+            ],
+        ));
+        let (out, changed) = propagate_constants(&p);
+        assert!(changed);
+        let q = out.rules_for("q")[0];
+        assert_eq!(q.body[0].to_string(), "edge(7, y)");
+    }
+
+    #[test]
+    fn head_variables_are_not_replaced() {
+        // Return(n) :- Person(n), n = 42: n names an output column, so the
+        // atom keeps the variable (the constraint still filters it).
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("Return", &["n"]),
+            vec![atom("Person", &["n"]), BodyElem::eq(DlExpr::var("n"), DlExpr::int(42))],
+        ));
+        let (out, changed) = propagate_constants(&p);
+        assert!(!changed);
+        let r = out.rules_for("Return")[0];
+        assert_eq!(r.body[0].to_string(), "Person(n)");
+    }
+
+    #[test]
+    fn trivially_true_constraints_are_removed() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x"]),
+            vec![
+                atom("edge", &["x", "y"]),
+                BodyElem::Constraint { op: CmpOp::Lt, lhs: DlExpr::int(1), rhs: DlExpr::int(2) },
+            ],
+        ));
+        let (out, changed) = propagate_constants(&p);
+        assert!(changed);
+        assert_eq!(out.rules_for("q")[0].body.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_rules_are_dropped() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x"]),
+            vec![
+                atom("edge", &["x", "y"]),
+                BodyElem::Constraint { op: CmpOp::Eq, lhs: DlExpr::int(1), rhs: DlExpr::int(2) },
+            ],
+        ));
+        p.add_rule(Rule::new(Atom::with_vars("q", &["x"]), vec![atom("edge", &["x", "x"])]));
+        let (out, changed) = propagate_constants(&p);
+        assert!(changed);
+        assert_eq!(out.rules_for("q").len(), 1);
+    }
+
+    #[test]
+    fn constant_arithmetic_is_folded() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x", "l"]),
+            vec![
+                atom("edge", &["x", "y"]),
+                BodyElem::eq(
+                    DlExpr::var("l"),
+                    DlExpr::Arith {
+                        op: ArithOp::Add,
+                        lhs: Box::new(DlExpr::int(2)),
+                        rhs: Box::new(DlExpr::int(3)),
+                    },
+                ),
+            ],
+        ));
+        let (out, changed) = propagate_constants(&p);
+        assert!(changed);
+        let q = out.rules_for("q")[0];
+        assert!(q.body.iter().any(|b| b.to_string() == "l = 5"), "{q}");
+    }
+
+    #[test]
+    fn propagation_reaches_negated_atoms() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["y"]),
+            vec![
+                atom("edge", &["x", "y"]),
+                BodyElem::eq(DlExpr::var("x"), DlExpr::int(3)),
+                BodyElem::Negated(Atom::with_vars("blocked", &["x"])),
+            ],
+        ));
+        let (out, _) = propagate_constants(&p);
+        let q = out.rules_for("q")[0];
+        assert!(q.body.iter().any(|b| b.to_string() == "!blocked(3)"), "{q}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # raqlet-opt
+//!
+//! DLIR-level query optimization (Section 5 of the paper). The passes are
+//! independent `DlirProgram → DlirProgram` rewrites orchestrated by a small
+//! pass manager ([`pipeline`]):
+//!
+//! * [`inline`] — view/rule inlining with duplicate-atom removal;
+//! * [`dead`] — dead rule elimination;
+//! * [`constprop`] — constant propagation and constraint folding;
+//! * [`semantic`] — semantic join optimizations driven by schema keys
+//!   (self-join merging, referential-integrity join elimination);
+//! * [`magic`] — the magic-set transformation (pushing selections past
+//!   recursion);
+//! * [`linearize`] — rewriting non-linear recursion into linear recursion.
+//!
+//! All passes preserve the program's least-model semantics; the integration
+//! and property tests in the workspace check this by executing optimized and
+//! unoptimized programs on the same data and comparing results.
+
+pub mod constprop;
+pub mod dead;
+pub mod inline;
+pub mod linearize;
+pub mod magic;
+pub mod pipeline;
+pub mod semantic;
+
+pub use constprop::propagate_constants;
+pub use dead::eliminate_dead_rules;
+pub use inline::{inline, InlineConfig};
+pub use linearize::linearize;
+pub use magic::magic_sets;
+pub use pipeline::{optimize, optimize_with, OptLevel, OptimizedProgram, PassConfig};
+pub use semantic::optimize_joins;

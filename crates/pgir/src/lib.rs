@@ -1,0 +1,23 @@
+//! # raqlet-pgir
+//!
+//! PGIR — the Property Graph Intermediate Representation — and the lowering
+//! from the Cypher AST into it.
+//!
+//! PGIR is the first IR in Raqlet's pipeline (`Cypher → PGIR → DLIR → SQIR`).
+//! It is inspired by GPC (the Graph Pattern Calculus) but extended with the
+//! core Cypher features the LDBC SNB read workload needs: aggregation,
+//! variable-length paths and shortest-path patterns. A PGIR query is a
+//! sequence of clause constructs (`MATCH`, `WHERE`, `WITH`, `RETURN`) whose
+//! contents are fully normalised (see [`ir`] and [`lower`]).
+
+pub mod ir;
+pub mod lower;
+
+pub use ir::*;
+pub use lower::{lower_query, LowerOptions};
+
+/// Parse a Cypher query and lower it to PGIR in one step.
+pub fn cypher_to_pgir(src: &str, opts: &LowerOptions) -> raqlet_common::Result<PgirQuery> {
+    let ast = raqlet_cypher::parse(src)?;
+    lower_query(&ast, opts)
+}

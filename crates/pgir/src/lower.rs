@@ -1,0 +1,616 @@
+//! Cypher AST → PGIR lowering.
+//!
+//! This is the "Cypher to PGIR Translation" stage of the paper (Section 3):
+//! the input query is normalised and decomposed into PGIR expressions
+//! (patterns, filters, aliases), which are mapped to clause constructs.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use raqlet_common::ids::IdGen;
+use raqlet_common::{RaqletError, Result, Value};
+use raqlet_cypher::ast as cy;
+
+use crate::ir::*;
+
+/// Options controlling the lowering.
+#[derive(Debug, Clone, Default)]
+pub struct LowerOptions {
+    /// Bindings for `$parameters` appearing in the query.
+    pub params: HashMap<String, Value>,
+    /// Keep `ORDER BY` / `SKIP` / `LIMIT` instead of erroring. They are
+    /// always *dropped* from the produced PGIR (the paper's set-semantics
+    /// normalisation); setting this to `false` makes their presence an error
+    /// instead, for callers that need strict semantics preservation.
+    pub allow_order_and_limit: bool,
+}
+
+impl LowerOptions {
+    /// Default options: parameters empty, ORDER BY/LIMIT silently dropped.
+    pub fn new() -> Self {
+        LowerOptions { params: HashMap::new(), allow_order_and_limit: true }
+    }
+
+    /// Bind a query parameter.
+    pub fn with_param(mut self, name: &str, value: Value) -> Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+}
+
+/// Lower a parsed Cypher query to PGIR.
+pub fn lower_query(query: &cy::Query, opts: &LowerOptions) -> Result<PgirQuery> {
+    Lowerer::new(opts, query).run(query)
+}
+
+struct Lowerer<'a> {
+    opts: &'a LowerOptions,
+    ids: IdGen,
+    used_vars: HashSet<String>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(opts: &'a LowerOptions, query: &cy::Query) -> Self {
+        let mut used_vars = HashSet::new();
+        collect_user_vars(query, &mut used_vars);
+        Lowerer { opts, ids: IdGen::new(), used_vars }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        loop {
+            let candidate = self.ids.fresh("x");
+            if self.used_vars.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+
+    fn run(&mut self, query: &cy::Query) -> Result<PgirQuery> {
+        let mut clauses = Vec::new();
+        for clause in &query.clauses {
+            match clause {
+                cy::Clause::Match(m) => self.lower_match(m, &mut clauses)?,
+                cy::Clause::With(p) => clauses.push(PgirClause::With(self.lower_with(p)?)),
+                cy::Clause::Return(p) => clauses.push(PgirClause::Return(self.lower_return(p)?)),
+                cy::Clause::Unwind { .. } => {
+                    return Err(RaqletError::unsupported(
+                        "UNWIND is not supported by the PGIR lowering yet",
+                    ))
+                }
+            }
+        }
+        Ok(PgirQuery { clauses })
+    }
+
+    fn lower_match(&mut self, m: &cy::MatchClause, out: &mut Vec<PgirClause>) -> Result<()> {
+        let mut patterns = Vec::new();
+        let mut predicates = Vec::new();
+
+        for pattern in &m.patterns {
+            self.lower_path_pattern(pattern, &mut patterns, &mut predicates)?;
+        }
+
+        out.push(PgirClause::Match(MatchConstruct { optional: m.optional, patterns }));
+
+        if let Some(w) = &m.where_clause {
+            predicates.push(self.lower_expr(w)?);
+        }
+        if let Some(pred) = PgirExpr::conjunction(predicates) {
+            out.push(PgirClause::Where(WhereConstruct { predicate: pred }));
+        }
+        Ok(())
+    }
+
+    fn lower_path_pattern(
+        &mut self,
+        pattern: &cy::PathPattern,
+        patterns: &mut Vec<PatternElem>,
+        predicates: &mut Vec<PgirExpr>,
+    ) -> Result<()> {
+        let start = self.lower_node(&pattern.start, predicates)?;
+
+        if pattern.steps.is_empty() {
+            if pattern.shortest.is_some() {
+                return Err(RaqletError::semantic(
+                    "shortestPath requires a relationship pattern",
+                ));
+            }
+            patterns.push(PatternElem::Node(start));
+            return Ok(());
+        }
+
+        if pattern.shortest.is_some() && pattern.steps.len() != 1 {
+            return Err(RaqletError::unsupported(
+                "shortestPath over multi-hop patterns is not supported",
+            ));
+        }
+
+        let mut prev = start;
+        for (rel, node) in &pattern.steps {
+            let next = self.lower_node(node, predicates)?;
+            let elem = self.lower_rel(rel, pattern.shortest, prev.clone(), next.clone(), predicates)?;
+            patterns.push(elem);
+            prev = next;
+        }
+        Ok(())
+    }
+
+    fn lower_node(
+        &mut self,
+        node: &cy::NodePattern,
+        predicates: &mut Vec<PgirExpr>,
+    ) -> Result<NodePat> {
+        let var = match &node.var {
+            Some(v) => v.clone(),
+            None => self.fresh_var(),
+        };
+        if node.labels.len() > 1 {
+            return Err(RaqletError::unsupported("multiple labels on one node pattern"));
+        }
+        for (prop, value) in &node.properties {
+            let rhs = self.lower_expr(value)?;
+            predicates.push(PgirExpr::eq(PgirExpr::prop(&var, prop), rhs));
+        }
+        Ok(NodePat { var, label: node.labels.first().cloned() })
+    }
+
+    fn lower_rel(
+        &mut self,
+        rel: &cy::RelPattern,
+        shortest: Option<cy::ShortestKind>,
+        prev: NodePat,
+        next: NodePat,
+        predicates: &mut Vec<PgirExpr>,
+    ) -> Result<PatternElem> {
+        let var = match &rel.var {
+            Some(v) => v.clone(),
+            None => self.fresh_var(),
+        };
+        if rel.types.len() > 1 {
+            return Err(RaqletError::unsupported(
+                "alternative relationship types (`:A|B`) are not supported yet",
+            ));
+        }
+        let label = rel.types.first().cloned();
+        for (prop, value) in &rel.properties {
+            let rhs = self.lower_expr(value)?;
+            predicates.push(PgirExpr::eq(PgirExpr::prop(&var, prop), rhs));
+        }
+
+        // Normalise direction: store src -> dst in the edge's stored
+        // direction; `Incoming` swaps the endpoints.
+        let (src, dst, directed) = match rel.direction {
+            cy::Direction::Outgoing => (prev, next, true),
+            cy::Direction::Incoming => (next, prev, true),
+            cy::Direction::Undirected => (prev, next, false),
+        };
+
+        let is_path = rel.length.is_some() || shortest.is_some();
+        if !is_path {
+            return Ok(PatternElem::Edge(EdgePat { var, label, directed, src, dst }));
+        }
+
+        let (min_hops, max_hops) = match rel.length {
+            Some(len) => (len.min_hops(), len.max),
+            None => (1, None),
+        };
+        let semantics = match shortest {
+            Some(cy::ShortestKind::Single) => PathSemantics::Shortest,
+            Some(cy::ShortestKind::All) => PathSemantics::AllShortest,
+            None => PathSemantics::Reachability,
+        };
+        Ok(PatternElem::Path(PathPat {
+            var,
+            label,
+            directed,
+            src,
+            dst,
+            min_hops,
+            max_hops,
+            semantics,
+        }))
+    }
+
+    fn lower_with(&mut self, p: &cy::Projection) -> Result<WithConstruct> {
+        self.check_order_and_limit(p)?;
+        let items = self.lower_items(&p.items)?;
+        let having = match &p.where_clause {
+            Some(w) => Some(self.lower_expr(w)?),
+            None => None,
+        };
+        Ok(WithConstruct { distinct: p.distinct, items, having })
+    }
+
+    fn lower_return(&mut self, p: &cy::Projection) -> Result<ReturnConstruct> {
+        self.check_order_and_limit(p)?;
+        let items = self.lower_items(&p.items)?;
+        // Set semantics: the paper replaces RETURN with RETURN DISTINCT so the
+        // translated queries agree across backends.
+        Ok(ReturnConstruct { distinct: true, items })
+    }
+
+    fn check_order_and_limit(&self, p: &cy::Projection) -> Result<()> {
+        if !self.opts.allow_order_and_limit
+            && (!p.order_by.is_empty() || p.skip.is_some() || p.limit.is_some())
+        {
+            return Err(RaqletError::unsupported(
+                "ORDER BY / SKIP / LIMIT are dropped by Raqlet; pass allow_order_and_limit to accept",
+            ));
+        }
+        Ok(())
+    }
+
+    fn lower_items(&mut self, items: &[cy::ReturnItem]) -> Result<Vec<OutputItem>> {
+        items
+            .iter()
+            .map(|item| {
+                if matches!(&item.expr, cy::Expr::Var(v) if v == "*") {
+                    return Err(RaqletError::unsupported("RETURN * is not supported"));
+                }
+                let expr = self.lower_expr(&item.expr)?;
+                Ok(OutputItem { expr, alias: item.output_name() })
+            })
+            .collect()
+    }
+
+    fn lower_expr(&mut self, expr: &cy::Expr) -> Result<PgirExpr> {
+        match expr {
+            cy::Expr::Var(v) => Ok(PgirExpr::Var(v.clone())),
+            cy::Expr::Property(base, prop) => match base.as_ref() {
+                cy::Expr::Var(v) => Ok(PgirExpr::prop(v, prop)),
+                other => Err(RaqletError::unsupported(format!(
+                    "property access on non-variable expression `{other}`"
+                ))),
+            },
+            cy::Expr::Literal(v) => Ok(PgirExpr::Const(v.clone())),
+            cy::Expr::Parameter(name) => match self.opts.params.get(name) {
+                Some(v) => Ok(PgirExpr::Const(v.clone())),
+                None => Err(RaqletError::semantic(format!("unbound query parameter `${name}`"))),
+            },
+            cy::Expr::List(items) => {
+                let values = items
+                    .iter()
+                    .map(|e| self.constant_value(e))
+                    .collect::<Result<Vec<_>>>()?;
+                // A bare list outside IN is represented as an InList over a
+                // dummy; callers only produce lists as the RHS of IN, which is
+                // handled in the Binary arm below, so reaching here is a
+                // semantic error.
+                Err(RaqletError::unsupported(format!(
+                    "list literal outside of IN (got {} items)",
+                    values.len()
+                )))
+            }
+            cy::Expr::Unary(cy::UnaryOp::Not, e) => {
+                Ok(PgirExpr::Not(Box::new(self.lower_expr(e)?)))
+            }
+            cy::Expr::Unary(cy::UnaryOp::Neg, e) => match self.lower_expr(e)? {
+                PgirExpr::Const(Value::Int(i)) => Ok(PgirExpr::int(-i)),
+                other => Ok(PgirExpr::Arith {
+                    op: ArithOp::Sub,
+                    lhs: Box::new(PgirExpr::int(0)),
+                    rhs: Box::new(other),
+                }),
+            },
+            cy::Expr::Binary(op, lhs, rhs) => self.lower_binary(*op, lhs, rhs),
+            cy::Expr::FunctionCall { name, distinct, args } => {
+                let Some(func) = AggFunc::from_name(name) else {
+                    return Err(RaqletError::unsupported(format!("function `{name}`")));
+                };
+                if args.len() > 1 {
+                    return Err(RaqletError::semantic(format!(
+                        "aggregate `{name}` takes at most one argument"
+                    )));
+                }
+                let arg = match args.first() {
+                    Some(a) => Some(Box::new(self.lower_expr(a)?)),
+                    None => None,
+                };
+                Ok(PgirExpr::Aggregate { func, distinct: *distinct, arg })
+            }
+        }
+    }
+
+    fn lower_binary(&mut self, op: cy::BinaryOp, lhs: &cy::Expr, rhs: &cy::Expr) -> Result<PgirExpr> {
+        use cy::BinaryOp as B;
+        let cmp = |this: &mut Self, op| -> Result<PgirExpr> {
+            Ok(PgirExpr::Cmp {
+                op,
+                lhs: Box::new(this.lower_expr(lhs)?),
+                rhs: Box::new(this.lower_expr(rhs)?),
+            })
+        };
+        match op {
+            B::And => Ok(PgirExpr::And(
+                Box::new(self.lower_expr(lhs)?),
+                Box::new(self.lower_expr(rhs)?),
+            )),
+            B::Or => Ok(PgirExpr::Or(
+                Box::new(self.lower_expr(lhs)?),
+                Box::new(self.lower_expr(rhs)?),
+            )),
+            B::Eq => cmp(self, CmpOp::Eq),
+            B::Neq => cmp(self, CmpOp::Neq),
+            B::Lt => cmp(self, CmpOp::Lt),
+            B::Le => cmp(self, CmpOp::Le),
+            B::Gt => cmp(self, CmpOp::Gt),
+            B::Ge => cmp(self, CmpOp::Ge),
+            B::In => {
+                let expr = self.lower_expr(lhs)?;
+                let values = match rhs {
+                    cy::Expr::List(items) => items
+                        .iter()
+                        .map(|e| self.constant_value(e))
+                        .collect::<Result<Vec<_>>>()?,
+                    other => {
+                        return Err(RaqletError::unsupported(format!(
+                            "IN requires a literal list, got `{other}`"
+                        )))
+                    }
+                };
+                Ok(PgirExpr::InList { expr: Box::new(expr), list: values })
+            }
+            B::Add | B::Sub | B::Mul | B::Div | B::Mod => {
+                let arith = match op {
+                    B::Add => ArithOp::Add,
+                    B::Sub => ArithOp::Sub,
+                    B::Mul => ArithOp::Mul,
+                    B::Div => ArithOp::Div,
+                    _ => ArithOp::Mod,
+                };
+                Ok(PgirExpr::Arith {
+                    op: arith,
+                    lhs: Box::new(self.lower_expr(lhs)?),
+                    rhs: Box::new(self.lower_expr(rhs)?),
+                })
+            }
+        }
+    }
+
+    fn constant_value(&mut self, e: &cy::Expr) -> Result<Value> {
+        match self.lower_expr(e)? {
+            PgirExpr::Const(v) => Ok(v),
+            other => Err(RaqletError::semantic(format!("expected a constant, got `{other}`"))),
+        }
+    }
+}
+
+fn collect_user_vars(query: &cy::Query, out: &mut HashSet<String>) {
+    for clause in &query.clauses {
+        if let cy::Clause::Match(m) = clause {
+            for p in &m.patterns {
+                if let Some(v) = &p.path_var {
+                    out.insert(v.clone());
+                }
+                for n in p.nodes() {
+                    if let Some(v) = &n.var {
+                        out.insert(v.clone());
+                    }
+                }
+                for (r, _) in &p.steps {
+                    if let Some(v) = &r.var {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_cypher::parse;
+
+    const FIGURE3A: &str = "MATCH (n:Person {id:42})-[:IS_LOCATED_IN]->(p:City)\n\
+                            RETURN DISTINCT n.firstName AS firstName, p.id AS cityId";
+
+    fn lower(src: &str) -> PgirQuery {
+        lower_query(&parse(src).unwrap(), &LowerOptions::new()).unwrap()
+    }
+
+    #[test]
+    fn running_example_produces_match_where_return() {
+        let q = lower(FIGURE3A);
+        // Figure 3b: MATCH, WHERE, RETURN.
+        assert_eq!(q.clause_counts(), (1, 1, 0, 1));
+
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        assert_eq!(m.patterns.len(), 1);
+        let PatternElem::Edge(e) = &m.patterns[0] else { panic!("expected edge pattern") };
+        assert_eq!(e.label.as_deref(), Some("IS_LOCATED_IN"));
+        assert!(e.directed);
+        assert_eq!(e.src.var, "n");
+        assert_eq!(e.src.label.as_deref(), Some("Person"));
+        assert_eq!(e.dst.var, "p");
+        assert_eq!(e.dst.label.as_deref(), Some("City"));
+        // The edge variable is compiler generated (x1 in the paper).
+        assert_eq!(e.var, "x1");
+
+        let PgirClause::Where(w) = &q.clauses[1] else { panic!() };
+        assert_eq!(w.predicate, PgirExpr::eq(PgirExpr::prop("n", "id"), PgirExpr::int(42)));
+
+        let PgirClause::Return(r) = &q.clauses[2] else { panic!() };
+        assert!(r.distinct);
+        assert_eq!(r.items[0].alias, "firstName");
+        assert_eq!(r.items[1].alias, "cityId");
+    }
+
+    #[test]
+    fn return_is_forced_distinct_for_set_semantics() {
+        let q = lower("MATCH (n:Person) RETURN n.id AS id");
+        let r = q.return_construct().unwrap();
+        assert!(r.distinct);
+    }
+
+    #[test]
+    fn incoming_edges_are_normalised_by_swapping_endpoints() {
+        let q = lower("MATCH (a:City)<-[:IS_LOCATED_IN]-(b:Person) RETURN b.id AS id");
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Edge(e) = &m.patterns[0] else { panic!() };
+        // Stored direction is Person -> City even though the query reads
+        // City <- Person.
+        assert_eq!(e.src.var, "b");
+        assert_eq!(e.dst.var, "a");
+        assert!(e.directed);
+    }
+
+    #[test]
+    fn undirected_edges_keep_reading_order_but_are_flagged() {
+        let q = lower("MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN b.id AS id");
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Edge(e) = &m.patterns[0] else { panic!() };
+        assert!(!e.directed);
+        assert_eq!(e.src.var, "a");
+    }
+
+    #[test]
+    fn anonymous_nodes_and_edges_get_fresh_variables() {
+        let q = lower("MATCH (:Person)-[:KNOWS]->() RETURN 1 AS one");
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Edge(e) = &m.patterns[0] else { panic!() };
+        assert!(e.src.var.starts_with('x'));
+        assert!(e.dst.var.starts_with('x'));
+        assert!(e.var.starts_with('x'));
+        // All three generated names are distinct.
+        assert_ne!(e.src.var, e.dst.var);
+        assert_ne!(e.src.var, e.var);
+    }
+
+    #[test]
+    fn fresh_variables_avoid_user_variables() {
+        // The user already uses `x1`; generated names must not collide.
+        let q = lower("MATCH (x1:Person)-[:KNOWS]->(b:Person) RETURN b.id AS id");
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Edge(e) = &m.patterns[0] else { panic!() };
+        assert_ne!(e.var, "x1");
+    }
+
+    #[test]
+    fn variable_length_lowered_to_path_pattern() {
+        let q = lower("MATCH (a:Person {id: 1})-[:KNOWS*1..3]->(b:Person) RETURN b.id AS id");
+        assert!(q.is_recursive());
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Path(p) = &m.patterns[0] else { panic!() };
+        assert_eq!(p.min_hops, 1);
+        assert_eq!(p.max_hops, Some(3));
+        assert_eq!(p.semantics, PathSemantics::Reachability);
+        assert_eq!(p.label.as_deref(), Some("KNOWS"));
+    }
+
+    #[test]
+    fn shortest_path_lowered_to_path_pattern_with_shortest_semantics() {
+        let q = lower(
+            "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) \
+             RETURN b.id AS id",
+        );
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Path(p) = &m.patterns[0] else { panic!() };
+        assert_eq!(p.semantics, PathSemantics::Shortest);
+        assert!(!p.directed);
+        assert_eq!(p.max_hops, None);
+    }
+
+    #[test]
+    fn inline_properties_become_where_predicates() {
+        let q = lower("MATCH (n:Person {id: 42, firstName: 'Bob'}) RETURN n.id AS id");
+        let PgirClause::Where(w) = &q.clauses[1] else { panic!() };
+        let conjuncts = w.predicate.conjuncts();
+        assert_eq!(conjuncts.len(), 2);
+    }
+
+    #[test]
+    fn match_where_merges_with_pattern_predicates() {
+        let q = lower("MATCH (n:Person {id: 42}) WHERE n.age > 18 RETURN n.id AS id");
+        let PgirClause::Where(w) = &q.clauses[1] else { panic!() };
+        assert_eq!(w.predicate.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn with_aggregation_is_lowered() {
+        let q = lower(
+            "MATCH (p:Person)-[:KNOWS]->(f:Person) WITH f, count(p) AS cnt \
+             RETURN f.id AS id, cnt AS cnt",
+        );
+        let PgirClause::With(w) = &q.clauses[1] else { panic!() };
+        assert_eq!(w.items.len(), 2);
+        assert!(w.items[1].expr.contains_aggregate());
+    }
+
+    #[test]
+    fn parameters_are_substituted() {
+        let opts = LowerOptions::new().with_param("personId", Value::Int(7));
+        let ast = parse("MATCH (n:Person {id: $personId}) RETURN n.id AS id").unwrap();
+        let q = lower_query(&ast, &opts).unwrap();
+        let PgirClause::Where(w) = &q.clauses[1] else { panic!() };
+        assert_eq!(w.predicate, PgirExpr::eq(PgirExpr::prop("n", "id"), PgirExpr::int(7)));
+    }
+
+    #[test]
+    fn unbound_parameters_are_an_error() {
+        let ast = parse("MATCH (n:Person {id: $personId}) RETURN n.id AS id").unwrap();
+        let err = lower_query(&ast, &LowerOptions::new()).unwrap_err();
+        assert!(err.to_string().contains("personId"));
+    }
+
+    #[test]
+    fn order_by_and_limit_are_dropped_by_default() {
+        let q = lower("MATCH (n:Person) RETURN n.id AS id ORDER BY id LIMIT 10");
+        // No trace of ordering in PGIR.
+        assert_eq!(q.clause_counts(), (1, 0, 0, 1));
+    }
+
+    #[test]
+    fn order_by_can_be_rejected_in_strict_mode() {
+        let mut opts = LowerOptions::new();
+        opts.allow_order_and_limit = false;
+        let ast = parse("MATCH (n:Person) RETURN n.id AS id ORDER BY id").unwrap();
+        assert!(lower_query(&ast, &opts).is_err());
+    }
+
+    #[test]
+    fn in_list_predicates_are_lowered() {
+        let q = lower("MATCH (n:Person) WHERE n.id IN [1, 2, 3] RETURN n.id AS id");
+        let PgirClause::Where(w) = &q.clauses[1] else { panic!() };
+        let PgirExpr::InList { list, .. } = &w.predicate else { panic!() };
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn unknown_functions_are_unsupported() {
+        let ast = parse("MATCH (n) RETURN length(n) AS l").unwrap();
+        let err = lower_query(&ast, &LowerOptions::new()).unwrap_err();
+        assert!(matches!(err, RaqletError::Unsupported(_)));
+    }
+
+    #[test]
+    fn multi_hop_patterns_produce_one_edge_per_hop() {
+        let q = lower(
+            "MATCH (m:Message)-[:HAS_CREATOR]->(p:Person)-[:IS_LOCATED_IN]->(c:City) \
+             RETURN c.name AS name",
+        );
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        assert_eq!(m.patterns.len(), 2);
+        // The two edges share the middle node variable `p`.
+        let PatternElem::Edge(e1) = &m.patterns[0] else { panic!() };
+        let PatternElem::Edge(e2) = &m.patterns[1] else { panic!() };
+        assert_eq!(e1.dst.var, "p");
+        assert_eq!(e2.src.var, "p");
+    }
+
+    #[test]
+    fn unwind_is_rejected() {
+        let ast = parse("UNWIND [1,2] AS x RETURN x").unwrap();
+        assert!(matches!(
+            lower_query(&ast, &LowerOptions::new()),
+            Err(RaqletError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn optional_match_flag_is_preserved() {
+        let q = lower("MATCH (p:Person) OPTIONAL MATCH (p)-[:KNOWS]->(f:Person) RETURN p.id AS id");
+        let PgirClause::Match(m1) = &q.clauses[1] else { panic!() };
+        assert!(m1.optional);
+    }
+}

@@ -1,0 +1,16 @@
+//! # raqlet-sqir
+//!
+//! SQIR — the SQL Intermediate Representation — and the DLIR → SQIR lowering.
+//!
+//! SQIR models the CTE-chain shape of the SQL Raqlet emits (Figure 3e of the
+//! paper): every non-recursive DLIR rule group becomes a CTE, every recursive
+//! one becomes a recursive CTE, and the final statement selects `DISTINCT *`
+//! from the output CTE. The SQL *text* for different dialects is produced by
+//! `raqlet-unparse`; the in-memory relational engine in `raqlet-engine`
+//! interprets SQIR directly.
+
+pub mod ir;
+pub mod lower;
+
+pub use ir::*;
+pub use lower::{lower_to_sqir, SqlLowerOptions};

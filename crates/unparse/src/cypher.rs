@@ -1,0 +1,172 @@
+//! Cypher unparser: PGIR → Cypher text.
+//!
+//! Figure 1 of the paper lists Cypher both as a frontend and as a (planned)
+//! backend. Raqlet supports the backend direction for the PGIR fragment the
+//! frontend produces, which is enough to round-trip queries and to hand the
+//! original query to a graph engine.
+
+use std::fmt::Write as _;
+
+use raqlet_pgir::{
+    MatchConstruct, OutputItem, PathSemantics, PatternElem, PgirClause, PgirExpr, PgirQuery,
+};
+
+/// Render a PGIR query as Cypher text.
+pub fn to_cypher(query: &PgirQuery) -> String {
+    let mut out = String::new();
+    for clause in &query.clauses {
+        match clause {
+            PgirClause::Match(m) => {
+                let _ = writeln!(out, "{}", match_to_cypher(m));
+            }
+            PgirClause::Where(w) => {
+                let _ = writeln!(out, "WHERE {}", expr_to_cypher(&w.predicate));
+            }
+            PgirClause::With(w) => {
+                let distinct = if w.distinct { "DISTINCT " } else { "" };
+                let _ = writeln!(out, "WITH {}{}", distinct, items_to_cypher(&w.items));
+                if let Some(h) = &w.having {
+                    let _ = writeln!(out, "WHERE {}", expr_to_cypher(h));
+                }
+            }
+            PgirClause::Return(r) => {
+                let distinct = if r.distinct { "DISTINCT " } else { "" };
+                let _ = writeln!(out, "RETURN {}{}", distinct, items_to_cypher(&r.items));
+            }
+        }
+    }
+    out.trim_end().to_string()
+}
+
+fn match_to_cypher(m: &MatchConstruct) -> String {
+    let kw = if m.optional { "OPTIONAL MATCH" } else { "MATCH" };
+    let patterns: Vec<String> = m
+        .patterns
+        .iter()
+        .map(|p| match p {
+            PatternElem::Node(n) => node_to_cypher(&n.var, n.label.as_deref()),
+            PatternElem::Edge(e) => {
+                let rel = match &e.label {
+                    Some(l) => format!("[{}:{}]", e.var, l),
+                    None => format!("[{}]", e.var),
+                };
+                let arrow = if e.directed { ">" } else { "" };
+                format!(
+                    "{}-{}-{}{}",
+                    node_to_cypher(&e.src.var, e.src.label.as_deref()),
+                    rel,
+                    arrow,
+                    node_to_cypher(&e.dst.var, e.dst.label.as_deref()),
+                )
+            }
+            PatternElem::Path(p) => {
+                let label = p.label.as_deref().map(|l| format!(":{l}")).unwrap_or_default();
+                let bounds = match (p.min_hops, p.max_hops) {
+                    (1, None) => "*".to_string(),
+                    (min, None) => format!("*{min}.."),
+                    (min, Some(max)) => format!("*{min}..{max}"),
+                };
+                let arrow = if p.directed { ">" } else { "" };
+                let body = format!(
+                    "{}-[{label}{bounds}]-{}{}",
+                    node_to_cypher(&p.src.var, p.src.label.as_deref()),
+                    arrow,
+                    node_to_cypher(&p.dst.var, p.dst.label.as_deref()),
+                );
+                match p.semantics {
+                    PathSemantics::Reachability => body,
+                    PathSemantics::Shortest => format!("{} = shortestPath({})", p.var, body),
+                    PathSemantics::AllShortest => format!("{} = allShortestPaths({})", p.var, body),
+                }
+            }
+        })
+        .collect();
+    format!("{kw} {}", patterns.join(", "))
+}
+
+fn node_to_cypher(var: &str, label: Option<&str>) -> String {
+    match label {
+        Some(l) => format!("({var}:{l})"),
+        None => format!("({var})"),
+    }
+}
+
+fn items_to_cypher(items: &[OutputItem]) -> String {
+    items
+        .iter()
+        .map(|i| format!("{} AS {}", expr_to_cypher(&i.expr), i.alias))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn expr_to_cypher(expr: &PgirExpr) -> String {
+    match expr {
+        PgirExpr::Cmp { op, lhs, rhs } => {
+            let sym = match op {
+                raqlet_pgir::CmpOp::Neq => "<>",
+                other => other.symbol(),
+            };
+            format!("{} {} {}", expr_to_cypher(lhs), sym, expr_to_cypher(rhs))
+        }
+        PgirExpr::And(a, b) => format!("({} AND {})", expr_to_cypher(a), expr_to_cypher(b)),
+        PgirExpr::Or(a, b) => format!("({} OR {})", expr_to_cypher(a), expr_to_cypher(b)),
+        PgirExpr::Not(e) => format!("NOT ({})", expr_to_cypher(e)),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_pgir::{cypher_to_pgir, LowerOptions};
+
+    fn round_trip(src: &str) -> String {
+        let pgir = cypher_to_pgir(src, &LowerOptions::new()).unwrap();
+        to_cypher(&pgir)
+    }
+
+    #[test]
+    fn running_example_round_trips_through_pgir() {
+        let text = round_trip(
+            "MATCH (n:Person {id:42})-[:IS_LOCATED_IN]->(p:City) \
+             RETURN DISTINCT n.firstName AS firstName, p.id AS cityId",
+        );
+        assert!(text.contains("MATCH (n:Person)-[x1:IS_LOCATED_IN]->(p:City)"), "{text}");
+        assert!(text.contains("WHERE n.id = 42"), "{text}");
+        assert!(text.contains("RETURN DISTINCT n.firstName AS firstName, p.id AS cityId"), "{text}");
+    }
+
+    #[test]
+    fn reparsing_the_unparsed_query_yields_equivalent_pgir() {
+        let src = "MATCH (n:Person {id:42})-[:IS_LOCATED_IN]->(p:City) \
+                   RETURN DISTINCT n.firstName AS firstName, p.id AS cityId";
+        let first = cypher_to_pgir(src, &LowerOptions::new()).unwrap();
+        let text = to_cypher(&first);
+        let second = cypher_to_pgir(&text, &LowerOptions::new()).unwrap();
+        // The round trip is stable: unparse(parse(unparse(q))) == unparse(q).
+        assert_eq!(to_cypher(&second), text);
+    }
+
+    #[test]
+    fn variable_length_and_shortest_path_are_preserved() {
+        let text = round_trip(
+            "MATCH (a:Person {id: 1})-[:KNOWS*1..2]->(b:Person) RETURN b.id AS id",
+        );
+        assert!(text.contains("[:KNOWS*1..2]->"), "{text}");
+
+        let sp = round_trip(
+            "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) RETURN b.id AS id",
+        );
+        assert!(sp.contains("shortestPath("), "{sp}");
+        assert!(sp.contains("[:KNOWS*]"), "{sp}");
+    }
+
+    #[test]
+    fn with_aggregation_is_preserved() {
+        let text = round_trip(
+            "MATCH (p:Person)-[:KNOWS]->(f:Person) WITH f, count(p) AS cnt \
+             RETURN f.id AS id, cnt AS cnt",
+        );
+        assert!(text.contains("WITH f AS f, count(p) AS cnt"), "{text}");
+    }
+}

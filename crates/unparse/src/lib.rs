@@ -1,0 +1,21 @@
+//! # raqlet-unparse
+//!
+//! Backend unparsers: the final stage of Raqlet's pipeline, turning IRs back
+//! into executable query text (Figure 1's "Unparsers" box).
+//!
+//! * [`souffle`] — DLIR → Soufflé Datalog text (Figure 3d);
+//! * [`sql`] — SQIR → SQL text in the DuckDB / HyPer / Postgres / generic
+//!   dialects (Figure 3e);
+//! * [`cypher`] — PGIR → Cypher text (the backend direction of the frontend
+//!   language, used for round-tripping and for graph-engine execution).
+//!
+//! The IRs themselves also implement `Display` with compact debugging
+//! renderings; the functions here produce *executable* programs.
+
+pub mod cypher;
+pub mod souffle;
+pub mod sql;
+
+pub use cypher::to_cypher;
+pub use souffle::{rule_to_souffle, to_souffle, SouffleOptions};
+pub use sql::{to_sql, SqlDialect};

@@ -1,0 +1,62 @@
+//! Run the LDBC SNB-like read queries on a synthetic social network across
+//! all three engines, reporting result sizes and agreement.
+//!
+//! ```sh
+//! cargo run --release --example ldbc_snb
+//! ```
+
+use raqlet::{CompileOptions, OptLevel, Raqlet, SqlProfile};
+use raqlet_ldbc::{generate, to_database, to_property_graph, GeneratorConfig, ALL_QUERIES, SNB_PG_SCHEMA};
+
+fn main() -> raqlet::Result<()> {
+    let config = GeneratorConfig { scale: 1.0, seed: 42 };
+    let network = generate(&config);
+    println!(
+        "generated synthetic SNB data: {} persons, {} friendships, {} messages",
+        network.persons.len(),
+        network.knows.len(),
+        network.messages.len()
+    );
+    let db = to_database(&network);
+    let graph = to_property_graph(&network);
+    let person = network.sample_person();
+
+    let raqlet = Raqlet::from_pg_schema(SNB_PG_SCHEMA)?;
+
+    println!(
+        "\n{:<7} {:>10} {:>10} {:>10} {:>10}  agreement",
+        "query", "datalog", "duckdb", "hyper", "neo4j"
+    );
+    for query in ALL_QUERIES {
+        let options = CompileOptions::new(OptLevel::Full)
+            .with_param("personId", person)
+            .with_param("otherId", person + 7)
+            .with_param("maxDate", 20_200_101i64)
+            .with_param("firstName", "Alice");
+        let compiled = match raqlet.compile(query.cypher, &options) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{:<7} skipped ({e})", query.name);
+                continue;
+            }
+        };
+        let datalog = compiled.execute_datalog(&db)?;
+        let duck = compiled.execute_sql(&db, SqlProfile::Duck);
+        let hyper = compiled.execute_sql(&db, SqlProfile::Hyper);
+        let neo = compiled.execute_graph(&graph)?;
+
+        let duck_len = duck.as_ref().map(|r| r.len().to_string()).unwrap_or_else(|_| "n/a".into());
+        let hyper_len = hyper.as_ref().map(|r| r.len().to_string()).unwrap_or_else(|_| "n/a".into());
+        let agree = duck.map(|d| d == datalog).unwrap_or(true) && neo == datalog;
+        println!(
+            "{:<7} {:>10} {:>10} {:>10} {:>10}  {}",
+            query.name,
+            datalog.len(),
+            duck_len,
+            hyper_len,
+            neo.len(),
+            if agree { "✔" } else { "✘ MISMATCH" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Optimization soundness: every optimizer configuration must preserve the
+//! query's result set on concrete data (semantic preservation, Section 6's
+//! goal, checked empirically).
+
+use raqlet::{Database, DatalogEngine, Value};
+use raqlet_dlir::{Atom, BodyElem, CmpOp, DlExpr, DlirProgram, Rule};
+use raqlet_opt::{optimize, optimize_with, OptLevel, PassConfig};
+
+fn atom(name: &str, vars: &[&str]) -> BodyElem {
+    BodyElem::Atom(Atom::with_vars(name, vars))
+}
+
+/// A small random-ish graph database (deterministic, no RNG needed).
+fn graph_db(nodes: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..nodes {
+        db.insert_fact("edge", vec![Value::Int(i), Value::Int((i * 7 + 3) % nodes)]).unwrap();
+        if i % 3 == 0 {
+            db.insert_fact("edge", vec![Value::Int(i), Value::Int((i + 1) % nodes)]).unwrap();
+        }
+        db.insert_fact("node", vec![Value::Int(i)]).unwrap();
+    }
+    db
+}
+
+/// Reachability-from-source program with intermediate views, negation-free.
+fn reachability_program() -> DlirProgram {
+    let mut p = DlirProgram::default();
+    p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+    p.add_rule(Rule::new(
+        Atom::with_vars("tc", &["x", "y"]),
+        vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
+    ));
+    p.add_rule(Rule::new(
+        Atom::with_vars("View1", &["y"]),
+        vec![atom("tc", &["x", "y"]), BodyElem::eq(DlExpr::var("x"), DlExpr::int(1))],
+    ));
+    p.add_rule(Rule::new(Atom::with_vars("Return", &["y"]), vec![atom("View1", &["y"])]));
+    p.add_output("Return");
+    p
+}
+
+/// Non-linear transitive closure with a negation-based "unreached" view.
+fn nonlinear_with_negation() -> DlirProgram {
+    let mut p = DlirProgram::default();
+    p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+    p.add_rule(Rule::new(
+        Atom::with_vars("tc", &["x", "y"]),
+        vec![atom("tc", &["x", "z"]), atom("tc", &["z", "y"])],
+    ));
+    p.add_rule(Rule::new(
+        Atom::with_vars("Return", &["y"]),
+        vec![
+            atom("node", &["y"]),
+            BodyElem::Negated(Atom::new(
+                "tc",
+                vec![raqlet_dlir::Term::int(1), raqlet_dlir::Term::var("y")],
+            )),
+        ],
+    ));
+    p.add_output("Return");
+    p
+}
+
+fn run(program: &DlirProgram, db: &Database) -> Vec<Vec<Value>> {
+    DatalogEngine::new().run_output(program, db, "Return").unwrap().sorted()
+}
+
+#[test]
+fn every_optimization_level_preserves_reachability_results() {
+    let db = graph_db(30);
+    let program = reachability_program();
+    let baseline = run(&program, &db);
+    assert!(!baseline.is_empty());
+    for level in [OptLevel::Basic, OptLevel::Full] {
+        let optimized = optimize(&program, level).unwrap();
+        assert_eq!(run(&optimized.program, &db), baseline, "{level:?}");
+    }
+}
+
+#[test]
+fn individual_passes_preserve_results() {
+    let db = graph_db(24);
+    let program = reachability_program();
+    let baseline = run(&program, &db);
+    let full = PassConfig::for_level(OptLevel::Full);
+    // Toggle each pass off in turn; results must not change.
+    let toggles: Vec<(&str, Box<dyn Fn(&mut PassConfig)>)> = vec![
+        ("no-inline", Box::new(|c: &mut PassConfig| c.inline = false)),
+        ("no-constprop", Box::new(|c: &mut PassConfig| c.constant_propagation = false)),
+        ("no-semantic", Box::new(|c: &mut PassConfig| c.semantic_joins = false)),
+        ("no-dre", Box::new(|c: &mut PassConfig| c.dead_rule_elimination = false)),
+        ("no-linearize", Box::new(|c: &mut PassConfig| c.linearization = false)),
+        ("no-magic", Box::new(|c: &mut PassConfig| c.magic_sets = false)),
+    ];
+    for (name, toggle) in toggles {
+        let mut config = full.clone();
+        toggle(&mut config);
+        let optimized = optimize_with(&program, &config).unwrap();
+        assert_eq!(run(&optimized.program, &db), baseline, "{name}");
+    }
+}
+
+#[test]
+fn linearization_plus_magic_sets_preserve_nonlinear_tc_with_negation() {
+    let db = graph_db(20);
+    let program = nonlinear_with_negation();
+    let baseline = run(&program, &db);
+    let optimized = optimize(&program, OptLevel::Full).unwrap();
+    assert_eq!(run(&optimized.program, &db), baseline);
+    // The optimized program is linear, so the SQL backend accepts it too.
+    assert!(raqlet_analysis::is_linear(&optimized.program));
+}
+
+#[test]
+fn magic_sets_reduce_derived_tuples_without_changing_results() {
+    let db = graph_db(60);
+    let program = reachability_program();
+    let baseline_result = DatalogEngine::new().evaluate(&program, &db).unwrap();
+    let optimized = optimize(&program, OptLevel::Full).unwrap();
+    let optimized_result = DatalogEngine::new().evaluate(&optimized.program, &db).unwrap();
+    assert_eq!(
+        baseline_result.relation("Return").sorted(),
+        optimized_result.relation("Return").sorted()
+    );
+    // The whole point of the magic-set transformation: less work.
+    assert!(
+        optimized_result.stats.tuples_derived < baseline_result.stats.tuples_derived,
+        "expected fewer derived tuples ({} vs {})",
+        optimized_result.stats.tuples_derived,
+        baseline_result.stats.tuples_derived
+    );
+}
+
+#[test]
+fn optimizer_is_idempotent() {
+    let program = reachability_program();
+    let once = optimize(&program, OptLevel::Full).unwrap();
+    let twice = optimize(&once.program, OptLevel::Full).unwrap();
+    assert_eq!(once.program, twice.program);
+}

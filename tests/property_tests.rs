@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * naive and semi-naive evaluation compute the same fixpoint on random
+//!   graphs;
+//! * the optimizer preserves results on random graphs and random source
+//!   parameters;
+//! * the SQL engine agrees with the Datalog engine on random graphs;
+//! * the Cypher lexer/parser never panics on arbitrary input and round-trips
+//!   the PGIR unparser's output.
+
+use proptest::prelude::*;
+
+use raqlet::{CompileOptions, Database, DatalogEngine, OptLevel, Raqlet, SqlProfile, Value};
+use raqlet_dlir::{Atom, BodyElem, DlExpr, DlirProgram, Rule};
+use raqlet_opt::optimize;
+
+fn atom(name: &str, vars: &[&str]) -> BodyElem {
+    BodyElem::Atom(Atom::with_vars(name, vars))
+}
+
+fn tc_program() -> DlirProgram {
+    let mut p = DlirProgram::default();
+    p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+    p.add_rule(Rule::new(
+        Atom::with_vars("tc", &["x", "y"]),
+        vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
+    ));
+    p.add_output("tc");
+    p
+}
+
+fn reachability_from(source: i64) -> DlirProgram {
+    let mut p = tc_program();
+    p.outputs.clear();
+    p.add_rule(Rule::new(
+        Atom::with_vars("Return", &["y"]),
+        vec![atom("tc", &["x", "y"]), BodyElem::eq(DlExpr::var("x"), DlExpr::int(source))],
+    ));
+    p.add_output("Return");
+    p
+}
+
+fn edges_to_db(edges: &[(u8, u8)]) -> Database {
+    let mut db = Database::new();
+    db.get_or_create("edge", 2);
+    for (a, b) in edges {
+        db.insert_fact("edge", vec![Value::Int(*a as i64), Value::Int(*b as i64)]).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn naive_and_semi_naive_agree_on_random_graphs(
+        edges in proptest::collection::vec((0u8..20, 0u8..20), 0..60)
+    ) {
+        let db = edges_to_db(&edges);
+        let program = tc_program();
+        let semi = DatalogEngine::new().run_output(&program, &db, "tc").unwrap();
+        let naive = DatalogEngine::naive().run_output(&program, &db, "tc").unwrap();
+        prop_assert_eq!(semi.sorted(), naive.sorted());
+    }
+
+    #[test]
+    fn optimizer_preserves_reachability_on_random_graphs(
+        edges in proptest::collection::vec((0u8..16, 0u8..16), 0..50),
+        source in 0u8..16,
+    ) {
+        let db = edges_to_db(&edges);
+        let program = reachability_from(source as i64);
+        let baseline = DatalogEngine::new().run_output(&program, &db, "Return").unwrap();
+        for level in [OptLevel::Basic, OptLevel::Full] {
+            let optimized = optimize(&program, level).unwrap();
+            let result = DatalogEngine::new().run_output(&optimized.program, &db, "Return").unwrap();
+            prop_assert_eq!(baseline.sorted(), result.sorted());
+        }
+    }
+
+    #[test]
+    fn sql_engine_agrees_with_datalog_engine_on_random_graphs(
+        edges in proptest::collection::vec((0u8..12, 0u8..12), 0..40)
+    ) {
+        use raqlet_common::schema::{Column, RelationDecl, RelationKind};
+        use raqlet_common::ValueType;
+        let db = edges_to_db(&edges);
+        let mut program = tc_program();
+        program.schema.upsert(RelationDecl::new(
+            "edge",
+            vec![Column::new("src", ValueType::Int), Column::new("dst", ValueType::Int)],
+            RelationKind::BaseTable,
+        ));
+        let dl = DatalogEngine::new().run_output(&program, &db, "tc").unwrap();
+        let sqir = raqlet_sqir::lower_to_sqir(&program, "tc", &Default::default()).unwrap();
+        let catalog = raqlet::TableCatalog::from_schema(&program.schema);
+        for engine in [raqlet::SqlEngine::duck(), raqlet::SqlEngine::hyper()] {
+            let sql = engine.execute(&sqir, &db, &catalog).unwrap().rows;
+            prop_assert_eq!(dl.sorted(), sql.sorted());
+        }
+    }
+
+    #[test]
+    fn cypher_parser_never_panics(input in "\\PC*") {
+        // Errors are fine; panics are not.
+        let _ = raqlet_cypher::parse(&input);
+    }
+
+    #[test]
+    fn cypher_identifier_round_trip(
+        id in 0i64..1000,
+        label in prop::sample::select(vec!["Person", "City", "Message"]),
+    ) {
+        // A generated query parses, lowers and unparses back to parseable Cypher.
+        let query = format!("MATCH (n:{label} {{id: {id}}}) RETURN n.id AS id");
+        let pgir = raqlet_pgir::cypher_to_pgir(&query, &raqlet::LowerOptions::new()).unwrap();
+        let text = raqlet::to_cypher(&pgir);
+        let reparsed = raqlet_pgir::cypher_to_pgir(&text, &raqlet::LowerOptions::new()).unwrap();
+        prop_assert_eq!(raqlet::to_cypher(&reparsed), text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full-pipeline property: on random small social graphs, the compiled
+    /// SQ3 (direct friends) query returns the same rows on the Datalog and
+    /// graph engines.
+    #[test]
+    fn compiled_query_agrees_across_engines_on_random_graphs(
+        friendships in proptest::collection::vec((0u8..12, 0u8..12), 1..40),
+        person in 0u8..12,
+    ) {
+        let schema = "CREATE GRAPH {
+            (personType : Person { id INT, firstName STRING }),
+            (:personType)-[knowsType: knows { id INT }]->(:personType)
+        }";
+        let raqlet = Raqlet::from_pg_schema(schema).unwrap();
+
+        let mut db = Database::new();
+        let mut graph = raqlet::PropertyGraph::new();
+        let mut node_idx = std::collections::HashMap::new();
+        for i in 0..12u8 {
+            db.insert_fact("Person", vec![Value::Int(i as i64), Value::str(&format!("p{i}"))]).unwrap();
+            let idx = graph.add_node("Person", vec![
+                ("id", Value::Int(i as i64)),
+                ("firstName", Value::str(&format!("p{i}"))),
+            ]);
+            node_idx.insert(i, idx);
+        }
+        db.get_or_create("Person_KNOWS_Person", 3);
+        for (eid, (a, b)) in friendships.iter().enumerate() {
+            if a == b { continue; }
+            db.insert_fact(
+                "Person_KNOWS_Person",
+                vec![Value::Int(*a as i64), Value::Int(*b as i64), Value::Int(eid as i64)],
+            ).unwrap();
+            graph.add_edge("KNOWS", node_idx[a], node_idx[b], vec![("id", Value::Int(eid as i64))]);
+        }
+
+        let query = "MATCH (p:Person {id: $personId})-[:KNOWS]-(f:Person) \
+                     RETURN DISTINCT f.id AS id";
+        let options = CompileOptions::new(OptLevel::Full).with_param("personId", person as i64);
+        let compiled = raqlet.compile(query, &options).unwrap();
+        let dl = compiled.execute_datalog(&db).unwrap();
+        let gr = compiled.execute_graph(&graph).unwrap();
+        let duck = compiled.execute_sql(&db, SqlProfile::Duck).unwrap();
+        prop_assert_eq!(dl.sorted(), gr.sorted());
+        prop_assert_eq!(dl.sorted(), duck.sorted());
+    }
+}
