@@ -36,7 +36,9 @@ pub fn recursive_atom_count(rule: &Rule, scc_of: &BTreeMap<String, usize>) -> us
     rule.body
         .iter()
         .filter_map(|b| b.as_positive_atom())
-        .filter(|a| scc_of.get(&a.relation) == Some(head_scc) && is_scc_recursive(&a.relation, rule, scc_of))
+        .filter(|a| {
+            scc_of.get(&a.relation) == Some(head_scc) && is_scc_recursive(&a.relation, rule, scc_of)
+        })
         .count()
 }
 
@@ -141,11 +143,7 @@ mod tests {
     fn doubling_transitive_closure_is_non_linear() {
         let mut p = DlirProgram::default();
         p.add_rule(rule("tc", &["x", "y"], vec![atom("edge", &["x", "y"])]));
-        p.add_rule(rule(
-            "tc",
-            &["x", "y"],
-            vec![atom("tc", &["x", "z"]), atom("tc", &["z", "y"])],
-        ));
+        p.add_rule(rule("tc", &["x", "y"], vec![atom("tc", &["x", "z"]), atom("tc", &["z", "y"])]));
         let Linearity::NonLinear { offending_rules } = linearity(&p) else {
             panic!("expected non-linear")
         };
@@ -175,11 +173,7 @@ mod tests {
     fn base_rules_never_count_as_offending() {
         let mut p = DlirProgram::default();
         p.add_rule(rule("tc", &["x", "y"], vec![atom("edge", &["x", "y"])]));
-        p.add_rule(rule(
-            "tc",
-            &["x", "y"],
-            vec![atom("tc", &["x", "z"]), atom("tc", &["z", "y"])],
-        ));
+        p.add_rule(rule("tc", &["x", "y"], vec![atom("tc", &["x", "z"]), atom("tc", &["z", "y"])]));
         let Linearity::NonLinear { offending_rules } = linearity(&p) else { panic!() };
         assert!(!offending_rules.contains(&0));
     }

@@ -42,10 +42,8 @@ impl Monotonicity {
 pub fn monotonicity(program: &DlirProgram) -> Monotonicity {
     let uses_negation = program.rules.iter().any(|r| !r.negative_dependencies().is_empty());
     let uses_aggregation = program.rules.iter().any(|r| r.aggregation.is_some());
-    let uses_lattice = program
-        .annotations
-        .values()
-        .any(|a| !matches!(a.lattice, LatticeMerge::Set));
+    let uses_lattice =
+        program.annotations.values().any(|a| !matches!(a.lattice, LatticeMerge::Set));
 
     match stratify(program) {
         Err(e) => Monotonicity::NonMonotonic { reason: e.to_string() },
@@ -106,10 +104,8 @@ mod tests {
     #[test]
     fn aggregation_outside_recursion_is_stratified() {
         let mut p = tc();
-        let mut rule = Rule::new(
-            Atom::with_vars("deg", &["x", "d"]),
-            vec![atom("tc", &["x", "y"])],
-        );
+        let mut rule =
+            Rule::new(Atom::with_vars("deg", &["x", "d"]), vec![atom("tc", &["x", "y"])]);
         rule.aggregation = Some(Aggregation {
             func: AggFunc::Count,
             input_var: Some("y".into()),

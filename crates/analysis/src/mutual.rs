@@ -11,11 +11,7 @@ use raqlet_dlir::{DepGraph, DlirProgram};
 /// The groups of mutually recursive predicates (SCCs with more than one
 /// member), in dependency order.
 pub fn mutual_recursion_groups(program: &DlirProgram) -> Vec<Vec<String>> {
-    DepGraph::build(program)
-        .sccs()
-        .into_iter()
-        .filter(|scc| scc.len() > 1)
-        .collect()
+    DepGraph::build(program).sccs().into_iter().filter(|scc| scc.len() > 1).collect()
 }
 
 /// True if the program contains any mutually recursive predicates.
@@ -76,7 +72,10 @@ mod tests {
         let mut p = DlirProgram::default();
         p.add_rule(Rule::new(Atom::with_vars("a", &["x"]), vec![atom("b", &["x"])]));
         p.add_rule(Rule::new(Atom::with_vars("b", &["x"]), vec![atom("c", &["x"])]));
-        p.add_rule(Rule::new(Atom::with_vars("c", &["x"]), vec![atom("a", &["x"]), atom("base", &["x"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("c", &["x"]),
+            vec![atom("a", &["x"]), atom("base", &["x"])],
+        ));
         let groups = mutual_recursion_groups(&p);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].len(), 3);

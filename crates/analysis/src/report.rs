@@ -154,8 +154,7 @@ pub fn check_backend(program: &DlirProgram, caps: &BackendCapabilities) -> Resul
             })
         }
         Monotonicity::Stratified => {
-            let uses_negation =
-                program.rules.iter().any(|r| !r.negative_dependencies().is_empty());
+            let uses_negation = program.rules.iter().any(|r| !r.negative_dependencies().is_empty());
             let uses_aggregation = program.rules.iter().any(|r| r.aggregation.is_some());
             if uses_negation && !caps.supports_negation {
                 return reject("the query uses negation");
@@ -222,7 +221,8 @@ mod tests {
 
     #[test]
     fn recursive_sql_rejects_nonlinear_recursion() {
-        let err = check_backend(&nonlinear_tc(), &BackendCapabilities::recursive_sql()).unwrap_err();
+        let err =
+            check_backend(&nonlinear_tc(), &BackendCapabilities::recursive_sql()).unwrap_err();
         assert!(matches!(err, RaqletError::BackendRejected { .. }));
         assert!(err.to_string().contains("non-linear"));
     }

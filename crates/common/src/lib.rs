@@ -13,14 +13,16 @@
 //! * [`relation`] — in-memory relations (tuple sets) and databases, shared by
 //!   the Datalog and SQL execution substrates;
 //! * [`symbol`] — a string interner so relation/variable names compare by id;
+//! * [`rng`] — a tiny deterministic PRNG for data generators and tests;
 //! * [`error`] — the common error type.
 //!
-//! The crate is dependency-light on purpose: it only depends on `serde`
-//! (optional serialization of plans and results).
+//! The crate is dependency-free on purpose so every layer of the compiler can
+//! use it without pulling anything external into the build.
 
 pub mod error;
 pub mod ids;
 pub mod relation;
+pub mod rng;
 pub mod schema;
 pub mod symbol;
 pub mod types;
@@ -28,6 +30,7 @@ pub mod value;
 
 pub use error::{RaqletError, Result};
 pub use relation::{Database, Relation, Tuple};
+pub use rng::SplitMix64;
 pub use schema::{DlSchema, PgSchema};
 pub use symbol::{Interner, Symbol};
 pub use types::ValueType;

@@ -147,11 +147,7 @@ impl Relation {
             }
             e.insert(index);
         }
-        self.indexes
-            .get(&cols)
-            .and_then(|idx| idx.get(key))
-            .map(|v| v.as_slice())
-            .unwrap_or(&EMPTY)
+        self.indexes.get(&cols).and_then(|idx| idx.get(key)).map(|v| v.as_slice()).unwrap_or(&EMPTY)
     }
 
     /// Project the relation onto the given column positions (with

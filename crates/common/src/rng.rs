@@ -1,0 +1,111 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The build environment is offline, so the `rand` crate is unavailable; the
+//! LDBC data generator and the property-test suites need nothing more than a
+//! seedable, reproducible stream of uniform integers. This is SplitMix64
+//! (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number Generators*),
+//! the same mixer `rand` uses to seed its own generators: one u64 of state,
+//! full 2^64 period, passes BigCrush when used as a generator.
+
+/// A seedable SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw u64 in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[low, high)`. Panics if the range is empty.
+    ///
+    /// Uses multiply-shift range reduction (Lemire); the slight modulo bias
+    /// of the simpler approach is irrelevant here but this is just as cheap.
+    pub fn gen_range(&mut self, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "gen_range called with empty range {range:?}");
+        // Wrapping ops: a span wider than i64::MAX (e.g. i64::MIN..1) is
+        // still a valid u64, and two's-complement wrap-around makes both the
+        // subtraction and the final addition exact in that case.
+        let span = range.end.wrapping_sub(range.start) as u64;
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start.wrapping_add(hi as i64)
+    }
+
+    /// A uniform usize in `[low, high)`. Panics if the range is empty.
+    pub fn gen_index(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.gen_range(range.start as i64..range.end as i64) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5..17);
+            assert!((-5..17).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let v = rng.gen_index(0..3);
+            assert!(v < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_spans_wider_than_i64_max() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(i64::MIN..1);
+            assert!(v < 1);
+        }
+        let v = rng.gen_range(i64::MIN..i64::MAX);
+        assert!(v < i64::MAX);
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_index(0..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+        assert!((0..1_000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1_000).all(|_| rng.gen_bool(1.0)));
+    }
+}

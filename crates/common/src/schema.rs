@@ -14,13 +14,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{RaqletError, Result};
 use crate::types::ValueType;
 
 /// A typed property of a node or edge type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Property {
     /// Property name as written in the schema (e.g. `firstName`).
     pub name: String,
@@ -37,7 +35,7 @@ impl Property {
 
 /// A node type in a property-graph schema, e.g.
 /// `(personType: Person { id INT, firstName STRING })`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeType {
     /// The schema-internal type name (`personType`).
     pub type_name: String,
@@ -63,7 +61,7 @@ impl NodeType {
 
 /// An edge type in a property-graph schema, e.g.
 /// `(:personType)-[locationType: isLocatedIn { id INT }]->(:cityType)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeType {
     /// The schema-internal type name (`locationType`).
     pub type_name: String,
@@ -99,7 +97,7 @@ pub fn labels_match(schema_label: &str, query_label: &str) -> bool {
 }
 
 /// A property-graph schema: the input to Raqlet's data-model transformation.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PgSchema {
     /// Node types in declaration order.
     pub nodes: Vec<NodeType>,
@@ -169,7 +167,7 @@ impl PgSchema {
 }
 
 /// A named, typed column of an EDB/IDB relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name (e.g. `id`, `firstName`, `id1`).
     pub name: String,
@@ -185,7 +183,7 @@ impl Column {
 }
 
 /// What a relation in the Datalog schema describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RelationKind {
     /// Extensional relation holding the facts for a node type.
     NodeEdb,
@@ -200,7 +198,7 @@ pub enum RelationKind {
 
 /// Declaration of one relation in the Datalog schema, corresponding to a
 /// `.decl` line in Figure 2b.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationDecl {
     /// Relation name (e.g. `Person`, `Person_IS_LOCATED_IN_City`).
     pub name: String,
@@ -239,7 +237,7 @@ impl RelationDecl {
 
 /// A Datalog schema: the output of the data-model transformation and the
 /// catalog against which DLIR programs are typed and executed.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DlSchema {
     relations: BTreeMap<String, RelationDecl>,
     /// Declaration order, preserved for deterministic unparsing.
@@ -294,10 +292,7 @@ impl DlSchema {
 
     /// Names of all extensional relations (node/edge EDBs and base tables).
     pub fn edb_names(&self) -> Vec<String> {
-        self.iter()
-            .filter(|r| r.kind != RelationKind::Idb)
-            .map(|r| r.name.clone())
-            .collect()
+        self.iter().filter(|r| r.kind != RelationKind::Idb).map(|r| r.name.clone()).collect()
     }
 
     /// Number of declared relations.
@@ -346,7 +341,10 @@ mod tests {
         NodeType {
             type_name: "cityType".into(),
             label: "City".into(),
-            properties: vec![Property::new("id", ValueType::Int), Property::new("name", ValueType::Text)],
+            properties: vec![
+                Property::new("id", ValueType::Int),
+                Property::new("name", ValueType::Text),
+            ],
         }
     }
 

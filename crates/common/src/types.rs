@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The static type of a column, property or IR expression.
 ///
 /// The lattice is deliberately small: it mirrors the Soufflé `number` /
 /// `symbol` split from the paper's DL-Schema (Figure 2b), extended with
 /// booleans (for predicate results) and an `Unknown` bottom element used
 /// during type inference before a type has been established.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     /// 64-bit integer — unparsed as Soufflé `number`, SQL `BIGINT`.
     Int,

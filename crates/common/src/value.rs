@@ -11,12 +11,10 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::ValueType;
 
 /// A dynamically typed scalar value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// 64-bit signed integer (Datalog `number`). Dates are encoded as
     /// `yyyymmdd` integers and datetimes as epoch milliseconds.
@@ -115,7 +113,7 @@ impl Value {
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 

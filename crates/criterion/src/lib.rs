@@ -1,0 +1,350 @@
+//! A minimal, dependency-free stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness, implementing exactly the API subset the Raqlet benches
+//! use. The build environment has no access to crates.io, so the real
+//! criterion cannot be vendored; this shim keeps the bench sources unchanged
+//! and produces comparable (mean / median / min) wall-clock statistics.
+//!
+//! Differences from real criterion: no warm-up/outlier modelling beyond a
+//! simple warm-up loop, no HTML reports, no statistical regression testing.
+//! Set `CRITERION_JSON=<path>` to append one JSON object per benchmark to a
+//! file (used to seed `BENCH_baseline.json`).
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state shared by every benchmark group.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    pub fn sample_size(mut self, size: usize) -> Self {
+        self.sample_size = size.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            name,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Convenience single-benchmark entry point (`c.bench_function(...)`).
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {}
+}
+
+/// Identifies one benchmark within a group, e.g. `BenchmarkId::new("duckdb-sim", "optimized")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything acceptable as a benchmark id: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = size.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let stats = Stats::from_samples(&bencher.samples_ns);
+        let full = if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
+        println!(
+            "  {full:<60} mean {:>12}  median {:>12}  min {:>12}  ({} samples)",
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            stats.samples,
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\":\"{}\",\"mean_ns\":{:.0},\"median_ns\":{:.0},\"min_ns\":{:.0},\"samples\":{}}}",
+                    full.replace('"', "'"),
+                    stats.mean_ns,
+                    stats.median_ns,
+                    stats.min_ns,
+                    stats.samples,
+                );
+            }
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput hint (accepted, ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up for the configured time (at least one call).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // One timed call to size the batches.
+        let probe = Instant::now();
+        black_box(routine());
+        let per_call = probe.elapsed().max(Duration::from_nanos(1));
+        // Choose iterations per sample so all samples fit the measurement time.
+        let budget_per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (budget_per_sample / per_call.as_secs_f64()).clamp(1.0, 1_000_000.0) as u64;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // The shim times setup+routine pairs individually, once per sample.
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Batch sizing hint for `iter_batched` (accepted, ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+struct Stats {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+impl Stats {
+    fn from_samples(samples: &[f64]) -> Stats {
+        if samples.is_empty() {
+            return Stats { mean_ns: 0.0, median_ns: 0.0, min_ns: 0.0, samples: 0 };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Stats { mean_ns: mean, median_ns: median, min_ns: sorted[0], samples: sorted.len() }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declare a benchmark group. Supports both criterion forms:
+/// `criterion_group!(benches, f, g)` and
+/// `criterion_group! { name = benches; config = ...; targets = f, g }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Run the given benchmark groups from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_median_and_mean() {
+        let s = Stats::from_samples(&[1.0, 3.0, 2.0]);
+        assert_eq!(s.median_ns, 2.0);
+        assert_eq!(s.mean_ns, 2.0);
+        assert_eq!(s.min_ns, 1.0);
+        let s = Stats::from_samples(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.median_ns, 2.5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("engine", "opt").to_string(), "engine/opt");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -34,9 +34,10 @@ impl Query {
     /// `shortestPath`, i.e. the query is recursive after lowering.
     pub fn uses_recursion(&self) -> bool {
         self.clauses.iter().any(|c| match c {
-            Clause::Match(m) => m.patterns.iter().any(|p| {
-                p.shortest.is_some() || p.steps.iter().any(|(r, _)| r.length.is_some())
-            }),
+            Clause::Match(m) => m
+                .patterns
+                .iter()
+                .any(|p| p.shortest.is_some() || p.steps.iter().any(|(r, _)| r.length.is_some())),
             _ => false,
         })
     }
@@ -86,7 +87,14 @@ pub struct Projection {
 impl Projection {
     /// A projection with only items set.
     pub fn simple(distinct: bool, items: Vec<ReturnItem>) -> Self {
-        Projection { distinct, items, where_clause: None, order_by: Vec::new(), skip: None, limit: None }
+        Projection {
+            distinct,
+            items,
+            where_clause: None,
+            order_by: Vec::new(),
+            skip: None,
+            limit: None,
+        }
     }
 }
 
@@ -232,7 +240,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
         )
     }
 }
@@ -386,7 +399,8 @@ mod tests {
 
     #[test]
     fn output_name_prefers_alias_then_property_name() {
-        let with_alias = ReturnItem { expr: Expr::prop("n", "firstName"), alias: Some("fn".into()) };
+        let with_alias =
+            ReturnItem { expr: Expr::prop("n", "firstName"), alias: Some("fn".into()) };
         assert_eq!(with_alias.output_name(), "fn");
         let prop = ReturnItem { expr: Expr::prop("n", "firstName"), alias: None };
         assert_eq!(prop.output_name(), "firstName");
@@ -431,11 +445,8 @@ mod tests {
 
     #[test]
     fn display_renders_cypher_like_syntax() {
-        let e = Expr::Binary(
-            BinaryOp::Eq,
-            Box::new(Expr::prop("n", "id")),
-            Box::new(Expr::int(42)),
-        );
+        let e =
+            Expr::Binary(BinaryOp::Eq, Box::new(Expr::prop("n", "id")), Box::new(Expr::int(42)));
         assert_eq!(e.to_string(), "(n.id = 42)");
         let s = Expr::string("Bob");
         assert_eq!(s.to_string(), "'Bob'");

@@ -214,9 +214,8 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let v: i64 = s
-            .parse()
-            .map_err(|_| self.error(format!("integer literal `{s}` out of range")))?;
+        let v: i64 =
+            s.parse().map_err(|_| self.error(format!("integer literal `{s}` out of range")))?;
         Ok(TokenKind::Int(v))
     }
 
@@ -282,7 +281,13 @@ mod tests {
     fn lexes_variable_length_range() {
         assert_eq!(
             kinds("*1..2"),
-            vec![TokenKind::Star, TokenKind::Int(1), TokenKind::DotDot, TokenKind::Int(2), TokenKind::Eof]
+            vec![
+                TokenKind::Star,
+                TokenKind::Int(1),
+                TokenKind::DotDot,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
         );
     }
 

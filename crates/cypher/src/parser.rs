@@ -48,11 +48,7 @@ impl Parser {
 
     fn error(&self, msg: impl Into<String>) -> RaqletError {
         let t = self.current();
-        RaqletError::parse(
-            format!("{} (found `{}`)", msg.into(), t.kind),
-            t.line,
-            t.column,
-        )
+        RaqletError::parse(format!("{} (found `{}`)", msg.into(), t.kind), t.line, t.column)
     }
 
     fn eat(&mut self, kind: &TokenKind) -> bool {
@@ -154,8 +150,7 @@ impl Parser {
         while self.eat(&TokenKind::Comma) {
             patterns.push(self.path_pattern()?);
         }
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
         Ok(Clause::Match(MatchClause { optional, patterns, where_clause }))
     }
 
@@ -185,8 +180,7 @@ impl Parser {
         }
         let skip = if self.eat_keyword("SKIP") { Some(self.expect_int()?) } else { None };
         let limit = if self.eat_keyword("LIMIT") { Some(self.expect_int()?) } else { None };
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
         Ok(Projection { distinct, items, where_clause, order_by, skip, limit })
     }
 
@@ -275,7 +269,9 @@ impl Parser {
         let incoming_prefix = match self.bump() {
             TokenKind::Minus => false,
             TokenKind::BackArrow => true,
-            other => return Err(self.error(format!("expected relationship pattern, found `{other}`"))),
+            other => {
+                return Err(self.error(format!("expected relationship pattern, found `{other}`")))
+            }
         };
         let mut rel = RelPattern {
             var: None,

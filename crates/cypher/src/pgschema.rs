@@ -161,9 +161,8 @@ impl SchemaParser {
             loop {
                 let name = self.expect_ident()?;
                 let ty_name = self.expect_ident()?;
-                let ty = ValueType::from_pg_name(&ty_name).ok_or_else(|| {
-                    self.error(format!("unknown property type `{ty_name}`"))
-                })?;
+                let ty = ValueType::from_pg_name(&ty_name)
+                    .ok_or_else(|| self.error(format!("unknown property type `{ty_name}`")))?;
                 props.push(Property::new(name, ty));
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -231,15 +230,14 @@ mod tests {
 
     #[test]
     fn rejects_edges_with_unknown_endpoints() {
-        let err = parse_pg_schema("CREATE GRAPH { (a : A), (:a)-[e: rel]->(:missing) }")
-            .unwrap_err();
+        let err =
+            parse_pg_schema("CREATE GRAPH { (a : A), (:a)-[e: rel]->(:missing) }").unwrap_err();
         assert!(err.to_string().contains("unknown node type"));
     }
 
     #[test]
     fn rejects_unknown_property_types() {
-        let err =
-            parse_pg_schema("CREATE GRAPH { (a : A { id BLOB }) }").unwrap_err();
+        let err = parse_pg_schema("CREATE GRAPH { (a : A { id BLOB }) }").unwrap_err();
         assert!(err.to_string().contains("unknown property type"));
     }
 

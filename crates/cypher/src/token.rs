@@ -55,13 +55,13 @@ pub enum TokenKind {
     Slash,   // /
     Percent, // %
 
-    Eq,       // =
-    Neq,      // <>
-    Lt,       // <
-    Le,       // <=
-    Gt,       // >
-    Ge,       // >=
-    Arrow,    // ->
+    Eq,        // =
+    Neq,       // <>
+    Lt,        // <
+    Le,        // <=
+    Gt,        // >
+    Ge,        // >=
+    Arrow,     // ->
     BackArrow, // <- (lexed as Lt + Minus by the parser when inside patterns)
 
     /// End of input.

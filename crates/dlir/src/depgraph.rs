@@ -89,19 +89,17 @@ impl DepGraph {
                 self.stack.push(v.to_string());
                 self.on_stack.insert(v.to_string());
 
-                let deps: Vec<String> = self
-                    .graph
-                    .dependencies_of(v)
-                    .iter()
-                    .map(|(d, _)| d.clone())
-                    .collect();
+                let deps: Vec<String> =
+                    self.graph.dependencies_of(v).iter().map(|(d, _)| d.clone()).collect();
                 for w in deps {
                     if !self.indices.contains_key(&w) {
                         self.strongconnect(&w);
-                        let low = (*self.lowlink.get(v).unwrap()).min(*self.lowlink.get(&w).unwrap());
+                        let low =
+                            (*self.lowlink.get(v).unwrap()).min(*self.lowlink.get(&w).unwrap());
                         self.lowlink.insert(v.to_string(), low);
                     } else if self.on_stack.contains(&w) {
-                        let low = (*self.lowlink.get(v).unwrap()).min(*self.indices.get(&w).unwrap());
+                        let low =
+                            (*self.lowlink.get(v).unwrap()).min(*self.indices.get(&w).unwrap());
                         self.lowlink.insert(v.to_string(), low);
                     }
                 }
@@ -220,11 +218,8 @@ mod tests {
         assert!(g.depends_on("tc", "edge"));
         assert!(g.depends_on("tc", "tc"));
         assert!(g.depends_on("unreachable", "tc"));
-        let kinds: Vec<DepKind> = g
-            .dependencies_of("unreachable")
-            .iter()
-            .map(|(_, k)| *k)
-            .collect();
+        let kinds: Vec<DepKind> =
+            g.dependencies_of("unreachable").iter().map(|(_, k)| *k).collect();
         assert!(kinds.contains(&DepKind::Negative));
     }
 

@@ -473,7 +473,12 @@ pub struct DlirProgram {
 impl DlirProgram {
     /// Create an empty program over the given schema.
     pub fn new(schema: DlSchema) -> Self {
-        DlirProgram { schema, rules: Vec::new(), outputs: Vec::new(), annotations: Default::default() }
+        DlirProgram {
+            schema,
+            rules: Vec::new(),
+            outputs: Vec::new(),
+            annotations: Default::default(),
+        }
     }
 
     /// Add a rule.
@@ -523,10 +528,7 @@ impl DlirProgram {
     /// Total number of body atoms across all rules (used as a crude program
     /// size metric by the optimizer tests and benches).
     pub fn body_atom_count(&self) -> usize {
-        self.rules
-            .iter()
-            .map(|r| r.body.iter().filter(|b| b.as_any_atom().is_some()).count())
-            .sum()
+        self.rules.iter().map(|r| r.body.iter().filter(|b| b.as_any_atom().is_some()).count()).sum()
     }
 }
 

@@ -163,10 +163,10 @@ impl<'a> Lowerer<'a> {
 
     /// The node EDB declaration for a label.
     fn node_decl(&self, label: &str) -> Result<&RelationDecl> {
-        let node = self
-            .pg
-            .node_by_label(label)
-            .ok_or_else(|| RaqletError::UnknownName { kind: "node label", name: label.to_string() })?;
+        let node = self.pg.node_by_label(label).ok_or_else(|| RaqletError::UnknownName {
+            kind: "node label",
+            name: label.to_string(),
+        })?;
         self.program.schema.require(&node.label)
     }
 
@@ -415,13 +415,12 @@ impl<'a> Lowerer<'a> {
         };
 
         // Declare the auxiliary IDB.
-        let mut columns = vec![Column::new("src", ValueType::Int), Column::new("dst", ValueType::Int)];
+        let mut columns =
+            vec![Column::new("src", ValueType::Int), Column::new("dst", ValueType::Int)];
         if needs_length {
             columns.push(Column::new("len", ValueType::Int));
         }
-        self.program
-            .schema
-            .upsert(RelationDecl::new(name.clone(), columns, RelationKind::Idb));
+        self.program.schema.upsert(RelationDecl::new(name.clone(), columns, RelationKind::Idb));
 
         if needs_length {
             // Base rules: one hop, length 1.
@@ -562,7 +561,11 @@ impl<'a> Lowerer<'a> {
 
     // ----- WITH / RETURN ----------------------------------------------------
 
-    fn lower_projection(&mut self, items: &[pgir::OutputItem], is_return: bool) -> Result<Vec<String>> {
+    fn lower_projection(
+        &mut self,
+        items: &[pgir::OutputItem],
+        is_return: bool,
+    ) -> Result<Vec<String>> {
         if self.frontier.is_none() {
             return Err(RaqletError::semantic("projection before any MATCH"));
         }
@@ -627,8 +630,7 @@ impl<'a> Lowerer<'a> {
         }
 
         if let Some(agg) = &mut aggregation {
-            agg.group_by =
-                head_vars.iter().filter(|v| **v != agg.output_var).cloned().collect();
+            agg.group_by = head_vars.iter().filter(|v| **v != agg.output_var).cloned().collect();
         }
 
         let body = ctx.finish();
@@ -683,7 +685,12 @@ impl<'l, 'a> RuleBodyCtx<'l, 'a> {
 
     /// Resolve `var.prop` to a DLIR variable, adding the property-access atom
     /// if needed. Returns the variable name and the property type.
-    fn resolve_property(&mut self, var: &str, prop: &str, preferred_name: Option<&str>) -> Result<(String, ValueType)> {
+    fn resolve_property(
+        &mut self,
+        var: &str,
+        prop: &str,
+        preferred_name: Option<&str>,
+    ) -> Result<(String, ValueType)> {
         let binding = self
             .lowerer
             .bindings
@@ -719,8 +726,10 @@ impl<'l, 'a> RuleBodyCtx<'l, 'a> {
                     name: format!("{edb}.{prop}"),
                 })?;
                 let ty = decl.columns[idx].ty;
-                let (first, second) = if reversed { (dst_var, src_var) } else { (src_var, dst_var) };
-                let atom_idx = self.edge_access_atom(var, &decl.name, decl.arity(), &first, &second);
+                let (first, second) =
+                    if reversed { (dst_var, src_var) } else { (src_var, dst_var) };
+                let atom_idx =
+                    self.edge_access_atom(var, &decl.name, decl.arity(), &first, &second);
                 if let Term::Var(existing) = &self.atoms[atom_idx].terms[idx] {
                     return Ok((existing.clone(), ty));
                 }
@@ -916,9 +925,9 @@ impl<'l, 'a> RuleBodyCtx<'l, 'a> {
                 self.body.push(BodyElem::eq(DlExpr::var(alias), scalar));
                 Ok((alias.to_string(), ValueType::Int, Binding::Scalar { ty: ValueType::Int }))
             }
-            other => Err(RaqletError::unsupported(format!(
-                "projection item `{other}` is not supported"
-            ))),
+            other => {
+                Err(RaqletError::unsupported(format!("projection item `{other}` is not supported")))
+            }
         }
     }
 }
@@ -986,17 +995,11 @@ fn negate(expr: &PgirExpr) -> Result<PgirExpr> {
             };
             PgirExpr::Cmp { op: flipped, lhs: lhs.clone(), rhs: rhs.clone() }
         }
-        PgirExpr::And(a, b) => {
-            PgirExpr::Or(Box::new(negate(a)?), Box::new(negate(b)?))
-        }
-        PgirExpr::Or(a, b) => {
-            PgirExpr::And(Box::new(negate(a)?), Box::new(negate(b)?))
-        }
+        PgirExpr::And(a, b) => PgirExpr::Or(Box::new(negate(a)?), Box::new(negate(b)?)),
+        PgirExpr::Or(a, b) => PgirExpr::And(Box::new(negate(a)?), Box::new(negate(b)?)),
         PgirExpr::Not(inner) => (**inner).clone(),
         other => {
-            return Err(RaqletError::unsupported(format!(
-                "cannot negate predicate `{other}`"
-            )))
+            return Err(RaqletError::unsupported(format!("cannot negate predicate `{other}`")))
         }
     })
 }
@@ -1071,9 +1074,8 @@ mod tests {
 
     #[test]
     fn variable_length_pattern_generates_recursive_rules() {
-        let lowered = lower(
-            "MATCH (a:Person {id: 1})-[:KNOWS*]->(b:Person) RETURN b.id AS friendId",
-        );
+        let lowered =
+            lower("MATCH (a:Person {id: 1})-[:KNOWS*]->(b:Person) RETURN b.id AS friendId");
         let p = &lowered.program;
         // There is a Path IDB with a base and a recursive rule.
         let path_rules = p.rules_for("Path1");
@@ -1086,9 +1088,8 @@ mod tests {
 
     #[test]
     fn bounded_variable_length_adds_length_column_and_bounds() {
-        let lowered = lower(
-            "MATCH (a:Person {id: 1})-[:KNOWS*1..2]->(b:Person) RETURN b.id AS friendId",
-        );
+        let lowered =
+            lower("MATCH (a:Person {id: 1})-[:KNOWS*1..2]->(b:Person) RETURN b.id AS friendId");
         let p = &lowered.program;
         let path_rules = p.rules_for("Path1");
         assert!(path_rules.iter().all(|r| r.head.arity() == 3));
@@ -1141,23 +1142,20 @@ mod tests {
 
     #[test]
     fn or_predicates_become_multiple_where_rules() {
-        let lowered = lower(
-            "MATCH (n:Person) WHERE n.id = 1 OR n.id = 2 RETURN n.firstName AS name",
-        );
+        let lowered =
+            lower("MATCH (n:Person) WHERE n.id = 1 OR n.id = 2 RETURN n.firstName AS name");
         assert_eq!(lowered.program.rules_for("Where1").len(), 2);
     }
 
     #[test]
     fn in_list_expands_to_union_of_rules() {
-        let lowered =
-            lower("MATCH (n:Person) WHERE n.id IN [1, 2, 3] RETURN n.firstName AS name");
+        let lowered = lower("MATCH (n:Person) WHERE n.id IN [1, 2, 3] RETURN n.firstName AS name");
         assert_eq!(lowered.program.rules_for("Where1").len(), 3);
     }
 
     #[test]
     fn negated_comparison_is_flipped() {
-        let lowered =
-            lower("MATCH (n:Person) WHERE NOT n.id = 1 RETURN n.firstName AS name");
+        let lowered = lower("MATCH (n:Person) WHERE NOT n.id = 1 RETURN n.firstName AS name");
         let where_rule = lowered.program.rules_for("Where1")[0];
         assert!(where_rule.body.iter().any(|b| b.to_string() == "n != 1"));
     }
@@ -1183,11 +1181,9 @@ mod tests {
     #[test]
     fn unknown_property_is_reported() {
         let pg = parse_pg_schema(FIGURE2A).unwrap();
-        let pgir = cypher_to_pgir(
-            "MATCH (n:Person) RETURN n.nickname AS nick",
-            &LowerOptions::new(),
-        )
-        .unwrap();
+        let pgir =
+            cypher_to_pgir("MATCH (n:Person) RETURN n.nickname AS nick", &LowerOptions::new())
+                .unwrap();
         let err = lower_pgir(&pg, &pgir).unwrap_err();
         assert!(err.to_string().contains("nickname"));
     }
@@ -1195,9 +1191,11 @@ mod tests {
     #[test]
     fn unknown_edge_type_is_reported() {
         let pg = parse_pg_schema(FIGURE2A).unwrap();
-        let pgir =
-            cypher_to_pgir("MATCH (a:Person)-[:LIKES]->(b:Person) RETURN b.id AS id", &LowerOptions::new())
-                .unwrap();
+        let pgir = cypher_to_pgir(
+            "MATCH (a:Person)-[:LIKES]->(b:Person) RETURN b.id AS id",
+            &LowerOptions::new(),
+        )
+        .unwrap();
         assert!(lower_pgir(&pg, &pgir).is_err());
     }
 

@@ -5,7 +5,9 @@
 //! `<SrcLabel>_<EDGE_LABEL>_<DstLabel>` whose first two columns are the source
 //! and target node keys (`id1`, `id2`) followed by the edge's own properties.
 
-use raqlet_common::schema::{Column, DlSchema, EdgeType, NodeType, PgSchema, RelationDecl, RelationKind};
+use raqlet_common::schema::{
+    Column, DlSchema, EdgeType, NodeType, PgSchema, RelationDecl, RelationKind,
+};
 use raqlet_common::{RaqletError, Result, ValueType};
 
 /// Convert a camelCase / mixedCase edge label to the SCREAMING_SNAKE_CASE
@@ -68,7 +70,8 @@ pub fn generate_dl_schema(pg: &PgSchema) -> Result<DlSchema> {
 
     for edge in &pg.edges {
         let name = edge_edb_name(pg, edge)?;
-        let mut columns = vec![Column::new("id1", ValueType::Int), Column::new("id2", ValueType::Int)];
+        let mut columns =
+            vec![Column::new("id1", ValueType::Int), Column::new("id2", ValueType::Int)];
         columns.extend(edge.properties.iter().map(|p| Column::new(p.name.clone(), p.ty)));
         let mut decl = RelationDecl::new(name, columns, RelationKind::EdgeEdb);
         decl.key = vec![0, 1];
@@ -97,10 +100,10 @@ pub fn resolve_edge_edb(
         }
         let src = pg.node_by_type_name(&edge.src).map(|n| n.label.clone()).unwrap_or_default();
         let dst = pg.node_by_type_name(&edge.dst).map(|n| n.label.clone()).unwrap_or_default();
-        let forward = src_label.map_or(true, |l| raqlet_common::schema::labels_match(&src, l))
-            && dst_label.map_or(true, |l| raqlet_common::schema::labels_match(&dst, l));
-        let backward = src_label.map_or(true, |l| raqlet_common::schema::labels_match(&dst, l))
-            && dst_label.map_or(true, |l| raqlet_common::schema::labels_match(&src, l));
+        let forward = src_label.is_none_or(|l| raqlet_common::schema::labels_match(&src, l))
+            && dst_label.is_none_or(|l| raqlet_common::schema::labels_match(&dst, l));
+        let backward = src_label.is_none_or(|l| raqlet_common::schema::labels_match(&dst, l))
+            && dst_label.is_none_or(|l| raqlet_common::schema::labels_match(&src, l));
         if forward {
             candidates.push((edge_edb_name(pg, edge)?, false));
         } else if backward {
@@ -174,8 +177,9 @@ mod tests {
         let text = dl.to_string();
         assert!(text.contains(".decl Person(id: number, firstName: symbol, locationIP: symbol)"));
         assert!(text.contains(".decl City(id: number, name: symbol)"));
-        assert!(text
-            .contains(".decl Person_IS_LOCATED_IN_City(id1: number, id2: number, id: number)"));
+        assert!(
+            text.contains(".decl Person_IS_LOCATED_IN_City(id1: number, id2: number, id: number)")
+        );
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub fn stratify(program: &DlirProgram) -> Result<Stratification> {
         let head_scc = scc_of[&rule.head.relation];
         let aggregated = rule.aggregation.is_some();
         for dep in rule.negative_dependencies() {
-            if scc_of.get(dep) == Some(&head_scc) && sccs[head_scc].len() + usize::from(graph.depends_on(dep, dep)) > 1
+            if scc_of.get(dep) == Some(&head_scc)
+                && sccs[head_scc].len() + usize::from(graph.depends_on(dep, dep)) > 1
                 || dep == rule.head.relation
             {
                 return Err(RaqletError::semantic(format!(
@@ -266,5 +267,110 @@ mod tests {
         let s = stratify(&DlirProgram::default()).unwrap();
         assert_eq!(s.len(), 1);
         assert!(s.strata[0].is_empty());
+    }
+
+    #[test]
+    fn mutual_negation_cycle_is_rejected() {
+        // p(x) :- r(x), !q(x).  q(x) :- s(x), !p(x).  (cycle p -> !q -> !p)
+        let mut prog = DlirProgram::default();
+        prog.add_rule(Rule::new(
+            Atom::with_vars("p", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("r", &["x"])),
+                BodyElem::Negated(Atom::with_vars("q", &["x"])),
+            ],
+        ));
+        prog.add_rule(Rule::new(
+            Atom::with_vars("q", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("s", &["x"])),
+                BodyElem::Negated(Atom::with_vars("p", &["x"])),
+            ],
+        ));
+        let err = stratify(&prog).unwrap_err();
+        assert!(err.to_string().contains("not stratifiable"), "got: {err}");
+    }
+
+    #[test]
+    fn negation_cycle_through_longer_chain_is_rejected() {
+        // a :- !c.  b :- a.  c :- b.  (cycle a -> b -> c -> !a, one negation)
+        let mut prog = DlirProgram::default();
+        prog.add_rule(Rule::new(
+            Atom::with_vars("a", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("base", &["x"])),
+                BodyElem::Negated(Atom::with_vars("c", &["x"])),
+            ],
+        ));
+        prog.add_rule(Rule::new(
+            Atom::with_vars("b", &["x"]),
+            vec![BodyElem::Atom(Atom::with_vars("a", &["x"]))],
+        ));
+        prog.add_rule(Rule::new(
+            Atom::with_vars("c", &["x"]),
+            vec![BodyElem::Atom(Atom::with_vars("b", &["x"]))],
+        ));
+        assert!(stratify(&prog).is_err());
+    }
+
+    /// A three-stratum program used by the determinism tests: tc over edge,
+    /// `unreachable` negating tc, and a count over `unreachable`.
+    fn layered_program(rule_order: &[usize]) -> DlirProgram {
+        let negation = Rule::new(
+            Atom::with_vars("unreachable", &["x"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("node", &["x"])),
+                BodyElem::Negated(Atom::with_vars("tc", &["s", "x"])),
+            ],
+        );
+        let mut agg = Rule::new(
+            Atom::with_vars("lost_count", &["c"]),
+            vec![BodyElem::Atom(Atom::with_vars("unreachable", &["x"]))],
+        );
+        agg.aggregation = Some(Aggregation {
+            func: AggFunc::Count,
+            input_var: Some("x".into()),
+            output_var: "c".into(),
+            group_by: vec![],
+            distinct: false,
+        });
+        let base = tc();
+        let rules = [base.rules[0].clone(), base.rules[1].clone(), negation, agg];
+        let mut p = DlirProgram::default();
+        for &i in rule_order {
+            p.add_rule(rules[i].clone());
+        }
+        p
+    }
+
+    #[test]
+    fn strata_ordering_is_deterministic_across_runs() {
+        let p = layered_program(&[0, 1, 2, 3]);
+        let first = stratify(&p).unwrap();
+        for _ in 0..10 {
+            assert_eq!(stratify(&p).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn strata_assignment_is_independent_of_rule_order() {
+        let reference = stratify(&layered_program(&[0, 1, 2, 3])).unwrap();
+        assert_eq!(reference.stratum("tc"), 0);
+        assert_eq!(reference.stratum("unreachable"), 1);
+        assert_eq!(reference.stratum("lost_count"), 2);
+        for order in [[3, 2, 1, 0], [1, 0, 3, 2], [2, 3, 0, 1], [0, 2, 1, 3], [3, 1, 2, 0]] {
+            let s = stratify(&layered_program(&order)).unwrap();
+            // Stratum numbers are identical whatever order the rules were
+            // added in; so is the per-stratum relation grouping (as sets).
+            assert_eq!(s.stratum_of, reference.stratum_of, "order {order:?}");
+            assert_eq!(s.len(), reference.len(), "order {order:?}");
+            for (got, want) in s.strata.iter().zip(&reference.strata) {
+                let mut got = got.clone();
+                let mut want = want.clone();
+                got.sort();
+                want.sort();
+                assert_eq!(got, want, "order {order:?}");
+            }
+        }
     }
 }

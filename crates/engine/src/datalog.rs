@@ -94,20 +94,13 @@ impl DatalogEngine {
         // Ensure every IDB exists (possibly empty) so downstream negation and
         // outputs behave deterministically.
         for idb in program.idb_names() {
-            let arity = program
-                .rules_for(&idb)
-                .first()
-                .map(|r| r.head.arity())
-                .unwrap_or(0);
+            let arity = program.rules_for(&idb).first().map(|r| r.head.arity()).unwrap_or(0);
             db.get_or_create(&idb, arity);
         }
 
         for stratum in &stratification.strata {
-            let rules: Vec<&Rule> = program
-                .rules
-                .iter()
-                .filter(|r| stratum.contains(&r.head.relation))
-                .collect();
+            let rules: Vec<&Rule> =
+                program.rules.iter().filter(|r| stratum.contains(&r.head.relation)).collect();
             if rules.is_empty() {
                 continue;
             }
@@ -117,7 +110,12 @@ impl DatalogEngine {
     }
 
     /// Evaluate the output relation of a program directly.
-    pub fn run_output(&self, program: &DlirProgram, edb: &Database, output: &str) -> Result<Relation> {
+    pub fn run_output(
+        &self,
+        program: &DlirProgram,
+        edb: &Database,
+        output: &str,
+    ) -> Result<Relation> {
         Ok(self.evaluate(program, edb)?.relation(output))
     }
 
@@ -344,10 +342,8 @@ impl DatalogEngine {
         // Negation.
         for elem in &rule.body {
             let BodyElem::Negated(atom) = elem else { continue };
-            let relation = db
-                .get(&atom.relation)
-                .cloned()
-                .unwrap_or_else(|| Relation::new(atom.arity()));
+            let relation =
+                db.get(&atom.relation).cloned().unwrap_or_else(|| Relation::new(atom.arity()));
             envs.retain(|env| !matches_negated(env, atom, &relation));
         }
         Ok(envs)
@@ -394,11 +390,8 @@ fn extend_with_atom(envs: Vec<Env>, atom: &Atom, relation: &Relation) -> Result<
             index.entry(key).or_default().push(tuple);
         }
     }
-    let all_tuples: Vec<&Tuple> = if bound_columns.is_empty() {
-        relation.iter().collect()
-    } else {
-        Vec::new()
-    };
+    let all_tuples: Vec<&Tuple> =
+        if bound_columns.is_empty() { relation.iter().collect() } else { Vec::new() };
 
     let mut out = Vec::new();
     for env in envs {
@@ -541,17 +534,15 @@ fn aggregate(
     let mut seen: std::collections::HashSet<(Vec<Value>, Option<Value>)> =
         std::collections::HashSet::new();
     for env in bindings {
-        let key: Vec<Value> = agg
-            .group_by
-            .iter()
-            .map(|v| env.get(v).cloned().unwrap_or(Value::Null))
-            .collect();
-        let input = match &agg.input_var {
-            Some(v) => Some(env.get(v).cloned().ok_or_else(|| {
-                RaqletError::execution(format!("aggregate input `{v}` unbound"))
-            })?),
-            None => None,
-        };
+        let key: Vec<Value> =
+            agg.group_by.iter().map(|v| env.get(v).cloned().unwrap_or(Value::Null)).collect();
+        let input =
+            match &agg.input_var {
+                Some(v) => Some(env.get(v).cloned().ok_or_else(|| {
+                    RaqletError::execution(format!("aggregate input `{v}` unbound"))
+                })?),
+                None => None,
+            };
         if !seen.insert((key.clone(), input.clone())) {
             continue;
         }
@@ -570,12 +561,8 @@ fn aggregate(
             raqlet_dlir::AggFunc::Sum => {
                 Value::Int(values.iter().filter_map(|v| v.as_int()).sum::<i64>())
             }
-            raqlet_dlir::AggFunc::Min => {
-                values.iter().min().cloned().unwrap_or(Value::Null)
-            }
-            raqlet_dlir::AggFunc::Max => {
-                values.iter().max().cloned().unwrap_or(Value::Null)
-            }
+            raqlet_dlir::AggFunc::Min => values.iter().min().cloned().unwrap_or(Value::Null),
+            raqlet_dlir::AggFunc::Max => values.iter().max().cloned().unwrap_or(Value::Null),
             raqlet_dlir::AggFunc::Avg => {
                 let ints: Vec<i64> = values.iter().filter_map(|v| v.as_int()).collect();
                 if ints.is_empty() {
@@ -637,7 +624,12 @@ fn merge_derived(
 /// Insert under min/max-lattice semantics: the tuple is added only if its
 /// annotated column improves on the stored value for the same group (all
 /// other columns); a dominated stored tuple is replaced.
-fn lattice_insert(relation: &mut Relation, tuple: Tuple, col: usize, minimize: bool) -> Result<bool> {
+fn lattice_insert(
+    relation: &mut Relation,
+    tuple: Tuple,
+    col: usize,
+    minimize: bool,
+) -> Result<bool> {
     let group: Vec<Value> =
         tuple.iter().enumerate().filter(|(i, _)| *i != col).map(|(_, v)| v.clone()).collect();
     let mut dominated: Option<Tuple> = None;
@@ -651,11 +643,7 @@ fn lattice_insert(relation: &mut Relation, tuple: Tuple, col: usize, minimize: b
         if existing_group != group {
             continue;
         }
-        let better = if minimize {
-            tuple[col] < existing[col]
-        } else {
-            tuple[col] > existing[col]
-        };
+        let better = if minimize { tuple[col] < existing[col] } else { tuple[col] > existing[col] };
         if better {
             dominated = Some(existing.clone());
             break;
@@ -665,8 +653,7 @@ fn lattice_insert(relation: &mut Relation, tuple: Tuple, col: usize, minimize: b
         }
     }
     if let Some(old) = dominated {
-        let remaining: Vec<Tuple> =
-            relation.iter().filter(|t| **t != old).cloned().collect();
+        let remaining: Vec<Tuple> = relation.iter().filter(|t| **t != old).cloned().collect();
         *relation = Relation::from_tuples(relation.arity(), remaining)?;
     }
     relation.insert(tuple)

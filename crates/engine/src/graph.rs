@@ -147,8 +147,7 @@ impl PropertyGraph {
         index
             .iter()
             .filter(|((n, l), _)| {
-                *n == node
-                    && label.map_or(true, |want| raqlet_common::schema::labels_match(l, want))
+                *n == node && label.is_none_or(|want| raqlet_common::schema::labels_match(l, want))
             })
             .flat_map(|(_, v)| v.iter().copied())
             .collect()
@@ -244,10 +243,8 @@ impl GraphEngine {
                     let columns: Vec<String> = r.items.iter().map(|i| i.alias.clone()).collect();
                     let mut rel = Relation::new(columns.len());
                     for row in &projected {
-                        let tuple: Vec<Value> = columns
-                            .iter()
-                            .map(|c| binding_to_value(row.get(c), graph))
-                            .collect();
+                        let tuple: Vec<Value> =
+                            columns.iter().map(|c| binding_to_value(row.get(c), graph)).collect();
                         rel.insert_unchecked(tuple);
                     }
                     output = Some((rel, columns));
@@ -343,7 +340,7 @@ impl GraphEngine {
                     } else {
                         (0..graph.edge_count())
                             .filter(|&i| {
-                                e.label.as_deref().map_or(true, |l| {
+                                e.label.as_deref().is_none_or(|l| {
                                     raqlet_common::schema::labels_match(&graph.edge(i).label, l)
                                 })
                             })
@@ -527,8 +524,7 @@ impl GraphEngine {
                         AggFunc::Min => values.iter().min().cloned().unwrap_or(Value::Null),
                         AggFunc::Max => values.iter().max().cloned().unwrap_or(Value::Null),
                         AggFunc::Avg => {
-                            let ints: Vec<i64> =
-                                values.iter().filter_map(|v| v.as_int()).collect();
+                            let ints: Vec<i64> = values.iter().filter_map(|v| v.as_int()).collect();
                             if ints.is_empty() {
                                 Value::Null
                             } else {
@@ -603,10 +599,12 @@ fn eval_predicate(expr: &PgirExpr, row: &Row, graph: &PropertyGraph) -> Result<V
             Ok(Value::Bool(result))
         }
         PgirExpr::And(a, b) => Ok(Value::Bool(
-            eval_predicate(a, row, graph)?.is_truthy() && eval_predicate(b, row, graph)?.is_truthy(),
+            eval_predicate(a, row, graph)?.is_truthy()
+                && eval_predicate(b, row, graph)?.is_truthy(),
         )),
         PgirExpr::Or(a, b) => Ok(Value::Bool(
-            eval_predicate(a, row, graph)?.is_truthy() || eval_predicate(b, row, graph)?.is_truthy(),
+            eval_predicate(a, row, graph)?.is_truthy()
+                || eval_predicate(b, row, graph)?.is_truthy(),
         )),
         PgirExpr::Not(e) => Ok(Value::Bool(!eval_predicate(e, row, graph)?.is_truthy())),
         PgirExpr::InList { expr, list } => {
@@ -650,18 +648,12 @@ fn binding_to_value(binding: Option<&Binding>, graph: &PropertyGraph) -> Value {
     match binding {
         None => Value::Null,
         Some(Binding::Scalar(v)) => v.clone(),
-        Some(Binding::Node(idx)) => graph
-            .node(*idx)
-            .properties
-            .get("id")
-            .cloned()
-            .unwrap_or(Value::Int(*idx as i64)),
-        Some(Binding::Edge(idx)) => graph
-            .edge(*idx)
-            .properties
-            .get("id")
-            .cloned()
-            .unwrap_or(Value::Int(*idx as i64)),
+        Some(Binding::Node(idx)) => {
+            graph.node(*idx).properties.get("id").cloned().unwrap_or(Value::Int(*idx as i64))
+        }
+        Some(Binding::Edge(idx)) => {
+            graph.edge(*idx).properties.get("id").cloned().unwrap_or(Value::Int(*idx as i64))
+        }
     }
 }
 
@@ -674,18 +666,12 @@ mod tests {
     /// in Edinburgh, Bob and Carol in Glasgow.
     fn sample_graph() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        let alice = g.add_node(
-            "Person",
-            vec![("id", Value::Int(1)), ("firstName", Value::str("Alice"))],
-        );
-        let bob = g.add_node(
-            "Person",
-            vec![("id", Value::Int(2)), ("firstName", Value::str("Bob"))],
-        );
-        let carol = g.add_node(
-            "Person",
-            vec![("id", Value::Int(3)), ("firstName", Value::str("Carol"))],
-        );
+        let alice =
+            g.add_node("Person", vec![("id", Value::Int(1)), ("firstName", Value::str("Alice"))]);
+        let bob =
+            g.add_node("Person", vec![("id", Value::Int(2)), ("firstName", Value::str("Bob"))]);
+        let carol =
+            g.add_node("Person", vec![("id", Value::Int(3)), ("firstName", Value::str("Carol"))]);
         let edinburgh =
             g.add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))]);
         let glasgow =
@@ -712,10 +698,7 @@ mod tests {
             &g,
         );
         assert_eq!(result.columns, vec!["firstName", "city"]);
-        assert_eq!(
-            result.rows.sorted(),
-            vec![vec![Value::str("Alice"), Value::str("Edinburgh")]]
-        );
+        assert_eq!(result.rows.sorted(), vec![vec![Value::str("Alice"), Value::str("Edinburgh")]]);
     }
 
     #[test]
@@ -727,8 +710,7 @@ mod tests {
             &g,
         );
         assert_eq!(incoming.rows.len(), 2);
-        let undirected =
-            run("MATCH (a:Person {id: 2})-[:KNOWS]-(b:Person) RETURN b.id AS id", &g);
+        let undirected = run("MATCH (a:Person {id: 2})-[:KNOWS]-(b:Person) RETURN b.id AS id", &g);
         // Bob knows Carol and is known by Alice.
         assert_eq!(undirected.rows.len(), 2);
     }
@@ -738,10 +720,7 @@ mod tests {
         let g = sample_graph();
         let result =
             run("MATCH (a:Person {id: 1})-[:KNOWS*1..2]->(b:Person) RETURN b.id AS id", &g);
-        assert_eq!(
-            result.rows.sorted(),
-            vec![vec![Value::Int(2)], vec![Value::Int(3)]]
-        );
+        assert_eq!(result.rows.sorted(), vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
     }
 
     #[test]

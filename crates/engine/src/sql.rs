@@ -22,7 +22,9 @@ use std::collections::HashMap;
 
 use raqlet_common::schema::DlSchema;
 use raqlet_common::{Database, RaqletError, Relation, Result, Tuple, Value};
-use raqlet_sqir::{Cte, FromItem, SelectStmt, SqirQuery, SqlAggFunc, SqlArithOp, SqlCmpOp, SqlExpr};
+use raqlet_sqir::{
+    Cte, FromItem, SelectStmt, SqirQuery, SqlAggFunc, SqlArithOp, SqlCmpOp, SqlExpr,
+};
 
 /// Execution profile: which join strategy the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,10 +74,9 @@ impl TableCatalog {
 
     /// Column names of a table.
     pub fn columns_of(&self, table: &str) -> Result<&[String]> {
-        self.columns
-            .get(table)
-            .map(|v| v.as_slice())
-            .ok_or_else(|| RaqletError::execution(format!("no column metadata for table `{table}`")))
+        self.columns.get(table).map(|v| v.as_slice()).ok_or_else(|| {
+            RaqletError::execution(format!("no column metadata for table `{table}`"))
+        })
     }
 
     /// Index of a column within a table.
@@ -391,11 +392,10 @@ impl RowLayout {
             .iter()
             .find(|a| a.alias == alias)
             .ok_or_else(|| RaqletError::execution(format!("unknown table alias `{alias}`")))?;
-        let idx = a
-            .columns
-            .iter()
-            .position(|c| c == column)
-            .ok_or_else(|| RaqletError::execution(format!("unknown column `{alias}.{column}`")))?;
+        let idx =
+            a.columns.iter().position(|c| c == column).ok_or_else(|| {
+                RaqletError::execution(format!("unknown column `{alias}.{column}`"))
+            })?;
         Ok(a.offset + idx)
     }
 
@@ -477,7 +477,8 @@ impl<'a> RowContext<'a> {
         candidate_alias: &str,
         candidate: &[Value],
     ) -> Result<bool> {
-        let v = self.eval_scalar_with(expr, row, Some((candidate_table, candidate_alias, candidate)))?;
+        let v =
+            self.eval_scalar_with(expr, row, Some((candidate_table, candidate_alias, candidate)))?;
         Ok(v.is_truthy())
     }
 
@@ -516,9 +517,9 @@ impl<'a> RowContext<'a> {
             SqlExpr::Aggregate { .. } => Err(RaqletError::execution(
                 "aggregate expression evaluated outside GROUP BY context",
             )),
-            SqlExpr::NotExists { .. } => Err(RaqletError::execution(
-                "NOT EXISTS evaluated as a scalar expression",
-            )),
+            SqlExpr::NotExists { .. } => {
+                Err(RaqletError::execution("NOT EXISTS evaluated as a scalar expression"))
+            }
         }
     }
 

@@ -8,8 +8,7 @@
 //! placement — at laptop scale, parameterised by a scale factor
 //! (see DESIGN.md §3 for the substitution rationale).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use raqlet_common::SplitMix64;
 
 /// One person row.
 #[derive(Debug, Clone)]
@@ -98,12 +97,13 @@ const LAST_NAMES: &[&str] =
 const BROWSERS: &[&str] = &["Firefox", "Chrome", "Safari", "Edge"];
 const CITY_NAMES: &[&str] =
     &["Edinburgh", "Glasgow", "London", "Paris", "Berlin", "Madrid", "Rome", "Vienna"];
-const COUNTRY_NAMES: &[&str] = &["United_Kingdom", "France", "Germany", "Spain", "Italy", "Austria"];
+const COUNTRY_NAMES: &[&str] =
+    &["United_Kingdom", "France", "Germany", "Spain", "Italy", "Austria"];
 const TAG_NAMES: &[&str] = &["databases", "graphs", "datalog", "compilers", "recursion", "rust"];
 
 /// Generate a social network.
 pub fn generate(config: &GeneratorConfig) -> SocialNetwork {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let person_count = ((100.0 * config.scale).round() as i64).max(10);
     let message_count = person_count * 6;
 
@@ -126,11 +126,11 @@ pub fn generate(config: &GeneratorConfig) -> SocialNetwork {
     // Persons.
     for i in 0..person_count {
         let id = 1000 + i;
-        let city = network.cities[rng.gen_range(0..network.cities.len())].0;
+        let city = network.cities[rng.gen_index(0..network.cities.len())].0;
         network.persons.push(Person {
             id,
-            first_name: FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_string(),
-            last_name: LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())].to_string(),
+            first_name: FIRST_NAMES[rng.gen_index(0..FIRST_NAMES.len())].to_string(),
+            last_name: LAST_NAMES[rng.gen_index(0..LAST_NAMES.len())].to_string(),
             gender: if rng.gen_bool(0.5) { "male" } else { "female" }.to_string(),
             birthday: 19_600_101 + rng.gen_range(0..400_000),
             creation_date: 20_100_101 + rng.gen_range(0..90_000),
@@ -141,7 +141,7 @@ pub fn generate(config: &GeneratorConfig) -> SocialNetwork {
                 rng.gen_range(0..255),
                 rng.gen_range(1..255)
             ),
-            browser_used: BROWSERS[rng.gen_range(0..BROWSERS.len())].to_string(),
+            browser_used: BROWSERS[rng.gen_index(0..BROWSERS.len())].to_string(),
             city,
         });
     }
@@ -168,15 +168,11 @@ pub fn generate(config: &GeneratorConfig) -> SocialNetwork {
         let creator_idx =
             (rng.gen_range(0..person_count) * rng.gen_range(1..4) / 3).min(person_count - 1);
         let creator = 1000 + creator_idx;
-        let reply_of = if i > 0 && rng.gen_bool(0.4) {
-            Some(100_000 + rng.gen_range(0..i))
-        } else {
-            None
-        };
+        let reply_of =
+            if i > 0 && rng.gen_bool(0.4) { Some(100_000 + rng.gen_range(0..i)) } else { None };
         let tag_count = rng.gen_range(0..3);
-        let tags = (0..tag_count)
-            .map(|_| network.tags[rng.gen_range(0..network.tags.len())].0)
-            .collect();
+        let tags =
+            (0..tag_count).map(|_| network.tags[rng.gen_index(0..network.tags.len())].0).collect();
         let length = rng.gen_range(10..200);
         network.messages.push(Message {
             id,

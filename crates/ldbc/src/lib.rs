@@ -21,5 +21,8 @@ pub mod schema;
 
 pub use generator::{generate, GeneratorConfig, SocialNetwork};
 pub use loaders::{to_database, to_property_graph};
-pub use queries::{BenchmarkQuery, ALL_QUERIES, CQ1, CQ13, CQ2, FRIEND_MESSAGE_COUNTS, REACHABILITY, SQ1, SQ3, TABLE1_QUERIES};
+pub use queries::{
+    BenchmarkQuery, ALL_QUERIES, CQ1, CQ13, CQ2, FRIEND_MESSAGE_COUNTS, REACHABILITY, SQ1, SQ3,
+    TABLE1_QUERIES,
+};
 pub use schema::SNB_PG_SCHEMA;

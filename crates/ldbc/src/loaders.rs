@@ -253,11 +253,7 @@ mod tests {
         let dl = raqlet_dlir::generate_dl_schema(&pg).unwrap();
         for (name, relation) in db.iter() {
             let decl = dl.get(name).unwrap_or_else(|| panic!("relation `{name}` not in schema"));
-            assert_eq!(
-                relation.arity(),
-                decl.arity(),
-                "arity mismatch for `{name}`"
-            );
+            assert_eq!(relation.arity(), decl.arity(), "arity mismatch for `{name}`");
         }
         assert_eq!(db.get("Person").unwrap().len(), net.persons.len());
         assert_eq!(db.get("Person_KNOWS_Person").unwrap().len(), net.knows.len());

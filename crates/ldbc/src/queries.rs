@@ -41,7 +41,8 @@ pub const SQ1: BenchmarkQuery = BenchmarkQuery {
 pub const CQ2: BenchmarkQuery = BenchmarkQuery {
     name: "CQ2",
     description: "friends' messages before a date (LDBC interactive complex 2)",
-    cypher: "MATCH (p:Person {id: $personId})-[:KNOWS]-(friend:Person)<-[:HAS_CREATOR]-(m:Message)\n\
+    cypher:
+        "MATCH (p:Person {id: $personId})-[:KNOWS]-(friend:Person)<-[:HAS_CREATOR]-(m:Message)\n\
              WHERE m.creationDate <= $maxDate\n\
              RETURN DISTINCT friend.id AS personId, friend.firstName AS personFirstName,\n\
                     friend.lastName AS personLastName, m.id AS messageId,\n\
@@ -85,7 +86,8 @@ pub const REACHABILITY: BenchmarkQuery = BenchmarkQuery {
 pub const CQ13: BenchmarkQuery = BenchmarkQuery {
     name: "CQ13",
     description: "shortest path between two persons over KNOWS (LDBC interactive complex 13)",
-    cypher: "MATCH p = shortestPath((a:Person {id: $personId})-[:KNOWS*]-(b:Person {id: $otherId}))\n\
+    cypher:
+        "MATCH p = shortestPath((a:Person {id: $personId})-[:KNOWS*]-(b:Person {id: $otherId}))\n\
              RETURN DISTINCT b.id AS targetId",
     recursive: true,
 };
@@ -95,7 +97,8 @@ pub const CQ13: BenchmarkQuery = BenchmarkQuery {
 pub const FRIEND_MESSAGE_COUNTS: BenchmarkQuery = BenchmarkQuery {
     name: "AGG1",
     description: "message count per friend (aggregation workload)",
-    cypher: "MATCH (p:Person {id: $personId})-[:KNOWS]-(friend:Person)<-[:HAS_CREATOR]-(m:Message)\n\
+    cypher:
+        "MATCH (p:Person {id: $personId})-[:KNOWS]-(friend:Person)<-[:HAS_CREATOR]-(m:Message)\n\
              WITH friend, count(m) AS messageCount\n\
              RETURN DISTINCT friend.id AS personId, messageCount AS messageCount",
     recursive: false,

@@ -60,10 +60,10 @@ fn simplify_rule(rule: &Rule) -> SimplifyResult {
     for elem in &rule.body {
         if let BodyElem::Constraint { op: CmpOp::Eq, lhs, rhs } = elem {
             match (lhs, rhs) {
-                (DlExpr::Var(v), DlExpr::Const(c)) | (DlExpr::Const(c), DlExpr::Var(v)) => {
-                    if !protected.contains(v) {
-                        consts.insert(v.clone(), c.clone());
-                    }
+                (DlExpr::Var(v), DlExpr::Const(c)) | (DlExpr::Const(c), DlExpr::Var(v))
+                    if !protected.contains(v) =>
+                {
+                    consts.insert(v.clone(), c.clone());
                 }
                 _ => {}
             }
@@ -186,10 +186,7 @@ mod tests {
         let mut p = DlirProgram::default();
         p.add_rule(Rule::new(
             Atom::with_vars("q", &["y"]),
-            vec![
-                atom("edge", &["x", "y"]),
-                BodyElem::eq(DlExpr::var("x"), DlExpr::int(7)),
-            ],
+            vec![atom("edge", &["x", "y"]), BodyElem::eq(DlExpr::var("x"), DlExpr::int(7))],
         ));
         let (out, changed) = propagate_constants(&p);
         assert!(changed);

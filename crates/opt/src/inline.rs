@@ -103,7 +103,9 @@ fn inlinable(
     if !program.is_idb(name) {
         return false;
     }
-    if graph.is_recursive(name) || graph.is_recursive(&caller.head.relation) && name == &caller.head.relation {
+    if graph.is_recursive(name)
+        || graph.is_recursive(&caller.head.relation) && name == &caller.head.relation
+    {
         return false;
     }
     let defs = program.rules_for(name);
@@ -142,28 +144,27 @@ fn substitute_body(def: &Rule, call: &Atom, caller: &Rule, _counter: &mut u32) -
 
     let mut local_renames: HashMap<String, String> = HashMap::new();
     let mut fresh_idx = 0usize;
-    let mut map_term = |t: &Term, mapping: &HashMap<String, Term>, local: &mut HashMap<String, String>| -> Term {
-        match t {
-            Term::Var(v) => {
-                if let Some(replacement) = mapping.get(v) {
-                    replacement.clone()
-                } else {
-                    let name = local.entry(v.clone()).or_insert_with(|| {
-                        loop {
+    let mut map_term =
+        |t: &Term, mapping: &HashMap<String, Term>, local: &mut HashMap<String, String>| -> Term {
+            match t {
+                Term::Var(v) => {
+                    if let Some(replacement) = mapping.get(v) {
+                        replacement.clone()
+                    } else {
+                        let name = local.entry(v.clone()).or_insert_with(|| loop {
                             let candidate = format!("{v}_i{fresh_idx}");
                             fresh_idx += 1;
                             if !used.contains(&candidate) {
                                 used.push(candidate.clone());
                                 break candidate;
                             }
-                        }
-                    });
-                    Term::Var(name.clone())
+                        });
+                        Term::Var(name.clone())
+                    }
                 }
+                other => other.clone(),
             }
-            other => other.clone(),
-        }
-    };
+        };
 
     let map_expr = |e: &DlExpr,
                     mapping: &HashMap<String, Term>,
@@ -269,11 +270,7 @@ mod tests {
             vec![
                 atom("Match1", &["n", "x1", "p"]),
                 atom("Person", &["n"]),
-                BodyElem::Constraint {
-                    op: CmpOp::Eq,
-                    lhs: DlExpr::var("n"),
-                    rhs: DlExpr::int(42),
-                },
+                BodyElem::Constraint { op: CmpOp::Eq, lhs: DlExpr::var("n"), rhs: DlExpr::int(42) },
             ],
         ));
         p.add_rule(Rule::new(
@@ -371,7 +368,8 @@ mod tests {
     fn aggregating_rules_are_not_inlined() {
         use raqlet_dlir::{AggFunc, Aggregation};
         let mut p = DlirProgram::default();
-        let mut deg = Rule::new(Atom::with_vars("deg", &["x", "d"]), vec![atom("edge", &["x", "y"])]);
+        let mut deg =
+            Rule::new(Atom::with_vars("deg", &["x", "d"]), vec![atom("edge", &["x", "y"])]);
         deg.aggregation = Some(Aggregation {
             func: AggFunc::Count,
             input_var: Some("y".into()),
@@ -414,12 +412,8 @@ mod tests {
         p.add_output("q");
         let (inlined, _) = inline(&p, &InlineConfig::default());
         let q = inlined.rules_for("q")[0];
-        let e_atom = q
-            .body
-            .iter()
-            .filter_map(|b| b.as_positive_atom())
-            .find(|a| a.relation == "e")
-            .unwrap();
+        let e_atom =
+            q.body.iter().filter_map(|b| b.as_positive_atom()).find(|a| a.relation == "e").unwrap();
         assert_ne!(e_atom.terms[1], Term::var("z"), "callee-local z must be renamed");
     }
 }

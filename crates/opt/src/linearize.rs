@@ -224,11 +224,8 @@ mod tests {
         assert!(changed);
         assert_eq!(linearity(&out), Linearity::Linear);
         // The rewritten recursive rule joins tc with the base relation.
-        let recursive = out
-            .rules_for("tc")
-            .into_iter()
-            .find(|r| r.count_positive("tc") == 1)
-            .unwrap();
+        let recursive =
+            out.rules_for("tc").into_iter().find(|r| r.count_positive("tc") == 1).unwrap();
         assert!(recursive.positive_dependencies().contains(&"edge"), "{recursive}");
     }
 
@@ -281,11 +278,8 @@ mod tests {
         ));
         let (out, changed) = linearize(&p);
         assert!(changed);
-        let recursive = out
-            .rules_for("tc")
-            .into_iter()
-            .find(|r| r.count_positive("tc") == 1)
-            .unwrap();
+        let recursive =
+            out.rules_for("tc").into_iter().find(|r| r.count_positive("tc") == 1).unwrap();
         let edge = recursive
             .body
             .iter()

@@ -24,14 +24,16 @@
 use raqlet_common::Value;
 use raqlet_dlir::{Atom, BodyElem, CmpOp, DepGraph, DlExpr, DlirProgram, Rule, Term};
 
+/// A magic-set candidate: (consumer rule index, target IDB relation, bound
+/// argument positions with their constant values).
+type CallSite = (usize, String, Vec<(usize, Value)>);
+
 /// Apply the magic-set transformation. Returns the rewritten program and
 /// whether anything changed.
 pub fn magic_sets(program: &DlirProgram) -> (DlirProgram, bool) {
     let graph = DepGraph::build(program);
 
-    // Find call sites: (consumer rule index, atom index, target IDB, bound
-    // positions with their constant values).
-    let mut candidates: Vec<(usize, String, Vec<(usize, Value)>)> = Vec::new();
+    let mut candidates: Vec<CallSite> = Vec::new();
     for (rule_idx, rule) in program.rules.iter().enumerate() {
         // Constants available through equality constraints in this rule.
         let const_of = |var: &str| -> Option<Value> {
@@ -89,9 +91,7 @@ pub fn magic_sets(program: &DlirProgram) -> (DlirProgram, bool) {
 }
 
 fn adornment(arity: usize, bound: &[(usize, Value)]) -> String {
-    (0..arity)
-        .map(|i| if bound.iter().any(|(b, _)| *b == i) { 'b' } else { 'f' })
-        .collect()
+    (0..arity).map(|i| if bound.iter().any(|(b, _)| *b == i) { 'b' } else { 'f' }).collect()
 }
 
 /// Check eligibility of `target` and build the transformed program.
@@ -130,22 +130,17 @@ fn try_transform(
                 // Mutual recursion: out of scope for this implementation.
                 return None;
             }
-            propagating_positions.retain(|&i| {
-                match (def.head.terms.get(i), rec.terms.get(i)) {
-                    (Some(Term::Var(h)), Some(Term::Var(b))) => h == b,
-                    _ => false,
-                }
+            propagating_positions.retain(|&i| match (def.head.terms.get(i), rec.terms.get(i)) {
+                (Some(Term::Var(h)), Some(Term::Var(b))) => h == b,
+                _ => false,
             });
         }
     }
     if propagating_positions.is_empty() {
         return None;
     }
-    let bound: Vec<(usize, Value)> = bound
-        .iter()
-        .filter(|(i, _)| propagating_positions.contains(i))
-        .cloned()
-        .collect();
+    let bound: Vec<(usize, Value)> =
+        bound.iter().filter(|(i, _)| propagating_positions.contains(i)).cloned().collect();
 
     let target_arity = defs[0].head.arity();
     let magic_name = format!("Magic_{}_{}", target, adornment(target_arity, &bound));
@@ -252,7 +247,10 @@ mod tests {
             Atom::with_vars("tc", &["x", "y"]),
             vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
         ));
-        p.add_rule(Rule::new(Atom::with_vars("Return", &["x", "y"]), vec![atom("tc", &["x", "y"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("Return", &["x", "y"]),
+            vec![atom("tc", &["x", "y"])],
+        ));
         p.add_output("Return");
         let (_, changed) = magic_sets(&p);
         assert!(!changed);

@@ -8,8 +8,8 @@
 //! elimination, and finally the recursion-aware rewrites (linearization and
 //! magic sets).
 
-use raqlet_dlir::{validate, DlirProgram};
 use raqlet_common::Result;
+use raqlet_dlir::{validate, DlirProgram};
 
 use crate::constprop::propagate_constants;
 use crate::dead::eliminate_dead_rules;

@@ -130,7 +130,8 @@ fn drop_implied_node_lookups(program: &DlirProgram, rule: &Rule) -> (Rule, bool)
             if let Some(decl) = program.schema.get(&atom.relation) {
                 if decl.kind == RelationKind::EdgeEdb {
                     let src_label = atom.relation.split('_').next().unwrap_or_default().to_string();
-                    let dst_label = atom.relation.split('_').next_back().unwrap_or_default().to_string();
+                    let dst_label =
+                        atom.relation.split('_').next_back().unwrap_or_default().to_string();
                     for (idx, label) in [(0usize, src_label), (1usize, dst_label)] {
                         if let Some(Term::Var(v)) = atom.terms.get(idx) {
                             edge_endpoint_vars.push((v.clone(), label));
@@ -155,18 +156,19 @@ fn drop_implied_node_lookups(program: &DlirProgram, rule: &Rule) -> (Rule, bool)
                 return true;
             }
             // Keep the atom if it binds anything beyond its key column.
-            let binds_only_key = atom
-                .terms
-                .iter()
-                .enumerate()
-                .all(|(i, t)| if i == 0 { true } else { matches!(t, Term::Wildcard) });
+            let binds_only_key = atom.terms.iter().enumerate().all(|(i, t)| {
+                if i == 0 {
+                    true
+                } else {
+                    matches!(t, Term::Wildcard)
+                }
+            });
             if !binds_only_key {
                 return true;
             }
             let Some(Term::Var(key_var)) = atom.terms.first() else { return true };
-            let implied = edge_endpoint_vars
-                .iter()
-                .any(|(v, label)| v == key_var && *label == atom.relation);
+            let implied =
+                edge_endpoint_vars.iter().any(|(v, label)| v == key_var && *label == atom.relation);
             if implied {
                 changed = true;
                 false

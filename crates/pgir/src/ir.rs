@@ -449,9 +449,12 @@ impl fmt::Display for PgirQuery {
                     writeln!(f, "{kw}")?;
                     for p in &m.patterns {
                         match p {
-                            PatternElem::Node(n) => {
-                                writeln!(f, "  node({}, {})", n.var, n.label.as_deref().unwrap_or("_"))?
-                            }
+                            PatternElem::Node(n) => writeln!(
+                                f,
+                                "  node({}, {})",
+                                n.var,
+                                n.label.as_deref().unwrap_or("_")
+                            )?,
                             PatternElem::Edge(e) => writeln!(
                                 f,
                                 "  edge({}, {}, {}, src=node({}, {}), dst=node({}, {}))",

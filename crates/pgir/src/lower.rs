@@ -111,9 +111,7 @@ impl<'a> Lowerer<'a> {
 
         if pattern.steps.is_empty() {
             if pattern.shortest.is_some() {
-                return Err(RaqletError::semantic(
-                    "shortestPath requires a relationship pattern",
-                ));
+                return Err(RaqletError::semantic("shortestPath requires a relationship pattern"));
             }
             patterns.push(PatternElem::Node(start));
             return Ok(());
@@ -128,7 +126,14 @@ impl<'a> Lowerer<'a> {
         let mut prev = start;
         for (rel, node) in &pattern.steps {
             let next = self.lower_node(node, predicates)?;
-            let elem = self.lower_rel(rel, pattern.shortest, prev.clone(), next.clone(), predicates)?;
+            let elem = self.lower_rel(
+                rel,
+                pattern.shortest,
+                pattern.path_var.as_deref().filter(|_| pattern.steps.len() == 1),
+                prev.clone(),
+                next.clone(),
+                predicates,
+            )?;
             patterns.push(elem);
             prev = next;
         }
@@ -158,13 +163,20 @@ impl<'a> Lowerer<'a> {
         &mut self,
         rel: &cy::RelPattern,
         shortest: Option<cy::ShortestKind>,
+        path_var: Option<&str>,
         prev: NodePat,
         next: NodePat,
         predicates: &mut Vec<PgirExpr>,
     ) -> Result<PatternElem> {
-        let var = match &rel.var {
-            Some(v) => v.clone(),
-            None => self.fresh_var(),
+        // A path pattern's binding is, in preference order, the user's path
+        // variable (`p = shortestPath(...)`, the name the unparser renders),
+        // the relationship variable, or a fresh name. Plain edges never take
+        // the path variable.
+        let is_path = rel.length.is_some() || shortest.is_some();
+        let var = match (is_path, path_var, &rel.var) {
+            (true, Some(p), _) => p.to_string(),
+            (_, _, Some(v)) => v.clone(),
+            (_, _, None) => self.fresh_var(),
         };
         if rel.types.len() > 1 {
             return Err(RaqletError::unsupported(
@@ -185,7 +197,6 @@ impl<'a> Lowerer<'a> {
             cy::Direction::Undirected => (prev, next, false),
         };
 
-        let is_path = rel.length.is_some() || shortest.is_some();
         if !is_path {
             return Ok(PatternElem::Edge(EdgePat { var, label, directed, src, dst }));
         }
@@ -268,10 +279,8 @@ impl<'a> Lowerer<'a> {
                 None => Err(RaqletError::semantic(format!("unbound query parameter `${name}`"))),
             },
             cy::Expr::List(items) => {
-                let values = items
-                    .iter()
-                    .map(|e| self.constant_value(e))
-                    .collect::<Result<Vec<_>>>()?;
+                let values =
+                    items.iter().map(|e| self.constant_value(e)).collect::<Result<Vec<_>>>()?;
                 // A bare list outside IN is represented as an InList over a
                 // dummy; callers only produce lists as the RHS of IN, which is
                 // handled in the Binary arm below, so reaching here is a
@@ -311,7 +320,12 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_binary(&mut self, op: cy::BinaryOp, lhs: &cy::Expr, rhs: &cy::Expr) -> Result<PgirExpr> {
+    fn lower_binary(
+        &mut self,
+        op: cy::BinaryOp,
+        lhs: &cy::Expr,
+        rhs: &cy::Expr,
+    ) -> Result<PgirExpr> {
         use cy::BinaryOp as B;
         let cmp = |this: &mut Self, op| -> Result<PgirExpr> {
             Ok(PgirExpr::Cmp {
@@ -321,14 +335,12 @@ impl<'a> Lowerer<'a> {
             })
         };
         match op {
-            B::And => Ok(PgirExpr::And(
-                Box::new(self.lower_expr(lhs)?),
-                Box::new(self.lower_expr(rhs)?),
-            )),
-            B::Or => Ok(PgirExpr::Or(
-                Box::new(self.lower_expr(lhs)?),
-                Box::new(self.lower_expr(rhs)?),
-            )),
+            B::And => {
+                Ok(PgirExpr::And(Box::new(self.lower_expr(lhs)?), Box::new(self.lower_expr(rhs)?)))
+            }
+            B::Or => {
+                Ok(PgirExpr::Or(Box::new(self.lower_expr(lhs)?), Box::new(self.lower_expr(rhs)?)))
+            }
             B::Eq => cmp(self, CmpOp::Eq),
             B::Neq => cmp(self, CmpOp::Neq),
             B::Lt => cmp(self, CmpOp::Lt),
@@ -338,10 +350,9 @@ impl<'a> Lowerer<'a> {
             B::In => {
                 let expr = self.lower_expr(lhs)?;
                 let values = match rhs {
-                    cy::Expr::List(items) => items
-                        .iter()
-                        .map(|e| self.constant_value(e))
-                        .collect::<Result<Vec<_>>>()?,
+                    cy::Expr::List(items) => {
+                        items.iter().map(|e| self.constant_value(e)).collect::<Result<Vec<_>>>()?
+                    }
                     other => {
                         return Err(RaqletError::unsupported(format!(
                             "IN requires a literal list, got `{other}`"
@@ -509,6 +520,31 @@ mod tests {
         assert_eq!(p.semantics, PathSemantics::Shortest);
         assert!(!p.directed);
         assert_eq!(p.max_hops, None);
+    }
+
+    #[test]
+    fn user_path_variable_is_preserved_on_path_patterns() {
+        // `p = shortestPath(...)` must keep binding `p` — it is the name the
+        // unparser renders, so regenerating it breaks round-trip stability.
+        let q = lower(
+            "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) \
+             RETURN b.id AS id",
+        );
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Path(path) = &m.patterns[0] else { panic!() };
+        assert_eq!(path.var, "p");
+
+        // The relationship variable still wins when there is no path variable,
+        // and anonymous paths get a fresh name.
+        let q = lower("MATCH (a:Person)-[r:KNOWS*]->(b:Person) RETURN b.id AS id");
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Path(path) = &m.patterns[0] else { panic!() };
+        assert_eq!(path.var, "r");
+
+        let q = lower("MATCH (a:Person)-[:KNOWS*]->(b:Person) RETURN b.id AS id");
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Path(path) = &m.patterns[0] else { panic!() };
+        assert_eq!(path.var, "x1");
     }
 
     #[test]

@@ -130,10 +130,8 @@ impl SqlExpr {
     /// Tables referenced by this expression (not descending into NOT EXISTS).
     pub fn referenced_tables(&self, out: &mut Vec<String>) {
         match self {
-            SqlExpr::Column { table, .. } => {
-                if !out.contains(table) {
-                    out.push(table.clone());
-                }
+            SqlExpr::Column { table, .. } if !out.contains(table) => {
+                out.push(table.clone());
             }
             SqlExpr::Cmp { lhs, rhs, .. } | SqlExpr::Arith { lhs, rhs, .. } => {
                 lhs.referenced_tables(out);
@@ -311,10 +309,7 @@ mod tests {
             alias: "B".into(),
             conditions: vec![SqlExpr::eq(SqlExpr::col("B", "id"), SqlExpr::col("R1", "id"))],
         };
-        assert_eq!(
-            e.to_string(),
-            "NOT EXISTS (SELECT 1 FROM blocked AS B WHERE (B.id = R1.id))"
-        );
+        assert_eq!(e.to_string(), "NOT EXISTS (SELECT 1 FROM blocked AS B WHERE (B.id = R1.id))");
     }
 
     #[test]
@@ -346,7 +341,11 @@ mod tests {
         let mut stmt = SelectStmt::default();
         assert!(!stmt.is_aggregating());
         stmt.items.push(SelectItem::new(
-            SqlExpr::Aggregate { func: SqlAggFunc::Sum, distinct: false, arg: Some(Box::new(SqlExpr::col("R", "v"))) },
+            SqlExpr::Aggregate {
+                func: SqlAggFunc::Sum,
+                distinct: false,
+                arg: Some(Box::new(SqlExpr::col("R", "v"))),
+            },
             "total",
         ));
         assert!(stmt.is_aggregating());

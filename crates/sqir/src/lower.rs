@@ -253,8 +253,11 @@ impl<'a> Lowering<'a> {
             let alias = format!("R{alias_counter}");
             // References to the relation being defined are renamed to the CTE
             // (relevant for lattice helpers where cte_name = `<name>__all`).
-            let table =
-                if atom.relation == relation { cte_name.to_string() } else { atom.relation.clone() };
+            let table = if atom.relation == relation {
+                cte_name.to_string()
+            } else {
+                atom.relation.clone()
+            };
             let columns = self.columns_of(&atom.relation)?;
             if columns.len() != atom.arity() {
                 return Err(RaqletError::semantic(format!(
@@ -303,7 +306,8 @@ impl<'a> Lowering<'a> {
                         continue;
                     }
                 }
-                match (self.try_lower_scalar(lhs, &bindings), self.try_lower_scalar(rhs, &bindings)) {
+                match (self.try_lower_scalar(lhs, &bindings), self.try_lower_scalar(rhs, &bindings))
+                {
                     (Some(l), Some(r)) => {
                         stmt.where_conjuncts.push(SqlExpr::Cmp {
                             op: cmp_op(*op),
@@ -362,19 +366,13 @@ impl<'a> Lowering<'a> {
         match &rule.aggregation {
             None => {
                 for (i, term) in rule.head.terms.iter().enumerate() {
-                    let alias = head_columns
-                        .get(i)
-                        .cloned()
-                        .unwrap_or_else(|| format!("c{i}"));
+                    let alias = head_columns.get(i).cloned().unwrap_or_else(|| format!("c{i}"));
                     let expr = match term {
-                        Term::Var(v) => bindings
-                            .get(v)
-                            .cloned()
-                            .ok_or_else(|| {
-                                RaqletError::semantic(format!(
-                                    "head variable `{v}` of rule `{rule}` is unbound"
-                                ))
-                            })?,
+                        Term::Var(v) => bindings.get(v).cloned().ok_or_else(|| {
+                            RaqletError::semantic(format!(
+                                "head variable `{v}` of rule `{rule}` is unbound"
+                            ))
+                        })?,
                         Term::Const(c) => SqlExpr::Literal(c.clone()),
                         Term::Wildcard => {
                             return Err(RaqletError::semantic("wildcard in rule head"))
@@ -386,10 +384,7 @@ impl<'a> Lowering<'a> {
             Some(agg) => {
                 stmt.distinct = false;
                 for (i, term) in rule.head.terms.iter().enumerate() {
-                    let alias = head_columns
-                        .get(i)
-                        .cloned()
-                        .unwrap_or_else(|| format!("c{i}"));
+                    let alias = head_columns.get(i).cloned().unwrap_or_else(|| format!("c{i}"));
                     let Term::Var(v) = term else {
                         return Err(RaqletError::semantic(
                             "aggregated rule heads must consist of variables",
@@ -397,16 +392,13 @@ impl<'a> Lowering<'a> {
                     };
                     if *v == agg.output_var {
                         let arg = match &agg.input_var {
-                            Some(input) => Some(Box::new(
-                                bindings
-                                    .get(input)
-                                    .cloned()
-                                    .ok_or_else(|| {
-                                        RaqletError::semantic(format!(
-                                            "aggregate input `{input}` is unbound"
-                                        ))
-                                    })?,
-                            )),
+                            Some(input) => {
+                                Some(Box::new(bindings.get(input).cloned().ok_or_else(|| {
+                                    RaqletError::semantic(format!(
+                                        "aggregate input `{input}` is unbound"
+                                    ))
+                                })?))
+                            }
                             None => None,
                         };
                         stmt.items.push(SelectItem::new(
@@ -609,10 +601,7 @@ mod tests {
         let mut prog = DlirProgram::new(edge_schema());
         prog.add_rule(Rule::new(
             Atom::with_vars("Return", &["cityId"]),
-            vec![
-                atom("edge", &["n", "p"]),
-                BodyElem::eq(DlExpr::var("p"), DlExpr::var("cityId")),
-            ],
+            vec![atom("edge", &["n", "p"]), BodyElem::eq(DlExpr::var("p"), DlExpr::var("cityId"))],
         ));
         prog.add_output("Return");
         let q = lower_to_sqir(&prog, "Return", &SqlLowerOptions::default()).unwrap();
@@ -634,11 +623,8 @@ mod tests {
         p.add_output("q");
         let q = lower_to_sqir(&p, "q", &SqlLowerOptions::default()).unwrap();
         let branch = &q.cte("q").unwrap().branches[0];
-        let not_exists = branch
-            .where_conjuncts
-            .iter()
-            .find(|c| matches!(c, SqlExpr::NotExists { .. }))
-            .unwrap();
+        let not_exists =
+            branch.where_conjuncts.iter().find(|c| matches!(c, SqlExpr::NotExists { .. })).unwrap();
         let s = not_exists.to_string();
         assert!(s.starts_with("NOT EXISTS (SELECT 1 FROM edge"), "{s}");
     }
@@ -647,10 +633,8 @@ mod tests {
     fn aggregation_becomes_group_by_with_distinct_aggregate() {
         use raqlet_dlir::Aggregation;
         let mut p = DlirProgram::new(edge_schema());
-        let mut rule = Rule::new(
-            Atom::with_vars("deg", &["x", "d"]),
-            vec![atom("edge", &["x", "y"])],
-        );
+        let mut rule =
+            Rule::new(Atom::with_vars("deg", &["x", "d"]), vec![atom("edge", &["x", "y"])]);
         rule.aggregation = Some(Aggregation {
             func: AggFunc::Count,
             input_var: Some("y".into()),
@@ -736,8 +720,7 @@ mod tests {
         // The helper CTE is the recursive one and carries the depth bound.
         let all = q.cte("dist__all").unwrap();
         assert!(all.recursive);
-        assert!(all
-            .recursive_branches()[0]
+        assert!(all.recursive_branches()[0]
             .where_conjuncts
             .iter()
             .any(|c| c.to_string().contains("<= 30")));
@@ -758,8 +741,14 @@ mod tests {
     fn cte_chain_follows_dependency_order() {
         // Return depends on Where1 depends on Match1.
         let mut p = DlirProgram::new(edge_schema());
-        p.add_rule(Rule::new(Atom::with_vars("Match1", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
-        p.add_rule(Rule::new(Atom::with_vars("Where1", &["x", "y"]), vec![atom("Match1", &["x", "y"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("Match1", &["x", "y"]),
+            vec![atom("edge", &["x", "y"])],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("Where1", &["x", "y"]),
+            vec![atom("Match1", &["x", "y"])],
+        ));
         p.add_rule(Rule::new(Atom::with_vars("Return", &["x"]), vec![atom("Where1", &["x", "y"])]));
         p.add_output("Return");
         let q = lower_to_sqir(&p, "Return", &SqlLowerOptions::default()).unwrap();

@@ -133,7 +133,10 @@ mod tests {
         );
         assert!(text.contains("MATCH (n:Person)-[x1:IS_LOCATED_IN]->(p:City)"), "{text}");
         assert!(text.contains("WHERE n.id = 42"), "{text}");
-        assert!(text.contains("RETURN DISTINCT n.firstName AS firstName, p.id AS cityId"), "{text}");
+        assert!(
+            text.contains("RETURN DISTINCT n.firstName AS firstName, p.id AS cityId"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -149,9 +152,8 @@ mod tests {
 
     #[test]
     fn variable_length_and_shortest_path_are_preserved() {
-        let text = round_trip(
-            "MATCH (a:Person {id: 1})-[:KNOWS*1..2]->(b:Person) RETURN b.id AS id",
-        );
+        let text =
+            round_trip("MATCH (a:Person {id: 1})-[:KNOWS*1..2]->(b:Person) RETURN b.id AS id");
         assert!(text.contains("[:KNOWS*1..2]->"), "{text}");
 
         let sp = round_trip(

@@ -244,20 +244,15 @@ mod tests {
 
     #[test]
     fn string_constants_are_quoted_and_escaped() {
-        let rule = Rule::new(
-            Atom::new("q", vec![Term::Const(Value::str("say \"hi\""))]),
-            vec![],
-        );
+        let rule = Rule::new(Atom::new("q", vec![Term::Const(Value::str("say \"hi\""))]), vec![]);
         assert_eq!(rule_to_souffle(&rule), "q(\"say \\\"hi\\\"\").");
     }
 
     #[test]
     fn aggregation_uses_souffle_aggregate_syntax() {
         use raqlet_dlir::{AggFunc, Aggregation};
-        let mut rule = Rule::new(
-            Atom::with_vars("deg", &["x", "d"]),
-            vec![atom("edge", &["x", "y"])],
-        );
+        let mut rule =
+            Rule::new(Atom::with_vars("deg", &["x", "d"]), vec![atom("edge", &["x", "y"])]);
         rule.aggregation = Some(Aggregation {
             func: AggFunc::Count,
             input_var: Some("y".into()),

@@ -59,8 +59,7 @@ pub fn to_sql(query: &SqirQuery, dialect: SqlDialect) -> String {
 
 fn cte_to_sql(cte: &Cte, dialect: SqlDialect) -> String {
     let cols = cte.columns.join(", ");
-    let branches: Vec<String> =
-        cte.branches.iter().map(|b| select_to_sql(b, dialect, 1)).collect();
+    let branches: Vec<String> = cte.branches.iter().map(|b| select_to_sql(b, dialect, 1)).collect();
     // UNION (distinct) keeps set semantics between branches and is what makes
     // the recursive fixpoint terminate.
     let body = branches.join("\n  UNION\n");
@@ -88,17 +87,12 @@ fn select_to_sql(stmt: &SelectStmt, _dialect: SqlDialect, indent: usize) -> Stri
         let _ = write!(out, "\n{pad}FROM {from}");
     }
     if !stmt.where_conjuncts.is_empty() {
-        let conds = stmt
-            .where_conjuncts
-            .iter()
-            .map(|c| c.to_string())
-            .collect::<Vec<_>>()
-            .join(" AND ");
+        let conds =
+            stmt.where_conjuncts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" AND ");
         let _ = write!(out, "\n{pad}WHERE {conds}");
     }
     if !stmt.group_by.is_empty() {
-        let groups =
-            stmt.group_by.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", ");
+        let groups = stmt.group_by.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", ");
         let _ = write!(out, "\n{pad}GROUP BY {groups}");
     }
     out
@@ -180,7 +174,10 @@ mod tests {
         let generic = tc_sql();
         for dialect in [SqlDialect::DuckDb, SqlDialect::Hyper, SqlDialect::Postgres] {
             let mut p = DlirProgram::new(edge_schema());
-            p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+            p.add_rule(Rule::new(
+                Atom::with_vars("tc", &["x", "y"]),
+                vec![atom("edge", &["x", "y"])],
+            ));
             p.add_rule(Rule::new(
                 Atom::with_vars("tc", &["x", "y"]),
                 vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],

@@ -24,7 +24,11 @@ fn main() -> raqlet::Result<()> {
         println!("  {line}");
     }
     println!("\n== DLIR (unoptimized) ==\n{}", compiled.unoptimized);
-    println!("== DLIR (optimized: {:?}) ==\n{}", compiled.optimized.applied_passes, compiled.dlir());
+    println!(
+        "== DLIR (optimized: {:?}) ==\n{}",
+        compiled.optimized.applied_passes,
+        compiled.dlir()
+    );
     println!("== Soufflé Datalog backend ==\n{}", compiled.to_souffle());
     for dialect in [SqlDialect::DuckDb, SqlDialect::Hyper] {
         println!("== SQL backend ({}) ==\n{}\n", dialect.name(), compiled.to_sql(dialect)?);

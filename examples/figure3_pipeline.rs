@@ -29,7 +29,10 @@ fn main() -> raqlet::Result<()> {
     println!("== Figure 3b: PGIR ==\n{}", unopt.pgir);
     println!("== Figure 3c: DLIR rules ==\n{}", unopt.unoptimized);
     println!("== Figure 3d: generated Soufflé Datalog ==\n{}", unopt.to_souffle_unoptimized());
-    println!("== Figure 3e: generated SQL ==\n{}\n", unopt.to_sql_unoptimized(SqlDialect::Generic)?);
+    println!(
+        "== Figure 3e: generated SQL ==\n{}\n",
+        unopt.to_sql_unoptimized(SqlDialect::Generic)?
+    );
 
     // Optimized versions (Figure 4).
     let basic = raqlet.compile(query, &CompileOptions::new(OptLevel::Basic))?;

@@ -6,7 +6,9 @@
 //! ```
 
 use raqlet::{CompileOptions, OptLevel, Raqlet, SqlProfile};
-use raqlet_ldbc::{generate, to_database, to_property_graph, GeneratorConfig, ALL_QUERIES, SNB_PG_SCHEMA};
+use raqlet_ldbc::{
+    generate, to_database, to_property_graph, GeneratorConfig, ALL_QUERIES, SNB_PG_SCHEMA,
+};
 
 fn main() -> raqlet::Result<()> {
     let config = GeneratorConfig { scale: 1.0, seed: 42 };
@@ -46,8 +48,11 @@ fn main() -> raqlet::Result<()> {
         let neo = compiled.execute_graph(&graph)?;
 
         let duck_len = duck.as_ref().map(|r| r.len().to_string()).unwrap_or_else(|_| "n/a".into());
-        let hyper_len = hyper.as_ref().map(|r| r.len().to_string()).unwrap_or_else(|_| "n/a".into());
-        let agree = duck.map(|d| d == datalog).unwrap_or(true) && neo == datalog;
+        let hyper_len =
+            hyper.as_ref().map(|r| r.len().to_string()).unwrap_or_else(|_| "n/a".into());
+        let agree = duck.map(|d| d == datalog).unwrap_or(true)
+            && hyper.map(|h| h == datalog).unwrap_or(true)
+            && neo == datalog;
         println!(
             "{:<7} {:>10} {:>10} {:>10} {:>10}  {}",
             query.name,

@@ -11,9 +11,7 @@
 //! cargo run --example program_analysis
 //! ```
 
-use raqlet::{
-    BackendCapabilities, CompileOptions, Database, OptLevel, Raqlet, SqlProfile, Value,
-};
+use raqlet::{BackendCapabilities, CompileOptions, Database, OptLevel, Raqlet, SqlProfile, Value};
 
 fn main() -> raqlet::Result<()> {
     let schema = "CREATE GRAPH {

@@ -5,7 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use raqlet::{CompileOptions, Database, OptLevel, PropertyGraph, Raqlet, SqlDialect, SqlProfile, Value};
+use raqlet::{
+    CompileOptions, Database, OptLevel, PropertyGraph, Raqlet, SqlDialect, SqlProfile, Value,
+};
 
 fn main() -> raqlet::Result<()> {
     // 1. A property-graph schema (PG-Schema), as in Figure 2a of the paper.
@@ -31,21 +33,37 @@ fn main() -> raqlet::Result<()> {
     db.insert_fact("Person", vec![Value::Int(43), Value::str("Bob"), Value::str("4.3.2.1")])?;
     db.insert_fact("City", vec![Value::Int(100), Value::str("Edinburgh")])?;
     db.insert_fact("City", vec![Value::Int(200), Value::str("Glasgow")])?;
-    db.insert_fact("Person_IS_LOCATED_IN_City", vec![Value::Int(42), Value::Int(100), Value::Int(1)])?;
-    db.insert_fact("Person_IS_LOCATED_IN_City", vec![Value::Int(43), Value::Int(200), Value::Int(2)])?;
+    db.insert_fact(
+        "Person_IS_LOCATED_IN_City",
+        vec![Value::Int(42), Value::Int(100), Value::Int(1)],
+    )?;
+    db.insert_fact(
+        "Person_IS_LOCATED_IN_City",
+        vec![Value::Int(43), Value::Int(200), Value::Int(2)],
+    )?;
 
     // ...and the same data into the property-graph store.
     let mut graph = PropertyGraph::new();
     let ada = graph.add_node(
         "Person",
-        vec![("id", Value::Int(42)), ("firstName", Value::str("Ada")), ("locationIP", Value::str("1.2.3.4"))],
+        vec![
+            ("id", Value::Int(42)),
+            ("firstName", Value::str("Ada")),
+            ("locationIP", Value::str("1.2.3.4")),
+        ],
     );
     let bob = graph.add_node(
         "Person",
-        vec![("id", Value::Int(43)), ("firstName", Value::str("Bob")), ("locationIP", Value::str("4.3.2.1"))],
+        vec![
+            ("id", Value::Int(43)),
+            ("firstName", Value::str("Bob")),
+            ("locationIP", Value::str("4.3.2.1")),
+        ],
     );
-    let edinburgh = graph.add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))]);
-    let glasgow = graph.add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))]);
+    let edinburgh =
+        graph.add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))]);
+    let glasgow =
+        graph.add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))]);
     graph.add_edge("IS_LOCATED_IN", ada, edinburgh, vec![("id", Value::Int(1))]);
     graph.add_edge("IS_LOCATED_IN", bob, glasgow, vec![("id", Value::Int(2))]);
 

@@ -14,7 +14,9 @@
 use std::time::Instant;
 
 use raqlet::{CompileOptions, OptLevel, Raqlet, SqlProfile};
-use raqlet_ldbc::{generate, to_database, to_property_graph, GeneratorConfig, SNB_PG_SCHEMA, TABLE1_QUERIES};
+use raqlet_ldbc::{
+    generate, to_database, to_property_graph, GeneratorConfig, SNB_PG_SCHEMA, TABLE1_QUERIES,
+};
 
 fn median_millis(mut f: impl FnMut(), runs: usize) -> f64 {
     let mut samples = Vec::with_capacity(runs);
@@ -28,8 +30,7 @@ fn median_millis(mut f: impl FnMut(), runs: usize) -> f64 {
 }
 
 fn main() -> raqlet::Result<()> {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let runs = 3;
     let network = generate(&GeneratorConfig { scale, seed: 42 });
     let db = to_database(&network);
@@ -57,7 +58,12 @@ fn main() -> raqlet::Result<()> {
                 // (there is no "optimized Cypher" configuration); mirror that.
                 f64::NAN
             } else {
-                median_millis(|| { compiled.execute_graph(&graph).unwrap(); }, runs)
+                median_millis(
+                    || {
+                        compiled.execute_graph(&graph).unwrap();
+                    },
+                    runs,
+                )
             };
             let souffle = median_millis(
                 || {
@@ -89,8 +95,7 @@ fn main() -> raqlet::Result<()> {
                 },
                 runs,
             );
-            let neo4j_str =
-                if neo4j.is_nan() { "-".to_string() } else { format!("{neo4j:.2}") };
+            let neo4j_str = if neo4j.is_nan() { "-".to_string() } else { format!("{neo4j:.2}") };
             println!(
                 "{:<6} {:<10} {:>12} {:>12.2} {:>12.2} {:>12.2}",
                 query.name, label, neo4j_str, souffle, duck, hyper

@@ -1,0 +1,73 @@
+//! Lexer / parser round-trips over the LDBC SNB query corpus.
+//!
+//! Every corpus query must tokenize, parse, lower to PGIR, unparse back to
+//! Cypher, and re-parse to an equivalent PGIR — the fixed-point property the
+//! paper relies on when it treats the normalised Cypher rendering as the
+//! canonical form of a query.
+
+use raqlet::{LowerOptions, Value};
+use raqlet_ldbc::ALL_QUERIES;
+
+/// The standard parameter bindings the corpus queries expect (same set the
+/// bench workload uses).
+fn corpus_options() -> LowerOptions {
+    LowerOptions::new()
+        .with_param("personId", Value::Int(1001))
+        .with_param("otherId", Value::Int(1008))
+        .with_param("maxDate", Value::Int(20_200_101))
+        .with_param("firstName", Value::str("Alice"))
+}
+
+#[test]
+fn every_corpus_query_tokenizes() {
+    for q in ALL_QUERIES {
+        let tokens = raqlet_cypher::lexer::tokenize(q.cypher)
+            .unwrap_or_else(|e| panic!("{} does not tokenize: {e}", q.name));
+        assert!(!tokens.is_empty(), "{} produced no tokens", q.name);
+    }
+}
+
+#[test]
+fn every_corpus_query_parses() {
+    for q in ALL_QUERIES {
+        let ast = raqlet_cypher::parse(q.cypher)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", q.name));
+        assert!(!ast.clauses.is_empty(), "{} parsed to an empty query", q.name);
+    }
+}
+
+#[test]
+fn every_corpus_query_round_trips_through_the_unparser() {
+    for q in ALL_QUERIES {
+        let pgir = raqlet_pgir::cypher_to_pgir(q.cypher, &corpus_options())
+            .unwrap_or_else(|e| panic!("{} does not lower to PGIR: {e}", q.name));
+        let text = raqlet::to_cypher(&pgir);
+        let reparsed =
+            raqlet_pgir::cypher_to_pgir(&text, &LowerOptions::new()).unwrap_or_else(|e| {
+                panic!("{}'s unparsed form does not re-parse: {e}\n{text}", q.name)
+            });
+        // The unparsed rendering is a fixed point: unparse(parse(unparse(x)))
+        // is textually identical to unparse(x).
+        assert_eq!(raqlet::to_cypher(&reparsed), text, "{} is not a fixed point", q.name);
+    }
+}
+
+#[test]
+fn corpus_recursive_flags_match_the_compiled_analysis() {
+    let raqlet = raqlet::Raqlet::from_pg_schema(raqlet_ldbc::SNB_PG_SCHEMA).unwrap();
+    for q in ALL_QUERIES {
+        let options = raqlet::CompileOptions::new(raqlet::OptLevel::None)
+            .with_param("personId", 1001i64)
+            .with_param("otherId", 1008i64)
+            .with_param("maxDate", 20_200_101i64)
+            .with_param("firstName", "Alice");
+        let compiled = raqlet
+            .compile(q.cypher, &options)
+            .unwrap_or_else(|e| panic!("{} does not compile: {e}", q.name));
+        assert_eq!(
+            compiled.analysis.recursive, q.recursive,
+            "{}: corpus says recursive={}, analysis says {}",
+            q.name, q.recursive, compiled.analysis.recursive
+        );
+    }
+}

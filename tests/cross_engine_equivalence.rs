@@ -49,22 +49,14 @@ fn sq3_direct_friends() {
 
 #[test]
 fn cq2_friends_messages() {
-    check_query(
-        "CQ2",
-        raqlet_ldbc::CQ2.cypher,
-        &[("maxDate", raqlet::Value::Int(20_200_101))],
-    );
+    check_query("CQ2", raqlet_ldbc::CQ2.cypher, &[("maxDate", raqlet::Value::Int(20_200_101))]);
 }
 
 #[test]
 fn cq1_variable_length_friends() {
     // Use a first name guaranteed to exist among close friends by picking the
     // most common generated name.
-    check_query(
-        "CQ1",
-        raqlet_ldbc::CQ1.cypher,
-        &[("firstName", raqlet::Value::str("Alice"))],
-    );
+    check_query("CQ1", raqlet_ldbc::CQ1.cypher, &[("firstName", raqlet::Value::str("Alice"))]);
 }
 
 #[test]

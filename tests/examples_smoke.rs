@@ -1,0 +1,116 @@
+//! Smoke tests over the `examples/` directory.
+//!
+//! * every example source file must be registered as an example target, so
+//!   `cargo build --examples` (run in CI) really compiles all of them;
+//! * the `quickstart` example's output is stable: this test re-runs the same
+//!   pipeline and pins the exact result rows and the agreement property.
+
+use std::path::Path;
+
+use raqlet::{
+    CompileOptions, Database, OptLevel, PropertyGraph, Raqlet, SqlDialect, SqlProfile, Value,
+};
+
+/// Every `examples/*.rs` file is declared as an `[[example]]` target in
+/// `crates/core/Cargo.toml`. If someone drops a new example in the directory
+/// without registering it, `cargo build --examples` silently skips it — this
+/// test turns that into a failure.
+#[test]
+fn every_example_file_is_a_registered_target() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let manifest =
+        std::fs::read_to_string(repo_root.join("crates/core/Cargo.toml")).expect("read manifest");
+    let mut missing = Vec::new();
+    for entry in std::fs::read_dir(repo_root.join("examples")).expect("read examples dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        if !manifest.contains(&format!("name = \"{stem}\"")) {
+            missing.push(stem);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "examples/{missing:?}.rs exist but are not [[example]] targets in crates/core/Cargo.toml"
+    );
+}
+
+/// The exact pipeline `examples/quickstart.rs` runs, with its output pinned.
+/// If this test fails, the quickstart's printed results changed too.
+#[test]
+fn quickstart_output_is_stable() {
+    let schema = "CREATE GRAPH {
+        (personType : Person { id INT, firstName STRING, locationIP STRING }),
+        (cityType : City { id INT, name STRING }),
+        (:personType)-[locationType: isLocatedIn { id INT }]->(:cityType)
+    }";
+    let raqlet = Raqlet::from_pg_schema(schema).unwrap();
+    let query = "MATCH (n:Person {id:42})-[:IS_LOCATED_IN]->(p:City)
+                 RETURN DISTINCT n.firstName AS firstName, p.id AS cityId";
+    let compiled = raqlet.compile(query, &CompileOptions::new(OptLevel::Full)).unwrap();
+
+    // The unparsed artifacts contain the pieces quickstart prints.
+    let souffle = compiled.to_souffle();
+    assert!(souffle.contains(".output Return"), "souffle:\n{souffle}");
+    let sql = compiled.to_sql(SqlDialect::DuckDb).unwrap();
+    assert!(sql.contains("SELECT DISTINCT"), "sql:\n{sql}");
+
+    let mut db = Database::new();
+    db.insert_fact("Person", vec![Value::Int(42), Value::str("Ada"), Value::str("1.2.3.4")])
+        .unwrap();
+    db.insert_fact("Person", vec![Value::Int(43), Value::str("Bob"), Value::str("4.3.2.1")])
+        .unwrap();
+    db.insert_fact("City", vec![Value::Int(100), Value::str("Edinburgh")]).unwrap();
+    db.insert_fact("City", vec![Value::Int(200), Value::str("Glasgow")]).unwrap();
+    db.insert_fact(
+        "Person_IS_LOCATED_IN_City",
+        vec![Value::Int(42), Value::Int(100), Value::Int(1)],
+    )
+    .unwrap();
+    db.insert_fact(
+        "Person_IS_LOCATED_IN_City",
+        vec![Value::Int(43), Value::Int(200), Value::Int(2)],
+    )
+    .unwrap();
+
+    let mut graph = PropertyGraph::new();
+    let ada = graph.add_node(
+        "Person",
+        vec![
+            ("id", Value::Int(42)),
+            ("firstName", Value::str("Ada")),
+            ("locationIP", Value::str("1.2.3.4")),
+        ],
+    );
+    let bob = graph.add_node(
+        "Person",
+        vec![
+            ("id", Value::Int(43)),
+            ("firstName", Value::str("Bob")),
+            ("locationIP", Value::str("4.3.2.1")),
+        ],
+    );
+    let edinburgh =
+        graph.add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))]);
+    let glasgow =
+        graph.add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))]);
+    graph.add_edge("IS_LOCATED_IN", ada, edinburgh, vec![("id", Value::Int(1))]);
+    graph.add_edge("IS_LOCATED_IN", bob, glasgow, vec![("id", Value::Int(2))]);
+
+    let datalog = compiled.execute_datalog(&db).unwrap();
+    let duck = compiled.execute_sql(&db, SqlProfile::Duck).unwrap();
+    let hyper = compiled.execute_sql(&db, SqlProfile::Hyper).unwrap();
+    let neo = compiled.execute_graph(&graph).unwrap();
+
+    // The pinned result: exactly one row, Ada in Edinburgh.
+    let expected = vec![vec![Value::str("Ada"), Value::Int(100)]];
+    assert_eq!(datalog.sorted(), expected);
+    assert_eq!(datalog, duck);
+    assert_eq!(duck, hyper);
+    assert_eq!(hyper, neo);
+
+    // And the printed form quickstart emits for the result relation.
+    assert_eq!(datalog.to_string(), "Ada\t100\n");
+}

@@ -3,7 +3,7 @@
 //! goal, checked empirically).
 
 use raqlet::{Database, DatalogEngine, Value};
-use raqlet_dlir::{Atom, BodyElem, CmpOp, DlExpr, DlirProgram, Rule};
+use raqlet_dlir::{Atom, BodyElem, DlExpr, DlirProgram, Rule};
 use raqlet_opt::{optimize, optimize_with, OptLevel, PassConfig};
 
 fn atom(name: &str, vars: &[&str]) -> BodyElem {
@@ -85,7 +85,8 @@ fn individual_passes_preserve_results() {
     let baseline = run(&program, &db);
     let full = PassConfig::for_level(OptLevel::Full);
     // Toggle each pass off in turn; results must not change.
-    let toggles: Vec<(&str, Box<dyn Fn(&mut PassConfig)>)> = vec![
+    type Toggle<'a> = (&'a str, Box<dyn Fn(&mut PassConfig)>);
+    let toggles: Vec<Toggle> = vec![
         ("no-inline", Box::new(|c: &mut PassConfig| c.inline = false)),
         ("no-constprop", Box::new(|c: &mut PassConfig| c.constant_propagation = false)),
         ("no-semantic", Box::new(|c: &mut PassConfig| c.semantic_joins = false)),

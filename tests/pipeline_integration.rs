@@ -18,7 +18,9 @@ fn figure2_schema_transformation() {
     let schema = raqlet.dl_schema().to_string();
     assert!(schema.contains(".decl Person(id: number, firstName: symbol, locationIP: symbol)"));
     assert!(schema.contains(".decl City(id: number, name: symbol)"));
-    assert!(schema.contains(".decl Person_IS_LOCATED_IN_City(id1: number, id2: number, id: number)"));
+    assert!(
+        schema.contains(".decl Person_IS_LOCATED_IN_City(id1: number, id2: number, id: number)")
+    );
 }
 
 #[test]
@@ -64,10 +66,7 @@ fn figure4_optimizations_reduce_the_program_to_one_rule() {
     assert_eq!(compiled.optimized.rules_after, 1);
     assert_eq!(compiled.dlir().rules[0].head.relation, "Return");
     assert!(compiled.optimized.applied_passes.contains(&"inline".to_string()));
-    assert!(compiled
-        .optimized
-        .applied_passes
-        .contains(&"dead-rule-elimination".to_string()));
+    assert!(compiled.optimized.applied_passes.contains(&"dead-rule-elimination".to_string()));
     // The id = 42 filter must survive, either as a constraint or pushed into
     // the edge atom by constant propagation.
     assert!(compiled.dlir().rules[0].to_string().contains("42"));
