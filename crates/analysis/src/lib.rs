@@ -4,13 +4,13 @@
 //! implemented once, at the DLIR level, independent of the source query
 //! language:
 //!
-//! * [`linearity`] — is every recursive rule *linear* (at most one recursive
+//! * [`mod@linearity`] — is every recursive rule *linear* (at most one recursive
 //!   atom in its body)? Backends limited to recursive CTEs require this.
 //! * [`mutual`] — does the program contain mutually recursive predicates
 //!   (an SCC with more than one member)? RDBMS backends reject these.
-//! * [`monotonicity`] — is the program monotonic under set inclusion
+//! * [`mod@monotonicity`] — is the program monotonic under set inclusion
 //!   (no negation, no aggregation over a recursive predicate)?
-//! * [`termination`] — may the program fail to terminate (value-inventing
+//! * [`mod@termination`] — may the program fail to terminate (value-inventing
 //!   arithmetic in recursive rules without a bound or a lattice annotation)?
 //! * [`report`] — a combined [`AnalysisReport`] plus backend capability
 //!   checks used by the compiler driver to reject or warn early.

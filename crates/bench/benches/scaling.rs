@@ -1,0 +1,67 @@
+//! Scaling curves for the Datalog engine's delta-indexed semi-naive
+//! evaluation: the same recursive queries are run while the synthetic SNB
+//! workload grows through several scale factors, so a speedup shows as a
+//! curve rather than a single point. The interesting comparison is the
+//! growth *rate*: with persistent join indexes and delta-driven joins the
+//! recursive rows should grow roughly with the output size, while naive
+//! evaluation degrades superlinearly.
+//!
+//! Benchmark ids look like `scaling/reachability/sf0.5/semi-naive`.
+//!
+//! Set `RAQLET_BENCH_QUICK=1` to sweep a reduced set of scale factors with a
+//! short measurement window (used by the CI smoke job).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raqlet::{DatalogEngine, OptLevel};
+use raqlet_bench::{quick_mode, Workload};
+use raqlet_ldbc::{CQ2, REACHABILITY};
+
+fn scaling(c: &mut Criterion) {
+    let scales: &[f64] = if quick_mode() { &[0.25, 0.5] } else { &[0.25, 0.5, 1.0, 2.0] };
+    for &scale in scales {
+        let workload = Workload::new(scale);
+        let mut group = c.benchmark_group(format!("scaling/reachability/sf{scale}"));
+        group.sample_size(10);
+        let unopt = workload.compile(REACHABILITY.cypher, OptLevel::None);
+        let opt = workload.compile(REACHABILITY.cypher, OptLevel::Full);
+        group.bench_function(BenchmarkId::from_parameter("semi-naive"), |b| {
+            b.iter(|| unopt.execute_datalog(&workload.db).unwrap())
+        });
+        group.bench_function(BenchmarkId::from_parameter("semi-naive-magic"), |b| {
+            b.iter(|| opt.execute_datalog(&workload.db).unwrap())
+        });
+        group.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+            let engine = DatalogEngine::naive();
+            b.iter(|| engine.run_output(unopt.dlir(), &workload.db, "Return").unwrap())
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("scaling/CQ2/sf{scale}"));
+        group.sample_size(10);
+        let cq2_unopt = workload.compile(CQ2.cypher, OptLevel::None);
+        let cq2_opt = workload.compile(CQ2.cypher, OptLevel::Full);
+        group.bench_function(BenchmarkId::from_parameter("unoptimized"), |b| {
+            b.iter(|| cq2_unopt.execute_datalog(&workload.db).unwrap())
+        });
+        group.bench_function(BenchmarkId::from_parameter("optimized"), |b| {
+            b.iter(|| cq2_opt.execute_datalog(&workload.db).unwrap())
+        });
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    let measurement =
+        if quick_mode() { Duration::from_millis(150) } else { Duration::from_secs(2) };
+    let warm_up = if quick_mode() { Duration::from_millis(50) } else { Duration::from_millis(500) };
+    Criterion::default().measurement_time(measurement).warm_up_time(warm_up)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = scaling
+}
+criterion_main!(benches);

@@ -3,13 +3,15 @@
 //! (Neo4j-sim = graph engine, Soufflé-sim = Datalog engine,
 //! DuckDB-sim / HyPer-sim = the two SQL-engine profiles).
 
+use std::time::Duration;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use raqlet::{OptLevel, SqlProfile};
-use raqlet_bench::Workload;
+use raqlet_bench::{quick_mode, Workload};
 use raqlet_ldbc::TABLE1_QUERIES;
 
 fn table1(c: &mut Criterion) {
-    let workload = Workload::new(1.0);
+    let workload = Workload::new(if quick_mode() { 0.25 } else { 1.0 });
     for query in TABLE1_QUERIES {
         let mut group = c.benchmark_group(format!("table1/{}", query.name));
         group.sample_size(10);
@@ -37,9 +39,16 @@ fn table1(c: &mut Criterion) {
     }
 }
 
+fn config() -> Criterion {
+    let measurement =
+        if quick_mode() { Duration::from_millis(150) } else { Duration::from_secs(3) };
+    let warm_up = if quick_mode() { Duration::from_millis(50) } else { Duration::from_millis(500) };
+    Criterion::default().measurement_time(measurement).warm_up_time(warm_up)
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    config = config();
     targets = table1
 }
 criterion_main!(benches);

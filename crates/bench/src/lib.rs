@@ -7,13 +7,23 @@
 //! * `optimizations` — per-pass ablation of the Section 5 optimizations;
 //! * `recursion` — the recursive-query comparisons discussed in Section 2
 //!   (transitive closure and shortest paths across engines, naive vs
-//!   semi-naive evaluation, magic sets on/off).
+//!   semi-naive evaluation, magic sets on/off);
+//! * `scaling` — the recursive queries swept across SNB scale factors, so
+//!   evaluation improvements show as curves rather than points.
 //!
 //! This library holds the workload setup shared by the benches and the
-//! `table1` example.
+//! `table1` example. Set `RAQLET_BENCH_QUICK=1` to run every bench in a
+//! reduced quick mode (small scale factor, short measurement window) — the
+//! CI smoke job uses this to catch panics and harness rot cheaply.
 
 use raqlet::{CompileOptions, CompiledQuery, Database, OptLevel, PropertyGraph, Raqlet};
 use raqlet_ldbc::{generate, to_database, to_property_graph, GeneratorConfig, SNB_PG_SCHEMA};
+
+/// True if `RAQLET_BENCH_QUICK` is set (CI smoke mode: tiny workloads and
+/// short measurement windows; results are not comparable across runs).
+pub fn quick_mode() -> bool {
+    std::env::var("RAQLET_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// A fully prepared benchmark workload: data loaded into every store plus the
 /// compiler instantiated for the SNB schema.

@@ -13,12 +13,31 @@ pub type Result<T, E = RaqletError> = std::result::Result<T, E>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RaqletError {
     /// Lexing failed (unexpected character, unterminated string, ...).
-    Lex { message: String, line: u32, column: u32 },
+    Lex {
+        /// What the lexer could not make sense of.
+        message: String,
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        column: u32,
+    },
     /// Parsing failed (unexpected token, missing clause, ...).
-    Parse { message: String, line: u32, column: u32 },
+    Parse {
+        /// What the parser expected or found instead.
+        message: String,
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        column: u32,
+    },
     /// A name (label, property, relation, variable) could not be resolved
     /// against the active schema or rule set.
-    UnknownName { kind: &'static str, name: String },
+    UnknownName {
+        /// The syntactic category of the name (e.g. "label", "property").
+        kind: &'static str,
+        /// The unresolved name itself.
+        name: String,
+    },
     /// The query is well-formed but uses a feature Raqlet does not support.
     Unsupported(String),
     /// A semantic check failed during lowering (type mismatch, unbound
@@ -26,7 +45,12 @@ pub enum RaqletError {
     Semantic(String),
     /// Static analysis rejected the query for the chosen backend
     /// (e.g. mutual recursion targeted at a recursive-CTE backend).
-    BackendRejected { backend: String, reason: String },
+    BackendRejected {
+        /// The backend that cannot run the query.
+        backend: String,
+        /// Why the capability check failed.
+        reason: String,
+    },
     /// An optimization pass detected an internal inconsistency.
     Optimization(String),
     /// Execution of a query against one of the built-in engines failed.

@@ -19,6 +19,8 @@
 //! The crate is dependency-free on purpose so every layer of the compiler can
 //! use it without pulling anything external into the build.
 
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod ids;
 pub mod relation;

@@ -3,12 +3,67 @@
 //! These are the storage substrate shared by the deductive (Datalog) and
 //! relational (SQL) execution engines. A [`Relation`] is a *set* of tuples —
 //! all of Raqlet's backends use set semantics, matching the paper's use of
-//! `RETURN DISTINCT` / `SELECT DISTINCT` — with optional hash indexes built
-//! on demand for join columns.
+//! `RETURN DISTINCT` / `SELECT DISTINCT` — with hash indexes over join
+//! columns that are **persistent**: once built they are *extended* on every
+//! insert instead of being invalidated, so a fixpoint loop never pays to
+//! rebuild an index over a relation that only grew.
+//!
+//! Storage is an append-only **row arena**: every admitted tuple gets a
+//! stable row id, deduplication happens through a hash table of row ids, and
+//! indexes store row-id posting lists instead of tuple copies. Each tuple is
+//! therefore stored exactly once no matter how many indexes cover it, and
+//! building or extending an index never clones a tuple. Removed rows (lattice
+//! merges replace dominated tuples) leave a tombstone; stale posting-list
+//! entries are skipped on probe.
+//!
+//! For semi-naive evaluation the visible state is split three ways:
+//!
+//! * the **full** set — every live row; this is what [`len`], [`iter`],
+//!   [`contains`] and the indexes see;
+//! * the **delta** — the rows that became visible in the *previous* fixpoint
+//!   round (the frontier recursive rules join against);
+//! * the **staged** set — tuples derived in the *current* round, invisible
+//!   to reads until [`advance`] publishes them.
+//!
+//! The lifecycle per fixpoint round is: derive into the staging area via
+//! [`stage`], then call [`advance`] to publish the staged tuples into the
+//! arena (extending every index), make them the new delta, and start an
+//! empty staging area.
+//!
+//! [`len`]: Relation::len
+//! [`iter`]: Relation::iter
+//! [`contains`]: Relation::contains
+//! [`stage`]: Relation::stage
+//! [`advance`]: Relation::advance
+//!
+//! ```
+//! use raqlet_common::{Relation, Value};
+//!
+//! let mut edge = Relation::new(2);
+//! edge.insert(vec![Value::Int(1), Value::Int(2)]).unwrap();
+//! edge.insert(vec![Value::Int(1), Value::Int(3)]).unwrap();
+//!
+//! // Build a persistent index on the first column and probe it.
+//! edge.ensure_index(&[0]);
+//! assert_eq!(edge.probe_index(&[0], &[Value::Int(1)]).unwrap().count(), 2);
+//!
+//! // Inserting extends the index in place — no rebuild.
+//! edge.insert(vec![Value::Int(1), Value::Int(4)]).unwrap();
+//! assert_eq!(edge.probe_index(&[0], &[Value::Int(1)]).unwrap().count(), 3);
+//!
+//! // Semi-naive delta lifecycle: stage derivations, then advance the round.
+//! let mut tc = Relation::new(2);
+//! tc.stage(vec![Value::Int(1), Value::Int(2)]).unwrap();
+//! assert_eq!(tc.len(), 0); // staged tuples are not yet visible
+//! assert_eq!(tc.advance(), 1);
+//! assert_eq!(tc.len(), 1);
+//! assert_eq!(tc.delta_len(), 1); // ... but now form the frontier
+//! ```
 
-use std::collections::hash_map::Entry;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::error::{RaqletError, Result};
 use crate::value::Value;
@@ -16,21 +71,160 @@ use crate::value::Value;
 /// A single row: a fixed-arity vector of values.
 pub type Tuple = Vec<Value>;
 
-/// A set of tuples of uniform arity, with lazily built hash indexes.
+/// Row id within a relation's arena. Arena slots are never reused, so a
+/// `RowId` stays valid (though its row may be tombstoned) for the relation's
+/// lifetime.
+type RowId = u32;
+
+/// A posting list of row ids that stores the overwhelmingly common
+/// zero/one-entry cases inline, avoiding one heap allocation per entry in
+/// the dedup table and in selective indexes (which dominates clone cost).
+#[derive(Debug, Clone)]
+enum IdList {
+    One(RowId),
+    Many(Vec<RowId>),
+}
+
+impl IdList {
+    fn push(&mut self, id: RowId) {
+        match self {
+            IdList::One(first) => *self = IdList::Many(vec![*first, id]),
+            IdList::Many(v) => v.push(id),
+        }
+    }
+
+    fn remove(&mut self, id: RowId) -> bool {
+        match self {
+            // An empty `One` cannot be represented; the caller removes the
+            // whole entry when this returns true.
+            IdList::One(first) => *first == id,
+            IdList::Many(v) => {
+                v.retain(|&p| p != id);
+                v.is_empty()
+            }
+        }
+    }
+
+    fn iter(&self) -> std::slice::Iter<'_, RowId> {
+        match self {
+            IdList::One(first) => std::slice::from_ref(first).iter(),
+            IdList::Many(v) => v.iter(),
+        }
+    }
+}
+
+/// A persistent hash index over one or more columns, mapping the projected
+/// key to the ids of matching rows. Single-column indexes avoid allocating a
+/// key vector per entry.
+#[derive(Debug, Clone)]
+enum Index {
+    /// Index over exactly one column: keyed by the column value directly.
+    Single(usize, HashMap<Value, IdList>),
+    /// Index over several columns: keyed by the projected value vector.
+    Multi(Vec<usize>, HashMap<Vec<Value>, IdList>),
+}
+
+impl Index {
+    fn new(columns: &[usize]) -> Index {
+        if columns.len() == 1 {
+            Index::Single(columns[0], HashMap::new())
+        } else {
+            Index::Multi(columns.to_vec(), HashMap::new())
+        }
+    }
+
+    /// Add one row to the posting list for its key.
+    fn add(&mut self, id: RowId, tuple: &[Value]) {
+        match self {
+            Index::Single(col, map) => match map.get_mut(&tuple[*col]) {
+                Some(postings) => postings.push(id),
+                None => {
+                    map.insert(tuple[*col].clone(), IdList::One(id));
+                }
+            },
+            Index::Multi(cols, map) => {
+                // Look up by slice to avoid allocating a key vector unless
+                // the key is new.
+                let mut probe_key: Vec<Value> = Vec::with_capacity(cols.len());
+                probe_key.extend(cols.iter().map(|&c| tuple[c].clone()));
+                match map.get_mut(probe_key.as_slice()) {
+                    Some(postings) => postings.push(id),
+                    None => {
+                        map.insert(probe_key, IdList::One(id));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The posting list for `key` (projected values in column order).
+    fn get(&self, key: &[Value]) -> Option<&IdList> {
+        match self {
+            Index::Single(_, map) => map.get(&key[0]),
+            Index::Multi(_, map) => map.get(key),
+        }
+    }
+
+    /// Remove one row id from the posting list for `tuple`'s key.
+    fn remove(&mut self, id: RowId, tuple: &[Value]) {
+        match self {
+            Index::Single(col, map) => {
+                if let Some(postings) = map.get_mut(&tuple[*col]) {
+                    if postings.remove(id) {
+                        map.remove(&tuple[*col]);
+                    }
+                }
+            }
+            Index::Multi(cols, map) => {
+                let key: Vec<Value> = cols.iter().map(|&c| tuple[c].clone()).collect();
+                if let Some(postings) = map.get_mut(key.as_slice()) {
+                    if postings.remove(id) {
+                        map.remove(key.as_slice());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A set of tuples of uniform arity, stored in an append-only row arena with
+/// persistent hash indexes and semi-naive `full` / `delta` / `staged` state
+/// (see the module docs for the lifecycle).
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     arity: usize,
-    tuples: HashSet<Tuple>,
-    /// Hash indexes keyed by the column positions they cover. Values map the
-    /// projected key to the matching tuples. Indexes are invalidated (cleared)
-    /// on insertion.
-    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<Tuple>>>,
+    /// The row arena. `None` marks a tombstone (row removed by a lattice
+    /// merge). Slots are never reused.
+    rows: Vec<Option<Tuple>>,
+    /// Number of live (non-tombstoned) rows.
+    live: usize,
+    /// Deduplication table: tuple hash → candidate row ids.
+    dedup: HashMap<u64, IdList>,
+    /// The frontier: snapshots of the tuples published by the most recent
+    /// [`Relation::advance`]. Stored by value so that mid-round lattice
+    /// removals of dominated rows cannot mutate the frontier the current
+    /// round is joining against.
+    delta: Vec<Tuple>,
+    /// The staging area: tuples derived this round, not yet published.
+    staged: HashSet<Tuple>,
+    /// Tuples published mid-round by [`Relation::lattice_insert`] that the
+    /// next [`Relation::advance`] must still announce in the delta.
+    delta_next: Vec<Tuple>,
+    /// Persistent hash indexes, keyed by the column positions they cover.
+    /// Extended in place on insert, never invalidated.
+    indexes: HashMap<Vec<usize>, Index>,
+}
+
+fn tuple_hash(tuple: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    tuple.hash(&mut h);
+    h.finish()
 }
 
 impl Relation {
     /// Create an empty relation with the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, tuples: HashSet::new(), indexes: HashMap::new() }
+        Relation { arity, ..Default::default() }
     }
 
     /// Create a relation from an iterator of tuples. All tuples must share
@@ -51,17 +245,42 @@ impl Relation {
         self.arity
     }
 
-    /// Number of tuples.
+    /// Number of live tuples in the full (published) set.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.live
     }
 
-    /// True if the relation holds no tuples.
+    /// True if the full set holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.live == 0
     }
 
-    /// Insert a tuple. Returns `Ok(true)` if the tuple was new.
+    /// The row id of `tuple` if it is live in the arena.
+    fn find(&self, tuple: &[Value]) -> Option<RowId> {
+        let ids = self.dedup.get(&tuple_hash(tuple))?;
+        ids.iter().copied().find(|&id| self.rows[id as usize].as_deref() == Some(tuple))
+    }
+
+    /// Append a (known-new) tuple to the arena, the dedup table and every
+    /// index, returning its row id.
+    fn push_row(&mut self, tuple: Tuple) -> RowId {
+        let id = self.rows.len() as RowId;
+        for index in self.indexes.values_mut() {
+            index.add(id, &tuple);
+        }
+        match self.dedup.entry(tuple_hash(&tuple)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(id),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(IdList::One(id));
+            }
+        }
+        self.rows.push(Some(tuple));
+        self.live += 1;
+        id
+    }
+
+    /// Insert a tuple directly into the full set, extending every existing
+    /// index. Returns `Ok(true)` if the tuple was new.
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
         if tuple.len() != self.arity {
             return Err(RaqletError::Execution(format!(
@@ -70,42 +289,153 @@ impl Relation {
                 tuple.len()
             )));
         }
-        let inserted = self.tuples.insert(tuple);
-        if inserted {
-            self.indexes.clear();
-        }
-        Ok(inserted)
+        Ok(self.insert_unchecked(tuple))
     }
 
     /// Insert without arity checking (hot path in the engines; callers have
     /// already validated arity via the schema).
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
         debug_assert_eq!(tuple.len(), self.arity, "arity mismatch in insert_unchecked");
-        let inserted = self.tuples.insert(tuple);
-        if inserted {
-            self.indexes.clear();
+        if self.find(&tuple).is_some() {
+            return false;
         }
-        inserted
+        self.push_row(tuple);
+        true
     }
 
-    /// True if the relation contains `tuple`.
+    /// Stage a tuple for the current fixpoint round. The tuple becomes
+    /// visible only after [`Relation::advance`]. Returns `Ok(true)` if the
+    /// tuple is new (present neither in the full set nor already staged).
+    pub fn stage(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.len() != self.arity {
+            return Err(RaqletError::Execution(format!(
+                "arity mismatch: relation has arity {}, tuple has arity {}",
+                self.arity,
+                tuple.len()
+            )));
+        }
+        Ok(self.stage_unchecked(tuple))
+    }
+
+    /// [`Relation::stage`] without arity checking (engine hot path).
+    pub fn stage_unchecked(&mut self, tuple: Tuple) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity, "arity mismatch in stage_unchecked");
+        if self.find(&tuple).is_some() {
+            return false;
+        }
+        self.staged.insert(tuple)
+    }
+
+    /// Number of tuples currently staged (derived this round, unpublished).
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Finish a fixpoint round: publish every staged tuple into the full set
+    /// (extending all indexes in place), make the round's new rows (staged
+    /// plus any mid-round [`Relation::lattice_insert`]s) the new delta, and
+    /// clear the staging area. Returns the number of rows in the new delta.
+    pub fn advance(&mut self) -> usize {
+        let staged = std::mem::take(&mut self.staged);
+        self.delta = std::mem::take(&mut self.delta_next);
+        self.delta.reserve(staged.len());
+        for tuple in staged {
+            // `stage` checked membership at staging time, but a direct
+            // `insert` may have landed in between; re-check.
+            if self.find(&tuple).is_some() {
+                continue;
+            }
+            self.push_row(tuple.clone());
+            self.delta.push(tuple);
+        }
+        self.delta.len()
+    }
+
+    /// Insert under min/max-lattice semantics: the tuple is admitted only if
+    /// its `col` value improves on every stored tuple of the same *group*
+    /// (all other columns); dominated stored tuples are removed. Unlike
+    /// [`Relation::stage`], an admitted tuple is published into the full set
+    /// immediately (so the rest of the round observes the improvement), and
+    /// is announced in the delta of the next [`Relation::advance`].
+    pub fn lattice_insert(&mut self, tuple: Tuple, col: usize, minimize: bool) -> bool {
+        debug_assert!(col < self.arity, "lattice column out of range");
+        let group_cols: Vec<usize> = (0..self.arity).filter(|&i| i != col).collect();
+        self.ensure_index(&group_cols);
+        let key: Vec<Value> = group_cols.iter().map(|&c| tuple[c].clone()).collect();
+        let mut dominated: Vec<RowId> = Vec::new();
+        if let Some(postings) = self.indexes[group_cols.as_slice()].get(&key) {
+            for &id in postings.iter() {
+                let Some(old) = self.rows[id as usize].as_ref() else { continue };
+                let better = if minimize { tuple[col] < old[col] } else { tuple[col] > old[col] };
+                if better {
+                    dominated.push(id);
+                } else {
+                    // An equal-or-better tuple is already stored.
+                    return false;
+                }
+            }
+        }
+        for id in dominated {
+            let old = self.rows[id as usize].clone();
+            self.remove_row(id);
+            if let Some(old) = old {
+                self.delta_next.retain(|t| *t != old);
+            }
+        }
+        self.push_row(tuple.clone());
+        self.delta_next.push(tuple);
+        true
+    }
+
+    /// The frontier tuples published by the most recent
+    /// [`Relation::advance`].
+    pub fn delta(&self) -> impl Iterator<Item = &Tuple> {
+        self.delta.iter()
+    }
+
+    /// Number of rows in the delta.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// True if the delta is empty.
+    pub fn delta_is_empty(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// Drop the delta and staging state (used when a fixpoint finishes so the
+    /// relation leaves evaluation in a clean, full-set-only state).
+    pub fn clear_rounds(&mut self) {
+        self.delta.clear();
+        self.staged.clear();
+        self.delta_next.clear();
+    }
+
+    /// Seed the delta with the entire full set (the "round zero" frontier of
+    /// a fixpoint that starts from already-loaded facts).
+    pub fn seed_delta_from_full(&mut self) {
+        self.delta = self.iter().cloned().collect();
+    }
+
+    /// True if the full set contains `tuple`.
     pub fn contains(&self, tuple: &[Value]) -> bool {
-        self.tuples.contains(tuple)
+        self.find(tuple).is_some()
     }
 
-    /// Iterate over the tuples in unspecified order.
+    /// Iterate over the full set in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+        self.rows.iter().filter_map(|r| r.as_ref())
     }
 
     /// All tuples, sorted, for deterministic output and comparisons in tests.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        let mut v: Vec<Tuple> = self.iter().cloned().collect();
         v.sort();
         v
     }
 
-    /// Set-union with another relation, returning the number of new tuples.
+    /// Set-union with another relation's full set, returning the number of
+    /// new tuples.
     pub fn merge(&mut self, other: &Relation) -> Result<usize> {
         if other.arity != self.arity && !other.is_empty() {
             return Err(RaqletError::Execution(format!(
@@ -113,41 +443,98 @@ impl Relation {
                 other.arity, self.arity
             )));
         }
-        let before = self.len();
+        let mut added = 0;
         for t in other.iter() {
-            self.tuples.insert(t.clone());
+            if self.insert_unchecked(t.clone()) {
+                added += 1;
+            }
         }
-        if self.len() != before {
-            self.indexes.clear();
-        }
-        Ok(self.len() - before)
+        Ok(added)
     }
 
-    /// The tuples of `other` not present in `self` (the semi-naive "delta").
+    /// The tuples of `self` not present in `other` (the semi-naive "delta"
+    /// of the SQL working-table loop).
     pub fn difference(&self, other: &Relation) -> Relation {
         let mut out = Relation::new(self.arity);
         for t in self.iter() {
             if !other.contains(t) {
-                out.tuples.insert(t.clone());
+                out.insert_unchecked(t.clone());
             }
         }
         out
     }
 
-    /// Build (or fetch) a hash index over the given columns and return the
-    /// matching tuples for `key`.
-    pub fn probe(&mut self, columns: &[usize], key: &[Value]) -> &[Tuple] {
-        static EMPTY: Vec<Tuple> = Vec::new();
-        let cols = columns.to_vec();
-        if let Entry::Vacant(e) = self.indexes.entry(cols.clone()) {
-            let mut index: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
-            for t in &self.tuples {
-                let k: Vec<Value> = columns.iter().map(|&c| t[c].clone()).collect();
-                index.entry(k).or_default().push(t.clone());
+    /// Tombstone one arena row: drop it from the live set, the dedup table
+    /// and every index posting list.
+    fn remove_row(&mut self, id: RowId) {
+        let Some(tuple) = self.rows[id as usize].take() else { return };
+        self.live -= 1;
+        let hash = tuple_hash(&tuple);
+        if let Some(ids) = self.dedup.get_mut(&hash) {
+            if ids.remove(id) {
+                self.dedup.remove(&hash);
             }
-            e.insert(index);
         }
-        self.indexes.get(&cols).and_then(|idx| idx.get(key)).map(|v| v.as_slice()).unwrap_or(&EMPTY)
+        for index in self.indexes.values_mut() {
+            index.remove(id, &tuple);
+        }
+    }
+
+    /// Remove a tuple from the full set, every index, and the staging area
+    /// (used by lattice merges that replace a dominated tuple). The delta
+    /// holds tuple snapshots, so the frontier the current round joins
+    /// against is genuinely unaffected. Returns true if the tuple was
+    /// present in the full set.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        self.staged.remove(tuple);
+        match self.find(tuple) {
+            Some(id) => {
+                self.remove_row(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Build a persistent hash index over the given columns if one does not
+    /// already exist. Subsequent inserts extend it in place.
+    pub fn ensure_index(&mut self, columns: &[usize]) {
+        if self.indexes.contains_key(columns) {
+            return;
+        }
+        let mut index = Index::new(columns);
+        for (id, row) in self.rows.iter().enumerate() {
+            if let Some(tuple) = row {
+                index.add(id as RowId, tuple);
+            }
+        }
+        self.indexes.insert(columns.to_vec(), index);
+    }
+
+    /// Probe a previously built index (see [`Relation::ensure_index`]).
+    /// Returns `None` if no index exists over `columns`; otherwise an
+    /// iterator over the live rows matching `key` (projected values in
+    /// column order).
+    pub fn probe_index<'a>(
+        &'a self,
+        columns: &[usize],
+        key: &[Value],
+    ) -> Option<impl Iterator<Item = &'a Tuple>> {
+        let index = self.indexes.get(columns)?;
+        let postings = index.get(key).map(|l| l.iter()).unwrap_or_else(|| [].iter());
+        Some(postings.filter_map(|&id| self.rows[id as usize].as_ref()))
+    }
+
+    /// Build (or fetch) a hash index over the given columns and return the
+    /// matching live tuples for `key`.
+    pub fn probe(&mut self, columns: &[usize], key: &[Value]) -> Vec<&Tuple> {
+        self.ensure_index(columns);
+        self.probe_index(columns, key).expect("index exists after ensure_index").collect()
+    }
+
+    /// Number of persistent indexes currently maintained.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
     }
 
     /// Project the relation onto the given column positions (with
@@ -156,7 +543,7 @@ impl Relation {
         let mut out = Relation::new(columns.len());
         for t in self.iter() {
             let projected: Tuple = columns.iter().map(|&c| t[c].clone()).collect();
-            out.tuples.insert(projected);
+            out.insert_unchecked(projected);
         }
         out
     }
@@ -166,7 +553,7 @@ impl Relation {
         let mut out = Relation::new(self.arity);
         for t in self.iter() {
             if pred(t) {
-                out.tuples.insert(t.clone());
+                out.insert_unchecked(t.clone());
             }
         }
         out
@@ -175,7 +562,9 @@ impl Relation {
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.arity == other.arity && self.tuples == other.tuples
+        self.arity == other.arity
+            && self.live == other.live
+            && self.iter().all(|t| other.contains(t))
     }
 }
 
@@ -212,6 +601,11 @@ impl Database {
     /// Fetch a relation by name.
     pub fn get(&self, name: &str) -> Option<&Relation> {
         self.relations.get(name)
+    }
+
+    /// Mutable access to a relation by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
     }
 
     /// Fetch a relation by name, returning an execution error if absent.
@@ -312,18 +706,140 @@ mod tests {
     #[test]
     fn probe_returns_matching_tuples() {
         let mut r = Relation::from_tuples(2, vec![t(&[1, 10]), t(&[1, 11]), t(&[2, 20])]).unwrap();
-        let hits = r.probe(&[0], &[Value::Int(1)]).to_vec();
-        assert_eq!(hits.len(), 2);
+        let hits = r.probe(&[0], &[Value::Int(1)]).len();
+        assert_eq!(hits, 2);
         let misses = r.probe(&[0], &[Value::Int(99)]);
         assert!(misses.is_empty());
     }
 
     #[test]
-    fn probe_index_is_invalidated_by_inserts() {
+    fn probe_index_is_extended_by_inserts_not_invalidated() {
         let mut r = Relation::from_tuples(2, vec![t(&[1, 10])]).unwrap();
         assert_eq!(r.probe(&[0], &[Value::Int(1)]).len(), 1);
+        assert_eq!(r.index_count(), 1);
         r.insert(t(&[1, 11])).unwrap();
-        assert_eq!(r.probe(&[0], &[Value::Int(1)]).len(), 2);
+        // The index is still there and already covers the new tuple.
+        assert_eq!(r.index_count(), 1);
+        assert_eq!(r.probe_index(&[0], &[Value::Int(1)]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn probe_index_without_ensure_returns_none() {
+        let r = Relation::from_tuples(2, vec![t(&[1, 10])]).unwrap();
+        assert!(r.probe_index(&[0], &[Value::Int(1)]).is_none());
+    }
+
+    #[test]
+    fn multi_column_indexes_probe_by_projected_key() {
+        let mut r =
+            Relation::from_tuples(3, vec![t(&[1, 2, 30]), t(&[1, 2, 31]), t(&[1, 3, 32])]).unwrap();
+        r.ensure_index(&[0, 1]);
+        let hits = r.probe_index(&[0, 1], &[Value::Int(1), Value::Int(2)]).unwrap().count();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn stage_and_advance_follow_the_delta_lifecycle() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1])).unwrap();
+        // Staging an existing tuple is a no-op; staging a new one is not.
+        assert!(!r.stage(t(&[1])).unwrap());
+        assert!(r.stage(t(&[2])).unwrap());
+        assert!(!r.stage(t(&[2])).unwrap());
+        assert_eq!(r.staged_len(), 1);
+        // Staged tuples are invisible until advance.
+        assert_eq!(r.len(), 1);
+        assert!(!r.contains(&t(&[2])));
+        assert_eq!(r.advance(), 1);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t(&[2])));
+        assert_eq!(r.delta().cloned().collect::<Vec<_>>(), vec![t(&[2])]);
+        // The next advance with nothing staged empties the delta.
+        assert_eq!(r.advance(), 0);
+        assert!(r.delta_is_empty());
+    }
+
+    #[test]
+    fn advance_extends_existing_indexes() {
+        let mut r = Relation::from_tuples(2, vec![t(&[1, 10])]).unwrap();
+        r.ensure_index(&[0]);
+        r.stage(t(&[1, 11])).unwrap();
+        r.advance();
+        assert_eq!(r.probe_index(&[0], &[Value::Int(1)]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn advance_skips_tuples_inserted_directly_in_between() {
+        let mut r = Relation::new(1);
+        r.stage(t(&[7])).unwrap();
+        r.insert(t(&[7])).unwrap();
+        // The tuple is already published; the delta must not re-announce it.
+        assert_eq!(r.advance(), 0);
+        assert!(r.delta_is_empty());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_drops_tuple_from_full_and_indexes() {
+        let mut r = Relation::from_tuples(2, vec![t(&[1, 10]), t(&[1, 11])]).unwrap();
+        r.ensure_index(&[0]);
+        assert!(r.remove(&t(&[1, 10])));
+        assert!(!r.remove(&t(&[1, 10])));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.probe_index(&[0], &[Value::Int(1)]).unwrap().count(), 1);
+        assert!(!r.contains(&t(&[1, 10])));
+    }
+
+    #[test]
+    fn lattice_insert_keeps_only_the_best_tuple_per_group() {
+        let mut r = Relation::new(3);
+        assert!(r.lattice_insert(t(&[1, 2, 9]), 2, true));
+        assert!(r.lattice_insert(t(&[1, 2, 5]), 2, true)); // improves
+        assert!(!r.lattice_insert(t(&[1, 2, 7]), 2, true)); // dominated
+        assert!(r.lattice_insert(t(&[3, 4, 7]), 2, true)); // different group
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t(&[1, 2, 5])));
+        assert!(!r.contains(&t(&[1, 2, 9])));
+        // Both surviving tuples (but not the replaced one) form the delta.
+        assert_eq!(r.advance(), 2);
+        let mut delta: Vec<Tuple> = r.delta().cloned().collect();
+        delta.sort();
+        assert_eq!(delta, vec![t(&[1, 2, 5]), t(&[3, 4, 7])]);
+    }
+
+    #[test]
+    fn lattice_removals_do_not_mutate_the_current_delta() {
+        let mut r = Relation::new(3);
+        r.lattice_insert(t(&[1, 2, 9]), 2, true);
+        r.advance();
+        assert_eq!(r.delta().cloned().collect::<Vec<_>>(), vec![t(&[1, 2, 9])]);
+        // Mid-round improvement replaces the stored tuple, but the frontier
+        // the current round is joining against must still see the snapshot.
+        assert!(r.lattice_insert(t(&[1, 2, 5]), 2, true));
+        assert!(!r.contains(&t(&[1, 2, 9])));
+        assert_eq!(r.delta().cloned().collect::<Vec<_>>(), vec![t(&[1, 2, 9])]);
+        // The next round announces only the improvement.
+        assert_eq!(r.advance(), 1);
+        assert_eq!(r.delta().cloned().collect::<Vec<_>>(), vec![t(&[1, 2, 5])]);
+    }
+
+    #[test]
+    fn lattice_insert_max_keeps_largest() {
+        let mut r = Relation::new(2);
+        assert!(r.lattice_insert(t(&[1, 5]), 1, false));
+        assert!(r.lattice_insert(t(&[1, 9]), 1, false));
+        assert!(!r.lattice_insert(t(&[1, 2]), 1, false));
+        assert_eq!(r.sorted(), vec![t(&[1, 9])]);
+    }
+
+    #[test]
+    fn seed_delta_from_full_copies_every_tuple() {
+        let mut r = Relation::from_tuples(1, vec![t(&[1]), t(&[2])]).unwrap();
+        r.seed_delta_from_full();
+        assert_eq!(r.delta_len(), 2);
+        r.clear_rounds();
+        assert!(r.delta_is_empty());
+        assert_eq!(r.len(), 2);
     }
 
     #[test]
@@ -349,9 +865,24 @@ mod tests {
     }
 
     #[test]
+    fn staged_tuples_do_not_affect_equality() {
+        let mut a = Relation::from_tuples(1, vec![t(&[1])]).unwrap();
+        let b = Relation::from_tuples(1, vec![t(&[1])]).unwrap();
+        a.stage(t(&[2])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn display_is_sorted_and_tab_separated() {
         let r = Relation::from_tuples(2, vec![t(&[2, 20]), t(&[1, 10])]).unwrap();
         assert_eq!(r.to_string(), "1\t10\n2\t20\n");
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let r = Relation::from_tuples(2, vec![t(&[2, 20]), t(&[1, 10])]).unwrap();
+        let rows: Vec<&Tuple> = r.iter().collect();
+        assert_eq!(rows, vec![&t(&[2, 20]), &t(&[1, 10])]);
     }
 
     #[test]
@@ -372,5 +903,13 @@ mod tests {
         db.insert_fact("r", t(&[1])).unwrap();
         let r = db.get_or_create("r", 1);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_index_builds() {
+        let mut db = Database::new();
+        db.insert_fact("r", t(&[1, 2])).unwrap();
+        db.get_mut("r").unwrap().ensure_index(&[0]);
+        assert_eq!(db.get("r").unwrap().probe_index(&[0], &[Value::Int(1)]).unwrap().count(), 1);
     }
 }

@@ -10,17 +10,24 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::types::ValueType;
 
 /// A dynamically typed scalar value.
+///
+/// Strings are reference-counted (`Arc<str>`): tuples flow through join
+/// environments, persistent indexes and result sets, and each hop clones the
+/// value — an atomic increment instead of a heap copy keeps wide
+/// string-carrying tuples cheap everywhere (and keeps the door open for
+/// parallel evaluation, hence `Arc` over `Rc`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// 64-bit signed integer (Datalog `number`). Dates are encoded as
     /// `yyyymmdd` integers and datetimes as epoch milliseconds.
     Int(i64),
     /// UTF-8 string (Datalog `symbol`).
-    Str(String),
+    Str(Arc<str>),
     /// Boolean, used by predicates and the property-graph model.
     Bool(bool),
     /// SQL NULL / missing property. Compares equal to itself so that
@@ -30,8 +37,8 @@ pub enum Value {
 
 impl Value {
     /// Construct a string value.
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// The static type of this value, or `None` for `Null` (which inhabits
@@ -148,13 +155,13 @@ impl From<i32> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(Arc::from(v))
     }
 }
 

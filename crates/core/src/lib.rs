@@ -39,7 +39,7 @@ pub use raqlet_dlir::{DlirProgram, LoweredQuery};
 pub use raqlet_engine::{
     DatalogEngine, EvalStrategy, GraphEngine, PropertyGraph, SqlEngine, SqlProfile, TableCatalog,
 };
-pub use raqlet_opt::{OptLevel, OptimizedProgram, PassConfig};
+pub use raqlet_opt::{OptLevel, OptimizedProgram, PassConfig, TargetBackend};
 pub use raqlet_pgir::{LowerOptions, PgirQuery};
 pub use raqlet_sqir::{SqirQuery, SqlLowerOptions};
 pub use raqlet_unparse::{to_cypher, to_souffle, to_sql, SouffleOptions, SqlDialect};
@@ -116,14 +116,22 @@ impl Raqlet {
         // Static analysis on the unoptimized program.
         let analysis = raqlet_analysis::analyze(&lowered.program);
 
-        // Optimization.
-        let optimized = raqlet_opt::optimize(&lowered.program, options.opt_level)?;
+        // Optimization — once per backend family. The Datalog-targeted
+        // program (also used for the Soufflé unparse) keeps every pass; the
+        // SQL-targeted one skips magic sets, which are pathological under
+        // recursive-CTE working-table evaluation (see
+        // [`raqlet_opt::TargetBackend`]).
+        let optimized =
+            raqlet_opt::optimize_for(&lowered.program, options.opt_level, TargetBackend::Any)?;
+        let sql_optimized =
+            raqlet_opt::optimize_for(&lowered.program, options.opt_level, TargetBackend::Sql)?;
 
         Ok(CompiledQuery {
             cypher: cypher.to_string(),
             pgir,
             unoptimized: lowered.program.clone(),
             optimized,
+            sql_optimized,
             analysis,
             output: lowered.output,
             output_columns: lowered.output_columns,
@@ -142,8 +150,12 @@ pub struct CompiledQuery {
     pub pgir: PgirQuery,
     /// The unoptimized DLIR program (Figure 3c/3d).
     pub unoptimized: DlirProgram,
-    /// The optimized DLIR program plus pass statistics (Figure 4).
+    /// The optimized DLIR program plus pass statistics (Figure 4), targeted
+    /// at Datalog-style backends (every pass of the level).
     pub optimized: OptimizedProgram,
+    /// The program optimized for SQL backends (magic sets skipped — see
+    /// [`raqlet_opt::TargetBackend::Sql`]).
+    pub sql_optimized: OptimizedProgram,
     /// The static-analysis report (Section 4).
     pub analysis: AnalysisReport,
     /// Name of the output relation (`Return`).
@@ -154,9 +166,14 @@ pub struct CompiledQuery {
 }
 
 impl CompiledQuery {
-    /// The optimized DLIR program.
+    /// The optimized DLIR program (Datalog-targeted).
     pub fn dlir(&self) -> &DlirProgram {
         &self.optimized.program
+    }
+
+    /// The optimized DLIR program targeted at SQL backends.
+    pub fn dlir_for_sql(&self) -> &DlirProgram {
+        &self.sql_optimized.program
     }
 
     /// The Soufflé Datalog rendering of the optimized program (Figure 3d).
@@ -169,9 +186,10 @@ impl CompiledQuery {
         raqlet_unparse::to_souffle(&self.unoptimized, &SouffleOptions::default())
     }
 
-    /// The SQIR form of the optimized program (Figure 3e's structure).
+    /// The SQIR form of the optimized program (Figure 3e's structure),
+    /// lowered from the SQL-targeted optimization.
     pub fn sqir(&self) -> Result<SqirQuery> {
-        raqlet_sqir::lower_to_sqir(self.dlir(), &self.output, &self.sql_options)
+        raqlet_sqir::lower_to_sqir(self.dlir_for_sql(), &self.output, &self.sql_options)
     }
 
     /// The SQL text of the optimized program in the given dialect.
@@ -208,7 +226,7 @@ impl CompiledQuery {
     /// Execute on the bundled SQL engine with the given profile.
     pub fn execute_sql(&self, db: &Database, profile: SqlProfile) -> Result<Relation> {
         let sqir = self.sqir()?;
-        let catalog = TableCatalog::from_schema(&self.dlir().schema);
+        let catalog = TableCatalog::from_schema(&self.dlir_for_sql().schema);
         let engine = SqlEngine { profile };
         Ok(engine.execute(&sqir, db, &catalog)?.rows)
     }

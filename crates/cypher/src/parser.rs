@@ -465,7 +465,7 @@ impl Parser {
             }
             TokenKind::Str(s) => {
                 self.bump();
-                Ok(Expr::Literal(Value::Str(s)))
+                Ok(Expr::Literal(Value::str(s)))
             }
             TokenKind::Parameter(p) => {
                 self.bump();

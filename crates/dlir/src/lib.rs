@@ -10,9 +10,9 @@
 //!   DL-Schema (Figure 2);
 //! * [`lower`] — the PGIR → DLIR translation (Figure 3b → Figure 3c);
 //! * [`depgraph`] — the predicate dependency graph and its SCCs;
-//! * [`stratify`] — stratification (negation/aggregation must not occur in a
+//! * [`mod@stratify`] — stratification (negation/aggregation must not occur in a
 //!   recursive cycle);
-//! * [`validate`] — safety (range restriction) and arity validation.
+//! * [`mod@validate`] — safety (range restriction) and arity validation.
 
 pub mod depgraph;
 pub mod ir;

@@ -4,14 +4,25 @@
 //! The engine evaluates a stratified [`DlirProgram`] against an extensional
 //! [`Database`]:
 //!
-//! * strata are computed with [`raqlet_dlir::stratify`] and evaluated bottom
+//! * strata are computed with [`raqlet_dlir::stratify()`] and evaluated bottom
 //!   up;
 //! * inside a stratum, rules are iterated to a fixpoint using either naive or
 //!   **semi-naive** evaluation (the default; naive is kept for the ablation
 //!   benchmarks);
-//! * joins are index-driven: bound columns of an atom probe a hash index on
-//!   the stored relation;
-//! * negation reads fully-computed lower strata; aggregation groups the
+//! * rules are *precompiled* into slot-based plans: every variable gets a
+//!   fixed slot, so a join environment is a flat `Vec<Option<Value>>` instead
+//!   of a string-keyed map;
+//! * joins are index-driven and **delta-indexed**: each round scans only the
+//!   delta of one recursive atom and probes *persistent* hash indexes on the
+//!   stable (full) sets of the other atoms. Indexes are built lazily, once
+//!   per (relation, bound-columns) pair, and are extended in place as tuples
+//!   are published (see [`raqlet_common::Relation`]), so no index is ever
+//!   rebuilt between fixpoint iterations;
+//! * derivations are *staged* inside the head relation and published at the
+//!   end of each round ([`raqlet_common::Relation::advance`]), which makes
+//!   the published tuples of a round exactly the next round's delta;
+//! * negation reads fully-computed lower strata (also through persistent
+//!   indexes when its variables are bound); aggregation groups the
 //!   deduplicated bindings of its group-by and input variables;
 //! * relations annotated with a `@min` lattice keep only the minimal value of
 //!   the annotated column per group, which makes shortest-path recursion
@@ -51,7 +62,9 @@ pub struct EvalStats {
 /// The result of evaluating a program.
 #[derive(Debug, Clone)]
 pub struct EvalResult {
-    /// The database containing the EDBs plus every derived IDB.
+    /// The database containing every derived IDB plus the extensional
+    /// relations the program referenced (unreferenced EDB relations are not
+    /// copied into the result).
     pub database: Database,
     /// Evaluation statistics.
     pub stats: EvalStats,
@@ -65,6 +78,34 @@ impl EvalResult {
 }
 
 /// The Datalog engine.
+///
+/// ```
+/// use raqlet_common::{Database, Value};
+/// use raqlet_dlir::{Atom, BodyElem, DlirProgram, Rule};
+/// use raqlet_engine::DatalogEngine;
+///
+/// // tc(x, y) :- edge(x, y).   tc(x, y) :- tc(x, z), edge(z, y).
+/// let mut program = DlirProgram::default();
+/// program.add_rule(Rule::new(
+///     Atom::with_vars("tc", &["x", "y"]),
+///     vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+/// ));
+/// program.add_rule(Rule::new(
+///     Atom::with_vars("tc", &["x", "y"]),
+///     vec![
+///         BodyElem::Atom(Atom::with_vars("tc", &["x", "z"])),
+///         BodyElem::Atom(Atom::with_vars("edge", &["z", "y"])),
+///     ],
+/// ));
+/// program.add_output("tc");
+///
+/// let mut db = Database::new();
+/// for (a, b) in [(1, 2), (2, 3)] {
+///     db.insert_fact("edge", vec![Value::Int(a), Value::Int(b)]).unwrap();
+/// }
+/// let tc = DatalogEngine::new().run_output(&program, &db, "tc").unwrap();
+/// assert_eq!(tc.len(), 3); // (1,2), (2,3), (1,3)
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct DatalogEngine {
     /// Evaluation strategy.
@@ -88,7 +129,34 @@ impl DatalogEngine {
         let stratification = stratify(program)?;
         let graph = DepGraph::build(program);
 
-        let mut db = edb.clone();
+        // Working database: only the extensional relations the program
+        // actually references (in rule bodies or as outputs) are copied in.
+        // Indexes built on them during evaluation live in this working set;
+        // the caller's database is never touched.
+        let mut referenced: Vec<&str> = Vec::new();
+        for rule in &program.rules {
+            for elem in &rule.body {
+                let name = match elem {
+                    BodyElem::Atom(a) | BodyElem::Negated(a) => a.relation.as_str(),
+                    BodyElem::Constraint { .. } => continue,
+                };
+                if !referenced.contains(&name) {
+                    referenced.push(name);
+                }
+            }
+        }
+        for out in &program.outputs {
+            if !referenced.contains(&out.as_str()) {
+                referenced.push(out);
+            }
+        }
+        let mut db = Database::new();
+        for name in referenced {
+            if let Some(rel) = edb.get(name) {
+                db.set(name, rel.clone());
+            }
+        }
+
         let mut stats = EvalStats { strata: stratification.len(), ..Default::default() };
 
         // Ensure every IDB exists (possibly empty) so downstream negation and
@@ -135,54 +203,58 @@ impl DatalogEngine {
             }
         }
 
+        // Precompile every rule into a slot-based plan, once per stratum.
+        let plans: Vec<RulePlan> = rules.iter().map(|r| RulePlan::compile(r)).collect();
+
         // Aggregating rules are never recursive, and stratification places
         // everything they read in a strictly lower stratum — so they are
         // evaluated once, *before* the fixpoint rules of this stratum (which
-        // may consume their output).
-        let (agg_rules, fix_rules): (Vec<&&Rule>, Vec<&&Rule>) =
-            rules.iter().partition(|r| r.aggregation.is_some());
-        for rule in &agg_rules {
+        // may consume their output). Their output is published immediately.
+        let (agg_idx, fix_idx): (Vec<usize>, Vec<usize>) =
+            (0..rules.len()).partition(|&i| rules[i].aggregation.is_some());
+        for &i in &agg_idx {
             stats.rule_applications += 1;
-            let derived = self.apply_rule(program, rule, db, None)?;
+            let derived = self.apply_rule(rules[i], &plans[i], db, None)?;
             stats.tuples_derived += derived.len();
-            let mut unused = HashMap::new();
-            merge_derived(program, db, &mut unused, &rule.head.relation, derived)?;
+            publish_derived(program, db, &rules[i].head.relation, derived)?;
         }
 
-        // Initial round: evaluate every rule against the full database.
-        let mut deltas: HashMap<String, Relation> = HashMap::new();
-        for name in &stratum_relations {
-            let arity = db.get(name).map(|r| r.arity()).unwrap_or(0);
-            deltas.insert(name.clone(), Relation::new(arity));
-        }
-        for rule in &fix_rules {
+        // Round zero: evaluate every fixpoint rule against the full database,
+        // staging derivations inside the head relations. Advancing publishes
+        // them and makes them the first delta.
+        for &i in &fix_idx {
             stats.rule_applications += 1;
-            let derived = self.apply_rule(program, rule, db, None)?;
+            let derived = self.apply_rule(rules[i], &plans[i], db, None)?;
             stats.tuples_derived += derived.len();
-            merge_derived(program, db, &mut deltas, &rule.head.relation, derived)?;
+            stage_derived(program, db, &rules[i].head.relation, derived)?;
         }
         stats.iterations += 1;
+        let mut any_new = false;
+        for name in &stratum_relations {
+            if let Some(rel) = db.get_mut(name) {
+                any_new |= rel.advance() > 0;
+            }
+        }
 
-        // Fixpoint iterations.
-        let recursive = fix_rules.iter().any(|r| {
-            r.positive_dependencies().iter().any(|d| stratum_relations.contains(&d.to_string()))
+        // Fixpoint rounds: each recursive atom occurrence drives one
+        // delta-first join against the persistent indexes on the stable sets.
+        let recursive = fix_idx.iter().any(|&i| {
+            rules[i]
+                .positive_dependencies()
+                .iter()
+                .any(|d| stratum_relations.contains(&d.to_string()))
         }) || stratum_relations.iter().any(|r| graph.is_recursive(r));
         if recursive {
-            loop {
-                let mut new_deltas: HashMap<String, Relation> = HashMap::new();
-                for name in &stratum_relations {
-                    let arity = db.get(name).map(|r| r.arity()).unwrap_or(0);
-                    new_deltas.insert(name.clone(), Relation::new(arity));
-                }
-                let mut any_new = false;
-                for rule in &fix_rules {
+            while any_new {
+                for &i in &fix_idx {
+                    let rule = rules[i];
                     // Which body atoms reference relations of this stratum?
                     let recursive_positions: Vec<usize> = rule
                         .body
                         .iter()
                         .enumerate()
-                        .filter_map(|(i, b)| match b.as_positive_atom() {
-                            Some(a) if stratum_relations.contains(&a.relation) => Some(i),
+                        .filter_map(|(p, b)| match b.as_positive_atom() {
+                            Some(a) if stratum_relations.contains(&a.relation) => Some(p),
                             _ => None,
                         })
                         .collect();
@@ -192,40 +264,44 @@ impl DatalogEngine {
                     match self.strategy {
                         EvalStrategy::Naive => {
                             stats.rule_applications += 1;
-                            let derived = self.apply_rule(program, rule, db, None)?;
+                            let derived = self.apply_rule(rule, &plans[i], db, None)?;
                             stats.tuples_derived += derived.len();
-                            any_new |= merge_derived(
-                                program,
-                                db,
-                                &mut new_deltas,
-                                &rule.head.relation,
-                                derived,
-                            )?;
+                            stage_derived(program, db, &rule.head.relation, derived)?;
                         }
                         EvalStrategy::SemiNaive => {
                             // One evaluation per recursive atom occurrence,
-                            // reading the delta for that occurrence.
+                            // scanning the delta for that occurrence.
                             for &pos in &recursive_positions {
+                                let delta_empty = rule.body[pos]
+                                    .as_positive_atom()
+                                    .and_then(|a| db.get(&a.relation))
+                                    .is_none_or(|r| r.delta_is_empty());
+                                if delta_empty {
+                                    continue;
+                                }
                                 stats.rule_applications += 1;
-                                let derived =
-                                    self.apply_rule(program, rule, db, Some((pos, &deltas)))?;
+                                let derived = self.apply_rule(rule, &plans[i], db, Some(pos))?;
                                 stats.tuples_derived += derived.len();
-                                any_new |= merge_derived(
-                                    program,
-                                    db,
-                                    &mut new_deltas,
-                                    &rule.head.relation,
-                                    derived,
-                                )?;
+                                stage_derived(program, db, &rule.head.relation, derived)?;
                             }
                         }
                     }
                 }
                 stats.iterations += 1;
-                deltas = new_deltas;
-                if !any_new {
-                    break;
+                any_new = false;
+                for name in &stratum_relations {
+                    if let Some(rel) = db.get_mut(name) {
+                        any_new |= rel.advance() > 0;
+                    }
                 }
+            }
+        }
+
+        // Leave the relations in a clean full-set-only state so frontier
+        // bookkeeping never leaks into later strata or into the results.
+        for name in &stratum_relations {
+            if let Some(rel) = db.get_mut(name) {
+                rel.clear_rounds();
             }
         }
 
@@ -233,300 +309,607 @@ impl DatalogEngine {
     }
 
     /// Evaluate one rule, returning the derived head tuples. When
-    /// `delta_for` is given, the positive atom at that body position reads
-    /// from the supplied delta relations instead of the full database.
+    /// `delta_pos` is given, the positive atom at that body position scans
+    /// the relation's delta (its previous-round frontier) instead of the
+    /// full set, and drives the join from it.
     fn apply_rule(
         &self,
-        program: &DlirProgram,
         rule: &Rule,
-        db: &Database,
-        delta_for: Option<(usize, &HashMap<String, Relation>)>,
+        plan: &RulePlan,
+        db: &mut Database,
+        delta_pos: Option<usize>,
     ) -> Result<Vec<Tuple>> {
-        let bindings = self.join_body(rule, db, delta_for)?;
-        match &rule.aggregation {
+        let bindings = self.join_body(rule, plan, db, delta_pos)?;
+        match &plan.agg {
             None => {
                 let mut out = Vec::with_capacity(bindings.len());
                 for env in &bindings {
-                    out.push(instantiate_head(&rule.head, env)?);
+                    out.push(instantiate_head(plan, env)?);
                 }
                 Ok(out)
             }
-            Some(agg) => Ok(aggregate(program, rule, agg, &bindings)?),
+            Some(agg) => aggregate(plan, agg, &bindings),
         }
     }
 
     /// Join the positive atoms, apply constraints and negation, and return
-    /// the variable bindings satisfying the body.
+    /// the slot environments satisfying the body. The database is mutable
+    /// only to build (once) the persistent indexes probed by the join.
     fn join_body(
         &self,
         rule: &Rule,
-        db: &Database,
-        delta_for: Option<(usize, &HashMap<String, Relation>)>,
+        plan: &RulePlan,
+        db: &mut Database,
+        delta_pos: Option<usize>,
     ) -> Result<Vec<Env>> {
-        let mut envs: Vec<Env> = vec![Env::new()];
+        let mut envs: Vec<Env> = vec![vec![None; plan.nvars]];
 
-        // Positive atoms first (in body order), then constraints interleaved
-        // greedily once their variables are bound, then negations last.
-        let mut pending_constraints: Vec<&BodyElem> = Vec::new();
-        for (idx, elem) in rule.body.iter().enumerate() {
-            match elem {
-                BodyElem::Atom(atom) => {
-                    let use_delta = matches!(delta_for, Some((pos, _)) if pos == idx);
-                    let empty = Relation::new(atom.arity());
-                    let relation: &Relation = if use_delta {
-                        let (_, deltas) = delta_for.unwrap();
-                        deltas.get(&atom.relation).unwrap_or(&empty)
-                    } else {
-                        db.get(&atom.relation).unwrap_or(&empty)
-                    };
-                    envs = extend_with_atom(envs, atom, relation)?;
-                    // Apply any pending constraints that are now evaluable to
-                    // prune early.
-                    pending_constraints.retain(|c| {
-                        if let BodyElem::Constraint { op, lhs, rhs } = c {
-                            if envs.iter().all(|e| constraint_ready(e, lhs, rhs)) {
-                                envs.retain(|e| eval_constraint(e, *op, lhs, rhs).unwrap_or(false));
-                                return false;
-                            }
-                        }
-                        true
-                    });
-                }
-                BodyElem::Constraint { op, lhs, rhs } => {
-                    // Equality with an unbound side acts as an assignment.
-                    let mut next = Vec::with_capacity(envs.len());
-                    let mut all_handled = true;
-                    for env in &envs {
-                        match apply_constraint(env, *op, lhs, rhs)? {
-                            ConstraintOutcome::Keep(new_env) => next.push(new_env),
-                            ConstraintOutcome::Drop => {}
-                            ConstraintOutcome::NotReady => {
-                                all_handled = false;
-                                break;
-                            }
-                        }
-                    }
-                    if all_handled {
-                        envs = next;
-                    } else {
-                        pending_constraints.push(elem);
-                    }
-                }
-                BodyElem::Negated(_) => {
-                    // Handled after all positive atoms below.
-                }
+        // Pick a bound-first greedy join order: the delta atom (if any)
+        // always drives the join; after it, the atom with the most columns
+        // bound by the current variable set comes next (ties broken towards
+        // smaller relations), so every non-driving atom is reached through an
+        // index probe with maximal selectivity. Constraints fire as soon as
+        // their slots are bound; negations run last.
+        let order = join_order(plan, db, delta_pos);
+
+        let mut pending_constraints: Vec<usize> = plan
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, PlanElem::Constraint { .. }))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Constraints evaluable before any atom (constant comparisons and
+        // `x = <const expr>` assignments, e.g. magic-seed rules).
+        apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
+
+        for &idx in &order {
+            let PlanElem::Atom(atom) = &plan.body[idx] else { continue };
+            let use_delta = delta_pos == Some(idx);
+            envs = extend_with_atom(envs, atom, db, use_delta)?;
+            if envs.is_empty() {
+                return Ok(Vec::new());
             }
+            apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
             if envs.is_empty() {
                 return Ok(Vec::new());
             }
         }
 
         // Remaining constraints must now be evaluable.
-        for elem in pending_constraints {
-            let BodyElem::Constraint { op, lhs, rhs } = elem else { continue };
-            let mut next = Vec::with_capacity(envs.len());
-            for env in &envs {
-                match apply_constraint(env, *op, lhs, rhs)? {
-                    ConstraintOutcome::Keep(e) => next.push(e),
-                    ConstraintOutcome::Drop => {}
-                    ConstraintOutcome::NotReady => {
-                        return Err(RaqletError::execution(format!(
-                            "constraint `{elem}` in rule `{rule}` references unbound variables"
-                        )))
-                    }
+        if let Some(first) = envs.first() {
+            for &idx in &pending_constraints {
+                let PlanElem::Constraint { lhs, rhs, .. } = &plan.body[idx] else { continue };
+                if !expr_ready(first, lhs) || !expr_ready(first, rhs) {
+                    return Err(RaqletError::execution(format!(
+                        "constraint `{}` in rule `{rule}` references unbound variables",
+                        rule.body[idx]
+                    )));
                 }
             }
-            envs = next;
         }
 
         // Negation.
-        for elem in &rule.body {
-            let BodyElem::Negated(atom) = elem else { continue };
-            let relation =
-                db.get(&atom.relation).cloned().unwrap_or_else(|| Relation::new(atom.arity()));
-            envs.retain(|env| !matches_negated(env, atom, &relation));
+        for elem in &plan.body {
+            let PlanElem::Negated(atom) = elem else { continue };
+            apply_negation(&mut envs, atom, db);
+            if envs.is_empty() {
+                return Ok(Vec::new());
+            }
         }
         Ok(envs)
     }
 }
 
-/// A variable environment.
-type Env = HashMap<String, Value>;
+/// Compute the greedy bound-first processing order of the rule's positive
+/// atoms. Bound-slot progression is simulated statically, including the
+/// bindings contributed by `=` assignment constraints as they become ready.
+fn join_order(plan: &RulePlan, db: &Database, delta_pos: Option<usize>) -> Vec<usize> {
+    let mut bound = vec![false; plan.nvars];
+    let mut order: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = plan
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| matches!(e, PlanElem::Atom(_)) && delta_pos != Some(*i))
+        .map(|(i, _)| i)
+        .collect();
 
-/// Extend each environment with every tuple of `relation` that matches
-/// `atom` under the environment.
-fn extend_with_atom(envs: Vec<Env>, atom: &Atom, relation: &Relation) -> Result<Vec<Env>> {
-    if relation.arity() != atom.arity() && !relation.is_empty() {
-        return Err(RaqletError::execution(format!(
-            "atom `{atom}` has arity {} but relation `{}` has arity {}",
-            atom.arity(),
-            atom.relation,
-            relation.arity()
-        )));
+    let mark_atom = |atom: &PlanAtom, bound: &mut Vec<bool>| {
+        for t in &atom.terms {
+            if let PlanTerm::Slot(s) = t {
+                bound[*s] = true;
+            }
+        }
+    };
+    // Propagate `slot = <ready expr>` assignment constraints.
+    let propagate = |bound: &mut Vec<bool>| loop {
+        let mut changed = false;
+        for elem in &plan.body {
+            let PlanElem::Constraint { op, lhs, rhs } = elem else { continue };
+            if *op != raqlet_dlir::CmpOp::Eq {
+                continue;
+            }
+            match (lhs, rhs) {
+                (PlanExpr::Slot(s), e) | (e, PlanExpr::Slot(s))
+                    if !bound[*s] && expr_slots_bound(e, bound) =>
+                {
+                    bound[*s] = true;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    };
+
+    propagate(&mut bound);
+    if let Some(p) = delta_pos {
+        order.push(p);
+        if let PlanElem::Atom(atom) = &plan.body[p] {
+            mark_atom(atom, &mut bound);
+        }
+        propagate(&mut bound);
     }
+
+    while !remaining.is_empty() {
+        // Score: number of columns bound under the current variable set,
+        // then smaller relations first.
+        let (best_i, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &idx)| {
+                let PlanElem::Atom(atom) = &plan.body[idx] else { unreachable!() };
+                let bound_cols = atom
+                    .terms
+                    .iter()
+                    .filter(|t| match t {
+                        PlanTerm::Slot(s) => bound[*s],
+                        PlanTerm::Const(_) => true,
+                        PlanTerm::Wildcard => false,
+                    })
+                    .count();
+                let size = db.get(&atom.relation).map(|r| r.len()).unwrap_or(0);
+                (i, (bound_cols as i64, -(size as i64)))
+            })
+            .max_by_key(|(_, score)| *score)
+            .expect("remaining is non-empty");
+        let idx = remaining.swap_remove(best_i);
+        order.push(idx);
+        if let PlanElem::Atom(atom) = &plan.body[idx] {
+            mark_atom(atom, &mut bound);
+        }
+        propagate(&mut bound);
+    }
+    order
+}
+
+/// True if every slot of the expression is marked bound.
+fn expr_slots_bound(expr: &PlanExpr, bound: &[bool]) -> bool {
+    match expr {
+        PlanExpr::Slot(s) => bound[*s],
+        PlanExpr::Const(_) => true,
+        PlanExpr::Arith { lhs, rhs, .. } => {
+            expr_slots_bound(lhs, bound) && expr_slots_bound(rhs, bound)
+        }
+    }
+}
+
+/// Fire every pending constraint whose slots are bound: comparisons filter
+/// the environments, `=` with exactly one unbound bare-slot side assigns it.
+/// Repeats until no constraint fires (an assignment can ready another
+/// constraint). All environments bind the same slot set by construction, so
+/// readiness is checked once on the first.
+fn apply_ready_constraints(envs: &mut Vec<Env>, plan: &RulePlan, pending: &mut Vec<usize>) {
+    loop {
+        let mut fired = false;
+        pending.retain(|&idx| {
+            let PlanElem::Constraint { op, lhs, rhs } = &plan.body[idx] else { return false };
+            let Some(first) = envs.first() else { return true };
+            let l_ready = expr_ready(first, lhs);
+            let r_ready = expr_ready(first, rhs);
+            if l_ready && r_ready {
+                envs.retain(|e| eval_constraint(e, *op, lhs, rhs).unwrap_or(false));
+                fired = true;
+                return false;
+            }
+            // Assignment forms: `x = <expr>` with exactly one side unbound.
+            if *op == raqlet_dlir::CmpOp::Eq {
+                let assign: Option<(usize, &PlanExpr)> = match (lhs, rhs) {
+                    (PlanExpr::Slot(s), e) if !l_ready && r_ready => Some((*s, e)),
+                    (e, PlanExpr::Slot(s)) if !r_ready && l_ready => Some((*s, e)),
+                    _ => None,
+                };
+                if let Some((slot, expr)) = assign {
+                    // The expression is slot-ready, but evaluation can still
+                    // fail on a value error (division by zero). Drop such
+                    // environments — there is no derivation for them — so
+                    // every surviving environment binds the slot and the
+                    // all-envs-bind-the-same-slots invariant holds.
+                    envs.retain_mut(|env| match eval_expr(env, expr) {
+                        Some(value) => {
+                            env[slot] = Some(value);
+                            true
+                        }
+                        None => false,
+                    });
+                    fired = true;
+                    return false;
+                }
+            }
+            true
+        });
+        if !fired {
+            break;
+        }
+    }
+}
+
+/// A slot environment: one entry per rule variable, `None` while unbound.
+type Env = Vec<Option<Value>>;
+
+/// A body/head term resolved against the rule's variable slot table.
+#[derive(Debug, Clone)]
+enum PlanTerm {
+    /// A variable, identified by its slot.
+    Slot(usize),
+    /// A constant.
+    Const(Value),
+    /// An anonymous term matching anything.
+    Wildcard,
+}
+
+/// An atom with slot-resolved terms.
+#[derive(Debug, Clone)]
+struct PlanAtom {
+    relation: String,
+    terms: Vec<PlanTerm>,
+}
+
+impl PlanAtom {
+    fn arity(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// A constraint expression with slot-resolved variables.
+#[derive(Debug, Clone)]
+enum PlanExpr {
+    Slot(usize),
+    Const(Value),
+    Arith { op: raqlet_dlir::ArithOp, lhs: Box<PlanExpr>, rhs: Box<PlanExpr> },
+}
+
+/// One body element of a compiled rule, aligned with `Rule::body` indices.
+#[derive(Debug, Clone)]
+enum PlanElem {
+    Atom(PlanAtom),
+    Constraint { op: raqlet_dlir::CmpOp, lhs: PlanExpr, rhs: PlanExpr },
+    Negated(PlanAtom),
+}
+
+/// Slot-resolved aggregation spec.
+#[derive(Debug, Clone)]
+struct PlanAgg {
+    func: raqlet_dlir::AggFunc,
+    input: Option<usize>,
+    output: usize,
+    group_by: Vec<usize>,
+}
+
+/// A rule precompiled against a variable slot table: every variable name is
+/// replaced by a dense index, so environments are flat vectors instead of
+/// string-keyed maps.
+#[derive(Debug, Clone)]
+struct RulePlan {
+    nvars: usize,
+    /// Slot → variable name, for error messages.
+    var_names: Vec<String>,
+    body: Vec<PlanElem>,
+    head: Vec<PlanTerm>,
+    agg: Option<PlanAgg>,
+}
+
+/// The variable slot table built up while compiling a rule.
+#[derive(Default)]
+struct SlotTable {
+    slots: HashMap<String, usize>,
+    var_names: Vec<String>,
+}
+
+impl SlotTable {
+    fn slot_of(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.slots.get(name) {
+            return s;
+        }
+        let s = self.var_names.len();
+        self.slots.insert(name.to_string(), s);
+        self.var_names.push(name.to_string());
+        s
+    }
+
+    fn compile_term(&mut self, t: &Term) -> PlanTerm {
+        match t {
+            Term::Var(v) => PlanTerm::Slot(self.slot_of(v)),
+            Term::Const(c) => PlanTerm::Const(c.clone()),
+            Term::Wildcard => PlanTerm::Wildcard,
+        }
+    }
+
+    fn compile_atom(&mut self, a: &Atom) -> PlanAtom {
+        PlanAtom {
+            relation: a.relation.clone(),
+            terms: a.terms.iter().map(|t| self.compile_term(t)).collect(),
+        }
+    }
+
+    fn compile_expr(&mut self, expr: &DlExpr) -> PlanExpr {
+        match expr {
+            DlExpr::Var(v) => PlanExpr::Slot(self.slot_of(v)),
+            DlExpr::Const(c) => PlanExpr::Const(c.clone()),
+            DlExpr::Arith { op, lhs, rhs } => PlanExpr::Arith {
+                op: *op,
+                lhs: Box::new(self.compile_expr(lhs)),
+                rhs: Box::new(self.compile_expr(rhs)),
+            },
+        }
+    }
+}
+
+impl RulePlan {
+    fn compile(rule: &Rule) -> RulePlan {
+        let mut table = SlotTable::default();
+
+        let mut body = Vec::with_capacity(rule.body.len());
+        for elem in &rule.body {
+            body.push(match elem {
+                BodyElem::Atom(a) => PlanElem::Atom(table.compile_atom(a)),
+                BodyElem::Negated(a) => PlanElem::Negated(table.compile_atom(a)),
+                BodyElem::Constraint { op, lhs, rhs } => PlanElem::Constraint {
+                    op: *op,
+                    lhs: table.compile_expr(lhs),
+                    rhs: table.compile_expr(rhs),
+                },
+            });
+        }
+
+        let head: Vec<PlanTerm> = rule.head.terms.iter().map(|t| table.compile_term(t)).collect();
+
+        let agg = rule.aggregation.as_ref().map(|a: &Aggregation| PlanAgg {
+            func: a.func,
+            input: a.input_var.as_ref().map(|v| table.slot_of(v)),
+            output: table.slot_of(&a.output_var),
+            group_by: a.group_by.iter().map(|v| table.slot_of(v)).collect(),
+        });
+
+        RulePlan { nvars: table.var_names.len(), var_names: table.var_names, body, head, agg }
+    }
+}
+
+/// Extend each environment with every tuple of the atom's relation that
+/// matches `atom` under the environment. With `use_delta` the candidate
+/// tuples come from the relation's previous-round frontier (scanned — the
+/// delta atom is always processed first, so there is a single environment);
+/// otherwise bound columns probe a persistent hash index on the full set,
+/// built once and extended on insert thereafter.
+fn extend_with_atom(
+    envs: Vec<Env>,
+    atom: &PlanAtom,
+    db: &mut Database,
+    use_delta: bool,
+) -> Result<Vec<Env>> {
+    {
+        let arity = db.get(&atom.relation).map(|r| r.arity()).unwrap_or(atom.arity());
+        let empty = db.get(&atom.relation).is_none_or(|r| r.is_empty());
+        if arity != atom.arity() && !empty {
+            return Err(RaqletError::execution(format!(
+                "atom over `{}` has arity {} but the relation has arity {}",
+                atom.relation,
+                atom.arity(),
+                arity
+            )));
+        }
+    }
+
     // Columns whose value is known in every environment (all environments
-    // processed so far bind the same variable set), plus constant columns.
+    // processed so far bind the same slot set), plus constant columns.
     let bound_columns: Vec<usize> = match envs.first() {
         Some(first) => atom
             .terms
             .iter()
             .enumerate()
             .filter(|(_, t)| match t {
-                Term::Var(v) => first.contains_key(v),
-                Term::Const(_) => true,
-                Term::Wildcard => false,
+                PlanTerm::Slot(s) => first[*s].is_some(),
+                PlanTerm::Const(_) => true,
+                PlanTerm::Wildcard => false,
             })
             .map(|(i, _)| i)
             .collect(),
         None => Vec::new(),
     };
 
-    // Build a transient hash index over the bound columns so each
-    // environment probes instead of scanning the whole relation.
-    let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-    if !bound_columns.is_empty() {
-        for tuple in relation.iter() {
-            let key: Vec<Value> = bound_columns.iter().map(|&i| tuple[i].clone()).collect();
-            index.entry(key).or_default().push(tuple);
+    let probe_full_index = !use_delta && !bound_columns.is_empty();
+    if probe_full_index {
+        if let Some(rel) = db.get_mut(&atom.relation) {
+            rel.ensure_index(&bound_columns);
         }
     }
-    let all_tuples: Vec<&Tuple> =
-        if bound_columns.is_empty() { relation.iter().collect() } else { Vec::new() };
+    let Some(relation) = db.get(&atom.relation) else { return Ok(Vec::new()) };
 
     let mut out = Vec::new();
-    for env in envs {
-        let candidates: &[&Tuple] = if bound_columns.is_empty() {
-            &all_tuples
-        } else {
-            let key: Vec<Value> = bound_columns
-                .iter()
-                .map(|&i| match &atom.terms[i] {
-                    Term::Var(v) => env.get(v).cloned().unwrap_or(Value::Null),
-                    Term::Const(c) => c.clone(),
-                    Term::Wildcard => Value::Null,
-                })
-                .collect();
-            index.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
-        };
-        'tuples: for tuple in candidates {
-            let mut new_env = env.clone();
-            for (i, term) in atom.terms.iter().enumerate() {
-                match term {
-                    Term::Wildcard => {}
-                    Term::Const(c) => {
-                        if &tuple[i] != c {
-                            continue 'tuples;
-                        }
+    if probe_full_index {
+        let mut key: Vec<Value> = Vec::with_capacity(bound_columns.len());
+        for env in envs {
+            key.clear();
+            key.extend(bound_columns.iter().map(|&i| match &atom.terms[i] {
+                PlanTerm::Slot(s) => env[*s].clone().unwrap_or(Value::Null),
+                PlanTerm::Const(c) => c.clone(),
+                PlanTerm::Wildcard => Value::Null,
+            }));
+            if let Some(candidates) = relation.probe_index(&bound_columns, &key) {
+                for tuple in candidates {
+                    if let Some(new_env) = match_tuple(&env, atom, tuple) {
+                        out.push(new_env);
                     }
-                    Term::Var(v) => match new_env.get(v) {
-                        Some(existing) => {
-                            if existing != &tuple[i] {
-                                continue 'tuples;
-                            }
-                        }
-                        None => {
-                            new_env.insert(v.clone(), tuple[i].clone());
-                        }
-                    },
                 }
             }
-            out.push(new_env);
+        }
+    } else if use_delta {
+        for env in envs {
+            for tuple in relation.delta() {
+                if let Some(new_env) = match_tuple(&env, atom, tuple) {
+                    out.push(new_env);
+                }
+            }
+        }
+    } else {
+        // No bound columns: every environment pairs with every tuple.
+        for env in envs {
+            for tuple in relation.iter() {
+                if let Some(new_env) = match_tuple(&env, atom, tuple) {
+                    out.push(new_env);
+                }
+            }
         }
     }
     Ok(out)
 }
 
-enum ConstraintOutcome {
-    Keep(Env),
-    Drop,
-    NotReady,
+/// Match one candidate tuple against an atom under an environment, returning
+/// the extended environment on success.
+fn match_tuple(env: &Env, atom: &PlanAtom, tuple: &Tuple) -> Option<Env> {
+    // Verify before cloning: rejected candidates must not pay for an
+    // environment copy.
+    for (i, term) in atom.terms.iter().enumerate() {
+        match term {
+            PlanTerm::Wildcard => {}
+            PlanTerm::Const(c) => {
+                if &tuple[i] != c {
+                    return None;
+                }
+            }
+            PlanTerm::Slot(s) => {
+                if let Some(existing) = &env[*s] {
+                    if existing != &tuple[i] {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    let mut new_env = env.clone();
+    for (i, term) in atom.terms.iter().enumerate() {
+        if let PlanTerm::Slot(s) = term {
+            if new_env[*s].is_none() {
+                new_env[*s] = Some(tuple[i].clone());
+            } else if new_env[*s].as_ref() != Some(&tuple[i]) {
+                // A repeated variable bound earlier in this same atom.
+                return None;
+            }
+        }
+    }
+    Some(new_env)
 }
 
-fn constraint_ready(env: &Env, lhs: &DlExpr, rhs: &DlExpr) -> bool {
-    eval_expr(env, lhs).is_some() && eval_expr(env, rhs).is_some()
-}
+/// Filter out environments for which the negated atom matches. When every
+/// variable of the atom is bound (the common, safe case) the check is an
+/// index probe on the persistent index over the bound columns; otherwise it
+/// falls back to a scan with the original unbound-variable semantics (an
+/// unbound variable never matches).
+fn apply_negation(envs: &mut Vec<Env>, atom: &PlanAtom, db: &mut Database) {
+    let Some(first) = envs.first() else { return };
+    let all_vars_bound =
+        atom.terms.iter().all(|t| !matches!(t, PlanTerm::Slot(s) if first[*s].is_none()));
+    let bound_columns: Vec<usize> = atom
+        .terms
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t, PlanTerm::Wildcard))
+        .map(|(i, _)| i)
+        .collect();
 
-fn apply_constraint(
-    env: &Env,
-    op: raqlet_dlir::CmpOp,
-    lhs: &DlExpr,
-    rhs: &DlExpr,
-) -> Result<ConstraintOutcome> {
-    let lv = eval_expr(env, lhs);
-    let rv = eval_expr(env, rhs);
-    match (lv, rv) {
-        (Some(a), Some(b)) => {
-            if op.eval(&a, &b) {
-                Ok(ConstraintOutcome::Keep(env.clone()))
-            } else {
-                Ok(ConstraintOutcome::Drop)
-            }
+    if all_vars_bound && !bound_columns.is_empty() {
+        if let Some(rel) = db.get_mut(&atom.relation) {
+            rel.ensure_index(&bound_columns);
         }
-        // Assignment forms: `x = <expr>` with exactly one side unbound.
-        (None, Some(v)) if op == raqlet_dlir::CmpOp::Eq => {
-            if let DlExpr::Var(name) = lhs {
-                let mut e = env.clone();
-                e.insert(name.clone(), v);
-                Ok(ConstraintOutcome::Keep(e))
-            } else {
-                Ok(ConstraintOutcome::NotReady)
-            }
-        }
-        (Some(v), None) if op == raqlet_dlir::CmpOp::Eq => {
-            if let DlExpr::Var(name) = rhs {
-                let mut e = env.clone();
-                e.insert(name.clone(), v);
-                Ok(ConstraintOutcome::Keep(e))
-            } else {
-                Ok(ConstraintOutcome::NotReady)
-            }
-        }
-        _ => Ok(ConstraintOutcome::NotReady),
+        let Some(relation) = db.get(&atom.relation) else { return };
+        let mut key: Vec<Value> = Vec::with_capacity(bound_columns.len());
+        envs.retain(|env| {
+            key.clear();
+            key.extend(bound_columns.iter().map(|&i| match &atom.terms[i] {
+                PlanTerm::Slot(s) => env[*s].clone().unwrap_or(Value::Null),
+                PlanTerm::Const(c) => c.clone(),
+                PlanTerm::Wildcard => Value::Null,
+            }));
+            relation
+                .probe_index(&bound_columns, &key)
+                .map(|mut hits| hits.next().is_none())
+                .unwrap_or(true)
+        });
+    } else {
+        let Some(relation) = db.get(&atom.relation) else { return };
+        envs.retain(|env| !matches_negated(env, atom, relation));
     }
 }
 
-fn eval_constraint(env: &Env, op: raqlet_dlir::CmpOp, lhs: &DlExpr, rhs: &DlExpr) -> Option<bool> {
+/// True if the expression can be evaluated under the environment (all its
+/// slots are bound).
+fn expr_ready(env: &Env, expr: &PlanExpr) -> bool {
+    match expr {
+        PlanExpr::Slot(s) => env[*s].is_some(),
+        PlanExpr::Const(_) => true,
+        PlanExpr::Arith { lhs, rhs, .. } => expr_ready(env, lhs) && expr_ready(env, rhs),
+    }
+}
+
+fn eval_constraint(
+    env: &Env,
+    op: raqlet_dlir::CmpOp,
+    lhs: &PlanExpr,
+    rhs: &PlanExpr,
+) -> Option<bool> {
     Some(op.eval(&eval_expr(env, lhs)?, &eval_expr(env, rhs)?))
 }
 
-fn eval_expr(env: &Env, expr: &DlExpr) -> Option<Value> {
+fn eval_expr(env: &Env, expr: &PlanExpr) -> Option<Value> {
     match expr {
-        DlExpr::Var(v) => env.get(v).cloned(),
-        DlExpr::Const(c) => Some(c.clone()),
-        DlExpr::Arith { op, lhs, rhs } => op.eval(&eval_expr(env, lhs)?, &eval_expr(env, rhs)?),
+        PlanExpr::Slot(s) => env[*s].clone(),
+        PlanExpr::Const(c) => Some(c.clone()),
+        PlanExpr::Arith { op, lhs, rhs } => op.eval(&eval_expr(env, lhs)?, &eval_expr(env, rhs)?),
     }
 }
 
-fn matches_negated(env: &Env, atom: &Atom, relation: &Relation) -> bool {
+fn matches_negated(env: &Env, atom: &PlanAtom, relation: &Relation) -> bool {
     relation.iter().any(|tuple| {
         atom.terms.iter().enumerate().all(|(i, term)| match term {
-            Term::Wildcard => true,
-            Term::Const(c) => &tuple[i] == c,
-            Term::Var(v) => env.get(v).map(|val| val == &tuple[i]).unwrap_or(false),
+            PlanTerm::Wildcard => true,
+            PlanTerm::Const(c) => &tuple[i] == c,
+            PlanTerm::Slot(s) => env[*s].as_ref().map(|val| val == &tuple[i]).unwrap_or(false),
         })
     })
 }
 
-fn instantiate_head(head: &Atom, env: &Env) -> Result<Tuple> {
-    head.terms
+fn instantiate_head(plan: &RulePlan, env: &Env) -> Result<Tuple> {
+    plan.head
         .iter()
         .map(|t| match t {
-            Term::Var(v) => env.get(v).cloned().ok_or_else(|| {
-                RaqletError::execution(format!("head variable `{v}` is unbound at instantiation"))
+            PlanTerm::Slot(s) => env[*s].clone().ok_or_else(|| {
+                RaqletError::execution(format!(
+                    "head variable `{}` is unbound at instantiation",
+                    plan.var_names[*s]
+                ))
             }),
-            Term::Const(c) => Ok(c.clone()),
-            Term::Wildcard => Err(RaqletError::execution("wildcard in rule head")),
+            PlanTerm::Const(c) => Ok(c.clone()),
+            PlanTerm::Wildcard => Err(RaqletError::execution("wildcard in rule head")),
         })
         .collect()
 }
 
 /// Evaluate a rule-level aggregation over the body bindings.
-fn aggregate(
-    _program: &DlirProgram,
-    rule: &Rule,
-    agg: &Aggregation,
-    bindings: &[Env],
-) -> Result<Vec<Tuple>> {
+fn aggregate(plan: &RulePlan, agg: &PlanAgg, bindings: &[Env]) -> Result<Vec<Tuple>> {
     // Deduplicate the (group key, input value) projection: Datalog set
     // semantics, matching the SQL backend's `AGG(DISTINCT input)` encoding.
     use std::collections::BTreeMap;
@@ -535,14 +918,13 @@ fn aggregate(
         std::collections::HashSet::new();
     for env in bindings {
         let key: Vec<Value> =
-            agg.group_by.iter().map(|v| env.get(v).cloned().unwrap_or(Value::Null)).collect();
-        let input =
-            match &agg.input_var {
-                Some(v) => Some(env.get(v).cloned().ok_or_else(|| {
-                    RaqletError::execution(format!("aggregate input `{v}` unbound"))
-                })?),
-                None => None,
-            };
+            agg.group_by.iter().map(|&s| env[s].clone().unwrap_or(Value::Null)).collect();
+        let input = match agg.input {
+            Some(s) => Some(env[s].clone().ok_or_else(|| {
+                RaqletError::execution(format!("aggregate input `{}` unbound", plan.var_names[s]))
+            })?),
+            None => None,
+        };
         if !seen.insert((key.clone(), input.clone())) {
             continue;
         }
@@ -572,91 +954,79 @@ fn aggregate(
                 }
             }
         };
-        // Build the head tuple: group-by variables in head order plus the
+        // Build the head tuple: group-by slots in head order plus the
         // aggregate output.
-        let mut env: Env = HashMap::new();
-        for (v, val) in agg.group_by.iter().zip(key.iter()) {
-            env.insert(v.clone(), val.clone());
+        let mut env: Env = vec![None; plan.nvars];
+        for (&s, val) in agg.group_by.iter().zip(key.iter()) {
+            env[s] = Some(val.clone());
         }
-        env.insert(agg.output_var.clone(), agg_value);
-        out.push(instantiate_head(&rule.head, &env)?);
+        env[agg.output] = Some(agg_value);
+        out.push(instantiate_head(plan, &env)?);
     }
     Ok(out)
 }
 
-/// Merge freshly derived tuples into the database (respecting lattice
-/// annotations) and record genuinely new tuples in `deltas`. Returns true if
-/// anything new was added.
-fn merge_derived(
+/// Stage freshly derived tuples inside their head relation (respecting
+/// lattice annotations). Set-semantics tuples become visible at the next
+/// [`Relation::advance`]; lattice tuples are published immediately (the
+/// improvement must be observable within the round) but are announced in the
+/// next delta all the same.
+fn stage_derived(
     program: &DlirProgram,
     db: &mut Database,
-    deltas: &mut HashMap<String, Relation>,
     relation: &str,
     derived: Vec<Tuple>,
-) -> Result<bool> {
+) -> Result<()> {
     if derived.is_empty() {
-        return Ok(false);
+        return Ok(());
     }
     let arity = derived[0].len();
     let lattice = program.lattice_for(relation);
-    let mut any_new = false;
+    let rel = db.get_or_create(relation, arity);
     for tuple in derived {
-        let added = match lattice {
-            LatticeMerge::Set => db.get_or_create(relation, arity).insert(tuple.clone())?,
+        match lattice {
+            LatticeMerge::Set => {
+                rel.stage(tuple)?;
+            }
             LatticeMerge::MinOnColumn(col) => {
-                lattice_insert(db.get_or_create(relation, arity), tuple.clone(), col, true)?
+                rel.lattice_insert(tuple, col, true);
             }
             LatticeMerge::MaxOnColumn(col) => {
-                lattice_insert(db.get_or_create(relation, arity), tuple.clone(), col, false)?
+                rel.lattice_insert(tuple, col, false);
             }
-        };
-        if added {
-            any_new = true;
-            deltas
-                .entry(relation.to_string())
-                .or_insert_with(|| Relation::new(arity))
-                .insert(tuple)?;
         }
     }
-    Ok(any_new)
+    Ok(())
 }
 
-/// Insert under min/max-lattice semantics: the tuple is added only if its
-/// annotated column improves on the stored value for the same group (all
-/// other columns); a dominated stored tuple is replaced.
-fn lattice_insert(
-    relation: &mut Relation,
-    tuple: Tuple,
-    col: usize,
-    minimize: bool,
-) -> Result<bool> {
-    let group: Vec<Value> =
-        tuple.iter().enumerate().filter(|(i, _)| *i != col).map(|(_, v)| v.clone()).collect();
-    let mut dominated: Option<Tuple> = None;
-    for existing in relation.iter() {
-        let existing_group: Vec<Value> = existing
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != col)
-            .map(|(_, v)| v.clone())
-            .collect();
-        if existing_group != group {
-            continue;
-        }
-        let better = if minimize { tuple[col] < existing[col] } else { tuple[col] > existing[col] };
-        if better {
-            dominated = Some(existing.clone());
-            break;
-        } else {
-            // An equal-or-better tuple already exists.
-            return Ok(false);
+/// Publish derived tuples immediately (used for the once-evaluated
+/// aggregation rules, whose output the same stratum's fixpoint rules read).
+fn publish_derived(
+    program: &DlirProgram,
+    db: &mut Database,
+    relation: &str,
+    derived: Vec<Tuple>,
+) -> Result<()> {
+    if derived.is_empty() {
+        return Ok(());
+    }
+    let arity = derived[0].len();
+    let lattice = program.lattice_for(relation);
+    let rel = db.get_or_create(relation, arity);
+    for tuple in derived {
+        match lattice {
+            LatticeMerge::Set => {
+                rel.insert(tuple)?;
+            }
+            LatticeMerge::MinOnColumn(col) => {
+                rel.lattice_insert(tuple, col, true);
+            }
+            LatticeMerge::MaxOnColumn(col) => {
+                rel.lattice_insert(tuple, col, false);
+            }
         }
     }
-    if let Some(old) = dominated {
-        let remaining: Vec<Tuple> = relation.iter().filter(|t| **t != old).cloned().collect();
-        *relation = Relation::from_tuples(relation.arity(), remaining)?;
-    }
-    relation.insert(tuple)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -752,6 +1122,44 @@ mod tests {
         p.add_output("q");
         let result = DatalogEngine::new().evaluate(&p, &chain_edges(2)).unwrap();
         assert!(result.relation("q").contains(&[Value::Int(0), Value::Int(11)]));
+    }
+
+    #[test]
+    fn failed_arithmetic_assignments_drop_only_their_bindings() {
+        // h(x) :- r(x, y), z = 10 / y, z > 1. Division by zero must drop the
+        // (1, 0) binding — and only it — independent of insertion order.
+        let program = || {
+            let mut p = DlirProgram::default();
+            p.add_rule(Rule::new(
+                Atom::with_vars("h", &["x"]),
+                vec![
+                    atom("r", &["x", "y"]),
+                    BodyElem::eq(
+                        DlExpr::var("z"),
+                        DlExpr::Arith {
+                            op: raqlet_dlir::ArithOp::Div,
+                            lhs: Box::new(DlExpr::int(10)),
+                            rhs: Box::new(DlExpr::var("y")),
+                        },
+                    ),
+                    BodyElem::Constraint {
+                        op: CmpOp::Gt,
+                        lhs: DlExpr::var("z"),
+                        rhs: DlExpr::int(1),
+                    },
+                ],
+            ));
+            p.add_output("h");
+            p
+        };
+        for facts in [[(1, 0), (2, 5)], [(2, 5), (1, 0)]] {
+            let mut db = Database::new();
+            for (a, b) in facts {
+                db.insert_fact("r", vec![Value::Int(a), Value::Int(b)]).unwrap();
+            }
+            let result = DatalogEngine::new().evaluate(&program(), &db).unwrap();
+            assert_eq!(result.relation("h").sorted(), vec![vec![Value::Int(2)]], "{facts:?}");
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`graph`] — a property-graph store plus a clause-by-clause PGIR
 //!   interpreter — the Neo4j stand-in executing the original Cypher query.
 
+#![deny(missing_docs)]
+
 pub mod datalog;
 pub mod graph;
 pub mod sql;

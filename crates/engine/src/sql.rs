@@ -173,13 +173,28 @@ impl SqlEngine {
             let rel = self.evaluate_select(branch, scope, names, None, stats)?;
             all.merge(&rel)?;
         }
+        // The base tables of the recursive branches are iteration-invariant:
+        // push their single-alias predicates down once, before the loop. The
+        // working-table binding itself (whose contents change every round)
+        // is deliberately left unfiltered.
+        let prefiltered: Vec<Vec<Option<Relation>>> = cte
+            .recursive_branches()
+            .iter()
+            .map(|branch| prefilter_tables(branch, scope, names, Some(&cte.name)))
+            .collect::<Result<_>>()?;
         let mut delta = all.clone();
         while !delta.is_empty() {
             stats.recursive_iterations += 1;
             let mut derived = Relation::new(arity);
-            for branch in cte.recursive_branches() {
-                let rel =
-                    self.evaluate_select(branch, scope, names, Some((&cte.name, &delta)), stats)?;
+            for (branch, filtered) in cte.recursive_branches().iter().zip(&prefiltered) {
+                let rel = self.evaluate_select_with(
+                    branch,
+                    scope,
+                    names,
+                    Some((&cte.name, &delta)),
+                    filtered,
+                    stats,
+                )?;
                 derived.merge(&rel)?;
             }
             let new = derived.difference(&all);
@@ -199,14 +214,34 @@ impl SqlEngine {
         recursive_binding: Option<(&str, &Relation)>,
         stats: &mut SqlStats,
     ) -> Result<Relation> {
+        let prefiltered =
+            prefilter_tables(stmt, scope, names, recursive_binding.map(|(name, _)| name))?;
+        self.evaluate_select_with(stmt, scope, names, recursive_binding, &prefiltered, stats)
+    }
+
+    /// [`SqlEngine::evaluate_select`] with the selection pushdown already
+    /// computed (recursive CTE loops hoist it out of the working-table
+    /// iteration, since the base tables never change between rounds).
+    fn evaluate_select_with(
+        &self,
+        stmt: &SelectStmt,
+        scope: &Database,
+        names: &TableCatalog,
+        recursive_binding: Option<(&str, &Relation)>,
+        prefiltered: &[Option<Relation>],
+        stats: &mut SqlStats,
+    ) -> Result<Relation> {
         // Resolve FROM tables and build the row layout.
         let mut tables: Vec<(&FromItem, &Relation)> = Vec::new();
-        for item in &stmt.from {
-            let rel: &Relation = match recursive_binding {
-                Some((name, delta)) if name == item.table => delta,
-                _ => scope.get(&item.table).ok_or_else(|| {
-                    RaqletError::execution(format!("table `{}` not found", item.table))
-                })?,
+        for (i, item) in stmt.from.iter().enumerate() {
+            let rel: &Relation = match &prefiltered[i] {
+                Some(filtered) => filtered,
+                None => match recursive_binding {
+                    Some((name, delta)) if name == item.table => delta,
+                    _ => scope.get(&item.table).ok_or_else(|| {
+                        RaqletError::execution(format!("table `{}` not found", item.table))
+                    })?,
+                },
             };
             tables.push((item, rel));
         }
@@ -410,6 +445,71 @@ impl RowLayout {
             .iter()
             .position(|c| c == column)
             .ok_or_else(|| RaqletError::execution(format!("unknown column `{alias}.{column}`")))
+    }
+}
+
+/// Selection pushdown: filter each FROM table by the predicates that
+/// reference only its alias *before* joining. Without this, literal filters
+/// like `R.id = 42` (which carry no equi-join key) only run after the full
+/// join materialises — the optimizer's constant propagation would make
+/// queries slower on this engine, not faster (the CQ2 pathology recorded in
+/// `BENCH_baseline.json`). Returns one entry per FROM item; `None` means the
+/// table has no pushable predicate (or is the iteration-variant recursive
+/// working table named by `skip_table`) and should be read as-is.
+fn prefilter_tables(
+    stmt: &SelectStmt,
+    scope: &Database,
+    names: &TableCatalog,
+    skip_table: Option<&str>,
+) -> Result<Vec<Option<Relation>>> {
+    let mut prefiltered: Vec<Option<Relation>> = Vec::with_capacity(stmt.from.len());
+    for item in &stmt.from {
+        if skip_table == Some(item.table.as_str()) {
+            prefiltered.push(None);
+            continue;
+        }
+        let single: Vec<&SqlExpr> =
+            stmt.where_conjuncts.iter().filter(|p| references_only_alias(p, &item.alias)).collect();
+        if single.is_empty() {
+            prefiltered.push(None);
+            continue;
+        }
+        let rel = scope
+            .get(&item.table)
+            .ok_or_else(|| RaqletError::execution(format!("table `{}` not found", item.table)))?;
+        let layout = RowLayout {
+            aliases: vec![AliasColumns {
+                alias: item.alias.clone(),
+                offset: 0,
+                columns: names.columns_of(&item.table)?.to_vec(),
+            }],
+        };
+        let ctx = RowContext { layout: &layout, scope, names };
+        let mut kept = Relation::new(rel.arity());
+        'rows: for tuple in rel.iter() {
+            for pred in &single {
+                if !ctx.eval_predicate(pred, tuple)? {
+                    continue 'rows;
+                }
+            }
+            kept.insert_unchecked(tuple.clone());
+        }
+        prefiltered.push(Some(kept));
+    }
+    Ok(prefiltered)
+}
+
+/// True if the predicate can be evaluated against a single table alias: all
+/// column references belong to `alias` and the expression has no subquery or
+/// aggregate parts. Such predicates are safe to push below the join.
+fn references_only_alias(expr: &SqlExpr, alias: &str) -> bool {
+    match expr {
+        SqlExpr::Column { table, .. } => table == alias,
+        SqlExpr::Literal(_) => true,
+        SqlExpr::Cmp { lhs, rhs, .. } | SqlExpr::Arith { lhs, rhs, .. } => {
+            references_only_alias(lhs, alias) && references_only_alias(rhs, alias)
+        }
+        SqlExpr::Aggregate { .. } | SqlExpr::NotExists { .. } => false,
     }
 }
 

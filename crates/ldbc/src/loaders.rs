@@ -1,4 +1,4 @@
-//! Loaders: turn a generated [`SocialNetwork`](crate::generator::SocialNetwork)
+//! Loaders: turn a generated [`SocialNetwork`]
 //! into the representations each execution substrate consumes:
 //!
 //! * a relational / deductive [`Database`] whose relation names follow the

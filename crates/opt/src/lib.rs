@@ -4,18 +4,52 @@
 //! independent `DlirProgram → DlirProgram` rewrites orchestrated by a small
 //! pass manager ([`pipeline`]):
 //!
-//! * [`inline`] — view/rule inlining with duplicate-atom removal;
+//! * [`mod@inline`] — view/rule inlining with duplicate-atom removal;
 //! * [`dead`] — dead rule elimination;
 //! * [`constprop`] — constant propagation and constraint folding;
 //! * [`semantic`] — semantic join optimizations driven by schema keys
 //!   (self-join merging, referential-integrity join elimination);
 //! * [`magic`] — the magic-set transformation (pushing selections past
 //!   recursion);
-//! * [`linearize`] — rewriting non-linear recursion into linear recursion.
+//! * [`mod@linearize`] — rewriting non-linear recursion into linear recursion.
 //!
 //! All passes preserve the program's least-model semantics; the integration
 //! and property tests in the workspace check this by executing optimized and
 //! unoptimized programs on the same data and comparing results.
+//!
+//! Passes can be specialised for the execution backend: the magic-set
+//! rewrite speeds up bottom-up Datalog engines but is pathological under
+//! recursive-CTE working-table evaluation, so SQL-targeted pipelines skip it
+//! ([`TargetBackend`]).
+//!
+//! ```
+//! use raqlet_dlir::{Atom, BodyElem, DlExpr, DlirProgram, Rule};
+//! use raqlet_opt::{optimize_for, OptLevel, TargetBackend};
+//!
+//! // tc(x, y) :- edge(x, y).  tc(x, y) :- tc(x, z), edge(z, y).
+//! // Return(y) :- tc(x, y), x = 1.
+//! let mut program = DlirProgram::default();
+//! let atom = |name: &str, vars: &[&str]| BodyElem::Atom(Atom::with_vars(name, vars));
+//! program.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+//! program.add_rule(Rule::new(
+//!     Atom::with_vars("tc", &["x", "y"]),
+//!     vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
+//! ));
+//! program.add_rule(Rule::new(
+//!     Atom::with_vars("Return", &["y"]),
+//!     vec![atom("tc", &["x", "y"]), BodyElem::eq(DlExpr::var("x"), DlExpr::int(1))],
+//! ));
+//! program.add_output("Return");
+//!
+//! // The Datalog-targeted pipeline pushes the bound source into the
+//! // recursion via magic sets; the SQL-targeted one leaves it out.
+//! let datalog = optimize_for(&program, OptLevel::Full, TargetBackend::Datalog).unwrap();
+//! assert!(datalog.program.idb_names().iter().any(|n| n.starts_with("Magic_")));
+//! assert!(datalog.applied_passes.contains(&"magic-sets".to_string()));
+//!
+//! let sql = optimize_for(&program, OptLevel::Full, TargetBackend::Sql).unwrap();
+//! assert!(!sql.program.idb_names().iter().any(|n| n.starts_with("Magic_")));
+//! ```
 
 pub mod constprop;
 pub mod dead;
@@ -30,5 +64,7 @@ pub use dead::eliminate_dead_rules;
 pub use inline::{inline, InlineConfig};
 pub use linearize::linearize;
 pub use magic::magic_sets;
-pub use pipeline::{optimize, optimize_with, OptLevel, OptimizedProgram, PassConfig};
+pub use pipeline::{
+    optimize, optimize_for, optimize_with, OptLevel, OptimizedProgram, PassConfig, TargetBackend,
+};
 pub use semantic::optimize_joins;

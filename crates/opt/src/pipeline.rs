@@ -33,6 +33,34 @@ pub enum OptLevel {
     Full,
 }
 
+/// The execution backend a program is being optimized *for*. Some rewrites
+/// are profitable on one paradigm and pathological on another: magic sets
+/// speed up bottom-up Datalog engines by an order of magnitude, but the
+/// magic predicates turn into extra mutually-recursive CTE branches that
+/// naive recursive-CTE evaluators (the SQL engines) re-join on every
+/// working-table iteration — the CQ2-on-duckdb pathology recorded in
+/// `BENCH_baseline.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TargetBackend {
+    /// No backend commitment: run every pass of the level (the historical
+    /// behaviour, also right for bottom-up Datalog engines like Soufflé).
+    #[default]
+    Any,
+    /// A bottom-up Datalog engine (Soufflé or the in-tree simulator).
+    Datalog,
+    /// A SQL engine evaluating recursive CTEs with working-table semantics
+    /// (DuckDB / HyPer or the in-tree simulators): magic sets are skipped.
+    Sql,
+}
+
+impl TargetBackend {
+    /// True if the magic-set rewrite helps (or at least does not hurt) this
+    /// backend.
+    pub fn wants_magic_sets(&self) -> bool {
+        !matches!(self, TargetBackend::Sql)
+    }
+}
+
 /// Which individual passes to run; constructed from an [`OptLevel`] or
 /// customised field by field (used by the ablation benchmarks).
 #[derive(Debug, Clone)]
@@ -49,8 +77,15 @@ pub struct PassConfig {
 }
 
 impl PassConfig {
-    /// The pass set for an optimization level.
+    /// The pass set for an optimization level (no backend commitment).
     pub fn for_level(level: OptLevel) -> Self {
+        Self::for_target(level, TargetBackend::Any)
+    }
+
+    /// The pass set for an optimization level, specialised for a target
+    /// backend: SQL backends drop the magic-set rewrite (see
+    /// [`TargetBackend`]).
+    pub fn for_target(level: OptLevel, backend: TargetBackend) -> Self {
         let all = PassConfig {
             inline: true,
             inline_config: InlineConfig::default(),
@@ -58,7 +93,7 @@ impl PassConfig {
             semantic_joins: true,
             dead_rule_elimination: true,
             linearization: true,
-            magic_sets: true,
+            magic_sets: backend.wants_magic_sets(),
             max_iterations: 4,
         };
         match level {
@@ -100,6 +135,15 @@ pub struct OptimizedProgram {
 /// Optimize a DLIR program at the given level.
 pub fn optimize(program: &DlirProgram, level: OptLevel) -> Result<OptimizedProgram> {
     optimize_with(program, &PassConfig::for_level(level))
+}
+
+/// Optimize a DLIR program at the given level for a specific target backend.
+pub fn optimize_for(
+    program: &DlirProgram,
+    level: OptLevel,
+    backend: TargetBackend,
+) -> Result<OptimizedProgram> {
+    optimize_with(program, &PassConfig::for_target(level, backend))
 }
 
 /// Optimize with an explicit pass configuration.
@@ -269,6 +313,29 @@ mod tests {
         assert!(full.applied_passes.contains(&"magic-sets".to_string()));
         assert!(full.program.idb_names().iter().any(|n| n.starts_with("Magic_")));
         assert!(raqlet_analysis::is_linear(&full.program));
+    }
+
+    #[test]
+    fn sql_target_skips_magic_sets_but_keeps_the_rest() {
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("tc", &["x", "y"]),
+            vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("Return", &["y"]),
+            vec![atom("tc", &["x", "y"]), BodyElem::eq(DlExpr::var("x"), DlExpr::int(1))],
+        ));
+        p.add_output("Return");
+
+        let sql = optimize_for(&p, OptLevel::Full, TargetBackend::Sql).unwrap();
+        assert!(!sql.applied_passes.contains(&"magic-sets".to_string()));
+        assert!(!sql.program.idb_names().iter().any(|n| n.starts_with("Magic_")));
+
+        let datalog = optimize_for(&p, OptLevel::Full, TargetBackend::Datalog).unwrap();
+        assert!(datalog.applied_passes.contains(&"magic-sets".to_string()));
+        assert!(datalog.program.idb_names().iter().any(|n| n.starts_with("Magic_")));
     }
 
     #[test]
