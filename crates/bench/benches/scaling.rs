@@ -8,20 +8,39 @@
 //!
 //! Benchmark ids look like `scaling/reachability/sf0.5/semi-naive`.
 //!
+//! Two variant families ride the same sweep:
+//!
+//! * `semi-naive-t{1,2,4,8}` — the thread-count sweep of the parallel
+//!   delta-partitioned evaluator (explicit worker counts, so the rows are
+//!   comparable across machines regardless of `RAQLET_THREADS` or core
+//!   count). Full mode sweeps SF ≥ 1.0, where deltas are large enough for
+//!   partitioning to engage;
+//! * `*-warm` — execution against a [`PreparedDatabase`] that amortises EDB
+//!   cloning and index construction across calls.
+//!
 //! Set `RAQLET_BENCH_QUICK=1` to sweep a reduced set of scale factors with a
 //! short measurement window (used by the CI smoke job).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use raqlet::{DatalogEngine, OptLevel};
+use raqlet::{DatalogEngine, OptLevel, PreparedDatabase};
 use raqlet_bench::{quick_mode, Workload};
 use raqlet_ldbc::{CQ2, REACHABILITY};
+
+/// Worker counts for the parallel sweep.
+const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
 
 fn scaling(c: &mut Criterion) {
     let scales: &[f64] = if quick_mode() { &[0.25, 0.5] } else { &[0.25, 0.5, 1.0, 2.0] };
     for &scale in scales {
         let workload = Workload::new(scale);
+        // The full-mode thread sweep targets the large scale factors where
+        // per-round deltas are big enough to split; quick mode sweeps its
+        // tiny scales anyway so CI exercises (and emits ids for) every
+        // variant.
+        let sweep_threads = quick_mode() || scale >= 1.0;
+
         let mut group = c.benchmark_group(format!("scaling/reachability/sf{scale}"));
         group.sample_size(10);
         let unopt = workload.compile(REACHABILITY.cypher, OptLevel::None);
@@ -36,6 +55,19 @@ fn scaling(c: &mut Criterion) {
             let engine = DatalogEngine::naive();
             b.iter(|| engine.run_output(unopt.dlir(), &workload.db, "Return").unwrap())
         });
+        if sweep_threads {
+            for &threads in THREAD_SWEEP {
+                let engine = DatalogEngine::with_threads(threads);
+                group.bench_function(
+                    BenchmarkId::from_parameter(format!("semi-naive-t{threads}")),
+                    |b| b.iter(|| engine.run_output(unopt.dlir(), &workload.db, "Return").unwrap()),
+                );
+            }
+        }
+        let mut prepared = PreparedDatabase::new(workload.db.clone());
+        group.bench_function(BenchmarkId::from_parameter("semi-naive-warm"), |b| {
+            b.iter(|| unopt.execute_datalog_prepared(&mut prepared).unwrap())
+        });
         group.finish();
 
         let mut group = c.benchmark_group(format!("scaling/CQ2/sf{scale}"));
@@ -47,6 +79,10 @@ fn scaling(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::from_parameter("optimized"), |b| {
             b.iter(|| cq2_opt.execute_datalog(&workload.db).unwrap())
+        });
+        let mut prepared = PreparedDatabase::new(workload.db.clone());
+        group.bench_function(BenchmarkId::from_parameter("optimized-warm"), |b| {
+            b.iter(|| cq2_opt.execute_datalog_prepared(&mut prepared).unwrap())
         });
         group.finish();
     }

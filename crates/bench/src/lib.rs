@@ -9,7 +9,12 @@
 //!   (transitive closure and shortest paths across engines, naive vs
 //!   semi-naive evaluation, magic sets on/off);
 //! * `scaling` — the recursive queries swept across SNB scale factors, so
-//!   evaluation improvements show as curves rather than points.
+//!   evaluation improvements show as curves rather than points; includes
+//!   the `semi-naive-t{1,2,4,8}` thread sweep of the parallel evaluator.
+//!
+//! `table1` and `scaling` also carry `*-warm` variants that execute against
+//! a [`raqlet::PreparedDatabase`], isolating evaluation time from the
+//! per-call EDB clone+reindex tax.
 //!
 //! This library holds the workload setup shared by the benches and the
 //! `table1` example. Set `RAQLET_BENCH_QUICK=1` to run every bench in a

@@ -213,6 +213,11 @@ pub struct Relation {
     /// Persistent hash indexes, keyed by the column positions they cover.
     /// Extended in place on insert, never invalidated.
     indexes: HashMap<Vec<usize>, Index>,
+    /// Number of from-scratch index constructions this relation has paid for
+    /// (monotonic; cloning carries the count). [`Relation::ensure_index`]
+    /// increments it only when it actually builds — warm, prepared
+    /// executions can therefore pin "zero rebuilds" in tests.
+    index_builds: usize,
 }
 
 fn tuple_hash(tuple: &[Value]) -> u64 {
@@ -393,6 +398,13 @@ impl Relation {
         self.delta.iter()
     }
 
+    /// The frontier as a contiguous slice, so callers can partition it into
+    /// chunks (parallel delta-driven rule evaluation splits this slice
+    /// across worker threads).
+    pub fn delta_rows(&self) -> &[Tuple] {
+        &self.delta
+    }
+
     /// Number of rows in the delta.
     pub fn delta_len(&self) -> usize {
         self.delta.len()
@@ -502,6 +514,7 @@ impl Relation {
         if self.indexes.contains_key(columns) {
             return;
         }
+        self.index_builds += 1;
         let mut index = Index::new(columns);
         for (id, row) in self.rows.iter().enumerate() {
             if let Some(tuple) = row {
@@ -532,9 +545,22 @@ impl Relation {
         self.probe_index(columns, key).expect("index exists after ensure_index").collect()
     }
 
+    /// True if a persistent index over exactly these columns exists.
+    pub fn has_index(&self, columns: &[usize]) -> bool {
+        self.indexes.contains_key(columns)
+    }
+
     /// Number of persistent indexes currently maintained.
     pub fn index_count(&self) -> usize {
         self.indexes.len()
+    }
+
+    /// Number of from-scratch index constructions this relation has paid for
+    /// over its lifetime (a clone inherits its source's count). Extending an
+    /// index on insert does not count; only [`Relation::ensure_index`] calls
+    /// that actually build do.
+    pub fn index_build_count(&self) -> usize {
+        self.index_builds
     }
 
     /// Project the relation onto the given column positions (with
@@ -606,6 +632,18 @@ impl Database {
     /// Mutable access to a relation by name.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
         self.relations.get_mut(name)
+    }
+
+    /// Remove a relation, returning it if present (prepared executions drop
+    /// the derived relations of a run while keeping the warm base set).
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Total from-scratch index constructions across all stored relations
+    /// (see [`Relation::index_build_count`]).
+    pub fn index_builds(&self) -> usize {
+        self.relations.values().map(|r| r.index_build_count()).sum()
     }
 
     /// Fetch a relation by name, returning an execution error if absent.

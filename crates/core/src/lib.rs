@@ -37,7 +37,8 @@ pub use raqlet_common::{Database, RaqletError, Relation, Result, Value};
 pub use raqlet_cypher::parse_pg_schema;
 pub use raqlet_dlir::{DlirProgram, LoweredQuery};
 pub use raqlet_engine::{
-    DatalogEngine, EvalStrategy, GraphEngine, PropertyGraph, SqlEngine, SqlProfile, TableCatalog,
+    DatalogConfig, DatalogEngine, EvalStrategy, GraphEngine, PreparedDatabase, PropertyGraph,
+    SqlEngine, SqlProfile, TableCatalog,
 };
 pub use raqlet_opt::{OptLevel, OptimizedProgram, PassConfig, TargetBackend};
 pub use raqlet_pgir::{LowerOptions, PgirQuery};
@@ -221,6 +222,14 @@ impl CompiledQuery {
     /// Execute the *unoptimized* program on the Datalog engine.
     pub fn execute_datalog_unoptimized(&self, db: &Database) -> Result<Relation> {
         DatalogEngine::new().run_output(&self.unoptimized, db, &self.output)
+    }
+
+    /// Execute on a warm [`PreparedDatabase`], reusing its row arenas and
+    /// persistent indexes instead of cloning and reindexing the EDB per
+    /// call. Successive executions of compiled queries against the same
+    /// prepared set skip the cold-start tax entirely.
+    pub fn execute_datalog_prepared(&self, prepared: &mut PreparedDatabase) -> Result<Relation> {
+        prepared.run(self.dlir(), &self.output)
     }
 
     /// Execute on the bundled SQL engine with the given profile.

@@ -1,0 +1,54 @@
+//! Fail CI on benchmark mean-time regressions.
+//!
+//! ```sh
+//! bench_regression <current.jsonl> <baseline.json> [threshold]
+//! ```
+//!
+//! `current.jsonl` is the `CRITERION_JSON` output of a bench run;
+//! `baseline.json` is a checked-in `BENCH_*.json` snapshot. Exits non-zero
+//! if any benchmark id present in both files has a current mean more than
+//! `threshold` (default 1.3) times its baseline mean.
+
+use std::process::ExitCode;
+
+use criterion::regression::find_regressions;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(current_path), Some(baseline_path)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: bench_regression <current.jsonl> <baseline.json> [threshold]");
+        return ExitCode::from(2);
+    };
+    let threshold: f64 = match args.get(3).map(|t| t.parse()) {
+        None => 1.3,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("threshold must be a number, got `{}`", args[3]);
+            return ExitCode::from(2);
+        }
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(err) => {
+            eprintln!("cannot read `{path}`: {err}");
+            None
+        }
+    };
+    let (Some(current), Some(baseline)) = (read(current_path), read(baseline_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let regressions = find_regressions(&current, &baseline, threshold);
+    if regressions.is_empty() {
+        println!("no regressions > {threshold}x vs {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("{} regression(s) > {threshold}x vs {baseline_path}:", regressions.len());
+    for r in &regressions {
+        eprintln!(
+            "  {:<60} {:>12.0} ns -> {:>12.0} ns  ({:.2}x)",
+            r.id, r.baseline_mean_ns, r.current_mean_ns, r.ratio
+        );
+    }
+    ExitCode::FAILURE
+}

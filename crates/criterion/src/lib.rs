@@ -4,8 +4,12 @@
 //! criterion cannot be vendored; this shim keeps the bench sources unchanged
 //! and produces comparable (mean / median / min) wall-clock statistics.
 //!
-//! Differences from real criterion: no warm-up/outlier modelling beyond a
-//! simple warm-up loop, no HTML reports, no statistical regression testing.
+//! Differences from real criterion: no warm-up modelling beyond a simple
+//! warm-up loop and no HTML reports. Samples *do* get a median-distance
+//! outlier rejection (see [`Stats`]) so a single scheduling hiccup cannot
+//! skew the reported mean, and the [`regression`] module plus
+//! the `bench_regression` binary compare a `CRITERION_JSON` run against a
+//! checked-in `BENCH_*.json` baseline and fail on mean-time regressions.
 //! Set `CRITERION_JSON=<path>` to append one JSON object per benchmark to a
 //! file (used to seed `BENCH_baseline.json`).
 
@@ -157,22 +161,24 @@ impl BenchmarkGroup<'_> {
         let stats = Stats::from_samples(&bencher.samples_ns);
         let full = if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
         println!(
-            "  {full:<60} mean {:>12}  median {:>12}  min {:>12}  ({} samples)",
+            "  {full:<60} mean {:>12}  median {:>12}  min {:>12}  ({} samples, {} outliers)",
             fmt_ns(stats.mean_ns),
             fmt_ns(stats.median_ns),
             fmt_ns(stats.min_ns),
             stats.samples,
+            stats.outliers,
         );
         if let Ok(path) = std::env::var("CRITERION_JSON") {
             if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
                 let _ = writeln!(
                     file,
-                    "{{\"id\":\"{}\",\"mean_ns\":{:.0},\"median_ns\":{:.0},\"min_ns\":{:.0},\"samples\":{}}}",
+                    "{{\"id\":\"{}\",\"mean_ns\":{:.0},\"median_ns\":{:.0},\"min_ns\":{:.0},\"samples\":{},\"outliers\":{}}}",
                     full.replace('"', "'"),
                     stats.mean_ns,
                     stats.median_ns,
                     stats.min_ns,
                     stats.samples,
+                    stats.outliers,
                 );
             }
         }
@@ -249,27 +255,178 @@ pub enum BatchSize {
     PerIteration,
 }
 
-struct Stats {
+/// Summary statistics over the kept (non-outlier) samples.
+pub struct Stats {
     mean_ns: f64,
     median_ns: f64,
     min_ns: f64,
     samples: usize,
+    outliers: usize,
 }
 
 impl Stats {
+    /// Compute mean/median/min with **median-distance outlier rejection**:
+    /// a sample is an outlier when it exceeds the sample median by more than
+    /// `max(3 × MAD, 5% of the median)`, where MAD is the median of all
+    /// distances to the median. The rejection is one-sided: timing noise
+    /// only ever makes a sample *slower* (preemption, cache eviction), so a
+    /// genuinely fast sample is signal and is always kept — `min_ns` remains
+    /// the true best case. The 5% relative floor keeps near-identical sample
+    /// sets from rejecting ordinary jitter when MAD collapses to ~0.
     fn from_samples(samples: &[f64]) -> Stats {
         if samples.is_empty() {
-            return Stats { mean_ns: 0.0, median_ns: 0.0, min_ns: 0.0, samples: 0 };
+            return Stats { mean_ns: 0.0, median_ns: 0.0, min_ns: 0.0, samples: 0, outliers: 0 };
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        let median = if sorted.len() % 2 == 1 {
-            sorted[sorted.len() / 2]
-        } else {
-            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        let median_of = |v: &[f64]| -> f64 {
+            if v.len() % 2 == 1 {
+                v[v.len() / 2]
+            } else {
+                (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+            }
         };
-        Stats { mean_ns: mean, median_ns: median, min_ns: sorted[0], samples: sorted.len() }
+        let raw_median = median_of(&sorted);
+        let mut distances: Vec<f64> = sorted.iter().map(|s| (s - raw_median).abs()).collect();
+        distances.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mad = median_of(&distances);
+        let tolerance = (3.0 * mad).max(raw_median.abs() * 0.05);
+        let kept: Vec<f64> =
+            sorted.iter().copied().filter(|s| s - raw_median <= tolerance).collect();
+        let outliers = sorted.len() - kept.len();
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        Stats {
+            mean_ns: mean,
+            median_ns: median_of(&kept),
+            min_ns: kept[0],
+            samples: kept.len(),
+            outliers,
+        }
+    }
+}
+
+pub mod regression {
+    //! Regression detection against a checked-in benchmark baseline.
+    //!
+    //! The build environment has no serde, so this module includes a tiny
+    //! scanner that extracts `"id"` / `"mean_ns"` pairs from both formats in
+    //! the tree: the raw `CRITERION_JSON` line-per-benchmark output and the
+    //! wrapped `BENCH_*.json` snapshots (whose `results` arrays hold the
+    //! same objects). Ids present in only one file are ignored — a baseline
+    //! can't regress a bench it never measured.
+
+    /// One benchmark measurement extracted from a JSON file.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchRecord {
+        /// Benchmark id, e.g. `table1/SQ1/souffle-sim/optimized`.
+        pub id: String,
+        /// Mean wall-clock nanoseconds.
+        pub mean_ns: f64,
+    }
+
+    /// A benchmark whose current mean exceeds `threshold ×` its baseline
+    /// mean.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Regression {
+        /// Benchmark id.
+        pub id: String,
+        /// Mean of the current run, nanoseconds.
+        pub current_mean_ns: f64,
+        /// Mean recorded in the baseline, nanoseconds.
+        pub baseline_mean_ns: f64,
+        /// `current / baseline`.
+        pub ratio: f64,
+    }
+
+    /// Extract every `{"id": ..., "mean_ns": ...}` record from JSON text.
+    /// Works on both `CRITERION_JSON` line output and wrapped `BENCH_*.json`
+    /// snapshots; anything without both keys in the same object is skipped.
+    pub fn parse_records(text: &str) -> Vec<BenchRecord> {
+        // Each record object closes with `}` and no record nests objects, so
+        // splitting on `}` puts at most one id/mean_ns pair per chunk.
+        text.split('}')
+            .filter_map(|chunk| {
+                let id = extract_string(chunk, "\"id\"")?;
+                let mean_ns = extract_number(chunk, "\"mean_ns\"")?;
+                Some(BenchRecord { id, mean_ns })
+            })
+            .collect()
+    }
+
+    /// Compare two benchmark files and return every shared id whose current
+    /// mean is more than `threshold` times the baseline mean (1.3 = fail on
+    /// a >30% slowdown). Ratios are reported for shared ids only.
+    pub fn find_regressions(current: &str, baseline: &str, threshold: f64) -> Vec<Regression> {
+        let baseline_records = parse_records(baseline);
+        parse_records(current)
+            .into_iter()
+            .filter_map(|cur| {
+                let base = baseline_records.iter().find(|b| b.id == cur.id)?;
+                if base.mean_ns <= 0.0 {
+                    return None;
+                }
+                let ratio = cur.mean_ns / base.mean_ns;
+                if ratio > threshold {
+                    Some(Regression {
+                        id: cur.id,
+                        current_mean_ns: cur.mean_ns,
+                        baseline_mean_ns: base.mean_ns,
+                        ratio,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    fn extract_string(chunk: &str, key: &str) -> Option<String> {
+        let after_key = &chunk[chunk.find(key)? + key.len()..];
+        let after_colon = after_key.trim_start().strip_prefix(':')?.trim_start();
+        let body = after_colon.strip_prefix('"')?;
+        Some(body[..body.find('"')?].to_string())
+    }
+
+    fn extract_number(chunk: &str, key: &str) -> Option<f64> {
+        let after_key = &chunk[chunk.find(key)? + key.len()..];
+        let after_colon = after_key.trim_start().strip_prefix(':')?.trim_start();
+        let end = after_colon
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(after_colon.len());
+        after_colon[..end].parse().ok()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        const CURRENT: &str = "\
+            {\"id\":\"a/x\",\"mean_ns\":1500,\"median_ns\":1400,\"min_ns\":1300,\"samples\":10}\n\
+            {\"id\":\"a/y\",\"mean_ns\":900,\"median_ns\":890,\"min_ns\":880,\"samples\":10}\n";
+
+        const BASELINE: &str = "{\n\"bench\": \"t\",\n\"workload\": {\"scale\": 1.0},\n\
+            \"results\": [\n\
+            {\"id\": \"a/x\", \"mean_ns\": 1000, \"min_ns\": 900},\n\
+            {\"id\": \"a/y\", \"mean_ns\": 1000, \"min_ns\": 950},\n\
+            {\"id\": \"a/z\", \"mean_ns\": 5}\n]\n}\n";
+
+        #[test]
+        fn parses_both_formats() {
+            assert_eq!(parse_records(CURRENT).len(), 2);
+            let base = parse_records(BASELINE);
+            assert_eq!(base.len(), 3);
+            assert_eq!(base[0], BenchRecord { id: "a/x".into(), mean_ns: 1000.0 });
+        }
+
+        #[test]
+        fn flags_only_regressions_over_threshold_on_shared_ids() {
+            let regs = find_regressions(CURRENT, BASELINE, 1.3);
+            assert_eq!(regs.len(), 1);
+            assert_eq!(regs[0].id, "a/x");
+            assert!((regs[0].ratio - 1.5).abs() < 1e-9);
+            // a/y got faster; a/z exists only in the baseline.
+            assert!(find_regressions(CURRENT, BASELINE, 1.6).is_empty());
+        }
     }
 }
 
@@ -329,6 +486,24 @@ mod tests {
         assert_eq!(s.min_ns, 1.0);
         let s = Stats::from_samples(&[4.0, 1.0, 2.0, 3.0]);
         assert_eq!(s.median_ns, 2.5);
+    }
+
+    #[test]
+    fn outlier_rejection_trims_the_high_tail() {
+        let s = Stats::from_samples(&[10.0, 11.0, 10.0, 12.0, 100.0]);
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.outliers, 1);
+        assert!((s.mean_ns - 10.75).abs() < 1e-9);
+        // Homogeneous samples are all kept.
+        let s = Stats::from_samples(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.outliers, 0);
+        // Rejection is one-sided: a genuinely fast sample is signal, never
+        // an outlier — the true minimum survives even when MAD is 0.
+        let s = Stats::from_samples(&[10.0, 10.0, 10.0, 10.0, 8.0]);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.outliers, 0);
+        assert_eq!(s.min_ns, 8.0);
     }
 
     #[test]

@@ -26,7 +26,15 @@
 //!   deduplicated bindings of its group-by and input variables;
 //! * relations annotated with a `@min` lattice keep only the minimal value of
 //!   the annotated column per group, which makes shortest-path recursion
-//!   terminate on cyclic data.
+//!   terminate on cyclic data;
+//! * delta-driven rule applications are **parallel**: the join order and
+//!   every index it will probe are prepared up front on the calling thread,
+//!   after which the join needs only `&Database` — so the driving delta is
+//!   partitioned into chunks evaluated concurrently with
+//!   [`std::thread::scope`]. Per-worker tuple buffers are merged in chunk
+//!   order and deduplicated through the head relation's staged set, making
+//!   results identical to sequential evaluation regardless of thread count
+//!   or partition boundaries (see [`DatalogConfig`]).
 
 use std::collections::HashMap;
 
@@ -45,6 +53,68 @@ pub enum EvalStrategy {
     SemiNaive,
 }
 
+/// Configuration for the Datalog engine: the evaluation strategy plus the
+/// parallelism knobs of the delta-partitioned semi-naive evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalogConfig {
+    /// Fixpoint evaluation strategy.
+    pub strategy: EvalStrategy,
+    /// Worker-thread count for delta-partitioned rule evaluation. `0` (the
+    /// default) resolves at evaluation time to the `RAQLET_THREADS`
+    /// environment variable if it holds a positive integer (CI pins this so
+    /// timing is reproducible; results are identical at any count), else to
+    /// [`std::thread::available_parallelism`]. `1` disables parallelism.
+    pub threads: usize,
+    /// Minimum number of driving-delta rows before one rule application is
+    /// split across worker threads; below this, spawn overhead dominates and
+    /// the rule is evaluated on the calling thread.
+    pub parallel_threshold: usize,
+}
+
+impl Default for DatalogConfig {
+    fn default() -> Self {
+        DatalogConfig { strategy: EvalStrategy::SemiNaive, threads: 0, parallel_threshold: 256 }
+    }
+}
+
+impl DatalogConfig {
+    /// This configuration with an explicit worker count (`0` = auto, `1` =
+    /// sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// This configuration with the given parallel-split threshold.
+    pub fn with_parallel_threshold(mut self, rows: usize) -> Self {
+        self.parallel_threshold = rows;
+        self
+    }
+
+    /// Resolve the effective worker count (see [`DatalogConfig::threads`]).
+    ///
+    /// The auto-detected value is computed once per process and cached:
+    /// `available_parallelism` re-reads cgroup quota files on every call
+    /// (~10µs — measurable against sub-50µs queries), and the `RAQLET_THREADS`
+    /// override is set before the process starts anyway.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *AUTO.get_or_init(|| {
+            if let Ok(v) = std::env::var("RAQLET_THREADS") {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+    }
+}
+
 /// Counters describing an evaluation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EvalStats {
@@ -57,6 +127,9 @@ pub struct EvalStats {
     /// Total tuples derived (including duplicates discarded by set
     /// semantics).
     pub tuples_derived: usize,
+    /// Worker tasks spawned for delta-partitioned rule applications (0 when
+    /// every rule ran on the calling thread).
+    pub parallel_tasks: usize,
 }
 
 /// The result of evaluating a program.
@@ -108,27 +181,40 @@ impl EvalResult {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DatalogEngine {
-    /// Evaluation strategy.
-    pub strategy: EvalStrategy,
+    /// Engine configuration: strategy plus parallelism knobs.
+    pub config: DatalogConfig,
 }
 
 impl DatalogEngine {
-    /// An engine using semi-naive evaluation.
+    /// An engine using semi-naive evaluation (auto-detected thread count).
     pub fn new() -> Self {
-        DatalogEngine { strategy: EvalStrategy::SemiNaive }
+        DatalogEngine { config: DatalogConfig::default() }
     }
 
     /// An engine using naive evaluation (for ablation benchmarks).
     pub fn naive() -> Self {
-        DatalogEngine { strategy: EvalStrategy::Naive }
+        DatalogEngine {
+            config: DatalogConfig { strategy: EvalStrategy::Naive, ..Default::default() },
+        }
+    }
+
+    /// An engine with the given configuration.
+    pub fn with_config(config: DatalogConfig) -> Self {
+        DatalogEngine { config }
+    }
+
+    /// A semi-naive engine with an explicit worker count (`1` = sequential).
+    pub fn with_threads(threads: usize) -> Self {
+        DatalogEngine { config: DatalogConfig::default().with_threads(threads) }
+    }
+
+    /// The evaluation strategy in use.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.config.strategy
     }
 
     /// Evaluate `program` over the extensional database `edb`.
     pub fn evaluate(&self, program: &DlirProgram, edb: &Database) -> Result<EvalResult> {
-        raqlet_dlir::validate(program)?;
-        let stratification = stratify(program)?;
-        let graph = DepGraph::build(program);
-
         // Working database: only the extensional relations the program
         // actually references (in rule bodies or as outputs) are copied in.
         // Indexes built on them during evaluation live in this working set;
@@ -157,6 +243,25 @@ impl DatalogEngine {
             }
         }
 
+        let stats = self.evaluate_in_place(program, &mut db)?;
+        Ok(EvalResult { database: db, stats })
+    }
+
+    /// Evaluate `program` directly against `db`, deriving IDB relations in
+    /// place. The caller owns the working set: extensional relations are
+    /// *not* copied, and the persistent indexes built during evaluation stay
+    /// in `db` afterwards — [`crate::PreparedDatabase`] relies on this to
+    /// keep a warm working set across executions.
+    pub(crate) fn evaluate_in_place(
+        &self,
+        program: &DlirProgram,
+        db: &mut Database,
+    ) -> Result<EvalStats> {
+        raqlet_dlir::validate(program)?;
+        let stratification = stratify(program)?;
+        let graph = DepGraph::build(program);
+        let threads = self.config.effective_threads();
+
         let mut stats = EvalStats { strata: stratification.len(), ..Default::default() };
 
         // Ensure every IDB exists (possibly empty) so downstream negation and
@@ -172,9 +277,9 @@ impl DatalogEngine {
             if rules.is_empty() {
                 continue;
             }
-            self.evaluate_stratum(program, &graph, &rules, &mut db, &mut stats)?;
+            self.evaluate_stratum(program, &graph, &rules, db, threads, &mut stats)?;
         }
-        Ok(EvalResult { database: db, stats })
+        Ok(stats)
     }
 
     /// Evaluate the output relation of a program directly.
@@ -193,6 +298,7 @@ impl DatalogEngine {
         graph: &DepGraph,
         rules: &[&Rule],
         db: &mut Database,
+        threads: usize,
         stats: &mut EvalStats,
     ) -> Result<()> {
         // Relations derived in this stratum (the ones whose deltas matter).
@@ -214,7 +320,7 @@ impl DatalogEngine {
             (0..rules.len()).partition(|&i| rules[i].aggregation.is_some());
         for &i in &agg_idx {
             stats.rule_applications += 1;
-            let derived = self.apply_rule(rules[i], &plans[i], db, None)?;
+            let derived = self.apply_rule(rules[i], &plans[i], db, None, threads, stats)?;
             stats.tuples_derived += derived.len();
             publish_derived(program, db, &rules[i].head.relation, derived)?;
         }
@@ -224,7 +330,7 @@ impl DatalogEngine {
         // them and makes them the first delta.
         for &i in &fix_idx {
             stats.rule_applications += 1;
-            let derived = self.apply_rule(rules[i], &plans[i], db, None)?;
+            let derived = self.apply_rule(rules[i], &plans[i], db, None, threads, stats)?;
             stats.tuples_derived += derived.len();
             stage_derived(program, db, &rules[i].head.relation, derived)?;
         }
@@ -261,10 +367,11 @@ impl DatalogEngine {
                     if recursive_positions.is_empty() {
                         continue;
                     }
-                    match self.strategy {
+                    match self.config.strategy {
                         EvalStrategy::Naive => {
                             stats.rule_applications += 1;
-                            let derived = self.apply_rule(rule, &plans[i], db, None)?;
+                            let derived =
+                                self.apply_rule(rule, &plans[i], db, None, threads, stats)?;
                             stats.tuples_derived += derived.len();
                             stage_derived(program, db, &rule.head.relation, derived)?;
                         }
@@ -280,7 +387,14 @@ impl DatalogEngine {
                                     continue;
                                 }
                                 stats.rule_applications += 1;
-                                let derived = self.apply_rule(rule, &plans[i], db, Some(pos))?;
+                                let derived = self.apply_rule(
+                                    rule,
+                                    &plans[i],
+                                    db,
+                                    Some(pos),
+                                    threads,
+                                    stats,
+                                )?;
                                 stats.tuples_derived += derived.len();
                                 stage_derived(program, db, &rule.head.relation, derived)?;
                             }
@@ -311,101 +425,180 @@ impl DatalogEngine {
     /// Evaluate one rule, returning the derived head tuples. When
     /// `delta_pos` is given, the positive atom at that body position scans
     /// the relation's delta (its previous-round frontier) instead of the
-    /// full set, and drives the join from it.
+    /// full set, and drives the join from it — partitioned across worker
+    /// threads when the delta is large enough.
     fn apply_rule(
         &self,
         rule: &Rule,
         plan: &RulePlan,
         db: &mut Database,
         delta_pos: Option<usize>,
+        threads: usize,
+        stats: &mut EvalStats,
     ) -> Result<Vec<Tuple>> {
-        let bindings = self.join_body(rule, plan, db, delta_pos)?;
-        match &plan.agg {
-            None => {
-                let mut out = Vec::with_capacity(bindings.len());
-                for env in &bindings {
-                    out.push(instantiate_head(plan, env)?);
+        // The join order and every persistent index it (and the negations)
+        // will probe are decided up front on the calling thread; after this
+        // the join needs only `&Database`, so delta chunks can be evaluated
+        // concurrently on scoped worker threads.
+        let (order, prep) = plan_join(plan, db, delta_pos);
+        let db: &Database = db;
+
+        let delta: Option<(usize, &[Tuple])> = delta_pos.map(|pos| {
+            let PlanElem::Atom(atom) = &plan.body[pos] else {
+                unreachable!("delta position always names a positive atom")
+            };
+            (pos, db.get(&atom.relation).map(|r| r.delta_rows()).unwrap_or(&[]))
+        });
+
+        if let Some((pos, rows)) = delta {
+            // Cap the worker count so every chunk carries at least
+            // `parallel_threshold` delta rows: spawning a scoped thread for
+            // a handful of rows costs more than joining them.
+            let workers = threads.min(rows.len() / self.config.parallel_threshold.max(1)).max(1);
+            if workers > 1 && plan.agg.is_none() {
+                let chunk = rows.len().div_ceil(workers);
+                let order = &order;
+                let prep = &prep;
+                let mut results: Vec<Result<Vec<Tuple>>> = Vec::new();
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = rows
+                        .chunks(chunk)
+                        .map(|slice| {
+                            s.spawn(move || {
+                                derive_tuples(rule, plan, db, order, prep, Some((pos, slice)))
+                            })
+                        })
+                        .collect();
+                    results.extend(
+                        handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")),
+                    );
+                });
+                stats.parallel_tasks += results.len();
+                // Merge the per-worker buffers in chunk order so derivation
+                // order — and therefore lattice-application and error order —
+                // matches a sequential scan of the same delta. Deduplication
+                // happens when the caller stages into the head relation.
+                let mut out = Vec::new();
+                for worker in results {
+                    out.extend(worker?);
                 }
-                Ok(out)
-            }
-            Some(agg) => aggregate(plan, agg, &bindings),
-        }
-    }
-
-    /// Join the positive atoms, apply constraints and negation, and return
-    /// the slot environments satisfying the body. The database is mutable
-    /// only to build (once) the persistent indexes probed by the join.
-    fn join_body(
-        &self,
-        rule: &Rule,
-        plan: &RulePlan,
-        db: &mut Database,
-        delta_pos: Option<usize>,
-    ) -> Result<Vec<Env>> {
-        let mut envs: Vec<Env> = vec![vec![None; plan.nvars]];
-
-        // Pick a bound-first greedy join order: the delta atom (if any)
-        // always drives the join; after it, the atom with the most columns
-        // bound by the current variable set comes next (ties broken towards
-        // smaller relations), so every non-driving atom is reached through an
-        // index probe with maximal selectivity. Constraints fire as soon as
-        // their slots are bound; negations run last.
-        let order = join_order(plan, db, delta_pos);
-
-        let mut pending_constraints: Vec<usize> = plan
-            .body
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| matches!(e, PlanElem::Constraint { .. }))
-            .map(|(i, _)| i)
-            .collect();
-
-        // Constraints evaluable before any atom (constant comparisons and
-        // `x = <const expr>` assignments, e.g. magic-seed rules).
-        apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
-
-        for &idx in &order {
-            let PlanElem::Atom(atom) = &plan.body[idx] else { continue };
-            let use_delta = delta_pos == Some(idx);
-            envs = extend_with_atom(envs, atom, db, use_delta)?;
-            if envs.is_empty() {
-                return Ok(Vec::new());
-            }
-            apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
-            if envs.is_empty() {
-                return Ok(Vec::new());
+                return Ok(out);
             }
         }
-
-        // Remaining constraints must now be evaluable.
-        if let Some(first) = envs.first() {
-            for &idx in &pending_constraints {
-                let PlanElem::Constraint { lhs, rhs, .. } = &plan.body[idx] else { continue };
-                if !expr_ready(first, lhs) || !expr_ready(first, rhs) {
-                    return Err(RaqletError::execution(format!(
-                        "constraint `{}` in rule `{rule}` references unbound variables",
-                        rule.body[idx]
-                    )));
-                }
-            }
-        }
-
-        // Negation.
-        for elem in &plan.body {
-            let PlanElem::Negated(atom) = elem else { continue };
-            apply_negation(&mut envs, atom, db);
-            if envs.is_empty() {
-                return Ok(Vec::new());
-            }
-        }
-        Ok(envs)
+        derive_tuples(rule, plan, db, &order, &prep, delta)
     }
 }
 
-/// Compute the greedy bound-first processing order of the rule's positive
-/// atoms. Bound-slot progression is simulated statically, including the
-/// bindings contributed by `=` assignment constraints as they become ready.
-fn join_order(plan: &RulePlan, db: &Database, delta_pos: Option<usize>) -> Vec<usize> {
+/// Evaluate one rule application on the current thread: join the body (the
+/// delta atom, if any, scanning only the given slice of frontier rows) and
+/// instantiate or aggregate the head. Requires every index the join order
+/// probes to exist already (see `plan_join`).
+fn derive_tuples(
+    rule: &Rule,
+    plan: &RulePlan,
+    db: &Database,
+    order: &[usize],
+    prep: &JoinPrep,
+    delta: Option<(usize, &[Tuple])>,
+) -> Result<Vec<Tuple>> {
+    let bindings = join_body(rule, plan, db, order, prep, delta)?;
+    match &plan.agg {
+        None => {
+            let mut out = Vec::with_capacity(bindings.len());
+            for env in &bindings {
+                out.push(instantiate_head(plan, env)?);
+            }
+            Ok(out)
+        }
+        Some(agg) => aggregate(plan, agg, &bindings),
+    }
+}
+
+/// Join the positive atoms in the prepared order, apply constraints and
+/// negation, and return the slot environments satisfying the body. Read-only
+/// over the database: every index this probes was built by
+/// `plan_join`, so this is safe to run concurrently over disjoint
+/// delta slices.
+fn join_body(
+    rule: &Rule,
+    plan: &RulePlan,
+    db: &Database,
+    order: &[usize],
+    prep: &JoinPrep,
+    delta: Option<(usize, &[Tuple])>,
+) -> Result<Vec<Env>> {
+    let mut envs: Vec<Env> = vec![vec![None; plan.nvars]];
+
+    let mut pending_constraints: Vec<usize> = plan
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, PlanElem::Constraint { .. }))
+        .map(|(i, _)| i)
+        .collect();
+
+    // Constraints evaluable before any atom (constant comparisons and
+    // `x = <const expr>` assignments, e.g. magic-seed rules).
+    apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
+
+    for &idx in order {
+        let PlanElem::Atom(atom) = &plan.body[idx] else { continue };
+        let delta_rows = match delta {
+            Some((pos, rows)) if pos == idx => Some(rows),
+            _ => None,
+        };
+        envs = extend_with_atom(envs, atom, db, delta_rows, &prep.atom_columns[idx])?;
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+        apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Remaining constraints must now be evaluable.
+    if let Some(first) = envs.first() {
+        for &idx in &pending_constraints {
+            let PlanElem::Constraint { lhs, rhs, .. } = &plan.body[idx] else { continue };
+            if !expr_ready(first, lhs) || !expr_ready(first, rhs) {
+                return Err(RaqletError::execution(format!(
+                    "constraint `{}` in rule `{rule}` references unbound variables",
+                    rule.body[idx]
+                )));
+            }
+        }
+    }
+
+    // Negation.
+    for (idx, elem) in plan.body.iter().enumerate() {
+        let PlanElem::Negated(atom) = elem else { continue };
+        apply_negation(&mut envs, atom, db, prep.negation_columns[idx].as_deref());
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    Ok(envs)
+}
+
+/// Plan one rule application: compute the greedy bound-first processing
+/// order of the rule's positive atoms (the delta atom, if any, drives; then
+/// most-bound-columns-first, ties towards smaller relations) while building
+/// every persistent index the join — and any fully-bound negation — will
+/// probe. Bound-slot progression is simulated statically, including the
+/// bindings contributed by `=` assignment constraints as they become ready;
+/// this simulation agrees exactly with the runtime binding behaviour of
+/// `apply_ready_constraints`, so the returned [`JoinPrep`] column sets are
+/// precisely what the (read-only, possibly multi-threaded) join probes.
+fn plan_join(
+    plan: &RulePlan,
+    db: &mut Database,
+    delta_pos: Option<usize>,
+) -> (Vec<usize>, JoinPrep) {
+    let mut prep = JoinPrep {
+        atom_columns: vec![Vec::new(); plan.body.len()],
+        negation_columns: vec![None; plan.body.len()],
+    };
     let mut bound = vec![false; plan.nvars];
     let mut order: Vec<usize> = Vec::new();
     let mut remaining: Vec<usize> = plan
@@ -416,43 +609,13 @@ fn join_order(plan: &RulePlan, db: &Database, delta_pos: Option<usize>) -> Vec<u
         .map(|(i, _)| i)
         .collect();
 
-    let mark_atom = |atom: &PlanAtom, bound: &mut Vec<bool>| {
-        for t in &atom.terms {
-            if let PlanTerm::Slot(s) = t {
-                bound[*s] = true;
-            }
-        }
-    };
-    // Propagate `slot = <ready expr>` assignment constraints.
-    let propagate = |bound: &mut Vec<bool>| loop {
-        let mut changed = false;
-        for elem in &plan.body {
-            let PlanElem::Constraint { op, lhs, rhs } = elem else { continue };
-            if *op != raqlet_dlir::CmpOp::Eq {
-                continue;
-            }
-            match (lhs, rhs) {
-                (PlanExpr::Slot(s), e) | (e, PlanExpr::Slot(s))
-                    if !bound[*s] && expr_slots_bound(e, bound) =>
-                {
-                    bound[*s] = true;
-                    changed = true;
-                }
-                _ => {}
-            }
-        }
-        if !changed {
-            break;
-        }
-    };
-
-    propagate(&mut bound);
+    propagate_assignments(plan, &mut bound);
     if let Some(p) = delta_pos {
         order.push(p);
         if let PlanElem::Atom(atom) = &plan.body[p] {
             mark_atom(atom, &mut bound);
         }
-        propagate(&mut bound);
+        propagate_assignments(plan, &mut bound);
     }
 
     while !remaining.is_empty() {
@@ -480,11 +643,107 @@ fn join_order(plan: &RulePlan, db: &Database, delta_pos: Option<usize>) -> Vec<u
         let idx = remaining.swap_remove(best_i);
         order.push(idx);
         if let PlanElem::Atom(atom) = &plan.body[idx] {
+            // The columns the join will probe this atom with are exactly the
+            // ones bound right now; build the index before the (read-only,
+            // possibly multi-threaded) join runs.
+            let columns: Vec<usize> = atom
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| match t {
+                    PlanTerm::Slot(s) => bound[*s],
+                    PlanTerm::Const(_) => true,
+                    PlanTerm::Wildcard => false,
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if !columns.is_empty() {
+                if let Some(rel) = db.get_mut(&atom.relation) {
+                    rel.ensure_index(&columns);
+                }
+            }
+            prep.atom_columns[idx] = columns;
             mark_atom(atom, &mut bound);
         }
-        propagate(&mut bound);
+        propagate_assignments(plan, &mut bound);
     }
-    order
+
+    // Negations run after every atom; when fully bound by then, they probe
+    // an index over their non-wildcard columns.
+    for (idx, elem) in plan.body.iter().enumerate() {
+        let PlanElem::Negated(atom) = elem else { continue };
+        let all_vars_bound =
+            atom.terms.iter().all(|t| !matches!(t, PlanTerm::Slot(s) if !bound[*s]));
+        if !all_vars_bound {
+            continue;
+        }
+        let columns: Vec<usize> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t, PlanTerm::Wildcard))
+            .map(|(i, _)| i)
+            .collect();
+        if !columns.is_empty() {
+            if let Some(rel) = db.get_mut(&atom.relation) {
+                rel.ensure_index(&columns);
+            }
+            prep.negation_columns[idx] = Some(columns);
+        }
+    }
+    (order, prep)
+}
+
+/// Mark every slot the atom binds.
+fn mark_atom(atom: &PlanAtom, bound: &mut [bool]) {
+    for t in &atom.terms {
+        if let PlanTerm::Slot(s) = t {
+            bound[*s] = true;
+        }
+    }
+}
+
+/// Propagate `slot = <ready expr>` assignment constraints into the bound
+/// set, to fixpoint. Shared by the static bound-slot simulations of
+/// `plan_join`, which must agree exactly with the
+/// runtime binding behaviour of `apply_ready_constraints`.
+fn propagate_assignments(plan: &RulePlan, bound: &mut [bool]) {
+    loop {
+        let mut changed = false;
+        for elem in &plan.body {
+            let PlanElem::Constraint { op, lhs, rhs } = elem else { continue };
+            if *op != raqlet_dlir::CmpOp::Eq {
+                continue;
+            }
+            match (lhs, rhs) {
+                (PlanExpr::Slot(s), e) | (e, PlanExpr::Slot(s))
+                    if !bound[*s] && expr_slots_bound(e, bound) =>
+                {
+                    bound[*s] = true;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// The per-rule-application probe schedule: which columns each body element
+/// probes with, computed once by `plan_join` and reused by every
+/// worker (instead of being re-derived from the environments per atom, as
+/// the sequential evaluator used to).
+struct JoinPrep {
+    /// For each body index holding a positive atom: the columns bound when
+    /// the atom is reached in the prepared order (empty = plain scan; the
+    /// delta atom always scans its slice).
+    atom_columns: Vec<Vec<usize>>,
+    /// For each body index holding a negation: `Some(columns)` when every
+    /// variable is bound by then (probe the index over those columns),
+    /// `None` for the scan fallback.
+    negation_columns: Vec<Option<Vec<usize>>>,
 }
 
 /// True if every slot of the expression is marked bound.
@@ -690,16 +949,20 @@ impl RulePlan {
 }
 
 /// Extend each environment with every tuple of the atom's relation that
-/// matches `atom` under the environment. With `use_delta` the candidate
-/// tuples come from the relation's previous-round frontier (scanned — the
-/// delta atom is always processed first, so there is a single environment);
-/// otherwise bound columns probe a persistent hash index on the full set,
-/// built once and extended on insert thereafter.
+/// matches `atom` under the environment. With `delta_rows` the candidate
+/// tuples come from the given slice of the relation's previous-round
+/// frontier (scanned — the delta atom is always processed first, so there is
+/// a single environment; parallel evaluation passes one chunk per worker);
+/// otherwise `bound_columns` (the schedule `plan_join` computed, equal
+/// to the columns bound in every environment at this point) probe the
+/// persistent hash index built there, falling back to a scan if absent.
+/// Read-only, so worker threads can share the database.
 fn extend_with_atom(
     envs: Vec<Env>,
     atom: &PlanAtom,
-    db: &mut Database,
-    use_delta: bool,
+    db: &Database,
+    delta_rows: Option<&[Tuple]>,
+    bound_columns: &[usize],
 ) -> Result<Vec<Env>> {
     {
         let arity = db.get(&atom.relation).map(|r| r.arity()).unwrap_or(atom.arity());
@@ -714,33 +977,18 @@ fn extend_with_atom(
         }
     }
 
-    // Columns whose value is known in every environment (all environments
-    // processed so far bind the same slot set), plus constant columns.
-    let bound_columns: Vec<usize> = match envs.first() {
-        Some(first) => atom
-            .terms
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| match t {
-                PlanTerm::Slot(s) => first[*s].is_some(),
-                PlanTerm::Const(_) => true,
-                PlanTerm::Wildcard => false,
-            })
-            .map(|(i, _)| i)
-            .collect(),
-        None => Vec::new(),
-    };
-
-    let probe_full_index = !use_delta && !bound_columns.is_empty();
-    if probe_full_index {
-        if let Some(rel) = db.get_mut(&atom.relation) {
-            rel.ensure_index(&bound_columns);
-        }
-    }
     let Some(relation) = db.get(&atom.relation) else { return Ok(Vec::new()) };
 
     let mut out = Vec::new();
-    if probe_full_index {
+    if let Some(delta) = delta_rows {
+        for env in envs {
+            for tuple in delta {
+                if let Some(new_env) = match_tuple(&env, atom, tuple) {
+                    out.push(new_env);
+                }
+            }
+        }
+    } else if !bound_columns.is_empty() && relation.has_index(bound_columns) {
         let mut key: Vec<Value> = Vec::with_capacity(bound_columns.len());
         for env in envs {
             key.clear();
@@ -749,7 +997,7 @@ fn extend_with_atom(
                 PlanTerm::Const(c) => c.clone(),
                 PlanTerm::Wildcard => Value::Null,
             }));
-            if let Some(candidates) = relation.probe_index(&bound_columns, &key) {
+            if let Some(candidates) = relation.probe_index(bound_columns, &key) {
                 for tuple in candidates {
                     if let Some(new_env) = match_tuple(&env, atom, tuple) {
                         out.push(new_env);
@@ -757,16 +1005,9 @@ fn extend_with_atom(
                 }
             }
         }
-    } else if use_delta {
-        for env in envs {
-            for tuple in relation.delta() {
-                if let Some(new_env) = match_tuple(&env, atom, tuple) {
-                    out.push(new_env);
-                }
-            }
-        }
     } else {
-        // No bound columns: every environment pairs with every tuple.
+        // No bound columns (or no index): every environment scans every
+        // tuple; `match_tuple` filters.
         for env in envs {
             for tuple in relation.iter() {
                 if let Some(new_env) = match_tuple(&env, atom, tuple) {
@@ -815,43 +1056,33 @@ fn match_tuple(env: &Env, atom: &PlanAtom, tuple: &Tuple) -> Option<Env> {
 }
 
 /// Filter out environments for which the negated atom matches. When every
-/// variable of the atom is bound (the common, safe case) the check is an
-/// index probe on the persistent index over the bound columns; otherwise it
-/// falls back to a scan with the original unbound-variable semantics (an
-/// unbound variable never matches).
-fn apply_negation(envs: &mut Vec<Env>, atom: &PlanAtom, db: &mut Database) {
-    let Some(first) = envs.first() else { return };
-    let all_vars_bound =
-        atom.terms.iter().all(|t| !matches!(t, PlanTerm::Slot(s) if first[*s].is_none()));
-    let bound_columns: Vec<usize> = atom
-        .terms
-        .iter()
-        .enumerate()
-        .filter(|(_, t)| !matches!(t, PlanTerm::Wildcard))
-        .map(|(i, _)| i)
-        .collect();
-
-    if all_vars_bound && !bound_columns.is_empty() {
-        if let Some(rel) = db.get_mut(&atom.relation) {
-            rel.ensure_index(&bound_columns);
+/// variable of the atom is bound (the common, safe case — `plan_join`
+/// passes the probe columns it built an index over), the check is an index
+/// probe; otherwise it falls back to a scan with the original
+/// unbound-variable semantics (an unbound variable never matches).
+/// Read-only, so worker threads can share the database.
+fn apply_negation(envs: &mut Vec<Env>, atom: &PlanAtom, db: &Database, probe: Option<&[usize]>) {
+    if envs.is_empty() {
+        return;
+    }
+    let Some(relation) = db.get(&atom.relation) else { return };
+    match probe {
+        Some(bound_columns) if relation.has_index(bound_columns) => {
+            let mut key: Vec<Value> = Vec::with_capacity(bound_columns.len());
+            envs.retain(|env| {
+                key.clear();
+                key.extend(bound_columns.iter().map(|&i| match &atom.terms[i] {
+                    PlanTerm::Slot(s) => env[*s].clone().unwrap_or(Value::Null),
+                    PlanTerm::Const(c) => c.clone(),
+                    PlanTerm::Wildcard => Value::Null,
+                }));
+                relation
+                    .probe_index(bound_columns, &key)
+                    .map(|mut hits| hits.next().is_none())
+                    .unwrap_or(true)
+            });
         }
-        let Some(relation) = db.get(&atom.relation) else { return };
-        let mut key: Vec<Value> = Vec::with_capacity(bound_columns.len());
-        envs.retain(|env| {
-            key.clear();
-            key.extend(bound_columns.iter().map(|&i| match &atom.terms[i] {
-                PlanTerm::Slot(s) => env[*s].clone().unwrap_or(Value::Null),
-                PlanTerm::Const(c) => c.clone(),
-                PlanTerm::Wildcard => Value::Null,
-            }));
-            relation
-                .probe_index(&bound_columns, &key)
-                .map(|mut hits| hits.next().is_none())
-                .unwrap_or(true)
-        });
-    } else {
-        let Some(relation) = db.get(&atom.relation) else { return };
-        envs.retain(|env| !matches_negated(env, atom, relation));
+        _ => envs.retain(|env| !matches_negated(env, atom, relation)),
     }
 }
 

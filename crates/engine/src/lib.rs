@@ -7,8 +7,11 @@
 //! DESIGN.md §3):
 //!
 //! * [`datalog`] — a stratified naive/semi-naive Datalog engine with lattice
-//!   (shortest-path) support — the Soufflé stand-in and Raqlet's golden
-//!   reference implementation;
+//!   (shortest-path) support and parallel delta-partitioned rule evaluation —
+//!   the Soufflé stand-in and Raqlet's golden reference implementation;
+//! * [`prepared`] — warm execution: a [`PreparedDatabase`] keeps the EDB row
+//!   arenas and persistent indexes alive across runs, eliminating the
+//!   per-call clone+reindex tax;
 //! * [`sql`] — a SQIR interpreter (CTE chains, recursive CTEs, hash or
 //!   nested-loop joins, aggregation, NOT EXISTS) with DuckDB-like and
 //!   HyPer-like profiles;
@@ -19,8 +22,10 @@
 
 pub mod datalog;
 pub mod graph;
+pub mod prepared;
 pub mod sql;
 
-pub use datalog::{DatalogEngine, EvalResult, EvalStats, EvalStrategy};
+pub use datalog::{DatalogConfig, DatalogEngine, EvalResult, EvalStats, EvalStrategy};
 pub use graph::{GraphEngine, GraphResult, GraphStats, PropertyGraph};
+pub use prepared::PreparedDatabase;
 pub use sql::{SqlEngine, SqlProfile, SqlResult, SqlStats, TableCatalog};

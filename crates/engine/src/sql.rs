@@ -245,6 +245,16 @@ impl SqlEngine {
             };
             tables.push((item, rel));
         }
+        // Join in greedy bound-first order rather than FROM order, mirroring
+        // the Datalog planner: the recursive working table (the delta, when
+        // present) drives the join, and each subsequent table is the one
+        // reached through the most equi-join keys from the tables already
+        // joined (ties broken towards smaller tables). Inner joins plus the
+        // residual re-check make any order produce the same rows; the order
+        // only controls how large the intermediate products get.
+        let order =
+            greedy_join_order(&tables, &stmt.where_conjuncts, recursive_binding.map(|(n, _)| n));
+        let tables: Vec<(&FromItem, &Relation)> = order.iter().map(|&i| tables[i]).collect();
         let mut layout = RowLayout::default();
         let mut offset = 0usize;
         for (item, rel) in &tables {
@@ -511,6 +521,64 @@ fn references_only_alias(expr: &SqlExpr, alias: &str) -> bool {
         }
         SqlExpr::Aggregate { .. } | SqlExpr::NotExists { .. } => false,
     }
+}
+
+/// Pick the order in which FROM tables are joined: the recursive working
+/// table first when present (it plays the role of the Datalog delta — small
+/// and shrinking towards the fixpoint), then greedily the table connected to
+/// the already-joined set by the most equi-join predicates, with ties broken
+/// towards smaller tables and then FROM position. Returns indexes into
+/// `tables`.
+fn greedy_join_order(
+    tables: &[(&FromItem, &Relation)],
+    predicates: &[SqlExpr],
+    recursive_table: Option<&str>,
+) -> Vec<usize> {
+    if tables.len() <= 1 {
+        return (0..tables.len()).collect();
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(tables.len());
+    let mut remaining: Vec<usize> = (0..tables.len()).collect();
+    if let Some(name) = recursive_table {
+        if let Some(p) = remaining.iter().position(|&i| tables[i].0.table == name) {
+            order.push(remaining.remove(p));
+        }
+    }
+    while !remaining.is_empty() {
+        let joined: Vec<&str> = order.iter().map(|&i| tables[i].0.alias.as_str()).collect();
+        let best = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &idx)| {
+                let alias = tables[idx].0.alias.as_str();
+                let keys = connecting_key_count(predicates, &joined, alias);
+                let size = tables[idx].1.len();
+                (pos, (keys as i64, -(size as i64), -(idx as i64)))
+            })
+            .max_by_key(|(_, score)| *score)
+            .map(|(pos, _)| pos)
+            .expect("remaining is non-empty");
+        order.push(remaining.remove(best));
+    }
+    order
+}
+
+/// Number of `a.x = b.y` predicates connecting the already-joined aliases to
+/// `new_alias` (the hash/nested-loop joins will use exactly these as keys).
+fn connecting_key_count(predicates: &[SqlExpr], joined: &[&str], new_alias: &str) -> usize {
+    predicates
+        .iter()
+        .filter(|pred| {
+            let SqlExpr::Cmp { op: SqlCmpOp::Eq, lhs, rhs } = pred else { return false };
+            let (SqlExpr::Column { table: t1, .. }, SqlExpr::Column { table: t2, .. }) =
+                (lhs.as_ref(), rhs.as_ref())
+            else {
+                return false;
+            };
+            (joined.contains(&t1.as_str()) && t2 == new_alias)
+                || (joined.contains(&t2.as_str()) && t1 == new_alias)
+        })
+        .count()
 }
 
 /// Extract equi-join keys `(left row offset, right local column index)`
@@ -861,6 +929,43 @@ mod tests {
         let sql_rows = run(&p, "tc", &db, SqlProfile::Duck);
         let dl_rows = crate::datalog::DatalogEngine::new().run_output(&p, &db, "tc").unwrap();
         assert_eq!(sql_rows, dl_rows);
+    }
+
+    #[test]
+    fn greedy_join_order_prefers_the_delta_then_connected_tables() {
+        let items: Vec<FromItem> = [("work", "t0"), ("big", "t1"), ("small", "t2")]
+            .iter()
+            .map(|(t, a)| FromItem { table: t.to_string(), alias: a.to_string() })
+            .collect();
+        let work = Relation::from_tuples(1, vec![vec![Value::Int(1)]]).unwrap();
+        let big =
+            Relation::from_tuples(1, (0..100).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>())
+                .unwrap();
+        let small =
+            Relation::from_tuples(1, vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        let tables: Vec<(&FromItem, &Relation)> =
+            vec![(&items[0], &work), (&items[1], &big), (&items[2], &small)];
+        let col = |t: &str, c: &str| SqlExpr::Column { table: t.into(), column: c.into() };
+        // work joins small; small joins big. FROM order would join work×big
+        // first (a cross product).
+        let predicates = vec![
+            SqlExpr::Cmp {
+                op: SqlCmpOp::Eq,
+                lhs: Box::new(col("t0", "x")),
+                rhs: Box::new(col("t2", "x")),
+            },
+            SqlExpr::Cmp {
+                op: SqlCmpOp::Eq,
+                lhs: Box::new(col("t2", "x")),
+                rhs: Box::new(col("t1", "x")),
+            },
+        ];
+        // The recursive working table drives; then the connected small table;
+        // the big table comes last even though FROM lists it second.
+        assert_eq!(greedy_join_order(&tables, &predicates, Some("work")), vec![0, 2, 1]);
+        // Without a recursive binding the first pick is the smallest table
+        // (no connections yet), then greedily the connected ones.
+        assert_eq!(greedy_join_order(&tables, &predicates, None), vec![0, 2, 1]);
     }
 
     #[test]

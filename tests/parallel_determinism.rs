@@ -1,0 +1,232 @@
+//! Parallel evaluation must be result-identical to sequential evaluation.
+//!
+//! The Datalog engine partitions each rule's driving delta across worker
+//! threads (`DatalogConfig::threads`); because per-worker tuple buffers are
+//! merged in chunk order and deduplicated through the head relation's staged
+//! set, the computed fixpoint must not depend on the thread count or on
+//! where the partition boundaries fall. These suites pin that across:
+//!
+//! * the LDBC SNB workload (compiled recursive/optimized queries),
+//! * PRNG-driven random-graph programs (the property-test generators),
+//! * negation + stratification and lattice (shortest-path) programs.
+//!
+//! A `parallel_threshold` of 1 forces the parallel path even on tiny deltas
+//! so partition boundaries land everywhere, and `EvalStats::parallel_tasks`
+//! asserts that worker threads genuinely ran.
+
+use raqlet::{CompileOptions, Database, DatalogConfig, DatalogEngine, OptLevel, Raqlet, Value};
+use raqlet_common::SplitMix64;
+use raqlet_dlir::{Atom, BodyElem, DlExpr, DlirProgram, LatticeMerge, Rule, Term};
+
+/// The sweep: sequential plus 2/4/8 workers, all forced through the
+/// partitioned path.
+const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+fn engine_with_threads(threads: usize) -> DatalogEngine {
+    DatalogEngine::with_config(
+        DatalogConfig::default().with_threads(threads).with_parallel_threshold(1),
+    )
+}
+
+/// Evaluate `program` at every thread count and assert the sorted `output`
+/// tuples (and the derivation counters) never change.
+fn assert_thread_invariant(program: &DlirProgram, db: &Database, output: &str, label: &str) {
+    let sequential = engine_with_threads(1).evaluate(program, db).unwrap();
+    let expected = sequential.relation(output).sorted();
+    for &threads in &THREAD_COUNTS[1..] {
+        let parallel = engine_with_threads(threads).evaluate(program, db).unwrap();
+        assert_eq!(
+            expected,
+            parallel.relation(output).sorted(),
+            "{label}: {threads}-thread result diverged from sequential"
+        );
+        // The same rule applications fire and the same tuples are derived —
+        // partitioning must not change the work, only who does it.
+        assert_eq!(
+            sequential.stats.rule_applications, parallel.stats.rule_applications,
+            "{label}: rule applications changed at {threads} threads"
+        );
+        assert_eq!(
+            sequential.stats.tuples_derived, parallel.stats.tuples_derived,
+            "{label}: derived-tuple count changed at {threads} threads"
+        );
+    }
+}
+
+fn atom(name: &str, vars: &[&str]) -> BodyElem {
+    BodyElem::Atom(Atom::with_vars(name, vars))
+}
+
+fn tc_program() -> DlirProgram {
+    let mut p = DlirProgram::default();
+    p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+    p.add_rule(Rule::new(
+        Atom::with_vars("tc", &["x", "y"]),
+        vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
+    ));
+    p.add_output("tc");
+    p
+}
+
+fn edges_to_db(edges: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.get_or_create("edge", 2);
+    for (a, b) in edges {
+        db.insert_fact("edge", vec![Value::Int(*a), Value::Int(*b)]).unwrap();
+    }
+    db
+}
+
+fn random_edges(rng: &mut SplitMix64, nodes: i64, max_edges: i64) -> Vec<(i64, i64)> {
+    let count = rng.gen_range(0..max_edges);
+    (0..count).map(|_| (rng.gen_range(0..nodes), rng.gen_range(0..nodes))).collect()
+}
+
+#[test]
+fn parallel_path_actually_engages() {
+    let edges: Vec<(i64, i64)> = (0..64).map(|i| (i, i + 1)).collect();
+    let result = engine_with_threads(4).evaluate(&tc_program(), &edges_to_db(&edges)).unwrap();
+    assert!(
+        result.stats.parallel_tasks > 0,
+        "threshold 1 with 4 threads must spawn workers: {:?}",
+        result.stats
+    );
+    // And a sequential engine never spawns any.
+    let seq = engine_with_threads(1).evaluate(&tc_program(), &edges_to_db(&edges)).unwrap();
+    assert_eq!(seq.stats.parallel_tasks, 0);
+}
+
+#[test]
+fn transitive_closure_on_random_graphs_is_thread_invariant() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A7A11E1);
+    for case in 0..16 {
+        let edges = random_edges(&mut rng, 24, 90);
+        let db = edges_to_db(&edges);
+        assert_thread_invariant(&tc_program(), &db, "tc", &format!("tc case {case}"));
+    }
+}
+
+#[test]
+fn negation_and_stratification_are_thread_invariant() {
+    // unreachable(y) :- node(y), !tc(0, y) — negation over a recursive
+    // lower stratum.
+    let mut p = tc_program();
+    p.add_rule(Rule::new(Atom::with_vars("node", &["x"]), vec![atom("edge", &["x", "y"])]));
+    p.add_rule(Rule::new(Atom::with_vars("node", &["y"]), vec![atom("edge", &["x", "y"])]));
+    p.add_rule(Rule::new(
+        Atom::with_vars("unreachable", &["y"]),
+        vec![
+            atom("node", &["y"]),
+            BodyElem::Negated(Atom::new("tc", vec![Term::int(0), Term::var("y")])),
+        ],
+    ));
+    p.add_output("unreachable");
+
+    let mut rng = SplitMix64::seed_from_u64(0x5EC0);
+    for case in 0..12 {
+        let edges = random_edges(&mut rng, 16, 60);
+        let db = edges_to_db(&edges);
+        assert_thread_invariant(&p, &db, "unreachable", &format!("negation case {case}"));
+    }
+}
+
+#[test]
+fn mutual_recursion_is_thread_invariant() {
+    let mut p = DlirProgram::default();
+    p.add_rule(Rule::new(Atom::with_vars("even", &["x"]), vec![atom("zero", &["x"])]));
+    p.add_rule(Rule::new(
+        Atom::with_vars("even", &["x"]),
+        vec![atom("odd", &["y"]), atom("succ", &["y", "x"])],
+    ));
+    p.add_rule(Rule::new(
+        Atom::with_vars("odd", &["x"]),
+        vec![atom("even", &["y"]), atom("succ", &["y", "x"])],
+    ));
+    p.add_output("even");
+    p.add_output("odd");
+    let mut db = Database::new();
+    db.insert_fact("zero", vec![Value::Int(0)]).unwrap();
+    for i in 0..50 {
+        db.insert_fact("succ", vec![Value::Int(i), Value::Int(i + 1)]).unwrap();
+    }
+    assert_thread_invariant(&p, &db, "even", "even/odd");
+    assert_thread_invariant(&p, &db, "odd", "even/odd");
+}
+
+#[test]
+fn lattice_shortest_paths_are_thread_invariant() {
+    // Weighted-by-hop shortest distances with @min lattice merges, on cyclic
+    // random graphs — the trickiest merge path, since lattice inserts
+    // publish mid-round.
+    let mut p = DlirProgram::default();
+    p.add_rule(Rule::new(
+        Atom::with_vars("dist", &["s", "d", "l"]),
+        vec![atom("edge", &["s", "d"]), BodyElem::eq(DlExpr::var("l"), DlExpr::int(1))],
+    ));
+    p.add_rule(Rule::new(
+        Atom::with_vars("dist", &["s", "d", "l"]),
+        vec![
+            atom("dist", &["s", "m", "l0"]),
+            atom("edge", &["m", "d"]),
+            BodyElem::eq(
+                DlExpr::var("l"),
+                DlExpr::Arith {
+                    op: raqlet_dlir::ArithOp::Add,
+                    lhs: Box::new(DlExpr::var("l0")),
+                    rhs: Box::new(DlExpr::int(1)),
+                },
+            ),
+        ],
+    ));
+    p.set_lattice("dist", LatticeMerge::MinOnColumn(2));
+    p.add_output("dist");
+
+    let mut rng = SplitMix64::seed_from_u64(0x10C4);
+    for case in 0..12 {
+        let edges = random_edges(&mut rng, 12, 40);
+        let db = edges_to_db(&edges);
+        assert_thread_invariant(&p, &db, "dist", &format!("lattice case {case}"));
+    }
+}
+
+#[test]
+fn ldbc_workload_is_thread_invariant() {
+    let network = raqlet_ldbc::generate(&raqlet_ldbc::GeneratorConfig { scale: 0.25, seed: 42 });
+    let db = raqlet_ldbc::to_database(&network);
+    let person = network.sample_person();
+    let raqlet = Raqlet::from_pg_schema(raqlet_ldbc::SNB_PG_SCHEMA).unwrap();
+
+    for query in [raqlet_ldbc::REACHABILITY, raqlet_ldbc::CQ2, raqlet_ldbc::SQ1] {
+        for level in [OptLevel::None, OptLevel::Full] {
+            let options = CompileOptions::new(level)
+                .with_param("personId", person)
+                .with_param("otherId", person + 7)
+                .with_param("maxDate", 20_200_101i64)
+                .with_param("firstName", "Alice");
+            let compiled = raqlet.compile(query.cypher, &options).unwrap();
+            let expected =
+                engine_with_threads(1).run_output(compiled.dlir(), &db, "Return").unwrap().sorted();
+            for &threads in &THREAD_COUNTS[1..] {
+                let got = engine_with_threads(threads)
+                    .run_output(compiled.dlir(), &db, "Return")
+                    .unwrap()
+                    .sorted();
+                assert_eq!(
+                    expected, got,
+                    "{} at {level:?} diverged with {threads} threads",
+                    query.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn raqlet_threads_env_parses_and_auto_detects() {
+    // `DatalogConfig::effective_threads` must resolve explicit counts as-is
+    // and fall back to a positive auto-detected count at 0. (The env-var
+    // path itself is exercised by the CI matrix, which runs this whole
+    // suite under RAQLET_THREADS=1 and unset.)
+    assert_eq!(DatalogConfig::default().with_threads(3).effective_threads(), 3);
+    assert!(DatalogConfig::default().effective_threads() >= 1);
+}

@@ -1,0 +1,141 @@
+//! `PreparedDatabase` semantics: warm executions must be indistinguishable
+//! from cold ones *except* for the work they skip.
+//!
+//! * warm-vs-cold equivalence — running a compiled query against a prepared
+//!   set returns exactly what a fresh `DatalogEngine::evaluate` returns;
+//! * idempotence — repeated executions (same or different programs) never
+//!   leak derivations into one another;
+//! * the point of the API — a second execution performs **zero** index
+//!   rebuilds, pinned through the relation-level build counter.
+
+use raqlet::{CompileOptions, Database, DatalogEngine, OptLevel, PreparedDatabase, Raqlet, Value};
+use raqlet_dlir::{Atom, BodyElem, DlirProgram, Rule};
+
+fn atom(name: &str, vars: &[&str]) -> BodyElem {
+    BodyElem::Atom(Atom::with_vars(name, vars))
+}
+
+fn tc_program() -> DlirProgram {
+    let mut p = DlirProgram::default();
+    p.add_rule(Rule::new(Atom::with_vars("tc", &["x", "y"]), vec![atom("edge", &["x", "y"])]));
+    p.add_rule(Rule::new(
+        Atom::with_vars("tc", &["x", "y"]),
+        vec![atom("tc", &["x", "z"]), atom("edge", &["z", "y"])],
+    ));
+    p.add_output("tc");
+    p
+}
+
+fn chain_db(n: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert_fact("edge", vec![Value::Int(i), Value::Int(i + 1)]).unwrap();
+    }
+    db
+}
+
+fn snb_setup() -> (Raqlet, Database, i64) {
+    let network = raqlet_ldbc::generate(&raqlet_ldbc::GeneratorConfig { scale: 0.25, seed: 42 });
+    let db = raqlet_ldbc::to_database(&network);
+    let person = network.sample_person();
+    (Raqlet::from_pg_schema(raqlet_ldbc::SNB_PG_SCHEMA).unwrap(), db, person)
+}
+
+#[test]
+fn warm_equals_cold_on_the_ldbc_workload() {
+    let (raqlet, db, person) = snb_setup();
+    let mut prepared = PreparedDatabase::new(db.clone());
+    for query in [raqlet_ldbc::SQ1, raqlet_ldbc::CQ2, raqlet_ldbc::REACHABILITY] {
+        let options = CompileOptions::new(OptLevel::Full)
+            .with_param("personId", person)
+            .with_param("otherId", person + 7)
+            .with_param("maxDate", 20_200_101i64)
+            .with_param("firstName", "Alice");
+        let compiled = raqlet.compile(query.cypher, &options).unwrap();
+        let cold = compiled.execute_datalog(&db).unwrap();
+        let warm = compiled.execute_datalog_prepared(&mut prepared).unwrap();
+        assert_eq!(cold.sorted(), warm.sorted(), "{} warm != cold", query.name);
+        // And again, now fully warm.
+        let warmer = compiled.execute_datalog_prepared(&mut prepared).unwrap();
+        assert_eq!(cold.sorted(), warmer.sorted(), "{} re-run diverged", query.name);
+    }
+    assert_eq!(prepared.executions(), 6);
+}
+
+#[test]
+fn repeated_execution_is_idempotent() {
+    let mut prepared = PreparedDatabase::new(chain_db(12));
+    let program = tc_program();
+    let first = prepared.run(&program, "tc").unwrap();
+    for _ in 0..4 {
+        let again = prepared.run(&program, "tc").unwrap();
+        assert_eq!(first.sorted(), again.sorted());
+    }
+    // Derived state never leaks into the warm working set between runs.
+    assert!(prepared.database().get("tc").is_none());
+    assert_eq!(prepared.database().get("edge").unwrap().len(), 12);
+}
+
+#[test]
+fn second_execution_performs_zero_index_rebuilds() {
+    let (raqlet, db, person) = snb_setup();
+    let options = CompileOptions::new(OptLevel::Full).with_param("personId", person);
+    let compiled = raqlet.compile(raqlet_ldbc::SQ1.cypher, &options).unwrap();
+
+    let mut prepared = PreparedDatabase::new(db);
+    compiled.execute_datalog_prepared(&mut prepared).unwrap();
+    let builds_after_first = prepared.index_builds();
+    assert!(builds_after_first > 0, "the first run must build the EDB join indexes");
+
+    compiled.execute_datalog_prepared(&mut prepared).unwrap();
+    assert_eq!(
+        prepared.index_builds(),
+        builds_after_first,
+        "a warm re-run must not rebuild any persistent index"
+    );
+
+    // A *different* program over the same relations may add new column
+    // combinations but must reuse what exists: the count can only grow by
+    // genuinely new indexes, never reset.
+    compiled.execute_datalog_prepared(&mut prepared).unwrap();
+    assert_eq!(prepared.index_builds(), builds_after_first);
+}
+
+#[test]
+fn interleaved_programs_share_the_warm_set_without_interference() {
+    let mut prepared = PreparedDatabase::new(chain_db(8));
+    let tc = tc_program();
+
+    // A second program over the same EDB: direct successors-of-successors.
+    let mut hop2 = DlirProgram::default();
+    hop2.add_rule(Rule::new(
+        Atom::with_vars("hop2", &["x", "z"]),
+        vec![atom("edge", &["x", "y"]), atom("edge", &["y", "z"])],
+    ));
+    hop2.add_output("hop2");
+
+    let tc_expected = DatalogEngine::new().run_output(&tc, prepared.database(), "tc").unwrap();
+    let hop2_expected =
+        DatalogEngine::new().run_output(&hop2, prepared.database(), "hop2").unwrap();
+
+    for _ in 0..3 {
+        assert_eq!(prepared.run(&tc, "tc").unwrap().sorted(), tc_expected.sorted());
+        assert_eq!(prepared.run(&hop2, "hop2").unwrap().sorted(), hop2_expected.sorted());
+    }
+    assert!(prepared.database().get("tc").is_none());
+    assert!(prepared.database().get("hop2").is_none());
+}
+
+#[test]
+fn facts_added_between_runs_are_visible_and_extend_indexes() {
+    let mut prepared = PreparedDatabase::new(chain_db(3));
+    let program = tc_program();
+    assert_eq!(prepared.run(&program, "tc").unwrap().len(), 6); // 3+2+1
+    let builds = prepared.index_builds();
+
+    // Extending the chain grows the closure; the persistent index is
+    // extended in place, not rebuilt.
+    prepared.insert_fact("edge", vec![Value::Int(3), Value::Int(4)]).unwrap();
+    assert_eq!(prepared.run(&program, "tc").unwrap().len(), 10); // 4+3+2+1
+    assert_eq!(prepared.index_builds(), builds);
+}
