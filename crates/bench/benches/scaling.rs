@@ -31,10 +31,31 @@ use raqlet_ldbc::{CQ2, REACHABILITY};
 /// Worker counts for the parallel sweep.
 const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
 
+/// Report the workload's resident storage footprint (packed arenas, indexes
+/// and the shared value dictionary) so the scaling sweep records memory
+/// alongside time. Lines go to stdout and — like the timing records — are
+/// appended to `CRITERION_JSON` when set; the CI bench-smoke job asserts a
+/// non-zero value is reported.
+fn report_heap_bytes(scale: f64, db: &raqlet::Database) {
+    let record = format!(
+        "{{\"id\":\"scaling/memory/sf{scale}\",\"heap_bytes\":{},\"tuples\":{}}}",
+        db.heap_bytes(),
+        db.total_tuples()
+    );
+    println!("  {record}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            use std::io::Write as _;
+            let _ = writeln!(file, "{record}");
+        }
+    }
+}
+
 fn scaling(c: &mut Criterion) {
     let scales: &[f64] = if quick_mode() { &[0.25, 0.5] } else { &[0.25, 0.5, 1.0, 2.0] };
     for &scale in scales {
         let workload = Workload::new(scale);
+        report_heap_bytes(scale, &workload.db);
         // The full-mode thread sweep targets the large scale factors where
         // per-round deltas are big enough to split; quick mode sweeps its
         // tiny scales anyway so CI exercises (and emits ids for) every

@@ -10,8 +10,11 @@
 //!   type inference in the IR lowerings;
 //! * [`schema`] — the property-graph schema (PG-Schema) and the Datalog
 //!   schema (DL-Schema) models, mirroring Figure 2 of the paper;
-//! * [`relation`] — in-memory relations (tuple sets) and databases, shared by
-//!   the Datalog and SQL execution substrates;
+//! * [`cell`] — packed, dictionary-encoded tuple cells (tagged `u64` words)
+//!   and the per-database [`cell::ValueDict`];
+//! * [`relation`] — in-memory relations (flat packed-row arenas) and
+//!   databases, shared by the Datalog and SQL execution substrates;
+//! * [`hash`] — the fast multiply-xor hasher used on the storage hot paths;
 //! * [`symbol`] — a string interner so relation/variable names compare by id;
 //! * [`rng`] — a tiny deterministic PRNG for data generators and tests;
 //! * [`error`] — the common error type.
@@ -21,7 +24,9 @@
 
 #![deny(missing_docs)]
 
+pub mod cell;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod relation;
 pub mod rng;
@@ -30,6 +35,7 @@ pub mod symbol;
 pub mod types;
 pub mod value;
 
+pub use cell::{Cell, ValueDict};
 pub use error::{RaqletError, Result};
 pub use relation::{Database, Relation, Tuple};
 pub use rng::SplitMix64;

@@ -1,4 +1,4 @@
-//! In-memory relations and databases.
+//! In-memory relations and databases over **packed rows**.
 //!
 //! These are the storage substrate shared by the deductive (Datalog) and
 //! relational (SQL) execution engines. A [`Relation`] is a *set* of tuples —
@@ -8,13 +8,25 @@
 //! insert instead of being invalidated, so a fixpoint loop never pays to
 //! rebuild an index over a relation that only grew.
 //!
-//! Storage is an append-only **row arena**: every admitted tuple gets a
-//! stable row id, deduplication happens through a hash table of row ids, and
-//! indexes store row-id posting lists instead of tuple copies. Each tuple is
-//! therefore stored exactly once no matter how many indexes cover it, and
-//! building or extending an index never clones a tuple. Removed rows (lattice
-//! merges replace dominated tuples) leave a tombstone; stale posting-list
-//! entries are skipped on probe.
+//! Storage is one flat `Vec<u64>` arena per relation: every admitted tuple
+//! is packed into fixed-width [`Cell`] words (ints inline, strings as ids in
+//! the per-database [`ValueDict`] dictionary — see [`crate::cell`]) and row
+//! `r` lives at `r × stride`. There is **no per-row allocation**: dedup,
+//! index probes and join keys are word compares over cache-contiguous
+//! memory. Every admitted tuple gets a stable row id, deduplication happens
+//! through a hash table of row ids keyed by the row's [`hash_cells`] hash,
+//! and indexes store row-id posting lists instead of tuple copies. Removed
+//! rows (lattice merges replace dominated tuples) are tombstoned by writing
+//! [`TOMBSTONE_CELL`] into their first word.
+//!
+//! The public API stays [`Value`]-based — [`insert`], [`iter`],
+//! [`contains`], [`sorted`] encode/decode at the edges — while the engines
+//! drive the packed fast path ([`insert_cells`], [`stage_cells`],
+//! [`probe_index_cells`], [`iter_rows`]). Cells are meaningful only relative
+//! to the dictionary that encoded them; relations created through a
+//! [`Database`] share that database's dictionary, and cross-relation packed
+//! operations ([`merge`], [`difference`]) take the fast path exactly when
+//! both sides share one dictionary.
 //!
 //! For semi-naive evaluation the visible state is split three ways:
 //!
@@ -30,8 +42,16 @@
 //! arena (extending every index), make them the new delta, and start an
 //! empty staging area.
 //!
+//! [`insert`]: Relation::insert
+//! [`insert_cells`]: Relation::insert_cells
+//! [`stage_cells`]: Relation::stage_cells
+//! [`probe_index_cells`]: Relation::probe_index_cells
+//! [`iter_rows`]: Relation::iter_rows
+//! [`merge`]: Relation::merge
+//! [`difference`]: Relation::difference
 //! [`len`]: Relation::len
 //! [`iter`]: Relation::iter
+//! [`sorted`]: Relation::sorted
 //! [`contains`]: Relation::contains
 //! [`stage`]: Relation::stage
 //! [`advance`]: Relation::advance
@@ -60,15 +80,18 @@
 //! assert_eq!(tc.delta_len(), 1); // ... but now form the frontier
 //! ```
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
+use crate::cell::{is_tombstone, Cell, ValueDict, NULL_CELL, TOMBSTONE_CELL};
 use crate::error::{RaqletError, Result};
+use crate::hash::{hash_cells, FxHashMap};
 use crate::value::Value;
 
-/// A single row: a fixed-arity vector of values.
+/// A single row: a fixed-arity vector of values (the decoded, `Value`-level
+/// view of a packed row).
 pub type Tuple = Vec<Value>;
 
 /// Row id within a relation's arena. Arena slots are never reused, so a
@@ -111,72 +134,77 @@ impl IdList {
             IdList::Many(v) => v.iter(),
         }
     }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            IdList::One(_) => 0,
+            IdList::Many(v) => v.capacity() * size_of::<RowId>(),
+        }
+    }
 }
 
 /// A persistent hash index over one or more columns, mapping the projected
-/// key to the ids of matching rows. Single-column indexes avoid allocating a
-/// key vector per entry.
+/// packed key to the ids of matching rows. Single-column indexes key on the
+/// cell word directly.
 #[derive(Debug, Clone)]
 enum Index {
-    /// Index over exactly one column: keyed by the column value directly.
-    Single(usize, HashMap<Value, IdList>),
-    /// Index over several columns: keyed by the projected value vector.
-    Multi(Vec<usize>, HashMap<Vec<Value>, IdList>),
+    /// Index over exactly one column: keyed by the cell directly.
+    Single(usize, FxHashMap<Cell, IdList>),
+    /// Index over several columns: keyed by the projected cell vector.
+    Multi(Vec<usize>, FxHashMap<Vec<Cell>, IdList>),
 }
 
 impl Index {
     fn new(columns: &[usize]) -> Index {
         if columns.len() == 1 {
-            Index::Single(columns[0], HashMap::new())
+            Index::Single(columns[0], FxHashMap::default())
         } else {
-            Index::Multi(columns.to_vec(), HashMap::new())
+            Index::Multi(columns.to_vec(), FxHashMap::default())
         }
     }
 
-    /// Add one row to the posting list for its key.
-    fn add(&mut self, id: RowId, tuple: &[Value]) {
+    /// Add one row to the posting list for its key (`row` is the arity-wide
+    /// cell slice).
+    fn add(&mut self, id: RowId, row: &[Cell]) {
         match self {
-            Index::Single(col, map) => match map.get_mut(&tuple[*col]) {
+            Index::Single(col, map) => match map.get_mut(&row[*col]) {
                 Some(postings) => postings.push(id),
                 None => {
-                    map.insert(tuple[*col].clone(), IdList::One(id));
+                    map.insert(row[*col], IdList::One(id));
                 }
             },
             Index::Multi(cols, map) => {
-                // Look up by slice to avoid allocating a key vector unless
-                // the key is new.
-                let mut probe_key: Vec<Value> = Vec::with_capacity(cols.len());
-                probe_key.extend(cols.iter().map(|&c| tuple[c].clone()));
-                match map.get_mut(probe_key.as_slice()) {
+                let key: Vec<Cell> = cols.iter().map(|&c| row[c]).collect();
+                match map.get_mut(key.as_slice()) {
                     Some(postings) => postings.push(id),
                     None => {
-                        map.insert(probe_key, IdList::One(id));
+                        map.insert(key, IdList::One(id));
                     }
                 }
             }
         }
     }
 
-    /// The posting list for `key` (projected values in column order).
-    fn get(&self, key: &[Value]) -> Option<&IdList> {
+    /// The posting list for `key` (projected cells in column order).
+    fn get(&self, key: &[Cell]) -> Option<&IdList> {
         match self {
             Index::Single(_, map) => map.get(&key[0]),
             Index::Multi(_, map) => map.get(key),
         }
     }
 
-    /// Remove one row id from the posting list for `tuple`'s key.
-    fn remove(&mut self, id: RowId, tuple: &[Value]) {
+    /// Remove one row id from the posting list for `row`'s key.
+    fn remove(&mut self, id: RowId, row: &[Cell]) {
         match self {
             Index::Single(col, map) => {
-                if let Some(postings) = map.get_mut(&tuple[*col]) {
+                if let Some(postings) = map.get_mut(&row[*col]) {
                     if postings.remove(id) {
-                        map.remove(&tuple[*col]);
+                        map.remove(&row[*col]);
                     }
                 }
             }
             Index::Multi(cols, map) => {
-                let key: Vec<Value> = cols.iter().map(|&c| tuple[c].clone()).collect();
+                let key: Vec<Cell> = cols.iter().map(|&c| row[c]).collect();
                 if let Some(postings) = map.get_mut(key.as_slice()) {
                     if postings.remove(id) {
                         map.remove(key.as_slice());
@@ -185,31 +213,55 @@ impl Index {
             }
         }
     }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Index::Single(_, map) => {
+                map.capacity() * (size_of::<Cell>() + size_of::<IdList>() + 8)
+                    + map.values().map(IdList::heap_bytes).sum::<usize>()
+            }
+            Index::Multi(cols, map) => {
+                map.capacity() * (size_of::<Vec<Cell>>() + size_of::<IdList>() + 8 + cols.len() * 8)
+                    + map.values().map(IdList::heap_bytes).sum::<usize>()
+            }
+        }
+    }
 }
 
-/// A set of tuples of uniform arity, stored in an append-only row arena with
-/// persistent hash indexes and semi-naive `full` / `delta` / `staged` state
-/// (see the module docs for the lifecycle).
-#[derive(Debug, Clone, Default)]
+/// A set of tuples of uniform arity, stored as packed cells in one flat
+/// append-only arena with persistent hash indexes and semi-naive `full` /
+/// `delta` / `staged` state (see the module docs for the lifecycle).
+#[derive(Debug, Clone)]
 pub struct Relation {
     arity: usize,
-    /// The row arena. `None` marks a tombstone (row removed by a lattice
-    /// merge). Slots are never reused.
-    rows: Vec<Option<Tuple>>,
+    /// Words per arena row: `max(arity, 1)` — nullary relations pad each row
+    /// with one [`NULL_CELL`] so that row ids, tombstones and the delta
+    /// lifecycle work uniformly.
+    stride: usize,
+    /// The flat row arena: row `r` occupies `cells[r*stride .. (r+1)*stride]`.
+    /// A tombstoned row has [`TOMBSTONE_CELL`] in its first word. Slots are
+    /// never reused.
+    cells: Vec<Cell>,
     /// Number of live (non-tombstoned) rows.
     live: usize,
-    /// Deduplication table: tuple hash → candidate row ids.
-    dedup: HashMap<u64, IdList>,
-    /// The frontier: snapshots of the tuples published by the most recent
-    /// [`Relation::advance`]. Stored by value so that mid-round lattice
-    /// removals of dominated rows cannot mutate the frontier the current
-    /// round is joining against.
-    delta: Vec<Tuple>,
-    /// The staging area: tuples derived this round, not yet published.
-    staged: HashSet<Tuple>,
-    /// Tuples published mid-round by [`Relation::lattice_insert`] that the
-    /// next [`Relation::advance`] must still announce in the delta.
-    delta_next: Vec<Tuple>,
+    /// Deduplication table: packed-row hash → candidate row ids.
+    dedup: FxHashMap<u64, IdList>,
+    /// The frontier: packed snapshots (stride-wide rows) of the tuples
+    /// published by the most recent [`Relation::advance`]. Stored by value so
+    /// that mid-round lattice removals of dominated rows cannot mutate the
+    /// frontier the current round is joining against.
+    delta: Vec<Cell>,
+    /// The staging area: stride-wide packed rows derived this round, not yet
+    /// published. Deduplicated through `staged_dedup`; rows removed while
+    /// staged are tombstoned in place.
+    staged: Vec<Cell>,
+    /// Dedup for the staging area: packed-row hash → staged row ordinals.
+    staged_dedup: FxHashMap<u64, IdList>,
+    /// Number of live staged rows.
+    staged_live: usize,
+    /// Packed rows published mid-round by [`Relation::lattice_insert`] that
+    /// the next [`Relation::advance`] must still announce in the delta.
+    delta_next: Vec<Cell>,
     /// Persistent hash indexes, keyed by the column positions they cover.
     /// Extended in place on insert, never invalidated.
     indexes: HashMap<Vec<usize>, Index>,
@@ -218,18 +270,43 @@ pub struct Relation {
     /// increments it only when it actually builds — warm, prepared
     /// executions can therefore pin "zero rebuilds" in tests.
     index_builds: usize,
+    /// The dictionary the cells of this relation were encoded against.
+    dict: Arc<ValueDict>,
 }
 
-fn tuple_hash(tuple: &[Value]) -> u64 {
-    let mut h = DefaultHasher::new();
-    tuple.hash(&mut h);
-    h.finish()
+impl Default for Relation {
+    fn default() -> Self {
+        Relation::new(0)
+    }
 }
 
 impl Relation {
-    /// Create an empty relation with the given arity.
+    /// Create an empty relation with the given arity and its own (fresh)
+    /// dictionary. Prefer [`Database::get_or_create`] — or
+    /// [`Relation::with_dict`] — when the relation will live alongside
+    /// others, so packed rows stay comparable across relations.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, ..Default::default() }
+        Relation::with_dict(arity, ValueDict::shared())
+    }
+
+    /// Create an empty relation encoding its cells against the given shared
+    /// dictionary.
+    pub fn with_dict(arity: usize, dict: Arc<ValueDict>) -> Self {
+        Relation {
+            arity,
+            stride: arity.max(1),
+            cells: Vec::new(),
+            live: 0,
+            dedup: FxHashMap::default(),
+            delta: Vec::new(),
+            staged: Vec::new(),
+            staged_dedup: FxHashMap::default(),
+            staged_live: 0,
+            delta_next: Vec::new(),
+            indexes: HashMap::new(),
+            index_builds: 0,
+            dict,
+        }
     }
 
     /// Create a relation from an iterator of tuples. All tuples must share
@@ -250,6 +327,18 @@ impl Relation {
         self.arity
     }
 
+    /// Words per arena row: `max(arity, 1)`. Packed-row slices handed out by
+    /// [`Relation::delta_cells`] and [`Relation::full_cells`] are
+    /// stride-wide; the first `arity` words are the tuple's cells.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The dictionary this relation's cells are encoded against.
+    pub fn dict(&self) -> &Arc<ValueDict> {
+        &self.dict
+    }
+
     /// Number of live tuples in the full (published) set.
     pub fn len(&self) -> usize {
         self.live
@@ -260,26 +349,68 @@ impl Relation {
         self.live == 0
     }
 
-    /// The row id of `tuple` if it is live in the arena.
-    fn find(&self, tuple: &[Value]) -> Option<RowId> {
-        let ids = self.dedup.get(&tuple_hash(tuple))?;
-        ids.iter().copied().find(|&id| self.rows[id as usize].as_deref() == Some(tuple))
+    /// Number of arena rows (live + tombstoned).
+    fn nrows(&self) -> usize {
+        self.cells.len() / self.stride
     }
 
-    /// Append a (known-new) tuple to the arena, the dedup table and every
-    /// index, returning its row id.
-    fn push_row(&mut self, tuple: Tuple) -> RowId {
-        let id = self.rows.len() as RowId;
+    /// The arity-wide cell slice of arena row `id` (may be tombstoned).
+    #[inline]
+    fn row(&self, id: RowId) -> &[Cell] {
+        let start = id as usize * self.stride;
+        &self.cells[start..start + self.arity]
+    }
+
+    /// True if arena row `id` has not been tombstoned.
+    #[inline]
+    fn row_is_live(&self, id: RowId) -> bool {
+        !is_tombstone(self.cells[id as usize * self.stride])
+    }
+
+    /// Encode a `Value` tuple into arity-wide cells, growing the dictionary
+    /// as needed.
+    fn encode_row(&self, tuple: &[Value], out: &mut Vec<Cell>) {
+        out.clear();
+        out.extend(tuple.iter().map(|v| self.dict.encode_value(v)));
+    }
+
+    /// Encode a probe tuple without growing the dictionary; `None` means at
+    /// least one value cannot be stored in any relation sharing this
+    /// dictionary (so membership is necessarily false).
+    fn try_encode_row(&self, tuple: &[Value]) -> Option<Vec<Cell>> {
+        tuple.iter().map(|v| self.dict.try_encode_value(v)).collect()
+    }
+
+    /// Decode an arity-wide cell slice back to a `Value` tuple.
+    fn decode_row(&self, row: &[Cell]) -> Tuple {
+        row.iter().map(|&c| self.dict.decode(c)).collect()
+    }
+
+    /// The row id of the packed row if it is live in the arena. `row` is
+    /// arity-wide and encoded against this relation's dictionary.
+    fn find_cells(&self, row: &[Cell]) -> Option<RowId> {
+        let ids = self.dedup.get(&hash_cells(row))?;
+        ids.iter().copied().find(|&id| self.row_is_live(id) && self.row(id) == row)
+    }
+
+    /// Append a (known-new) packed row to the arena, the dedup table and
+    /// every index, returning its row id. `row` is arity-wide.
+    fn push_row(&mut self, row: &[Cell]) -> RowId {
+        debug_assert_eq!(row.len(), self.arity);
+        let id = self.nrows() as RowId;
         for index in self.indexes.values_mut() {
-            index.add(id, &tuple);
+            index.add(id, row);
         }
-        match self.dedup.entry(tuple_hash(&tuple)) {
+        match self.dedup.entry(hash_cells(row)) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(id),
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(IdList::One(id));
             }
         }
-        self.rows.push(Some(tuple));
+        self.cells.extend_from_slice(row);
+        if self.arity == 0 {
+            self.cells.push(NULL_CELL);
+        }
         self.live += 1;
         id
     }
@@ -297,14 +428,25 @@ impl Relation {
         Ok(self.insert_unchecked(tuple))
     }
 
-    /// Insert without arity checking (hot path in the engines; callers have
-    /// already validated arity via the schema).
+    /// Insert without arity checking (callers have already validated arity
+    /// via the schema).
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
         debug_assert_eq!(tuple.len(), self.arity, "arity mismatch in insert_unchecked");
-        if self.find(&tuple).is_some() {
+        let mut row = Vec::with_capacity(self.arity);
+        self.encode_row(&tuple, &mut row);
+        self.insert_cells(&row)
+    }
+
+    /// Insert an already-encoded arity-wide packed row (engine/bulk-load hot
+    /// path; the cells must come from this relation's dictionary). Returns
+    /// true if the row was new.
+    #[inline]
+    pub fn insert_cells(&mut self, row: &[Cell]) -> bool {
+        debug_assert_eq!(row.len(), self.arity, "arity mismatch in insert_cells");
+        if self.find_cells(row).is_some() {
             return false;
         }
-        self.push_row(tuple);
+        self.push_row(row);
         true
     }
 
@@ -319,21 +461,46 @@ impl Relation {
                 tuple.len()
             )));
         }
-        Ok(self.stage_unchecked(tuple))
+        let mut row = Vec::with_capacity(self.arity);
+        self.encode_row(&tuple, &mut row);
+        Ok(self.stage_cells(&row))
     }
 
-    /// [`Relation::stage`] without arity checking (engine hot path).
-    pub fn stage_unchecked(&mut self, tuple: Tuple) -> bool {
-        debug_assert_eq!(tuple.len(), self.arity, "arity mismatch in stage_unchecked");
-        if self.find(&tuple).is_some() {
+    /// [`Relation::stage`] for an already-encoded packed row (engine hot
+    /// path).
+    #[inline]
+    pub fn stage_cells(&mut self, row: &[Cell]) -> bool {
+        debug_assert_eq!(row.len(), self.arity, "arity mismatch in stage_cells");
+        if self.find_cells(row).is_some() {
             return false;
         }
-        self.staged.insert(tuple)
+        let hash = hash_cells(row);
+        if let Some(ids) = self.staged_dedup.get(&hash) {
+            let stride = self.stride;
+            if ids.iter().any(|&id| {
+                &self.staged[id as usize * stride..id as usize * stride + self.arity] == row
+            }) {
+                return false;
+            }
+        }
+        let id = (self.staged.len() / self.stride) as RowId;
+        self.staged.extend_from_slice(row);
+        if self.arity == 0 {
+            self.staged.push(NULL_CELL);
+        }
+        match self.staged_dedup.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(id),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(IdList::One(id));
+            }
+        }
+        self.staged_live += 1;
+        true
     }
 
     /// Number of tuples currently staged (derived this round, unpublished).
     pub fn staged_len(&self) -> usize {
-        self.staged.len()
+        self.staged_live
     }
 
     /// Finish a fixpoint round: publish every staged tuple into the full set
@@ -342,18 +509,36 @@ impl Relation {
     /// clear the staging area. Returns the number of rows in the new delta.
     pub fn advance(&mut self) -> usize {
         let staged = std::mem::take(&mut self.staged);
+        self.staged_dedup.clear();
+        self.staged_live = 0;
         self.delta = std::mem::take(&mut self.delta_next);
         self.delta.reserve(staged.len());
-        for tuple in staged {
-            // `stage` checked membership at staging time, but a direct
-            // `insert` may have landed in between; re-check.
-            if self.find(&tuple).is_some() {
+        let arity = self.arity;
+        for row in staged.chunks_exact(self.stride) {
+            if is_tombstone(row[0]) {
                 continue;
             }
-            self.push_row(tuple.clone());
-            self.delta.push(tuple);
+            // `stage` checked membership at staging time, but a direct
+            // `insert` may have landed in between; re-check.
+            if self.find_cells(&row[..arity]).is_some() {
+                continue;
+            }
+            self.push_row(&row[..arity]);
+            self.delta.extend_from_slice(row);
         }
-        self.delta.len()
+        self.delta.len() / self.stride
+    }
+
+    /// Compare two cells under the total value order (used by lattice
+    /// merges). Inline integers compare without touching the dictionary.
+    fn cmp_cells(&self, a: Cell, b: Cell) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        if let (Some(x), Some(y)) = (crate::cell::inline_int(a), crate::cell::inline_int(b)) {
+            return x.cmp(&y);
+        }
+        self.dict.decode(a).total_cmp(&self.dict.decode(b))
     }
 
     /// Insert under min/max-lattice semantics: the tuple is admitted only if
@@ -363,15 +548,28 @@ impl Relation {
     /// immediately (so the rest of the round observes the improvement), and
     /// is announced in the delta of the next [`Relation::advance`].
     pub fn lattice_insert(&mut self, tuple: Tuple, col: usize, minimize: bool) -> bool {
+        let mut row = Vec::with_capacity(self.arity);
+        self.encode_row(&tuple, &mut row);
+        self.lattice_insert_cells(&row, col, minimize)
+    }
+
+    /// [`Relation::lattice_insert`] for an already-encoded packed row
+    /// (engine hot path).
+    pub fn lattice_insert_cells(&mut self, row: &[Cell], col: usize, minimize: bool) -> bool {
         debug_assert!(col < self.arity, "lattice column out of range");
+        debug_assert_eq!(row.len(), self.arity);
         let group_cols: Vec<usize> = (0..self.arity).filter(|&i| i != col).collect();
         self.ensure_index(&group_cols);
-        let key: Vec<Value> = group_cols.iter().map(|&c| tuple[c].clone()).collect();
+        let key: Vec<Cell> = group_cols.iter().map(|&c| row[c]).collect();
         let mut dominated: Vec<RowId> = Vec::new();
         if let Some(postings) = self.indexes[group_cols.as_slice()].get(&key) {
             for &id in postings.iter() {
-                let Some(old) = self.rows[id as usize].as_ref() else { continue };
-                let better = if minimize { tuple[col] < old[col] } else { tuple[col] > old[col] };
+                if !self.row_is_live(id) {
+                    continue;
+                }
+                let ord = self.cmp_cells(row[col], self.row(id)[col]);
+                let better =
+                    if minimize { ord == Ordering::Less } else { ord == Ordering::Greater };
                 if better {
                     dominated.push(id);
                 } else {
@@ -381,33 +579,34 @@ impl Relation {
             }
         }
         for id in dominated {
-            let old = self.rows[id as usize].clone();
+            let old: Vec<Cell> = self.row(id).to_vec();
             self.remove_row(id);
-            if let Some(old) = old {
-                self.delta_next.retain(|t| *t != old);
-            }
+            retain_rows(&mut self.delta_next, self.stride, |r| &r[..old.len()] != old.as_slice());
         }
-        self.push_row(tuple.clone());
-        self.delta_next.push(tuple);
+        self.push_row(row);
+        self.delta_next.extend_from_slice(row);
+        if self.arity == 0 {
+            self.delta_next.push(NULL_CELL);
+        }
         true
     }
 
     /// The frontier tuples published by the most recent
-    /// [`Relation::advance`].
-    pub fn delta(&self) -> impl Iterator<Item = &Tuple> {
-        self.delta.iter()
+    /// [`Relation::advance`], decoded.
+    pub fn delta(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.delta.chunks_exact(self.stride).map(|row| self.decode_row(&row[..self.arity]))
     }
 
-    /// The frontier as a contiguous slice, so callers can partition it into
-    /// chunks (parallel delta-driven rule evaluation splits this slice
-    /// across worker threads).
-    pub fn delta_rows(&self) -> &[Tuple] {
+    /// The frontier as one flat packed slice of stride-wide rows, so callers
+    /// can partition it into chunks (parallel delta-driven rule evaluation
+    /// splits this slice across worker threads at row boundaries).
+    pub fn delta_cells(&self) -> &[Cell] {
         &self.delta
     }
 
     /// Number of rows in the delta.
     pub fn delta_len(&self) -> usize {
-        self.delta.len()
+        self.delta.len() / self.stride
     }
 
     /// True if the delta is empty.
@@ -420,34 +619,73 @@ impl Relation {
     pub fn clear_rounds(&mut self) {
         self.delta.clear();
         self.staged.clear();
+        self.staged_dedup.clear();
+        self.staged_live = 0;
         self.delta_next.clear();
     }
 
     /// Seed the delta with the entire full set (the "round zero" frontier of
     /// a fixpoint that starts from already-loaded facts).
     pub fn seed_delta_from_full(&mut self) {
-        self.delta = self.iter().cloned().collect();
+        let live_cells = self.live * self.stride;
+        let Relation { delta, cells, stride, .. } = self;
+        delta.clear();
+        delta.reserve(live_cells);
+        // Copy full stride rows (including any nullary pad).
+        for row in cells.chunks_exact(*stride) {
+            if !is_tombstone(row[0]) {
+                delta.extend_from_slice(row);
+            }
+        }
+    }
+
+    /// The raw arena as one flat slice of stride-wide rows, **including**
+    /// tombstoned rows (marked by [`TOMBSTONE_CELL`] in their first word).
+    /// Parallel round-zero evaluation partitions this slice across worker
+    /// threads; consumers must skip tombstoned rows.
+    pub fn full_cells(&self) -> &[Cell] {
+        &self.cells
     }
 
     /// True if the full set contains `tuple`.
     pub fn contains(&self, tuple: &[Value]) -> bool {
-        self.find(tuple).is_some()
+        match self.try_encode_row(tuple) {
+            Some(row) => self.find_cells(&row).is_some(),
+            None => false,
+        }
     }
 
-    /// Iterate over the full set in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows.iter().filter_map(|r| r.as_ref())
+    /// True if the full set contains the packed row (arity-wide, encoded
+    /// against this relation's dictionary).
+    #[inline]
+    pub fn contains_cells(&self, row: &[Cell]) -> bool {
+        self.find_cells(row).is_some()
+    }
+
+    /// Iterate over the full set in insertion order, decoding each row.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.iter_rows().map(|row| self.decode_row(row))
+    }
+
+    /// Iterate over the packed (arity-wide) rows of the full set in
+    /// insertion order, skipping tombstones. This is the engines' scan path:
+    /// no decoding, no allocation.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Cell]> + '_ {
+        self.cells
+            .chunks_exact(self.stride)
+            .filter(|row| !is_tombstone(row[0]))
+            .map(move |row| &row[..self.arity])
     }
 
     /// All tuples, sorted, for deterministic output and comparisons in tests.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.iter().cloned().collect();
+        let mut v: Vec<Tuple> = self.iter().collect();
         v.sort();
         v
     }
 
     /// Set-union with another relation's full set, returning the number of
-    /// new tuples.
+    /// new tuples. Packed fast path when both relations share a dictionary.
     pub fn merge(&mut self, other: &Relation) -> Result<usize> {
         if other.arity != self.arity && !other.is_empty() {
             return Err(RaqletError::Execution(format!(
@@ -456,21 +694,45 @@ impl Relation {
             )));
         }
         let mut added = 0;
-        for t in other.iter() {
-            if self.insert_unchecked(t.clone()) {
-                added += 1;
+        if Arc::ptr_eq(&self.dict, &other.dict) {
+            // Borrow juggling: copy rows out lazily via index ranges to keep
+            // the borrow checker happy without cloning the whole arena.
+            for id in 0..other.nrows() {
+                if !other.row_is_live(id as RowId) {
+                    continue;
+                }
+                let start = id * other.stride;
+                let row: &[Cell] = &other.cells[start..start + other.arity];
+                if self.insert_cells(row) {
+                    added += 1;
+                }
+            }
+        } else {
+            for t in other.iter() {
+                if self.insert_unchecked(t) {
+                    added += 1;
+                }
             }
         }
         Ok(added)
     }
 
     /// The tuples of `self` not present in `other` (the semi-naive "delta"
-    /// of the SQL working-table loop).
+    /// of the SQL working-table loop). The result shares `self`'s
+    /// dictionary.
     pub fn difference(&self, other: &Relation) -> Relation {
-        let mut out = Relation::new(self.arity);
-        for t in self.iter() {
-            if !other.contains(t) {
-                out.insert_unchecked(t.clone());
+        let mut out = Relation::with_dict(self.arity, self.dict.clone());
+        if Arc::ptr_eq(&self.dict, &other.dict) {
+            for row in self.iter_rows() {
+                if !other.contains_cells(row) {
+                    out.insert_cells(row);
+                }
+            }
+        } else {
+            for t in self.iter() {
+                if !other.contains(&t) {
+                    out.insert_unchecked(t);
+                }
             }
         }
         out
@@ -479,27 +741,51 @@ impl Relation {
     /// Tombstone one arena row: drop it from the live set, the dedup table
     /// and every index posting list.
     fn remove_row(&mut self, id: RowId) {
-        let Some(tuple) = self.rows[id as usize].take() else { return };
+        if !self.row_is_live(id) {
+            return;
+        }
+        let row: Vec<Cell> = self.row(id).to_vec();
         self.live -= 1;
-        let hash = tuple_hash(&tuple);
+        let hash = hash_cells(&row);
         if let Some(ids) = self.dedup.get_mut(&hash) {
             if ids.remove(id) {
                 self.dedup.remove(&hash);
             }
         }
         for index in self.indexes.values_mut() {
-            index.remove(id, &tuple);
+            index.remove(id, &row);
         }
+        self.cells[id as usize * self.stride] = TOMBSTONE_CELL;
     }
 
     /// Remove a tuple from the full set, every index, and the staging area
     /// (used by lattice merges that replace a dominated tuple). The delta
-    /// holds tuple snapshots, so the frontier the current round joins
+    /// holds packed snapshots, so the frontier the current round joins
     /// against is genuinely unaffected. Returns true if the tuple was
     /// present in the full set.
     pub fn remove(&mut self, tuple: &[Value]) -> bool {
-        self.staged.remove(tuple);
-        match self.find(tuple) {
+        let Some(row) = self.try_encode_row(tuple) else { return false };
+        // Tombstone any matching staged row.
+        let hash = hash_cells(&row);
+        if let Some(ids) = self.staged_dedup.get(&hash) {
+            let stride = self.stride;
+            let arity = self.arity;
+            let hit = ids.iter().copied().find(|&id| {
+                let start = id as usize * stride;
+                !is_tombstone(self.staged[start])
+                    && &self.staged[start..start + arity] == row.as_slice()
+            });
+            if let Some(id) = hit {
+                self.staged[id as usize * stride] = TOMBSTONE_CELL;
+                self.staged_live -= 1;
+                if let Some(ids) = self.staged_dedup.get_mut(&hash) {
+                    if ids.remove(id) {
+                        self.staged_dedup.remove(&hash);
+                    }
+                }
+            }
+        }
+        match self.find_cells(&row) {
             Some(id) => {
                 self.remove_row(id);
                 true
@@ -516,31 +802,52 @@ impl Relation {
         }
         self.index_builds += 1;
         let mut index = Index::new(columns);
-        for (id, row) in self.rows.iter().enumerate() {
-            if let Some(tuple) = row {
-                index.add(id as RowId, tuple);
+        for id in 0..self.nrows() {
+            if self.row_is_live(id as RowId) {
+                index.add(id as RowId, self.row(id as RowId));
             }
         }
         self.indexes.insert(columns.to_vec(), index);
     }
 
-    /// Probe a previously built index (see [`Relation::ensure_index`]).
-    /// Returns `None` if no index exists over `columns`; otherwise an
-    /// iterator over the live rows matching `key` (projected values in
-    /// column order).
+    /// Probe a previously built index (see [`Relation::ensure_index`]) with
+    /// a packed key (projected cells in column order). Returns `None` if no
+    /// index exists over `columns`; otherwise an iterator over the live
+    /// packed rows matching `key`.
+    pub fn probe_index_cells<'a>(
+        &'a self,
+        columns: &[usize],
+        key: &[Cell],
+    ) -> Option<impl Iterator<Item = &'a [Cell]> + 'a> {
+        let index = self.indexes.get(columns)?;
+        let postings = index.get(key).map(|l| l.iter()).unwrap_or_else(|| [].iter());
+        Some(postings.filter(|&&id| self.row_is_live(id)).map(move |&id| self.row(id)))
+    }
+
+    /// Probe a previously built index with `Value`-level key components,
+    /// decoding the matching rows. Returns `None` if no index exists over
+    /// `columns`; a key containing values this relation has never stored
+    /// yields an empty iterator.
     pub fn probe_index<'a>(
         &'a self,
         columns: &[usize],
         key: &[Value],
-    ) -> Option<impl Iterator<Item = &'a Tuple>> {
+    ) -> Option<impl Iterator<Item = Tuple> + 'a> {
         let index = self.indexes.get(columns)?;
-        let postings = index.get(key).map(|l| l.iter()).unwrap_or_else(|| [].iter());
-        Some(postings.filter_map(|&id| self.rows[id as usize].as_ref()))
+        let encoded: Option<Vec<Cell>> =
+            key.iter().map(|v| self.dict.try_encode_value(v)).collect();
+        let postings =
+            encoded.and_then(|k| index.get(&k)).map(|l| l.iter()).unwrap_or_else(|| [].iter());
+        Some(
+            postings
+                .filter(|&&id| self.row_is_live(id))
+                .map(move |&id| self.decode_row(self.row(id))),
+        )
     }
 
     /// Build (or fetch) a hash index over the given columns and return the
-    /// matching live tuples for `key`.
-    pub fn probe(&mut self, columns: &[usize], key: &[Value]) -> Vec<&Tuple> {
+    /// matching tuples for `key`, decoded.
+    pub fn probe(&mut self, columns: &[usize], key: &[Value]) -> Vec<Tuple> {
         self.ensure_index(columns);
         self.probe_index(columns, key).expect("index exists after ensure_index").collect()
     }
@@ -564,33 +871,97 @@ impl Relation {
     }
 
     /// Project the relation onto the given column positions (with
-    /// deduplication, since relations are sets).
+    /// deduplication, since relations are sets). Pure cell copying — no
+    /// decode; the result shares this relation's dictionary.
     pub fn project(&self, columns: &[usize]) -> Relation {
-        let mut out = Relation::new(columns.len());
-        for t in self.iter() {
-            let projected: Tuple = columns.iter().map(|&c| t[c].clone()).collect();
-            out.insert_unchecked(projected);
+        let mut out = Relation::with_dict(columns.len(), self.dict.clone());
+        let mut projected: Vec<Cell> = Vec::with_capacity(columns.len());
+        for row in self.iter_rows() {
+            projected.clear();
+            projected.extend(columns.iter().map(|&c| row[c]));
+            out.insert_cells(&projected);
         }
         out
     }
 
-    /// Keep only tuples satisfying `pred`.
+    /// Keep only tuples satisfying `pred` (which sees the decoded tuple).
+    /// The result shares this relation's dictionary.
     pub fn filter<F: Fn(&Tuple) -> bool>(&self, pred: F) -> Relation {
-        let mut out = Relation::new(self.arity);
-        for t in self.iter() {
-            if pred(t) {
-                out.insert_unchecked(t.clone());
+        let mut out = Relation::with_dict(self.arity, self.dict.clone());
+        for row in self.iter_rows() {
+            if pred(&self.decode_row(row)) {
+                out.insert_cells(row);
             }
         }
         out
     }
+
+    /// Re-encode this relation's rows against `dict`, preserving the column
+    /// sets of its persistent indexes (rebuilt, so the build counter grows).
+    /// Round (delta/staged) state is not carried over.
+    pub fn rebind(&self, dict: Arc<ValueDict>) -> Relation {
+        let mut out = Relation::with_dict(self.arity, dict);
+        for t in self.iter() {
+            out.insert_unchecked(t);
+        }
+        for columns in self.indexes.keys() {
+            out.ensure_index(columns);
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes: the cell arena, round state, the
+    /// dedup table, every persistent index, and this relation's share of the
+    /// value dictionary (the dictionary's footprint divided by the number of
+    /// live handles to it).
+    pub fn heap_bytes(&self) -> usize {
+        let vecs = (self.cells.capacity()
+            + self.delta.capacity()
+            + self.staged.capacity()
+            + self.delta_next.capacity())
+            * size_of::<Cell>();
+        let dedup = self.dedup.capacity() * (8 + size_of::<IdList>() + 8)
+            + self.dedup.values().map(IdList::heap_bytes).sum::<usize>();
+        let staged_dedup = self.staged_dedup.capacity() * (8 + size_of::<IdList>() + 8)
+            + self.staged_dedup.values().map(IdList::heap_bytes).sum::<usize>();
+        let indexes: usize = self
+            .indexes
+            .iter()
+            .map(|(cols, idx)| cols.capacity() * size_of::<usize>() + idx.heap_bytes())
+            .sum();
+        let dict_share = self.dict.heap_bytes() / Arc::strong_count(&self.dict).max(1);
+        vecs + dedup + staged_dedup + indexes + dict_share
+    }
+}
+
+/// Retain only the stride-wide rows of `rows` satisfying `pred` (compacting
+/// in place).
+fn retain_rows<F: Fn(&[Cell]) -> bool>(rows: &mut Vec<Cell>, stride: usize, pred: F) {
+    let mut write = 0;
+    let mut read = 0;
+    while read + stride <= rows.len() {
+        let keep = pred(&rows[read..read + stride]);
+        if keep {
+            if write != read {
+                rows.copy_within(read..read + stride, write);
+            }
+            write += stride;
+        }
+        read += stride;
+    }
+    rows.truncate(write);
 }
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.arity == other.arity
-            && self.live == other.live
-            && self.iter().all(|t| other.contains(t))
+        if self.arity != other.arity || self.live != other.live {
+            return false;
+        }
+        if Arc::ptr_eq(&self.dict, &other.dict) {
+            self.iter_rows().all(|row| other.contains_cells(row))
+        } else {
+            self.iter().all(|t| other.contains(&t))
+        }
     }
 }
 
@@ -607,20 +978,54 @@ impl fmt::Display for Relation {
 }
 
 /// A named collection of relations: the extensional database handed to the
-/// engines, and also the container for computed IDB results.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// engines, and also the container for computed IDB results. All relations
+/// created through the database share one [`ValueDict`], so their packed
+/// rows are directly comparable (and joinable) at the cell level.
+#[derive(Debug, Clone)]
 pub struct Database {
     relations: HashMap<String, Relation>,
+    dict: Arc<ValueDict>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
 }
 
 impl Database {
-    /// Create an empty database.
+    /// Create an empty database with a fresh value dictionary.
     pub fn new() -> Self {
-        Self::default()
+        Database { relations: HashMap::new(), dict: ValueDict::shared() }
     }
 
-    /// Insert or replace a relation under `name`.
+    /// Create an empty database sharing an existing dictionary (evaluation
+    /// working sets share the extensional database's dictionary so packed
+    /// rows move between them verbatim).
+    pub fn with_dict(dict: Arc<ValueDict>) -> Self {
+        Database { relations: HashMap::new(), dict }
+    }
+
+    /// The value dictionary shared by this database's relations.
+    pub fn dict(&self) -> &Arc<ValueDict> {
+        &self.dict
+    }
+
+    /// Insert or replace a relation under `name`. A relation encoded against
+    /// a different dictionary is re-encoded (see [`Relation::rebind`]) so
+    /// that every stored relation shares this database's dictionary.
     pub fn set(&mut self, name: impl Into<String>, relation: Relation) {
+        let relation = if Arc::ptr_eq(relation.dict(), &self.dict) {
+            relation
+        } else {
+            relation.rebind(self.dict.clone())
+        };
         self.relations.insert(name.into(), relation);
     }
 
@@ -652,10 +1057,12 @@ impl Database {
             .ok_or_else(|| RaqletError::execution(format!("relation `{name}` not loaded")))
     }
 
-    /// Mutable access, creating an empty relation of the given arity if the
-    /// name is not yet present.
+    /// Mutable access, creating an empty relation of the given arity (bound
+    /// to this database's dictionary) if the name is not yet present.
     pub fn get_or_create(&mut self, name: &str, arity: usize) -> &mut Relation {
-        self.relations.entry(name.to_string()).or_insert_with(|| Relation::new(arity))
+        self.relations
+            .entry(name.to_string())
+            .or_insert_with(|| Relation::with_dict(arity, self.dict.clone()))
     }
 
     /// Insert a single fact into the named relation (creating it on demand).
@@ -689,6 +1096,17 @@ impl Database {
     /// True if the database holds no relations.
     pub fn is_empty(&self) -> bool {
         self.relations.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes: every relation's arena, round
+    /// state and indexes, plus the shared value dictionary (counted once).
+    pub fn heap_bytes(&self) -> usize {
+        let relations: usize = self
+            .relations
+            .values()
+            .map(|r| r.heap_bytes() - r.dict().heap_bytes() / Arc::strong_count(r.dict()).max(1))
+            .sum();
+        relations + self.dict.heap_bytes()
     }
 }
 
@@ -768,6 +1186,16 @@ mod tests {
     }
 
     #[test]
+    fn probe_index_with_never_seen_values_is_empty_and_grows_nothing() {
+        let mut r = Relation::from_tuples(2, vec![vec![Value::str("a"), Value::Int(1)]]).unwrap();
+        r.ensure_index(&[0]);
+        let before = r.dict().len();
+        assert_eq!(r.probe_index(&[0], &[Value::str("never-stored")]).unwrap().count(), 0);
+        assert!(!r.contains(&[Value::str("never-stored"), Value::Int(1)]));
+        assert_eq!(r.dict().len(), before, "probing must not grow the dictionary");
+    }
+
+    #[test]
     fn multi_column_indexes_probe_by_projected_key() {
         let mut r =
             Relation::from_tuples(3, vec![t(&[1, 2, 30]), t(&[1, 2, 31]), t(&[1, 3, 32])]).unwrap();
@@ -791,7 +1219,7 @@ mod tests {
         assert_eq!(r.advance(), 1);
         assert_eq!(r.len(), 2);
         assert!(r.contains(&t(&[2])));
-        assert_eq!(r.delta().cloned().collect::<Vec<_>>(), vec![t(&[2])]);
+        assert_eq!(r.delta().collect::<Vec<_>>(), vec![t(&[2])]);
         // The next advance with nothing staged empties the delta.
         assert_eq!(r.advance(), 0);
         assert!(r.delta_is_empty());
@@ -829,6 +1257,16 @@ mod tests {
     }
 
     #[test]
+    fn remove_also_unstages() {
+        let mut r = Relation::new(1);
+        r.stage(t(&[5])).unwrap();
+        assert_eq!(r.staged_len(), 1);
+        r.remove(&t(&[5]));
+        assert_eq!(r.staged_len(), 0);
+        assert_eq!(r.advance(), 0);
+    }
+
+    #[test]
     fn lattice_insert_keeps_only_the_best_tuple_per_group() {
         let mut r = Relation::new(3);
         assert!(r.lattice_insert(t(&[1, 2, 9]), 2, true));
@@ -840,7 +1278,7 @@ mod tests {
         assert!(!r.contains(&t(&[1, 2, 9])));
         // Both surviving tuples (but not the replaced one) form the delta.
         assert_eq!(r.advance(), 2);
-        let mut delta: Vec<Tuple> = r.delta().cloned().collect();
+        let mut delta: Vec<Tuple> = r.delta().collect();
         delta.sort();
         assert_eq!(delta, vec![t(&[1, 2, 5]), t(&[3, 4, 7])]);
     }
@@ -850,15 +1288,15 @@ mod tests {
         let mut r = Relation::new(3);
         r.lattice_insert(t(&[1, 2, 9]), 2, true);
         r.advance();
-        assert_eq!(r.delta().cloned().collect::<Vec<_>>(), vec![t(&[1, 2, 9])]);
+        assert_eq!(r.delta().collect::<Vec<_>>(), vec![t(&[1, 2, 9])]);
         // Mid-round improvement replaces the stored tuple, but the frontier
         // the current round is joining against must still see the snapshot.
         assert!(r.lattice_insert(t(&[1, 2, 5]), 2, true));
         assert!(!r.contains(&t(&[1, 2, 9])));
-        assert_eq!(r.delta().cloned().collect::<Vec<_>>(), vec![t(&[1, 2, 9])]);
+        assert_eq!(r.delta().collect::<Vec<_>>(), vec![t(&[1, 2, 9])]);
         // The next round announces only the improvement.
         assert_eq!(r.advance(), 1);
-        assert_eq!(r.delta().cloned().collect::<Vec<_>>(), vec![t(&[1, 2, 5])]);
+        assert_eq!(r.delta().collect::<Vec<_>>(), vec![t(&[1, 2, 5])]);
     }
 
     #[test]
@@ -903,6 +1341,16 @@ mod tests {
     }
 
     #[test]
+    fn relations_with_distinct_dictionaries_still_compare_by_value() {
+        let a =
+            Relation::from_tuples(1, vec![vec![Value::str("x")], vec![Value::str("y")]]).unwrap();
+        let b =
+            Relation::from_tuples(1, vec![vec![Value::str("y")], vec![Value::str("x")]]).unwrap();
+        assert!(!Arc::ptr_eq(a.dict(), b.dict()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn staged_tuples_do_not_affect_equality() {
         let mut a = Relation::from_tuples(1, vec![t(&[1])]).unwrap();
         let b = Relation::from_tuples(1, vec![t(&[1])]).unwrap();
@@ -919,8 +1367,48 @@ mod tests {
     #[test]
     fn iteration_order_is_insertion_order() {
         let r = Relation::from_tuples(2, vec![t(&[2, 20]), t(&[1, 10])]).unwrap();
-        let rows: Vec<&Tuple> = r.iter().collect();
-        assert_eq!(rows, vec![&t(&[2, 20]), &t(&[1, 10])]);
+        let rows: Vec<Tuple> = r.iter().collect();
+        assert_eq!(rows, vec![t(&[2, 20]), t(&[1, 10])]);
+    }
+
+    #[test]
+    fn nullary_relations_hold_at_most_one_row() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(vec![]).unwrap());
+        assert!(!r.insert(vec![]).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![Vec::<Value>::new()]);
+        assert!(r.remove(&[]));
+        assert!(r.is_empty());
+        // And the delta lifecycle still works.
+        assert!(r.stage(vec![]).unwrap());
+        assert_eq!(r.advance(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.delta_len(), 1);
+    }
+
+    #[test]
+    fn mixed_value_types_round_trip_through_packing() {
+        let tuple = vec![
+            Value::Int(i64::MIN),
+            Value::str("Ada"),
+            Value::Bool(true),
+            Value::Null,
+            Value::Int(i64::MAX),
+        ];
+        let mut r = Relation::new(5);
+        assert!(r.insert(tuple.clone()).unwrap());
+        assert!(!r.insert(tuple.clone()).unwrap());
+        assert!(r.contains(&tuple));
+        assert_eq!(r.iter().next().unwrap(), tuple);
+    }
+
+    #[test]
+    fn heap_bytes_reports_nonzero_for_populated_relations() {
+        let mut r = Relation::from_tuples(2, vec![t(&[1, 2]), t(&[3, 4])]).unwrap();
+        r.ensure_index(&[0]);
+        assert!(r.heap_bytes() > 0);
     }
 
     #[test]
@@ -933,6 +1421,35 @@ mod tests {
         assert_eq!(db.names(), vec!["edge".to_string()]);
         assert_eq!(db.total_tuples(), 2);
         assert!(db.require("missing").is_err());
+        assert!(db.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn database_relations_share_the_dictionary() {
+        let mut db = Database::new();
+        db.insert_fact("a", vec![Value::str("x")]).unwrap();
+        db.insert_fact("b", vec![Value::str("x")]).unwrap();
+        assert!(Arc::ptr_eq(db.get("a").unwrap().dict(), db.get("b").unwrap().dict()));
+        // One interned string, not two.
+        assert_eq!(db.dict().len(), 1);
+    }
+
+    #[test]
+    fn set_rebinds_foreign_dictionary_relations() {
+        let mut db = Database::new();
+        db.insert_fact("a", vec![Value::str("x")]).unwrap();
+        // A standalone relation with its own dictionary.
+        let mut foreign = Relation::new(1);
+        foreign.insert(vec![Value::str("x")]).unwrap();
+        foreign.ensure_index(&[0]);
+        db.set("b", foreign);
+        let b = db.get("b").unwrap();
+        assert!(Arc::ptr_eq(b.dict(), db.dict()));
+        assert!(b.contains(&[Value::str("x")]));
+        assert!(b.has_index(&[0]));
+        // Cell-level equality across relations now holds.
+        let row_a: Vec<u64> = db.get("a").unwrap().iter_rows().next().unwrap().to_vec();
+        assert!(db.get("b").unwrap().contains_cells(&row_a));
     }
 
     #[test]

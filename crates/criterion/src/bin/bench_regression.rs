@@ -1,29 +1,103 @@
 //! Fail CI on benchmark mean-time regressions.
 //!
 //! ```sh
-//! bench_regression <current.jsonl> <baseline.json> [threshold]
+//! bench_regression <current.jsonl> <baseline.json> [threshold] [--min-ns <ns>]
+//! bench_regression <current.jsonl> --reference [dir] [threshold] [--min-ns <ns>]
 //! ```
 //!
 //! `current.jsonl` is the `CRITERION_JSON` output of a bench run;
-//! `baseline.json` is a checked-in `BENCH_*.json` snapshot. Exits non-zero
-//! if any benchmark id present in both files has a current mean more than
-//! `threshold` (default 1.3) times its baseline mean.
+//! `baseline.json` is a checked-in `BENCH_*.json` snapshot. With
+//! `--reference`, the newest recorded snapshot in `dir` (default `.`) is
+//! used instead of a fixed file: `BENCH_pr<N>.json` files rank by `N` and
+//! `BENCH_baseline.json` ranks oldest, so CI always compares against the
+//! most recent perf record rather than the original baseline. `--min-ns`
+//! sets a measurement-noise floor: ids where both means are below it are
+//! skipped (CI's short quick-mode windows cannot time microsecond rows
+//! reliably). Exits non-zero if any benchmark id present in both files has
+//! a current mean more than `threshold` (default 1.3) times its baseline
+//! mean.
 
 use std::process::ExitCode;
 
-use criterion::regression::find_regressions;
+use criterion::regression::find_regressions_with_floor;
+
+/// Rank a `BENCH_*.json` file name: `BENCH_baseline.json` is 0,
+/// `BENCH_pr<N>.json` is `N`. Returns `None` for files that are not bench
+/// snapshots.
+fn bench_rank(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    if stem == "baseline" {
+        return Some(0);
+    }
+    stem.strip_prefix("pr")?.parse().ok().map(|n: u64| n)
+}
+
+/// The newest `BENCH_*.json` snapshot in `dir` (highest PR number;
+/// `BENCH_baseline.json` only when nothing newer exists).
+fn newest_reference(dir: &str) -> Option<std::path::PathBuf> {
+    let mut best: Option<(u64, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        // An unreadable entry must not discard snapshots already found.
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name();
+        let Some(rank) = bench_rank(&name.to_string_lossy()) else { continue };
+        if best.as_ref().is_none_or(|(b, _)| rank > *b) {
+            best = Some((rank, entry.path()));
+        }
+    }
+    best.map(|(_, path)| path)
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let (Some(current_path), Some(baseline_path)) = (args.get(1), args.get(2)) else {
-        eprintln!("usage: bench_regression <current.jsonl> <baseline.json> [threshold]");
+    let mut args: Vec<String> = std::env::args().collect();
+    // Extract `--min-ns <ns>` wherever it appears.
+    let mut min_ns = 0.0f64;
+    if let Some(pos) = args.iter().position(|a| a == "--min-ns") {
+        let Some(value) = args.get(pos + 1).and_then(|v| v.parse().ok()) else {
+            eprintln!("--min-ns requires a numeric argument");
+            return ExitCode::from(2);
+        };
+        min_ns = value;
+        args.drain(pos..pos + 2);
+    }
+    let Some(current_path) = args.get(1) else {
+        eprintln!(
+            "usage: bench_regression <current.jsonl> (<baseline.json> | --reference [dir]) [threshold]"
+        );
         return ExitCode::from(2);
     };
-    let threshold: f64 = match args.get(3).map(|t| t.parse()) {
+    let (baseline_path, threshold_arg) = if args.get(2).map(String::as_str) == Some("--reference") {
+        // `--reference [dir]`: the optional dir is any non-numeric argument.
+        let (dir, threshold) = match args.get(3) {
+            Some(a) if a.parse::<f64>().is_err() => (a.as_str(), args.get(4)),
+            other => (".", other),
+        };
+        match newest_reference(dir) {
+            Some(path) => {
+                println!("reference: {}", path.display());
+                (path.to_string_lossy().into_owned(), threshold.cloned())
+            }
+            None => {
+                eprintln!("no BENCH_*.json snapshot found in `{dir}`");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match args.get(2) {
+            Some(p) => (p.clone(), args.get(3).cloned()),
+            None => {
+                eprintln!(
+                    "usage: bench_regression <current.jsonl> (<baseline.json> | --reference [dir]) [threshold]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let threshold: f64 = match threshold_arg.as_deref().map(str::parse) {
         None => 1.3,
         Some(Ok(t)) => t,
         Some(Err(_)) => {
-            eprintln!("threshold must be a number, got `{}`", args[3]);
+            eprintln!("threshold must be a number, got `{}`", threshold_arg.unwrap());
             return ExitCode::from(2);
         }
     };
@@ -34,11 +108,11 @@ fn main() -> ExitCode {
             None
         }
     };
-    let (Some(current), Some(baseline)) = (read(current_path), read(baseline_path)) else {
+    let (Some(current), Some(baseline)) = (read(current_path), read(&baseline_path)) else {
         return ExitCode::from(2);
     };
 
-    let regressions = find_regressions(&current, &baseline, threshold);
+    let regressions = find_regressions_with_floor(&current, &baseline, threshold, min_ns);
     if regressions.is_empty() {
         println!("no regressions > {threshold}x vs {baseline_path}");
         return ExitCode::SUCCESS;
@@ -51,4 +125,31 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_files_rank_baseline_oldest_then_by_pr_number() {
+        assert_eq!(bench_rank("BENCH_baseline.json"), Some(0));
+        assert_eq!(bench_rank("BENCH_pr2.json"), Some(2));
+        assert_eq!(bench_rank("BENCH_pr10.json"), Some(10));
+        assert_eq!(bench_rank("BENCH_pr.json"), None);
+        assert_eq!(bench_rank("Cargo.toml"), None);
+        assert_eq!(bench_rank("BENCH_notes.txt"), None);
+    }
+
+    #[test]
+    fn newest_reference_picks_the_highest_pr() {
+        let dir = std::env::temp_dir().join(format!("bench_ref_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["BENCH_baseline.json", "BENCH_pr2.json", "BENCH_pr3.json", "notes.md"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        let newest = newest_reference(dir.to_str().unwrap()).unwrap();
+        assert!(newest.ends_with("BENCH_pr3.json"), "{newest:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

@@ -357,12 +357,29 @@ pub mod regression {
     /// mean is more than `threshold` times the baseline mean (1.3 = fail on
     /// a >30% slowdown). Ratios are reported for shared ids only.
     pub fn find_regressions(current: &str, baseline: &str, threshold: f64) -> Vec<Regression> {
+        find_regressions_with_floor(current, baseline, threshold, 0.0)
+    }
+
+    /// [`find_regressions`] with a measurement-noise floor: a benchmark is
+    /// skipped when **both** means are below `min_ns` — microsecond-scale
+    /// rows cannot be timed reliably inside CI's short quick-mode windows,
+    /// so their ratios are noise, while a genuine blow-up past the floor
+    /// still trips.
+    pub fn find_regressions_with_floor(
+        current: &str,
+        baseline: &str,
+        threshold: f64,
+        min_ns: f64,
+    ) -> Vec<Regression> {
         let baseline_records = parse_records(baseline);
         parse_records(current)
             .into_iter()
             .filter_map(|cur| {
                 let base = baseline_records.iter().find(|b| b.id == cur.id)?;
                 if base.mean_ns <= 0.0 {
+                    return None;
+                }
+                if base.mean_ns < min_ns && cur.mean_ns < min_ns {
                     return None;
                 }
                 let ratio = cur.mean_ns / base.mean_ns;
@@ -426,6 +443,22 @@ pub mod regression {
             assert!((regs[0].ratio - 1.5).abs() < 1e-9);
             // a/y got faster; a/z exists only in the baseline.
             assert!(find_regressions(CURRENT, BASELINE, 1.6).is_empty());
+        }
+
+        #[test]
+        fn noise_floor_skips_rows_only_when_both_sides_are_below_it() {
+            // Both sides under the floor: skipped as timing noise.
+            assert!(find_regressions_with_floor(CURRENT, BASELINE, 1.3, 10_000.0).is_empty());
+            // A genuine blow-up crosses the floor and still trips.
+            let blowup = "{\"id\":\"a/x\",\"mean_ns\":50000}\n";
+            let regs = find_regressions_with_floor(blowup, BASELINE, 1.3, 10_000.0);
+            assert_eq!(regs.len(), 1);
+            assert_eq!(regs[0].id, "a/x");
+            // Floor 0 behaves exactly like the plain comparison.
+            assert_eq!(
+                find_regressions_with_floor(CURRENT, BASELINE, 1.3, 0.0),
+                find_regressions(CURRENT, BASELINE, 1.3)
+            );
         }
     }
 }

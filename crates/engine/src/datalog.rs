@@ -9,36 +9,46 @@
 //! * inside a stratum, rules are iterated to a fixpoint using either naive or
 //!   **semi-naive** evaluation (the default; naive is kept for the ablation
 //!   benchmarks);
-//! * rules are *precompiled* into slot-based plans: every variable gets a
-//!   fixed slot, so a join environment is a flat `Vec<Option<Value>>` instead
-//!   of a string-keyed map;
+//! * programs are *precompiled* into a `ProgramPlan`: validation,
+//!   stratification and per-rule slot resolution happen once, constants are
+//!   dictionary-encoded to packed [`Cell`]s, and every variable gets a fixed
+//!   slot — a join environment is a flat `Vec<u64>` of packed cells (with an
+//!   unbound sentinel) instead of a string-keyed map of boxed values.
+//!   [`crate::PreparedDatabase`] memoizes plans per program fingerprint so
+//!   warm executions recompile nothing;
 //! * joins are index-driven and **delta-indexed**: each round scans only the
 //!   delta of one recursive atom and probes *persistent* hash indexes on the
-//!   stable (full) sets of the other atoms. Indexes are built lazily, once
-//!   per (relation, bound-columns) pair, and are extended in place as tuples
-//!   are published (see [`raqlet_common::Relation`]), so no index is ever
-//!   rebuilt between fixpoint iterations;
+//!   stable (full) sets of the other atoms. Index keys and probes are packed
+//!   cells — `u64` word compares, no string hashing, no refcount traffic.
+//!   Indexes are built lazily, once per (relation, bound-columns) pair, and
+//!   are extended in place as tuples are published (see
+//!   [`raqlet_common::Relation`]), so no index is ever rebuilt between
+//!   fixpoint iterations;
 //! * derivations are *staged* inside the head relation and published at the
 //!   end of each round ([`raqlet_common::Relation::advance`]), which makes
 //!   the published tuples of a round exactly the next round's delta;
 //! * negation reads fully-computed lower strata (also through persistent
 //!   indexes when its variables are bound); aggregation groups the
-//!   deduplicated bindings of its group-by and input variables;
+//!   deduplicated bindings of its group-by and input variables, decoding to
+//!   [`Value`]s only at the aggregation boundary;
 //! * relations annotated with a `@min` lattice keep only the minimal value of
 //!   the annotated column per group, which makes shortest-path recursion
 //!   terminate on cyclic data;
-//! * delta-driven rule applications are **parallel**: the join order and
-//!   every index it will probe are prepared up front on the calling thread,
-//!   after which the join needs only `&Database` — so the driving delta is
-//!   partitioned into chunks evaluated concurrently with
-//!   [`std::thread::scope`]. Per-worker tuple buffers are merged in chunk
-//!   order and deduplicated through the head relation's staged set, making
-//!   results identical to sequential evaluation regardless of thread count
-//!   or partition boundaries (see [`DatalogConfig`]).
+//! * rule applications are **parallel**: the join order and every index it
+//!   will probe are prepared up front on the calling thread, after which the
+//!   join needs only `&Database` — so the driving scan (the delta of a
+//!   recursive atom, or in round zero the full arena of the first
+//!   unconstrained atom) is partitioned into packed-row chunks evaluated
+//!   concurrently with [`std::thread::scope`]. Per-worker cell buffers are
+//!   merged in chunk order and deduplicated through the head relation's
+//!   staged set, making results identical to sequential evaluation
+//!   regardless of thread count or partition boundaries (see
+//!   [`DatalogConfig`]).
 
 use std::collections::HashMap;
 
-use raqlet_common::{Database, RaqletError, Relation, Result, Tuple, Value};
+use raqlet_common::cell::{is_tombstone, Cell, ValueDict, NULL_CELL, UNBOUND_CELL};
+use raqlet_common::{Database, RaqletError, Relation, Result, Value};
 use raqlet_dlir::{
     stratify, Aggregation, Atom, BodyElem, DepGraph, DlExpr, DlirProgram, LatticeMerge, Rule, Term,
 };
@@ -59,13 +69,13 @@ pub enum EvalStrategy {
 pub struct DatalogConfig {
     /// Fixpoint evaluation strategy.
     pub strategy: EvalStrategy,
-    /// Worker-thread count for delta-partitioned rule evaluation. `0` (the
+    /// Worker-thread count for partitioned rule evaluation. `0` (the
     /// default) resolves at evaluation time to the `RAQLET_THREADS`
     /// environment variable if it holds a positive integer (CI pins this so
     /// timing is reproducible; results are identical at any count), else to
     /// [`std::thread::available_parallelism`]. `1` disables parallelism.
     pub threads: usize,
-    /// Minimum number of driving-delta rows before one rule application is
+    /// Minimum number of driving-scan rows before one rule application is
     /// split across worker threads; below this, spawn overhead dominates and
     /// the rule is evaluated on the calling thread.
     pub parallel_threshold: usize,
@@ -127,8 +137,9 @@ pub struct EvalStats {
     /// Total tuples derived (including duplicates discarded by set
     /// semantics).
     pub tuples_derived: usize,
-    /// Worker tasks spawned for delta-partitioned rule applications (0 when
-    /// every rule ran on the calling thread).
+    /// Worker tasks spawned for partitioned rule applications (0 when every
+    /// rule ran on the calling thread). Both delta-driven and round-zero
+    /// applications count.
     pub parallel_tasks: usize,
 }
 
@@ -217,8 +228,14 @@ impl DatalogEngine {
     pub fn evaluate(&self, program: &DlirProgram, edb: &Database) -> Result<EvalResult> {
         // Working database: only the extensional relations the program
         // actually references (in rule bodies or as outputs) are copied in.
-        // Indexes built on them during evaluation live in this working set;
-        // the caller's database is never touched.
+        // It shares the extensional database's value dictionary, so the
+        // cloned packed arenas are reused verbatim (no re-encoding). Indexes
+        // built on them during evaluation live in this working set; the
+        // caller's *relations* are never touched. The shared dictionary is
+        // the one deliberate exception: program constants (and overflow
+        // arithmetic results) are interned into it — append-only metadata
+        // that leaves every stored relation and id valid, and that repeat
+        // evaluations of the same program never grow again.
         let mut referenced: Vec<&str> = Vec::new();
         for rule in &program.rules {
             for elem in &rule.body {
@@ -236,7 +253,7 @@ impl DatalogEngine {
                 referenced.push(out);
             }
         }
-        let mut db = Database::new();
+        let mut db = Database::with_dict(edb.dict().clone());
         for name in referenced {
             if let Some(rel) = edb.get(name) {
                 db.set(name, rel.clone());
@@ -257,27 +274,33 @@ impl DatalogEngine {
         program: &DlirProgram,
         db: &mut Database,
     ) -> Result<EvalStats> {
-        raqlet_dlir::validate(program)?;
-        let stratification = stratify(program)?;
-        let graph = DepGraph::build(program);
-        let threads = self.config.effective_threads();
+        let plan = ProgramPlan::prepare(program, db.dict())?;
+        self.evaluate_plan(&plan, db)
+    }
 
-        let mut stats = EvalStats { strata: stratification.len(), ..Default::default() };
+    /// Evaluate a precompiled [`ProgramPlan`] against `db` (the plan-cache
+    /// fast path of [`crate::PreparedDatabase`]). The plan must have been
+    /// prepared against `db`'s value dictionary.
+    pub(crate) fn evaluate_plan(&self, plan: &ProgramPlan, db: &mut Database) -> Result<EvalStats> {
+        if !std::sync::Arc::ptr_eq(&plan.dict, db.dict()) {
+            return Err(RaqletError::execution(
+                "program plan was prepared against a different value dictionary",
+            ));
+        }
+        let threads = self.config.effective_threads();
+        let mut stats = EvalStats { strata: plan.strata.len(), ..Default::default() };
 
         // Ensure every IDB exists (possibly empty) so downstream negation and
         // outputs behave deterministically.
-        for idb in program.idb_names() {
-            let arity = program.rules_for(&idb).first().map(|r| r.head.arity()).unwrap_or(0);
-            db.get_or_create(&idb, arity);
+        for (name, arity) in &plan.idbs {
+            db.get_or_create(name, *arity);
         }
 
-        for stratum in &stratification.strata {
-            let rules: Vec<&Rule> =
-                program.rules.iter().filter(|r| stratum.contains(&r.head.relation)).collect();
-            if rules.is_empty() {
+        for stratum in &plan.strata {
+            if stratum.agg_rules.is_empty() && stratum.fix_rules.is_empty() {
                 continue;
             }
-            self.evaluate_stratum(program, &graph, &rules, db, threads, &mut stats)?;
+            self.evaluate_stratum(stratum, db, threads, &mut stats)?;
         }
         Ok(stats)
     }
@@ -294,49 +317,34 @@ impl DatalogEngine {
 
     fn evaluate_stratum(
         &self,
-        program: &DlirProgram,
-        graph: &DepGraph,
-        rules: &[&Rule],
+        stratum: &StratumPlan,
         db: &mut Database,
         threads: usize,
         stats: &mut EvalStats,
     ) -> Result<()> {
-        // Relations derived in this stratum (the ones whose deltas matter).
-        let mut stratum_relations: Vec<String> = Vec::new();
-        for rule in rules {
-            if !stratum_relations.contains(&rule.head.relation) {
-                stratum_relations.push(rule.head.relation.clone());
-            }
-        }
-
-        // Precompile every rule into a slot-based plan, once per stratum.
-        let plans: Vec<RulePlan> = rules.iter().map(|r| RulePlan::compile(r)).collect();
-
         // Aggregating rules are never recursive, and stratification places
         // everything they read in a strictly lower stratum — so they are
         // evaluated once, *before* the fixpoint rules of this stratum (which
         // may consume their output). Their output is published immediately.
-        let (agg_idx, fix_idx): (Vec<usize>, Vec<usize>) =
-            (0..rules.len()).partition(|&i| rules[i].aggregation.is_some());
-        for &i in &agg_idx {
+        for plan in &stratum.agg_rules {
             stats.rule_applications += 1;
-            let derived = self.apply_rule(rules[i], &plans[i], db, None, threads, stats)?;
-            stats.tuples_derived += derived.len();
-            publish_derived(program, db, &rules[i].head.relation, derived)?;
+            let derived = self.apply_rule(plan, db, None, threads, stats)?;
+            stats.tuples_derived += derived.rows;
+            publish_derived(plan, db, derived)?;
         }
 
         // Round zero: evaluate every fixpoint rule against the full database,
         // staging derivations inside the head relations. Advancing publishes
         // them and makes them the first delta.
-        for &i in &fix_idx {
+        for plan in &stratum.fix_rules {
             stats.rule_applications += 1;
-            let derived = self.apply_rule(rules[i], &plans[i], db, None, threads, stats)?;
-            stats.tuples_derived += derived.len();
-            stage_derived(program, db, &rules[i].head.relation, derived)?;
+            let derived = self.apply_rule(plan, db, None, threads, stats)?;
+            stats.tuples_derived += derived.rows;
+            stage_derived(plan, db, derived)?;
         }
         stats.iterations += 1;
         let mut any_new = false;
-        for name in &stratum_relations {
+        for name in &stratum.relations {
             if let Some(rel) = db.get_mut(name) {
                 any_new |= rel.advance() > 0;
             }
@@ -344,66 +352,44 @@ impl DatalogEngine {
 
         // Fixpoint rounds: each recursive atom occurrence drives one
         // delta-first join against the persistent indexes on the stable sets.
-        let recursive = fix_idx.iter().any(|&i| {
-            rules[i]
-                .positive_dependencies()
-                .iter()
-                .any(|d| stratum_relations.contains(&d.to_string()))
-        }) || stratum_relations.iter().any(|r| graph.is_recursive(r));
-        if recursive {
+        if stratum.recursive {
             while any_new {
-                for &i in &fix_idx {
-                    let rule = rules[i];
-                    // Which body atoms reference relations of this stratum?
-                    let recursive_positions: Vec<usize> = rule
-                        .body
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(p, b)| match b.as_positive_atom() {
-                            Some(a) if stratum_relations.contains(&a.relation) => Some(p),
-                            _ => None,
-                        })
-                        .collect();
-                    if recursive_positions.is_empty() {
+                for plan in &stratum.fix_rules {
+                    if plan.recursive_positions.is_empty() {
                         continue;
                     }
                     match self.config.strategy {
                         EvalStrategy::Naive => {
                             stats.rule_applications += 1;
-                            let derived =
-                                self.apply_rule(rule, &plans[i], db, None, threads, stats)?;
-                            stats.tuples_derived += derived.len();
-                            stage_derived(program, db, &rule.head.relation, derived)?;
+                            let derived = self.apply_rule(plan, db, None, threads, stats)?;
+                            stats.tuples_derived += derived.rows;
+                            stage_derived(plan, db, derived)?;
                         }
                         EvalStrategy::SemiNaive => {
                             // One evaluation per recursive atom occurrence,
                             // scanning the delta for that occurrence.
-                            for &pos in &recursive_positions {
-                                let delta_empty = rule.body[pos]
-                                    .as_positive_atom()
-                                    .and_then(|a| db.get(&a.relation))
-                                    .is_none_or(|r| r.delta_is_empty());
+                            for &pos in &plan.recursive_positions {
+                                let delta_empty = match &plan.body[pos] {
+                                    PlanElem::Atom(a) => {
+                                        db.get(&a.relation).is_none_or(|r| r.delta_is_empty())
+                                    }
+                                    _ => true,
+                                };
                                 if delta_empty {
                                     continue;
                                 }
                                 stats.rule_applications += 1;
-                                let derived = self.apply_rule(
-                                    rule,
-                                    &plans[i],
-                                    db,
-                                    Some(pos),
-                                    threads,
-                                    stats,
-                                )?;
-                                stats.tuples_derived += derived.len();
-                                stage_derived(program, db, &rule.head.relation, derived)?;
+                                let derived =
+                                    self.apply_rule(plan, db, Some(pos), threads, stats)?;
+                                stats.tuples_derived += derived.rows;
+                                stage_derived(plan, db, derived)?;
                             }
                         }
                     }
                 }
                 stats.iterations += 1;
                 any_new = false;
-                for name in &stratum_relations {
+                for name in &stratum.relations {
                     if let Some(rel) = db.get_mut(name) {
                         any_new |= rel.advance() > 0;
                     }
@@ -413,7 +399,7 @@ impl DatalogEngine {
 
         // Leave the relations in a clean full-set-only state so frontier
         // bookkeeping never leaks into later strata or into the results.
-        for name in &stratum_relations {
+        for name in &stratum.relations {
             if let Some(rel) = db.get_mut(name) {
                 rel.clear_rounds();
             }
@@ -422,51 +408,75 @@ impl DatalogEngine {
         Ok(())
     }
 
-    /// Evaluate one rule, returning the derived head tuples. When
+    /// Evaluate one rule, returning the derived head rows (packed). When
     /// `delta_pos` is given, the positive atom at that body position scans
     /// the relation's delta (its previous-round frontier) instead of the
-    /// full set, and drives the join from it — partitioned across worker
-    /// threads when the delta is large enough.
+    /// full set, and drives the join from it. The driving scan — the delta,
+    /// or in round zero the full arena of the first atom when it carries no
+    /// bound columns — is partitioned across worker threads when it is large
+    /// enough.
     fn apply_rule(
         &self,
-        rule: &Rule,
         plan: &RulePlan,
         db: &mut Database,
         delta_pos: Option<usize>,
         threads: usize,
         stats: &mut EvalStats,
-    ) -> Result<Vec<Tuple>> {
+    ) -> Result<Derived> {
         // The join order and every persistent index it (and the negations)
         // will probe are decided up front on the calling thread; after this
-        // the join needs only `&Database`, so delta chunks can be evaluated
+        // the join needs only `&Database`, so scan chunks can be evaluated
         // concurrently on scoped worker threads.
         let (order, prep) = plan_join(plan, db, delta_pos);
         let db: &Database = db;
 
-        let delta: Option<(usize, &[Tuple])> = delta_pos.map(|pos| {
-            let PlanElem::Atom(atom) = &plan.body[pos] else {
-                unreachable!("delta position always names a positive atom")
-            };
-            (pos, db.get(&atom.relation).map(|r| r.delta_rows()).unwrap_or(&[]))
-        });
+        // The driving scan: the delta slice for delta-driven applications;
+        // for round-zero (and aggregate/naive) applications, the full arena
+        // of the first atom in the order — but only when that atom carries
+        // no bound columns (otherwise the sequential path probes its index,
+        // which a partitioned scan could not reproduce order-for-order).
+        let scan: Option<Scan> = match delta_pos {
+            Some(pos) => {
+                let PlanElem::Atom(atom) = &plan.body[pos] else {
+                    unreachable!("delta position always names a positive atom")
+                };
+                db.get(&atom.relation).map(|r| Scan {
+                    pos,
+                    rows: r.delta_cells(),
+                    stride: r.stride(),
+                })
+            }
+            None => order.first().and_then(|&pos| {
+                let PlanElem::Atom(atom) = &plan.body[pos] else { return None };
+                if !prep.atom_columns[pos].is_empty() {
+                    return None;
+                }
+                db.get(&atom.relation).map(|r| Scan {
+                    pos,
+                    rows: r.full_cells(),
+                    stride: r.stride(),
+                })
+            }),
+        };
 
-        if let Some((pos, rows)) = delta {
+        if let Some(scan) = &scan {
+            let nrows = scan.rows.len() / scan.stride;
             // Cap the worker count so every chunk carries at least
-            // `parallel_threshold` delta rows: spawning a scoped thread for
-            // a handful of rows costs more than joining them.
-            let workers = threads.min(rows.len() / self.config.parallel_threshold.max(1)).max(1);
+            // `parallel_threshold` scan rows: spawning a scoped thread for a
+            // handful of rows costs more than joining them.
+            let workers = threads.min(nrows / self.config.parallel_threshold.max(1)).max(1);
             if workers > 1 && plan.agg.is_none() {
-                let chunk = rows.len().div_ceil(workers);
+                let chunk_rows = nrows.div_ceil(workers);
                 let order = &order;
                 let prep = &prep;
-                let mut results: Vec<Result<Vec<Tuple>>> = Vec::new();
+                let mut results: Vec<Result<Derived>> = Vec::new();
                 std::thread::scope(|s| {
-                    let handles: Vec<_> = rows
-                        .chunks(chunk)
+                    let handles: Vec<_> = scan
+                        .rows
+                        .chunks(chunk_rows * scan.stride)
                         .map(|slice| {
-                            s.spawn(move || {
-                                derive_tuples(rule, plan, db, order, prep, Some((pos, slice)))
-                            })
+                            let piece = Scan { pos: scan.pos, rows: slice, stride: scan.stride };
+                            s.spawn(move || derive_rows(plan, db, order, prep, Some(piece)))
                         })
                         .collect();
                     results.extend(
@@ -476,58 +486,82 @@ impl DatalogEngine {
                 stats.parallel_tasks += results.len();
                 // Merge the per-worker buffers in chunk order so derivation
                 // order — and therefore lattice-application and error order —
-                // matches a sequential scan of the same delta. Deduplication
+                // matches a sequential scan of the same rows. Deduplication
                 // happens when the caller stages into the head relation.
-                let mut out = Vec::new();
+                let mut out = Derived::new(plan.head_stride());
                 for worker in results {
-                    out.extend(worker?);
+                    let worker = worker?;
+                    out.rows += worker.rows;
+                    out.cells.extend(worker.cells);
                 }
                 return Ok(out);
             }
         }
-        derive_tuples(rule, plan, db, &order, &prep, delta)
+        derive_rows(plan, db, &order, &prep, scan)
+    }
+}
+
+/// One contiguous slice of stride-wide packed rows driving a rule
+/// application (a delta snapshot or a chunk of a relation's arena; arena
+/// slices may contain tombstoned rows, which the join skips).
+#[derive(Clone, Copy)]
+struct Scan<'a> {
+    pos: usize,
+    rows: &'a [Cell],
+    stride: usize,
+}
+
+/// Packed head rows derived by one rule application: `rows` stride-wide
+/// rows, concatenated (stride = head arity, or 1 for nullary heads).
+struct Derived {
+    cells: Vec<Cell>,
+    rows: usize,
+    stride: usize,
+}
+
+impl Derived {
+    fn new(stride: usize) -> Derived {
+        Derived { cells: Vec::new(), rows: 0, stride }
     }
 }
 
 /// Evaluate one rule application on the current thread: join the body (the
-/// delta atom, if any, scanning only the given slice of frontier rows) and
+/// driving atom, if any, scanning only the given slice of packed rows) and
 /// instantiate or aggregate the head. Requires every index the join order
 /// probes to exist already (see `plan_join`).
-fn derive_tuples(
-    rule: &Rule,
+fn derive_rows(
     plan: &RulePlan,
     db: &Database,
     order: &[usize],
     prep: &JoinPrep,
-    delta: Option<(usize, &[Tuple])>,
-) -> Result<Vec<Tuple>> {
-    let bindings = join_body(rule, plan, db, order, prep, delta)?;
+    scan: Option<Scan>,
+) -> Result<Derived> {
+    let bindings = join_body(plan, db, order, prep, scan)?;
     match &plan.agg {
         None => {
-            let mut out = Vec::with_capacity(bindings.len());
+            let mut out = Derived::new(plan.head_stride());
+            out.cells.reserve(bindings.len() * out.stride);
             for env in &bindings {
-                out.push(instantiate_head(plan, env)?);
+                instantiate_head(plan, env, &mut out)?;
             }
             Ok(out)
         }
-        Some(agg) => aggregate(plan, agg, &bindings),
+        Some(agg) => aggregate(plan, agg, &bindings, &plan.dict),
     }
 }
 
 /// Join the positive atoms in the prepared order, apply constraints and
 /// negation, and return the slot environments satisfying the body. Read-only
-/// over the database: every index this probes was built by
-/// `plan_join`, so this is safe to run concurrently over disjoint
-/// delta slices.
+/// over the database: every index this probes was built by `plan_join`, so
+/// this is safe to run concurrently over disjoint scan slices.
 fn join_body(
-    rule: &Rule,
     plan: &RulePlan,
     db: &Database,
     order: &[usize],
     prep: &JoinPrep,
-    delta: Option<(usize, &[Tuple])>,
+    scan: Option<Scan>,
 ) -> Result<Vec<Env>> {
-    let mut envs: Vec<Env> = vec![vec![None; plan.nvars]];
+    let mut envs: Vec<Env> = vec![vec![UNBOUND_CELL; plan.nvars]];
 
     let mut pending_constraints: Vec<usize> = plan
         .body
@@ -543,11 +577,11 @@ fn join_body(
 
     for &idx in order {
         let PlanElem::Atom(atom) = &plan.body[idx] else { continue };
-        let delta_rows = match delta {
-            Some((pos, rows)) if pos == idx => Some(rows),
+        let scan_here = match &scan {
+            Some(s) if s.pos == idx => Some(*s),
             _ => None,
         };
-        envs = extend_with_atom(envs, atom, db, delta_rows, &prep.atom_columns[idx])?;
+        envs = extend_with_atom(envs, atom, db, scan_here, &prep.atom_columns[idx])?;
         if envs.is_empty() {
             return Ok(Vec::new());
         }
@@ -560,11 +594,11 @@ fn join_body(
     // Remaining constraints must now be evaluable.
     if let Some(first) = envs.first() {
         for &idx in &pending_constraints {
-            let PlanElem::Constraint { lhs, rhs, .. } = &plan.body[idx] else { continue };
+            let PlanElem::Constraint { lhs, rhs, src, .. } = &plan.body[idx] else { continue };
             if !expr_ready(first, lhs) || !expr_ready(first, rhs) {
                 return Err(RaqletError::execution(format!(
-                    "constraint `{}` in rule `{rule}` references unbound variables",
-                    rule.body[idx]
+                    "constraint `{src}` in rule `{}` references unbound variables",
+                    plan.rule_src
                 )));
             }
         }
@@ -705,13 +739,13 @@ fn mark_atom(atom: &PlanAtom, bound: &mut [bool]) {
 
 /// Propagate `slot = <ready expr>` assignment constraints into the bound
 /// set, to fixpoint. Shared by the static bound-slot simulations of
-/// `plan_join`, which must agree exactly with the
-/// runtime binding behaviour of `apply_ready_constraints`.
+/// `plan_join`, which must agree exactly with the runtime binding behaviour
+/// of `apply_ready_constraints`.
 fn propagate_assignments(plan: &RulePlan, bound: &mut [bool]) {
     loop {
         let mut changed = false;
         for elem in &plan.body {
-            let PlanElem::Constraint { op, lhs, rhs } = elem else { continue };
+            let PlanElem::Constraint { op, lhs, rhs, .. } = elem else { continue };
             if *op != raqlet_dlir::CmpOp::Eq {
                 continue;
             }
@@ -732,13 +766,11 @@ fn propagate_assignments(plan: &RulePlan, bound: &mut [bool]) {
 }
 
 /// The per-rule-application probe schedule: which columns each body element
-/// probes with, computed once by `plan_join` and reused by every
-/// worker (instead of being re-derived from the environments per atom, as
-/// the sequential evaluator used to).
+/// probes with, computed once by `plan_join` and reused by every worker.
 struct JoinPrep {
     /// For each body index holding a positive atom: the columns bound when
     /// the atom is reached in the prepared order (empty = plain scan; the
-    /// delta atom always scans its slice).
+    /// driving atom always scans its slice).
     atom_columns: Vec<Vec<usize>>,
     /// For each body index holding a negation: `Some(columns)` when every
     /// variable is bound by then (probe the index over those columns),
@@ -750,7 +782,7 @@ struct JoinPrep {
 fn expr_slots_bound(expr: &PlanExpr, bound: &[bool]) -> bool {
     match expr {
         PlanExpr::Slot(s) => bound[*s],
-        PlanExpr::Const(_) => true,
+        PlanExpr::Const(..) => true,
         PlanExpr::Arith { lhs, rhs, .. } => {
             expr_slots_bound(lhs, bound) && expr_slots_bound(rhs, bound)
         }
@@ -766,12 +798,12 @@ fn apply_ready_constraints(envs: &mut Vec<Env>, plan: &RulePlan, pending: &mut V
     loop {
         let mut fired = false;
         pending.retain(|&idx| {
-            let PlanElem::Constraint { op, lhs, rhs } = &plan.body[idx] else { return false };
+            let PlanElem::Constraint { op, lhs, rhs, .. } = &plan.body[idx] else { return false };
             let Some(first) = envs.first() else { return true };
             let l_ready = expr_ready(first, lhs);
             let r_ready = expr_ready(first, rhs);
             if l_ready && r_ready {
-                envs.retain(|e| eval_constraint(e, *op, lhs, rhs).unwrap_or(false));
+                envs.retain(|e| eval_constraint(e, *op, lhs, rhs, &plan.dict).unwrap_or(false));
                 fired = true;
                 return false;
             }
@@ -788,9 +820,10 @@ fn apply_ready_constraints(envs: &mut Vec<Env>, plan: &RulePlan, pending: &mut V
                     // environments — there is no derivation for them — so
                     // every surviving environment binds the slot and the
                     // all-envs-bind-the-same-slots invariant holds.
-                    envs.retain_mut(|env| match eval_expr(env, expr) {
-                        Some(value) => {
-                            env[slot] = Some(value);
+                    let dict = &plan.dict;
+                    envs.retain_mut(|env| match eval_expr_cell(env, expr, dict) {
+                        Some(cell) => {
+                            env[slot] = cell;
                             true
                         }
                         None => false,
@@ -807,16 +840,18 @@ fn apply_ready_constraints(envs: &mut Vec<Env>, plan: &RulePlan, pending: &mut V
     }
 }
 
-/// A slot environment: one entry per rule variable, `None` while unbound.
-type Env = Vec<Option<Value>>;
+/// A slot environment: one packed cell per rule variable, [`UNBOUND_CELL`]
+/// while unbound.
+type Env = Vec<Cell>;
 
-/// A body/head term resolved against the rule's variable slot table.
+/// A body/head term resolved against the rule's variable slot table, with
+/// constants pre-encoded to packed cells.
 #[derive(Debug, Clone)]
 enum PlanTerm {
     /// A variable, identified by its slot.
     Slot(usize),
-    /// A constant.
-    Const(Value),
+    /// A constant, encoded against the plan's dictionary.
+    Const(Cell),
     /// An anonymous term matching anything.
     Wildcard,
 }
@@ -834,11 +869,13 @@ impl PlanAtom {
     }
 }
 
-/// A constraint expression with slot-resolved variables.
+/// A constraint expression with slot-resolved variables. Constants carry
+/// both the value (for arithmetic/ordering) and its packed encoding (for
+/// equality fast paths and assignment).
 #[derive(Debug, Clone)]
 enum PlanExpr {
     Slot(usize),
-    Const(Value),
+    Const(Value, Cell),
     Arith { op: raqlet_dlir::ArithOp, lhs: Box<PlanExpr>, rhs: Box<PlanExpr> },
 }
 
@@ -846,7 +883,7 @@ enum PlanExpr {
 #[derive(Debug, Clone)]
 enum PlanElem {
     Atom(PlanAtom),
-    Constraint { op: raqlet_dlir::CmpOp, lhs: PlanExpr, rhs: PlanExpr },
+    Constraint { op: raqlet_dlir::CmpOp, lhs: PlanExpr, rhs: PlanExpr, src: String },
     Negated(PlanAtom),
 }
 
@@ -859,17 +896,37 @@ struct PlanAgg {
     group_by: Vec<usize>,
 }
 
-/// A rule precompiled against a variable slot table: every variable name is
-/// replaced by a dense index, so environments are flat vectors instead of
-/// string-keyed maps.
+/// A rule precompiled against a variable slot table and a value dictionary:
+/// every variable name is replaced by a dense slot index and every constant
+/// by its packed cell, so environments are flat `u64` vectors.
 #[derive(Debug, Clone)]
 struct RulePlan {
+    /// Head relation name.
+    head_relation: String,
+    /// Head arity.
+    head_arity: usize,
+    /// Merge semantics of the head relation.
+    lattice: LatticeMerge,
+    /// Body positions holding positive atoms over this stratum's relations
+    /// (the candidate delta drivers). Empty for non-recursive rules.
+    recursive_positions: Vec<usize>,
+    /// The rule's source text, for error messages.
+    rule_src: String,
     nvars: usize,
     /// Slot → variable name, for error messages.
     var_names: Vec<String>,
     body: Vec<PlanElem>,
     head: Vec<PlanTerm>,
     agg: Option<PlanAgg>,
+    /// The dictionary constants were encoded against.
+    dict: std::sync::Arc<ValueDict>,
+}
+
+impl RulePlan {
+    /// Stride of the packed head rows this plan derives.
+    fn head_stride(&self) -> usize {
+        self.head_arity.max(1)
+    }
 }
 
 /// The variable slot table built up while compiling a rule.
@@ -890,52 +947,59 @@ impl SlotTable {
         s
     }
 
-    fn compile_term(&mut self, t: &Term) -> PlanTerm {
+    fn compile_term(&mut self, t: &Term, dict: &ValueDict) -> PlanTerm {
         match t {
             Term::Var(v) => PlanTerm::Slot(self.slot_of(v)),
-            Term::Const(c) => PlanTerm::Const(c.clone()),
+            Term::Const(c) => PlanTerm::Const(dict.encode_value(c)),
             Term::Wildcard => PlanTerm::Wildcard,
         }
     }
 
-    fn compile_atom(&mut self, a: &Atom) -> PlanAtom {
+    fn compile_atom(&mut self, a: &Atom, dict: &ValueDict) -> PlanAtom {
         PlanAtom {
             relation: a.relation.clone(),
-            terms: a.terms.iter().map(|t| self.compile_term(t)).collect(),
+            terms: a.terms.iter().map(|t| self.compile_term(t, dict)).collect(),
         }
     }
 
-    fn compile_expr(&mut self, expr: &DlExpr) -> PlanExpr {
+    fn compile_expr(&mut self, expr: &DlExpr, dict: &ValueDict) -> PlanExpr {
         match expr {
             DlExpr::Var(v) => PlanExpr::Slot(self.slot_of(v)),
-            DlExpr::Const(c) => PlanExpr::Const(c.clone()),
+            DlExpr::Const(c) => PlanExpr::Const(c.clone(), dict.encode_value(c)),
             DlExpr::Arith { op, lhs, rhs } => PlanExpr::Arith {
                 op: *op,
-                lhs: Box::new(self.compile_expr(lhs)),
-                rhs: Box::new(self.compile_expr(rhs)),
+                lhs: Box::new(self.compile_expr(lhs, dict)),
+                rhs: Box::new(self.compile_expr(rhs, dict)),
             },
         }
     }
 }
 
 impl RulePlan {
-    fn compile(rule: &Rule) -> RulePlan {
+    fn compile(
+        rule: &Rule,
+        dict: &std::sync::Arc<ValueDict>,
+        stratum_relations: &[String],
+        lattice: LatticeMerge,
+    ) -> RulePlan {
         let mut table = SlotTable::default();
 
         let mut body = Vec::with_capacity(rule.body.len());
         for elem in &rule.body {
             body.push(match elem {
-                BodyElem::Atom(a) => PlanElem::Atom(table.compile_atom(a)),
-                BodyElem::Negated(a) => PlanElem::Negated(table.compile_atom(a)),
+                BodyElem::Atom(a) => PlanElem::Atom(table.compile_atom(a, dict)),
+                BodyElem::Negated(a) => PlanElem::Negated(table.compile_atom(a, dict)),
                 BodyElem::Constraint { op, lhs, rhs } => PlanElem::Constraint {
                     op: *op,
-                    lhs: table.compile_expr(lhs),
-                    rhs: table.compile_expr(rhs),
+                    lhs: table.compile_expr(lhs, dict),
+                    rhs: table.compile_expr(rhs, dict),
+                    src: elem.to_string(),
                 },
             });
         }
 
-        let head: Vec<PlanTerm> = rule.head.terms.iter().map(|t| table.compile_term(t)).collect();
+        let head: Vec<PlanTerm> =
+            rule.head.terms.iter().map(|t| table.compile_term(t, dict)).collect();
 
         let agg = rule.aggregation.as_ref().map(|a: &Aggregation| PlanAgg {
             func: a.func,
@@ -944,24 +1008,126 @@ impl RulePlan {
             group_by: a.group_by.iter().map(|v| table.slot_of(v)).collect(),
         });
 
-        RulePlan { nvars: table.var_names.len(), var_names: table.var_names, body, head, agg }
+        let recursive_positions: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(p, b)| match b.as_positive_atom() {
+                Some(a) if stratum_relations.contains(&a.relation) => Some(p),
+                _ => None,
+            })
+            .collect();
+
+        RulePlan {
+            head_relation: rule.head.relation.clone(),
+            head_arity: rule.head.arity(),
+            lattice,
+            recursive_positions,
+            rule_src: rule.to_string(),
+            nvars: table.var_names.len(),
+            var_names: table.var_names,
+            body,
+            head,
+            agg,
+            dict: dict.clone(),
+        }
+    }
+}
+
+/// One stratum of a precompiled program.
+#[derive(Debug)]
+pub(crate) struct StratumPlan {
+    /// Relations derived in this stratum (whose deltas matter).
+    relations: Vec<String>,
+    /// True when the stratum needs fixpoint rounds beyond round zero.
+    recursive: bool,
+    /// Aggregating rules (evaluated once, published immediately).
+    agg_rules: Vec<RulePlan>,
+    /// Fixpoint rules, in program order.
+    fix_rules: Vec<RulePlan>,
+}
+
+/// A whole program, validated, stratified and compiled to slot/cell form —
+/// everything [`DatalogEngine::evaluate`] needs that does not depend on the
+/// data. [`crate::PreparedDatabase`] memoizes these per program fingerprint
+/// so warm executions skip validation, stratification and rule compilation
+/// entirely.
+#[derive(Debug)]
+pub(crate) struct ProgramPlan {
+    /// Every IDB with its arity (created as empty relations up front).
+    idbs: Vec<(String, usize)>,
+    strata: Vec<StratumPlan>,
+    /// The dictionary constants were encoded against; evaluation must run
+    /// against a database sharing it.
+    dict: std::sync::Arc<ValueDict>,
+}
+
+impl ProgramPlan {
+    /// Validate, stratify and compile `program`, encoding constants against
+    /// `dict`.
+    pub(crate) fn prepare(
+        program: &DlirProgram,
+        dict: &std::sync::Arc<ValueDict>,
+    ) -> Result<ProgramPlan> {
+        raqlet_dlir::validate(program)?;
+        let stratification = stratify(program)?;
+        let graph = DepGraph::build(program);
+
+        let idbs: Vec<(String, usize)> = program
+            .idb_names()
+            .into_iter()
+            .map(|idb| {
+                let arity = program.rules_for(&idb).first().map(|r| r.head.arity()).unwrap_or(0);
+                (idb, arity)
+            })
+            .collect();
+
+        let mut strata = Vec::with_capacity(stratification.len());
+        for stratum in &stratification.strata {
+            let rules: Vec<&Rule> =
+                program.rules.iter().filter(|r| stratum.contains(&r.head.relation)).collect();
+            let mut relations: Vec<String> = Vec::new();
+            for rule in &rules {
+                if !relations.contains(&rule.head.relation) {
+                    relations.push(rule.head.relation.clone());
+                }
+            }
+            let mut agg_rules = Vec::new();
+            let mut fix_rules = Vec::new();
+            for rule in &rules {
+                let plan = RulePlan::compile(
+                    rule,
+                    dict,
+                    &relations,
+                    program.lattice_for(&rule.head.relation),
+                );
+                if plan.agg.is_some() {
+                    agg_rules.push(plan);
+                } else {
+                    fix_rules.push(plan);
+                }
+            }
+            let recursive = fix_rules.iter().any(|p| !p.recursive_positions.is_empty())
+                || relations.iter().any(|r| graph.is_recursive(r));
+            strata.push(StratumPlan { relations, recursive, agg_rules, fix_rules });
+        }
+        Ok(ProgramPlan { idbs, strata, dict: dict.clone() })
     }
 }
 
 /// Extend each environment with every tuple of the atom's relation that
-/// matches `atom` under the environment. With `delta_rows` the candidate
-/// tuples come from the given slice of the relation's previous-round
-/// frontier (scanned — the delta atom is always processed first, so there is
-/// a single environment; parallel evaluation passes one chunk per worker);
-/// otherwise `bound_columns` (the schedule `plan_join` computed, equal
-/// to the columns bound in every environment at this point) probe the
+/// matches `atom` under the environment. With a `scan`, the candidate rows
+/// come from the given packed slice (the relation's previous-round frontier,
+/// or an arena chunk in parallel round zero — tombstoned rows are skipped);
+/// otherwise `bound_columns` (the schedule `plan_join` computed, equal to
+/// the columns bound in every environment at this point) probe the
 /// persistent hash index built there, falling back to a scan if absent.
 /// Read-only, so worker threads can share the database.
 fn extend_with_atom(
     envs: Vec<Env>,
     atom: &PlanAtom,
     db: &Database,
-    delta_rows: Option<&[Tuple]>,
+    scan: Option<Scan>,
     bound_columns: &[usize],
 ) -> Result<Vec<Env>> {
     {
@@ -980,26 +1146,30 @@ fn extend_with_atom(
     let Some(relation) = db.get(&atom.relation) else { return Ok(Vec::new()) };
 
     let mut out = Vec::new();
-    if let Some(delta) = delta_rows {
+    if let Some(scan) = scan {
+        let arity = atom.arity().min(scan.stride);
         for env in envs {
-            for tuple in delta {
-                if let Some(new_env) = match_tuple(&env, atom, tuple) {
+            for row in scan.rows.chunks_exact(scan.stride) {
+                if is_tombstone(row[0]) {
+                    continue;
+                }
+                if let Some(new_env) = match_row(&env, atom, &row[..arity]) {
                     out.push(new_env);
                 }
             }
         }
     } else if !bound_columns.is_empty() && relation.has_index(bound_columns) {
-        let mut key: Vec<Value> = Vec::with_capacity(bound_columns.len());
+        let mut key: Vec<Cell> = Vec::with_capacity(bound_columns.len());
         for env in envs {
             key.clear();
             key.extend(bound_columns.iter().map(|&i| match &atom.terms[i] {
-                PlanTerm::Slot(s) => env[*s].clone().unwrap_or(Value::Null),
-                PlanTerm::Const(c) => c.clone(),
-                PlanTerm::Wildcard => Value::Null,
+                PlanTerm::Slot(s) => env[*s],
+                PlanTerm::Const(c) => *c,
+                PlanTerm::Wildcard => NULL_CELL,
             }));
-            if let Some(candidates) = relation.probe_index(bound_columns, &key) {
-                for tuple in candidates {
-                    if let Some(new_env) = match_tuple(&env, atom, tuple) {
+            if let Some(candidates) = relation.probe_index_cells(bound_columns, &key) {
+                for row in candidates {
+                    if let Some(new_env) = match_row(&env, atom, row) {
                         out.push(new_env);
                     }
                 }
@@ -1007,10 +1177,10 @@ fn extend_with_atom(
         }
     } else {
         // No bound columns (or no index): every environment scans every
-        // tuple; `match_tuple` filters.
+        // row; `match_row` filters.
         for env in envs {
-            for tuple in relation.iter() {
-                if let Some(new_env) = match_tuple(&env, atom, tuple) {
+            for row in relation.iter_rows() {
+                if let Some(new_env) = match_row(&env, atom, row) {
                     out.push(new_env);
                 }
             }
@@ -1019,24 +1189,24 @@ fn extend_with_atom(
     Ok(out)
 }
 
-/// Match one candidate tuple against an atom under an environment, returning
-/// the extended environment on success.
-fn match_tuple(env: &Env, atom: &PlanAtom, tuple: &Tuple) -> Option<Env> {
+/// Match one candidate packed row against an atom under an environment,
+/// returning the extended environment on success. Pure cell compares.
+#[inline]
+fn match_row(env: &Env, atom: &PlanAtom, row: &[Cell]) -> Option<Env> {
     // Verify before cloning: rejected candidates must not pay for an
     // environment copy.
     for (i, term) in atom.terms.iter().enumerate() {
         match term {
             PlanTerm::Wildcard => {}
             PlanTerm::Const(c) => {
-                if &tuple[i] != c {
+                if row[i] != *c {
                     return None;
                 }
             }
             PlanTerm::Slot(s) => {
-                if let Some(existing) = &env[*s] {
-                    if existing != &tuple[i] {
-                        return None;
-                    }
+                let bound = env[*s];
+                if bound != UNBOUND_CELL && bound != row[i] {
+                    return None;
                 }
             }
         }
@@ -1044,9 +1214,9 @@ fn match_tuple(env: &Env, atom: &PlanAtom, tuple: &Tuple) -> Option<Env> {
     let mut new_env = env.clone();
     for (i, term) in atom.terms.iter().enumerate() {
         if let PlanTerm::Slot(s) = term {
-            if new_env[*s].is_none() {
-                new_env[*s] = Some(tuple[i].clone());
-            } else if new_env[*s].as_ref() != Some(&tuple[i]) {
+            if new_env[*s] == UNBOUND_CELL {
+                new_env[*s] = row[i];
+            } else if new_env[*s] != row[i] {
                 // A repeated variable bound earlier in this same atom.
                 return None;
             }
@@ -1068,16 +1238,16 @@ fn apply_negation(envs: &mut Vec<Env>, atom: &PlanAtom, db: &Database, probe: Op
     let Some(relation) = db.get(&atom.relation) else { return };
     match probe {
         Some(bound_columns) if relation.has_index(bound_columns) => {
-            let mut key: Vec<Value> = Vec::with_capacity(bound_columns.len());
+            let mut key: Vec<Cell> = Vec::with_capacity(bound_columns.len());
             envs.retain(|env| {
                 key.clear();
                 key.extend(bound_columns.iter().map(|&i| match &atom.terms[i] {
-                    PlanTerm::Slot(s) => env[*s].clone().unwrap_or(Value::Null),
-                    PlanTerm::Const(c) => c.clone(),
-                    PlanTerm::Wildcard => Value::Null,
+                    PlanTerm::Slot(s) => env[*s],
+                    PlanTerm::Const(c) => *c,
+                    PlanTerm::Wildcard => NULL_CELL,
                 }));
                 relation
-                    .probe_index(bound_columns, &key)
+                    .probe_index_cells(bound_columns, &key)
                     .map(|mut hits| hits.next().is_none())
                     .unwrap_or(true)
             });
@@ -1090,8 +1260,8 @@ fn apply_negation(envs: &mut Vec<Env>, atom: &PlanAtom, db: &Database, probe: Op
 /// slots are bound).
 fn expr_ready(env: &Env, expr: &PlanExpr) -> bool {
     match expr {
-        PlanExpr::Slot(s) => env[*s].is_some(),
-        PlanExpr::Const(_) => true,
+        PlanExpr::Slot(s) => env[*s] != UNBOUND_CELL,
+        PlanExpr::Const(..) => true,
         PlanExpr::Arith { lhs, rhs, .. } => expr_ready(env, lhs) && expr_ready(env, rhs),
     }
 }
@@ -1101,74 +1271,152 @@ fn eval_constraint(
     op: raqlet_dlir::CmpOp,
     lhs: &PlanExpr,
     rhs: &PlanExpr,
+    dict: &ValueDict,
 ) -> Option<bool> {
-    Some(op.eval(&eval_expr(env, lhs)?, &eval_expr(env, rhs)?))
+    // Equality and inequality on non-arithmetic operands are cell compares
+    // (canonical encoding makes cell equality value equality).
+    if matches!(op, raqlet_dlir::CmpOp::Eq | raqlet_dlir::CmpOp::Neq) {
+        let l = simple_cell(env, lhs);
+        let r = simple_cell(env, rhs);
+        if let (Some(l), Some(r)) = (l, r) {
+            return Some(if op == raqlet_dlir::CmpOp::Eq { l == r } else { l != r });
+        }
+    }
+    Some(op.eval(&eval_expr(env, lhs, dict)?, &eval_expr(env, rhs, dict)?))
 }
 
-fn eval_expr(env: &Env, expr: &PlanExpr) -> Option<Value> {
+/// The packed cell of a slot/const expression (None for arithmetic, which
+/// must be evaluated at the value level).
+#[inline]
+fn simple_cell(env: &Env, expr: &PlanExpr) -> Option<Cell> {
     match expr {
-        PlanExpr::Slot(s) => env[*s].clone(),
-        PlanExpr::Const(c) => Some(c.clone()),
-        PlanExpr::Arith { op, lhs, rhs } => op.eval(&eval_expr(env, lhs)?, &eval_expr(env, rhs)?),
+        PlanExpr::Slot(s) => Some(env[*s]),
+        PlanExpr::Const(_, c) => Some(*c),
+        PlanExpr::Arith { .. } => None,
+    }
+}
+
+/// Evaluate an expression to a `Value`, decoding slot cells on demand.
+fn eval_expr(env: &Env, expr: &PlanExpr, dict: &ValueDict) -> Option<Value> {
+    match expr {
+        PlanExpr::Slot(s) => {
+            let cell = env[*s];
+            if cell == UNBOUND_CELL {
+                None
+            } else {
+                Some(dict.decode(cell))
+            }
+        }
+        PlanExpr::Const(v, _) => Some(v.clone()),
+        PlanExpr::Arith { op, lhs, rhs } => {
+            op.eval(&eval_expr(env, lhs, dict)?, &eval_expr(env, rhs, dict)?)
+        }
+    }
+}
+
+/// Evaluate an expression straight to a packed cell (slot/const expressions
+/// skip the decode/encode round trip; arithmetic encodes its result).
+fn eval_expr_cell(env: &Env, expr: &PlanExpr, dict: &ValueDict) -> Option<Cell> {
+    match expr {
+        PlanExpr::Slot(s) => {
+            let cell = env[*s];
+            if cell == UNBOUND_CELL {
+                None
+            } else {
+                Some(cell)
+            }
+        }
+        PlanExpr::Const(_, c) => Some(*c),
+        PlanExpr::Arith { op, lhs, rhs } => {
+            let v = op.eval(&eval_expr(env, lhs, dict)?, &eval_expr(env, rhs, dict)?)?;
+            Some(dict.encode_value(&v))
+        }
     }
 }
 
 fn matches_negated(env: &Env, atom: &PlanAtom, relation: &Relation) -> bool {
-    relation.iter().any(|tuple| {
+    relation.iter_rows().any(|row| {
         atom.terms.iter().enumerate().all(|(i, term)| match term {
             PlanTerm::Wildcard => true,
-            PlanTerm::Const(c) => &tuple[i] == c,
-            PlanTerm::Slot(s) => env[*s].as_ref().map(|val| val == &tuple[i]).unwrap_or(false),
+            PlanTerm::Const(c) => row[i] == *c,
+            PlanTerm::Slot(s) => env[*s] != UNBOUND_CELL && env[*s] == row[i],
         })
     })
 }
 
-fn instantiate_head(plan: &RulePlan, env: &Env) -> Result<Tuple> {
-    plan.head
-        .iter()
-        .map(|t| match t {
-            PlanTerm::Slot(s) => env[*s].clone().ok_or_else(|| {
-                RaqletError::execution(format!(
-                    "head variable `{}` is unbound at instantiation",
-                    plan.var_names[*s]
-                ))
-            }),
-            PlanTerm::Const(c) => Ok(c.clone()),
-            PlanTerm::Wildcard => Err(RaqletError::execution("wildcard in rule head")),
-        })
-        .collect()
+/// Instantiate the head for one environment, appending the packed row (plus
+/// the nullary pad, if any) to `out`.
+fn instantiate_head(plan: &RulePlan, env: &Env, out: &mut Derived) -> Result<()> {
+    for t in &plan.head {
+        match t {
+            PlanTerm::Slot(s) => {
+                let cell = env[*s];
+                if cell == UNBOUND_CELL {
+                    return Err(RaqletError::execution(format!(
+                        "head variable `{}` is unbound at instantiation",
+                        plan.var_names[*s]
+                    )));
+                }
+                out.cells.push(cell);
+            }
+            PlanTerm::Const(c) => out.cells.push(*c),
+            PlanTerm::Wildcard => {
+                return Err(RaqletError::execution("wildcard in rule head"));
+            }
+        }
+    }
+    if plan.head_arity == 0 {
+        out.cells.push(NULL_CELL);
+    }
+    out.rows += 1;
+    Ok(())
 }
 
 /// Evaluate a rule-level aggregation over the body bindings.
-fn aggregate(plan: &RulePlan, agg: &PlanAgg, bindings: &[Env]) -> Result<Vec<Tuple>> {
-    // Deduplicate the (group key, input value) projection: Datalog set
-    // semantics, matching the SQL backend's `AGG(DISTINCT input)` encoding.
+fn aggregate(
+    plan: &RulePlan,
+    agg: &PlanAgg,
+    bindings: &[Env],
+    dict: &ValueDict,
+) -> Result<Derived> {
+    // Deduplicate the (group key, input value) projection at the cell level:
+    // Datalog set semantics, matching the SQL backend's `AGG(DISTINCT
+    // input)` encoding. Groups are ordered by decoded value for
+    // deterministic output.
     use std::collections::BTreeMap;
-    let mut groups: BTreeMap<Vec<Value>, Vec<Value>> = BTreeMap::new();
-    let mut seen: std::collections::HashSet<(Vec<Value>, Option<Value>)> =
-        std::collections::HashSet::new();
+    let mut groups: BTreeMap<Vec<Value>, (Vec<Cell>, Vec<Value>)> = BTreeMap::new();
+    let mut seen: raqlet_common::hash::FxHashSet<(Vec<Cell>, Cell)> =
+        raqlet_common::hash::FxHashSet::default();
     for env in bindings {
-        let key: Vec<Value> =
-            agg.group_by.iter().map(|&s| env[s].clone().unwrap_or(Value::Null)).collect();
-        let input = match agg.input {
-            Some(s) => Some(env[s].clone().ok_or_else(|| {
-                RaqletError::execution(format!("aggregate input `{}` unbound", plan.var_names[s]))
-            })?),
-            None => None,
+        let key_cells: Vec<Cell> = agg
+            .group_by
+            .iter()
+            .map(|&s| if env[s] == UNBOUND_CELL { NULL_CELL } else { env[s] })
+            .collect();
+        let input_cell = match agg.input {
+            Some(s) => {
+                if env[s] == UNBOUND_CELL {
+                    return Err(RaqletError::execution(format!(
+                        "aggregate input `{}` unbound",
+                        plan.var_names[s]
+                    )));
+                }
+                env[s]
+            }
+            // COUNT(*) has no input; a constant stands in so dedup counts
+            // each group key once per distinct binding.
+            None => dict.encode_int(1),
         };
-        if !seen.insert((key.clone(), input.clone())) {
+        if !seen.insert((key_cells.clone(), input_cell)) {
             continue;
         }
-        let entry = groups.entry(key).or_default();
-        if let Some(v) = input {
-            entry.push(v);
-        } else {
-            entry.push(Value::Int(1));
-        }
+        let decoded_key: Vec<Value> = key_cells.iter().map(|&c| dict.decode(c)).collect();
+        let entry = groups.entry(decoded_key).or_insert_with(|| (key_cells, Vec::new()));
+        entry.1.push(dict.decode(input_cell));
     }
 
-    let mut out = Vec::new();
-    for (key, values) in groups {
+    let mut out = Derived::new(plan.head_stride());
+    for (_, (key_cells, values)) in groups {
         let agg_value = match agg.func {
             raqlet_dlir::AggFunc::Count => Value::Int(values.len() as i64),
             raqlet_dlir::AggFunc::Sum => {
@@ -1185,75 +1433,80 @@ fn aggregate(plan: &RulePlan, agg: &PlanAgg, bindings: &[Env]) -> Result<Vec<Tup
                 }
             }
         };
-        // Build the head tuple: group-by slots in head order plus the
+        // Build the head row: group-by slots in head order plus the
         // aggregate output.
-        let mut env: Env = vec![None; plan.nvars];
-        for (&s, val) in agg.group_by.iter().zip(key.iter()) {
-            env[s] = Some(val.clone());
+        let mut env: Env = vec![UNBOUND_CELL; plan.nvars];
+        for (&s, &cell) in agg.group_by.iter().zip(key_cells.iter()) {
+            env[s] = cell;
         }
-        env[agg.output] = Some(agg_value);
-        out.push(instantiate_head(plan, &env)?);
+        env[agg.output] = dict.encode_value(&agg_value);
+        instantiate_head(plan, &env, &mut out)?;
     }
     Ok(out)
 }
 
-/// Stage freshly derived tuples inside their head relation (respecting
+/// The head's arity conflicts with an existing same-name relation — a
+/// runtime check (not just a debug assert) because schema-less programs can
+/// mix an EDB relation with rules of a different arity, and packed staging
+/// would otherwise misalign the arena.
+fn head_arity_mismatch(plan: &RulePlan, existing: usize) -> RaqletError {
+    RaqletError::execution(format!(
+        "arity mismatch: rule `{}` derives `{}` with arity {}, but the relation has arity {existing}",
+        plan.rule_src, plan.head_relation, plan.head_arity
+    ))
+}
+
+/// Stage freshly derived rows inside their head relation (respecting
 /// lattice annotations). Set-semantics tuples become visible at the next
 /// [`Relation::advance`]; lattice tuples are published immediately (the
 /// improvement must be observable within the round) but are announced in the
 /// next delta all the same.
-fn stage_derived(
-    program: &DlirProgram,
-    db: &mut Database,
-    relation: &str,
-    derived: Vec<Tuple>,
-) -> Result<()> {
-    if derived.is_empty() {
+fn stage_derived(plan: &RulePlan, db: &mut Database, derived: Derived) -> Result<()> {
+    if derived.rows == 0 {
         return Ok(());
     }
-    let arity = derived[0].len();
-    let lattice = program.lattice_for(relation);
-    let rel = db.get_or_create(relation, arity);
-    for tuple in derived {
-        match lattice {
+    let arity = plan.head_arity;
+    let rel = db.get_or_create(&plan.head_relation, arity);
+    if rel.arity() != arity {
+        return Err(head_arity_mismatch(plan, rel.arity()));
+    }
+    for row in derived.cells.chunks_exact(derived.stride) {
+        match plan.lattice {
             LatticeMerge::Set => {
-                rel.stage(tuple)?;
+                rel.stage_cells(&row[..arity]);
             }
             LatticeMerge::MinOnColumn(col) => {
-                rel.lattice_insert(tuple, col, true);
+                rel.lattice_insert_cells(&row[..arity], col, true);
             }
             LatticeMerge::MaxOnColumn(col) => {
-                rel.lattice_insert(tuple, col, false);
+                rel.lattice_insert_cells(&row[..arity], col, false);
             }
         }
     }
     Ok(())
 }
 
-/// Publish derived tuples immediately (used for the once-evaluated
+/// Publish derived rows immediately (used for the once-evaluated
 /// aggregation rules, whose output the same stratum's fixpoint rules read).
-fn publish_derived(
-    program: &DlirProgram,
-    db: &mut Database,
-    relation: &str,
-    derived: Vec<Tuple>,
-) -> Result<()> {
-    if derived.is_empty() {
+fn publish_derived(plan: &RulePlan, db: &mut Database, derived: Derived) -> Result<()> {
+    if derived.rows == 0 {
         return Ok(());
     }
-    let arity = derived[0].len();
-    let lattice = program.lattice_for(relation);
-    let rel = db.get_or_create(relation, arity);
-    for tuple in derived {
-        match lattice {
+    let arity = plan.head_arity;
+    let rel = db.get_or_create(&plan.head_relation, arity);
+    if rel.arity() != arity {
+        return Err(head_arity_mismatch(plan, rel.arity()));
+    }
+    for row in derived.cells.chunks_exact(derived.stride) {
+        match plan.lattice {
             LatticeMerge::Set => {
-                rel.insert(tuple)?;
+                rel.insert_cells(&row[..arity]);
             }
             LatticeMerge::MinOnColumn(col) => {
-                rel.lattice_insert(tuple, col, true);
+                rel.lattice_insert_cells(&row[..arity], col, true);
             }
             LatticeMerge::MaxOnColumn(col) => {
-                rel.lattice_insert(tuple, col, false);
+                rel.lattice_insert_cells(&row[..arity], col, false);
             }
         }
     }
@@ -1566,12 +1819,70 @@ mod tests {
     }
 
     #[test]
+    fn string_constants_and_extreme_ints_survive_the_packed_path() {
+        // q(y) :- person(x, y), x = "Ada". Plus an i64::MAX key that must go
+        // through the overflow table.
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["y"]),
+            vec![
+                atom("person", &["x", "y"]),
+                BodyElem::Constraint {
+                    op: CmpOp::Eq,
+                    lhs: DlExpr::var("x"),
+                    rhs: DlExpr::Const(Value::str("Ada")),
+                },
+            ],
+        ));
+        p.add_output("q");
+        let mut db = Database::new();
+        db.insert_fact("person", vec![Value::str("Ada"), Value::Int(i64::MAX)]).unwrap();
+        db.insert_fact("person", vec![Value::str("Bob"), Value::Int(2)]).unwrap();
+        let result = DatalogEngine::new().evaluate(&p, &db).unwrap();
+        assert_eq!(result.relation("q").sorted(), vec![vec![Value::Int(i64::MAX)]]);
+    }
+
+    #[test]
     fn stats_are_populated() {
         let result = DatalogEngine::new().evaluate(&tc_program(), &chain_edges(6)).unwrap();
         assert!(result.stats.iterations >= 2);
         assert!(result.stats.rule_applications > 0);
         assert!(result.stats.tuples_derived >= result.relation("tc").len());
         assert!(result.stats.strata >= 1);
+    }
+
+    #[test]
+    fn round_zero_parallelism_engages_on_unconstrained_scans() {
+        // A non-recursive join whose driving atom scans the whole relation:
+        // with threshold 1 and several workers, round zero must split.
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("hop2", &["x", "z"]),
+            vec![atom("edge", &["x", "y"]), atom("edge", &["y", "z"])],
+        ));
+        p.add_output("hop2");
+        let db = chain_edges(64);
+        let parallel = DatalogEngine::with_config(
+            DatalogConfig::default().with_threads(4).with_parallel_threshold(1),
+        );
+        let result = parallel.evaluate(&p, &db).unwrap();
+        assert!(result.stats.parallel_tasks > 0, "round zero must partition: {:?}", result.stats);
+        let sequential = DatalogEngine::with_threads(1).evaluate(&p, &db).unwrap();
+        assert_eq!(result.relation("hop2").sorted(), sequential.relation("hop2").sorted());
+    }
+
+    #[test]
+    fn head_arity_conflicting_with_existing_relation_is_an_error_not_corruption() {
+        // Schema-less program: the EDB holds q at arity 2, the rule derives
+        // q at arity 1. Packed staging must refuse (a misaligned arena would
+        // otherwise silently corrupt rows).
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::with_vars("q", &["x"]), vec![atom("edge", &["x", "y"])]));
+        p.add_output("q");
+        let mut db = chain_edges(2);
+        db.insert_fact("q", vec![Value::Int(7), Value::Int(8)]).unwrap();
+        let err = DatalogEngine::new().evaluate(&p, &db).unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   original Cypher query, which is exactly the role Neo4j plays in the
 //!   paper's Table 1.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
+use raqlet_common::cell::{Cell, ValueDict};
+use raqlet_common::hash::{FxHashMap, FxHashSet};
 use raqlet_common::{RaqletError, Relation, Result, Value};
 use raqlet_pgir::{
     AggFunc, ArithOp, CmpOp, MatchConstruct, OutputItem, PathPat, PathSemantics, PatternElem,
@@ -464,16 +466,23 @@ impl GraphEngine {
         graph: &PropertyGraph,
         distinct: bool,
     ) -> Result<Vec<Row>> {
+        // Dedup and group-by keys are packed cells: projected values are
+        // encoded through a projection-local dictionary, so repeated string
+        // keys hash and compare as `u64` words instead of re-walking the
+        // string per row.
+        let dict = ValueDict::new();
         let has_aggregate = items.iter().any(|i| i.expr.contains_aggregate());
         if !has_aggregate {
             let mut out = Vec::with_capacity(rows.len());
-            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            let mut seen: FxHashSet<Vec<Cell>> = FxHashSet::default();
             for row in rows {
                 let mut new_row: Row = HashMap::new();
-                let mut key = Vec::new();
+                let mut key: Vec<Cell> = Vec::with_capacity(items.len());
                 for item in items {
                     let binding = eval_item(&item.expr, row, graph)?;
-                    key.push(binding_to_value(Some(&binding), graph));
+                    if distinct {
+                        key.push(dict.encode_value(&binding_to_value(Some(&binding), graph)));
+                    }
                     new_row.insert(item.alias.clone(), binding);
                 }
                 if distinct && !seen.insert(key) {
@@ -487,13 +496,13 @@ impl GraphEngine {
         // Group by the non-aggregate items.
         let group_items: Vec<&OutputItem> =
             items.iter().filter(|i| !i.expr.contains_aggregate()).collect();
-        let mut groups: HashMap<Vec<Value>, (Row, Vec<&Row>)> = HashMap::new();
+        let mut groups: FxHashMap<Vec<Cell>, (Row, Vec<&Row>)> = FxHashMap::default();
         for row in rows {
-            let mut key = Vec::new();
+            let mut key: Vec<Cell> = Vec::with_capacity(group_items.len());
             let mut group_row: Row = HashMap::new();
             for item in &group_items {
                 let binding = eval_item(&item.expr, row, graph)?;
-                key.push(binding_to_value(Some(&binding), graph));
+                key.push(dict.encode_value(&binding_to_value(Some(&binding), graph)));
                 group_row.insert(item.alias.clone(), binding);
             }
             groups.entry(key).or_insert_with(|| (group_row, Vec::new())).1.push(row);

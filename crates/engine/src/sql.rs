@@ -15,13 +15,21 @@
 //!   executor whose low constants win on tiny, selective queries but lose on
 //!   large joins). Both produce identical results.
 //!
+//! Intermediate joined rows are flat vectors of packed [`Cell`]s taken
+//! straight from the relations' arenas: hash-join keys, group-by keys and
+//! working-table dedup are `u64` word compares against the shared
+//! per-database dictionary, and values are decoded only at expression
+//! boundaries (predicates, arithmetic, aggregation).
+//!
 //! Column names are resolved through a [`TableCatalog`] (built from the
 //! DL-Schema for base tables; CTE columns come from their declarations).
 
 use std::collections::HashMap;
 
+use raqlet_common::cell::{Cell, ValueDict};
+use raqlet_common::hash::FxHashMap;
 use raqlet_common::schema::DlSchema;
-use raqlet_common::{Database, RaqletError, Relation, Result, Tuple, Value};
+use raqlet_common::{Database, RaqletError, Relation, Result, Value};
 use raqlet_sqir::{
     Cte, FromItem, SelectStmt, SqirQuery, SqlAggFunc, SqlArithOp, SqlCmpOp, SqlExpr,
 };
@@ -157,7 +165,7 @@ impl SqlEngine {
     ) -> Result<Relation> {
         let arity = cte.columns.len();
         if !cte.recursive {
-            let mut all = Relation::new(arity);
+            let mut all = Relation::with_dict(arity, scope.dict().clone());
             for branch in &cte.branches {
                 let rel = self.evaluate_select(branch, scope, names, None, stats)?;
                 all.merge(&rel)?;
@@ -168,7 +176,7 @@ impl SqlEngine {
         // Recursive CTE: base branches seed the working table; recursive
         // branches see only the previous iteration's delta under the CTE's
         // own name (the SQL standard's working-table semantics).
-        let mut all = Relation::new(arity);
+        let mut all = Relation::with_dict(arity, scope.dict().clone());
         for branch in cte.base_branches() {
             let rel = self.evaluate_select(branch, scope, names, None, stats)?;
             all.merge(&rel)?;
@@ -185,7 +193,7 @@ impl SqlEngine {
         let mut delta = all.clone();
         while !delta.is_empty() {
             stats.recursive_iterations += 1;
-            let mut derived = Relation::new(arity);
+            let mut derived = Relation::with_dict(arity, scope.dict().clone());
             for (branch, filtered) in cte.recursive_branches().iter().zip(&prefiltered) {
                 let rel = self.evaluate_select_with(
                     branch,
@@ -275,7 +283,7 @@ impl SqlEngine {
             offset += columns.len();
         }
 
-        // Join.
+        // Join over packed rows.
         let rows = match self.profile {
             SqlProfile::Duck => self.hash_join(&tables, &layout, &stmt.where_conjuncts)?,
             SqlProfile::Hyper => self.nested_loop_join(&tables, &layout, &stmt.where_conjuncts)?,
@@ -285,8 +293,8 @@ impl SqlEngine {
         // Residual predicates (everything, including NOT EXISTS — the
         // equi-join keys evaluate to true on joined rows, so re-checking them
         // is harmless).
-        let ctx = RowContext { layout: &layout, scope, names };
-        let mut filtered: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        let ctx = RowContext { layout: &layout, scope, names, dict: scope.dict() };
+        let mut filtered: Vec<Vec<Cell>> = Vec::with_capacity(rows.len());
         for row in rows {
             let mut keep = true;
             for pred in &stmt.where_conjuncts {
@@ -301,38 +309,39 @@ impl SqlEngine {
         }
 
         // Projection / aggregation.
-        let mut out = Relation::new(stmt.items.len());
+        let mut out = Relation::with_dict(stmt.items.len(), scope.dict().clone());
         if stmt.is_aggregating() {
-            let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
+            let mut groups: FxHashMap<Vec<Cell>, Vec<Vec<Cell>>> = FxHashMap::default();
             for row in filtered {
-                let key: Vec<Value> = stmt
+                let key: Vec<Cell> = stmt
                     .group_by
                     .iter()
-                    .map(|g| ctx.eval_scalar(g, &row))
+                    .map(|g| ctx.eval_cell(g, &row))
                     .collect::<Result<Vec<_>>>()?;
                 groups.entry(key).or_default().push(row);
             }
             if groups.is_empty() && stmt.group_by.is_empty() {
                 groups.insert(Vec::new(), Vec::new());
             }
+            let mut tuple: Vec<Cell> = Vec::with_capacity(stmt.items.len());
             for (_, group_rows) in groups {
-                let tuple: Tuple = stmt
-                    .items
-                    .iter()
-                    .map(|item| ctx.eval_aggregate_item(&item.expr, &group_rows))
-                    .collect::<Result<Vec<_>>>()?;
-                out.insert_unchecked(tuple);
+                tuple.clear();
+                for item in &stmt.items {
+                    let value = ctx.eval_aggregate_item(&item.expr, &group_rows)?;
+                    tuple.push(ctx.dict.encode_value(&value));
+                }
+                out.insert_cells(&tuple);
             }
         } else {
+            let mut tuple: Vec<Cell> = Vec::with_capacity(stmt.items.len());
             for row in filtered {
-                let tuple: Tuple = stmt
-                    .items
-                    .iter()
-                    .map(|item| ctx.eval_scalar(&item.expr, &row))
-                    .collect::<Result<Vec<_>>>()?;
+                tuple.clear();
+                for item in &stmt.items {
+                    tuple.push(ctx.eval_cell(&item.expr, &row)?);
+                }
                 // Raqlet only emits DISTINCT selects; the set-backed Relation
                 // deduplicates for us.
-                out.insert_unchecked(tuple);
+                out.insert_cells(&tuple);
             }
         }
         Ok(out)
@@ -340,72 +349,91 @@ impl SqlEngine {
 
     /// Hash join: join tables left to right, building a hash table over the
     /// new table's equi-join columns and probing it with the partial rows.
+    /// Keys are packed cells — single-key joins index on the bare `u64`.
     fn hash_join(
         &self,
         tables: &[(&FromItem, &Relation)],
         layout: &RowLayout,
         predicates: &[SqlExpr],
-    ) -> Result<Vec<Vec<Value>>> {
-        let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+    ) -> Result<Vec<Vec<Cell>>> {
+        let mut rows: Vec<Vec<Cell>> = vec![Vec::new()];
         for (idx, (item, rel)) in tables.iter().enumerate() {
             let joined: Vec<&str> = tables[..idx].iter().map(|(i, _)| i.alias.as_str()).collect();
             let keys = equi_join_keys(predicates, &joined, &item.alias, layout)?;
+            let mut next = Vec::new();
             if keys.is_empty() {
-                let mut next = Vec::new();
                 for row in &rows {
-                    for tuple in rel.iter() {
-                        let mut r = row.clone();
-                        r.extend(tuple.iter().cloned());
+                    for tuple in rel.iter_rows() {
+                        let mut r = Vec::with_capacity(row.len() + tuple.len());
+                        r.extend_from_slice(row);
+                        r.extend_from_slice(tuple);
                         next.push(r);
                     }
                 }
-                rows = next;
-            } else {
-                let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-                for tuple in rel.iter() {
-                    let key: Vec<Value> =
-                        keys.iter().map(|(_, right_col)| tuple[*right_col].clone()).collect();
-                    index.entry(key).or_default().push(tuple);
+            } else if keys.len() == 1 {
+                let (left_off, right_col) = keys[0];
+                let mut index: FxHashMap<Cell, Vec<&[Cell]>> = FxHashMap::default();
+                for tuple in rel.iter_rows() {
+                    index.entry(tuple[right_col]).or_default().push(tuple);
                 }
-                let mut next = Vec::new();
                 for row in &rows {
-                    let key: Vec<Value> =
-                        keys.iter().map(|(left_off, _)| row[*left_off].clone()).collect();
-                    if let Some(matches) = index.get(&key) {
+                    if let Some(matches) = index.get(&row[left_off]) {
                         for tuple in matches {
-                            let mut r = row.clone();
-                            r.extend(tuple.iter().cloned());
+                            let mut r = Vec::with_capacity(row.len() + tuple.len());
+                            r.extend_from_slice(row);
+                            r.extend_from_slice(tuple);
                             next.push(r);
                         }
                     }
                 }
-                rows = next;
+            } else {
+                let mut index: FxHashMap<Vec<Cell>, Vec<&[Cell]>> = FxHashMap::default();
+                for tuple in rel.iter_rows() {
+                    let key: Vec<Cell> =
+                        keys.iter().map(|(_, right_col)| tuple[*right_col]).collect();
+                    index.entry(key).or_default().push(tuple);
+                }
+                let mut key: Vec<Cell> = Vec::with_capacity(keys.len());
+                for row in &rows {
+                    key.clear();
+                    key.extend(keys.iter().map(|(left_off, _)| row[*left_off]));
+                    if let Some(matches) = index.get(key.as_slice()) {
+                        for tuple in matches {
+                            let mut r = Vec::with_capacity(row.len() + tuple.len());
+                            r.extend_from_slice(row);
+                            r.extend_from_slice(tuple);
+                            next.push(r);
+                        }
+                    }
+                }
             }
+            rows = next;
         }
         Ok(rows)
     }
 
     /// Nested-loop join: every new table is scanned per partial row, checking
-    /// the applicable equi-join predicates pair by pair.
+    /// the applicable equi-join predicates pair by pair (cell compares).
     fn nested_loop_join(
         &self,
         tables: &[(&FromItem, &Relation)],
         layout: &RowLayout,
         predicates: &[SqlExpr],
-    ) -> Result<Vec<Vec<Value>>> {
-        let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+    ) -> Result<Vec<Vec<Cell>>> {
+        let mut rows: Vec<Vec<Cell>> = vec![Vec::new()];
         for (idx, (item, rel)) in tables.iter().enumerate() {
             let joined: Vec<&str> = tables[..idx].iter().map(|(i, _)| i.alias.as_str()).collect();
             let keys = equi_join_keys(predicates, &joined, &item.alias, layout)?;
             let mut next = Vec::new();
             for row in &rows {
-                for tuple in rel.iter() {
+                for tuple in rel.iter_rows() {
                     let ok = keys
                         .iter()
                         .all(|(left_off, right_col)| row[*left_off] == tuple[*right_col]);
                     if ok {
-                        let mut r = row.clone();
-                        r.extend(tuple.iter().cloned());
+                        let mut r = Vec::with_capacity(row.len() + tuple.len());
+                        r.extend_from_slice(row);
+                        r.extend_from_slice(tuple);
                         next.push(r);
                     }
                 }
@@ -494,15 +522,15 @@ fn prefilter_tables(
                 columns: names.columns_of(&item.table)?.to_vec(),
             }],
         };
-        let ctx = RowContext { layout: &layout, scope, names };
-        let mut kept = Relation::new(rel.arity());
-        'rows: for tuple in rel.iter() {
+        let ctx = RowContext { layout: &layout, scope, names, dict: scope.dict() };
+        let mut kept = Relation::with_dict(rel.arity(), scope.dict().clone());
+        'rows: for tuple in rel.iter_rows() {
             for pred in &single {
                 if !ctx.eval_predicate(pred, tuple)? {
                     continue 'rows;
                 }
             }
-            kept.insert_unchecked(tuple.clone());
+            kept.insert_cells(tuple);
         }
         prefiltered.push(Some(kept));
     }
@@ -609,19 +637,21 @@ fn equi_join_keys(
     Ok(keys)
 }
 
-/// Evaluation context for one SELECT.
+/// Evaluation context for one SELECT: the joined-row layout plus the shared
+/// dictionary cells are decoded through at expression boundaries.
 struct RowContext<'a> {
     layout: &'a RowLayout,
     scope: &'a Database,
     names: &'a TableCatalog,
+    dict: &'a ValueDict,
 }
 
 impl<'a> RowContext<'a> {
-    fn eval_predicate(&self, expr: &SqlExpr, row: &[Value]) -> Result<bool> {
+    fn eval_predicate(&self, expr: &SqlExpr, row: &[Cell]) -> Result<bool> {
         match expr {
             SqlExpr::NotExists { table, alias, conditions } => {
                 let Some(rel) = self.scope.get(table) else { return Ok(true) };
-                'tuples: for tuple in rel.iter() {
+                'tuples: for tuple in rel.iter_rows() {
                     for cond in conditions {
                         if !self.eval_with_candidate(cond, row, table, alias, tuple)? {
                             continue 'tuples;
@@ -640,36 +670,52 @@ impl<'a> RowContext<'a> {
     fn eval_with_candidate(
         &self,
         expr: &SqlExpr,
-        row: &[Value],
+        row: &[Cell],
         candidate_table: &str,
         candidate_alias: &str,
-        candidate: &[Value],
+        candidate: &[Cell],
     ) -> Result<bool> {
         let v =
             self.eval_scalar_with(expr, row, Some((candidate_table, candidate_alias, candidate)))?;
         Ok(v.is_truthy())
     }
 
-    fn eval_scalar(&self, expr: &SqlExpr, row: &[Value]) -> Result<Value> {
+    fn eval_scalar(&self, expr: &SqlExpr, row: &[Cell]) -> Result<Value> {
         self.eval_scalar_with(expr, row, None)
+    }
+
+    /// Evaluate an expression straight to a packed cell: bare column
+    /// references copy the cell (the projection fast path); everything else
+    /// evaluates at the value level and encodes the result.
+    fn eval_cell(&self, expr: &SqlExpr, row: &[Cell]) -> Result<Cell> {
+        match expr {
+            SqlExpr::Column { table, column } => {
+                let offset = self.layout.offset_of(table, column)?;
+                Ok(row.get(offset).copied().unwrap_or(raqlet_common::cell::NULL_CELL))
+            }
+            other => Ok(self.dict.encode_value(&self.eval_scalar(other, row)?)),
+        }
     }
 
     fn eval_scalar_with(
         &self,
         expr: &SqlExpr,
-        row: &[Value],
-        candidate: Option<(&str, &str, &[Value])>,
+        row: &[Cell],
+        candidate: Option<(&str, &str, &[Cell])>,
     ) -> Result<Value> {
         match expr {
             SqlExpr::Column { table, column } => {
                 if let Some((cand_table, cand_alias, tuple)) = candidate {
                     if table == cand_alias {
                         let idx = self.names.column_index(cand_table, column)?;
-                        return Ok(tuple.get(idx).cloned().unwrap_or(Value::Null));
+                        return Ok(tuple
+                            .get(idx)
+                            .map(|&c| self.dict.decode(c))
+                            .unwrap_or(Value::Null));
                     }
                 }
                 let offset = self.layout.offset_of(table, column)?;
-                Ok(row.get(offset).cloned().unwrap_or(Value::Null))
+                Ok(row.get(offset).map(|&c| self.dict.decode(c)).unwrap_or(Value::Null))
             }
             SqlExpr::Literal(v) => Ok(v.clone()),
             SqlExpr::Cmp { op, lhs, rhs } => {
@@ -691,7 +737,7 @@ impl<'a> RowContext<'a> {
         }
     }
 
-    fn eval_aggregate_item(&self, expr: &SqlExpr, group_rows: &[Vec<Value>]) -> Result<Value> {
+    fn eval_aggregate_item(&self, expr: &SqlExpr, group_rows: &[Vec<Cell>]) -> Result<Value> {
         match expr {
             SqlExpr::Aggregate { func, distinct, arg } => {
                 let mut values: Vec<Value> = match arg {
@@ -929,6 +975,38 @@ mod tests {
         let sql_rows = run(&p, "tc", &db, SqlProfile::Duck);
         let dl_rows = crate::datalog::DatalogEngine::new().run_output(&p, &db, "tc").unwrap();
         assert_eq!(sql_rows, dl_rows);
+    }
+
+    #[test]
+    fn string_columns_join_through_the_dictionary() {
+        let mut schema = DlSchema::new();
+        schema
+            .add(RelationDecl::new(
+                "person",
+                vec![Column::new("name", ValueType::Text), Column::new("city", ValueType::Text)],
+                RelationKind::BaseTable,
+            ))
+            .unwrap();
+        schema
+            .add(RelationDecl::new(
+                "lives",
+                vec![Column::new("city", ValueType::Text), Column::new("country", ValueType::Text)],
+                RelationKind::BaseTable,
+            ))
+            .unwrap();
+        let mut p = DlirProgram::new(schema);
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["n", "c"]),
+            vec![atom("person", &["n", "t"]), atom("lives", &["t", "c"])],
+        ));
+        p.add_output("q");
+        let mut db = Database::new();
+        db.insert_fact("person", vec![Value::str("Ada"), Value::str("Edinburgh")]).unwrap();
+        db.insert_fact("person", vec![Value::str("Bob"), Value::str("Glasgow")]).unwrap();
+        db.insert_fact("lives", vec![Value::str("Edinburgh"), Value::str("Scotland")]).unwrap();
+        let rows = run(&p, "q", &db, SqlProfile::Duck);
+        assert_eq!(rows.sorted(), vec![vec![Value::str("Ada"), Value::str("Scotland")]]);
+        assert_eq!(run(&p, "q", &db, SqlProfile::Hyper), rows);
     }
 
     #[test]

@@ -6,54 +6,97 @@
 //!   (`Person`, `Person_KNOWS_Person`, ...), shared by the Datalog and SQL
 //!   engines;
 //! * a [`PropertyGraph`] for the graph engine.
+//!
+//! The relational loader is a **bulk-load fast path**: each row is encoded
+//! straight into the relation's packed arena through the database's shared
+//! value dictionary — integers pack inline, strings intern once — with a
+//! single reused cell buffer, so loading allocates no per-row `Vec<Value>`
+//! and copies no repeated string (genders, browsers, tag names intern to
+//! dictionary ids on first sight).
 
-use raqlet_common::{Database, Value};
+use raqlet_common::cell::ValueDict;
+use raqlet_common::{Cell, Database, Value};
 use raqlet_engine::PropertyGraph;
 
 use crate::generator::SocialNetwork;
+
+/// A reusable packed-row builder for bulk loading: encodes primitive values
+/// into a cell buffer against the database's dictionary.
+struct RowBuf {
+    dict: std::sync::Arc<ValueDict>,
+    cells: Vec<Cell>,
+}
+
+impl RowBuf {
+    fn new(db: &Database) -> RowBuf {
+        RowBuf { dict: db.dict().clone(), cells: Vec::with_capacity(8) }
+    }
+
+    fn start(&mut self) -> &mut Self {
+        self.cells.clear();
+        self
+    }
+
+    fn int(&mut self, v: i64) -> &mut Self {
+        self.cells.push(self.dict.encode_int(v));
+        self
+    }
+
+    fn str(&mut self, s: &str) -> &mut Self {
+        self.cells.push(self.dict.encode_str(s));
+        self
+    }
+}
 
 /// Load the network into a relational/deductive database following the
 /// generated DL-Schema's relation and column layout.
 pub fn to_database(network: &SocialNetwork) -> Database {
     let mut db = Database::new();
+    let mut row = RowBuf::new(&db);
     // Node EDBs: the first column is the key, remaining columns follow the
     // PG-Schema property order.
-    for p in &network.persons {
-        db.insert_fact(
-            "Person",
-            vec![
-                Value::Int(p.id),
-                Value::str(&p.first_name),
-                Value::str(&p.last_name),
-                Value::str(&p.gender),
-                Value::Int(p.birthday),
-                Value::Int(p.creation_date),
-                Value::str(&p.location_ip),
-                Value::str(&p.browser_used),
-            ],
-        )
-        .expect("person arity");
+    {
+        let rel = db.get_or_create("Person", 8);
+        for p in &network.persons {
+            row.start()
+                .int(p.id)
+                .str(&p.first_name)
+                .str(&p.last_name)
+                .str(&p.gender)
+                .int(p.birthday)
+                .int(p.creation_date)
+                .str(&p.location_ip)
+                .str(&p.browser_used);
+            rel.insert_cells(&row.cells);
+        }
     }
-    for (id, name) in &network.cities {
-        db.insert_fact("City", vec![Value::Int(*id), Value::str(name)]).expect("city arity");
+    {
+        let rel = db.get_or_create("City", 2);
+        for (id, name) in &network.cities {
+            row.start().int(*id).str(name);
+            rel.insert_cells(&row.cells);
+        }
     }
-    for (id, name) in &network.countries {
-        db.insert_fact("Country", vec![Value::Int(*id), Value::str(name)]).expect("country arity");
+    {
+        let rel = db.get_or_create("Country", 2);
+        for (id, name) in &network.countries {
+            row.start().int(*id).str(name);
+            rel.insert_cells(&row.cells);
+        }
     }
-    for (id, name) in &network.tags {
-        db.insert_fact("Tag", vec![Value::Int(*id), Value::str(name)]).expect("tag arity");
+    {
+        let rel = db.get_or_create("Tag", 2);
+        for (id, name) in &network.tags {
+            row.start().int(*id).str(name);
+            rel.insert_cells(&row.cells);
+        }
     }
-    for m in &network.messages {
-        db.insert_fact(
-            "Message",
-            vec![
-                Value::Int(m.id),
-                Value::Int(m.creation_date),
-                Value::str(&m.content),
-                Value::Int(m.length),
-            ],
-        )
-        .expect("message arity");
+    {
+        let rel = db.get_or_create("Message", 4);
+        for m in &network.messages {
+            row.start().int(m.id).int(m.creation_date).str(&m.content).int(m.length);
+            rel.insert_cells(&row.cells);
+        }
     }
 
     // Edge EDBs: id1, id2, then the edge's own properties (synthetic edge ids).
@@ -63,59 +106,45 @@ pub fn to_database(network: &SocialNetwork) -> Database {
         edge_id += 1;
         id
     };
-    for (a, b, date) in &network.knows {
-        db.insert_fact(
-            "Person_KNOWS_Person",
-            vec![Value::Int(*a), Value::Int(*b), Value::Int(next_edge_id()), Value::Int(*date)],
-        )
-        .expect("knows arity");
+    {
+        let rel = db.get_or_create("Person_KNOWS_Person", 4);
+        for (a, b, date) in &network.knows {
+            row.start().int(*a).int(*b).int(next_edge_id()).int(*date);
+            rel.insert_cells(&row.cells);
+        }
     }
-    for p in &network.persons {
-        db.insert_fact(
-            "Person_IS_LOCATED_IN_City",
-            vec![Value::Int(p.id), Value::Int(p.city), Value::Int(next_edge_id())],
-        )
-        .expect("located arity");
+    {
+        let rel = db.get_or_create("Person_IS_LOCATED_IN_City", 3);
+        for p in &network.persons {
+            row.start().int(p.id).int(p.city).int(next_edge_id());
+            rel.insert_cells(&row.cells);
+        }
     }
-    for (city, country) in &network.city_in_country {
-        db.insert_fact(
-            "City_IS_PART_OF_Country",
-            vec![Value::Int(*city), Value::Int(*country), Value::Int(next_edge_id())],
-        )
-        .expect("part-of arity");
+    {
+        let rel = db.get_or_create("City_IS_PART_OF_Country", 3);
+        for (city, country) in &network.city_in_country {
+            row.start().int(*city).int(*country).int(next_edge_id());
+            rel.insert_cells(&row.cells);
+        }
     }
     for m in &network.messages {
-        db.insert_fact(
-            "Message_HAS_CREATOR_Person",
-            vec![Value::Int(m.id), Value::Int(m.creator), Value::Int(next_edge_id())],
-        )
-        .expect("creator arity");
+        row.start().int(m.id).int(m.creator).int(next_edge_id());
+        db.get_or_create("Message_HAS_CREATOR_Person", 3).insert_cells(&row.cells);
         if let Some(parent) = m.reply_of {
-            db.insert_fact(
-                "Message_REPLY_OF_Message",
-                vec![Value::Int(m.id), Value::Int(parent), Value::Int(next_edge_id())],
-            )
-            .expect("reply arity");
+            row.start().int(m.id).int(parent).int(next_edge_id());
+            db.get_or_create("Message_REPLY_OF_Message", 3).insert_cells(&row.cells);
         }
         for tag in &m.tags {
-            db.insert_fact(
-                "Message_HAS_TAG_Tag",
-                vec![Value::Int(m.id), Value::Int(*tag), Value::Int(next_edge_id())],
-            )
-            .expect("tag edge arity");
+            row.start().int(m.id).int(*tag).int(next_edge_id());
+            db.get_or_create("Message_HAS_TAG_Tag", 3).insert_cells(&row.cells);
         }
     }
-    for (person, message, date) in &network.likes {
-        db.insert_fact(
-            "Person_LIKES_Message",
-            vec![
-                Value::Int(*person),
-                Value::Int(*message),
-                Value::Int(next_edge_id()),
-                Value::Int(*date),
-            ],
-        )
-        .expect("likes arity");
+    {
+        let rel = db.get_or_create("Person_LIKES_Message", 4);
+        for (person, message, date) in &network.likes {
+            row.start().int(*person).int(*message).int(next_edge_id()).int(*date);
+            rel.insert_cells(&row.cells);
+        }
     }
     db
 }

@@ -8,7 +8,10 @@
 //!
 //! * the LDBC SNB workload (compiled recursive/optimized queries),
 //! * PRNG-driven random-graph programs (the property-test generators),
-//! * negation + stratification and lattice (shortest-path) programs.
+//! * negation + stratification and lattice (shortest-path) programs,
+//! * **round-zero** applications — since PR 4 the full-arena scan of a
+//!   rule's driving atom is partitioned exactly like a delta, so even
+//!   non-recursive programs split across workers.
 //!
 //! A `parallel_threshold` of 1 forces the parallel path even on tiny deltas
 //! so partition boundaries land everywhere, and `EvalStats::parallel_tasks`
@@ -94,6 +97,40 @@ fn parallel_path_actually_engages() {
     // And a sequential engine never spawns any.
     let seq = engine_with_threads(1).evaluate(&tc_program(), &edges_to_db(&edges)).unwrap();
     assert_eq!(seq.stats.parallel_tasks, 0);
+}
+
+#[test]
+fn round_zero_parallelism_engages_for_non_recursive_programs() {
+    // hop2 has no recursion at all: every rule application is a round-zero
+    // application, so any parallel task proves the round-zero path splits.
+    let mut p = DlirProgram::default();
+    p.add_rule(Rule::new(
+        Atom::with_vars("hop2", &["x", "z"]),
+        vec![atom("edge", &["x", "y"]), atom("edge", &["y", "z"])],
+    ));
+    p.add_output("hop2");
+    let edges: Vec<(i64, i64)> = (0..48).map(|i| (i, i + 1)).collect();
+    let db = edges_to_db(&edges);
+    let result = engine_with_threads(4).evaluate(&p, &db).unwrap();
+    assert!(
+        result.stats.parallel_tasks > 0,
+        "round-zero applications must partition the driving scan: {:?}",
+        result.stats
+    );
+    assert_thread_invariant(&p, &db, "hop2", "round-zero hop2");
+}
+
+#[test]
+fn round_zero_parallelism_is_thread_invariant_on_random_graphs() {
+    // Mixed round-zero + delta-driven work (the base rule of tc is pure
+    // round zero) across random graphs; threshold 1 forces both paths to
+    // split at every thread count.
+    let mut rng = SplitMix64::seed_from_u64(0x2E20);
+    for case in 0..12 {
+        let edges = random_edges(&mut rng, 20, 80);
+        let db = edges_to_db(&edges);
+        assert_thread_invariant(&tc_program(), &db, "tc", &format!("round-zero tc case {case}"));
+    }
 }
 
 #[test]

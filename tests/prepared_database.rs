@@ -6,7 +6,10 @@
 //! * idempotence — repeated executions (same or different programs) never
 //!   leak derivations into one another;
 //! * the point of the API — a second execution performs **zero** index
-//!   rebuilds, pinned through the relation-level build counter.
+//!   rebuilds (pinned through the relation-level build counter), **zero**
+//!   program recompiles (pinned through the plan-cache counter) and **zero**
+//!   dictionary re-encoding (pinned through the shared value dictionary's
+//!   entry count).
 
 use raqlet::{CompileOptions, Database, DatalogEngine, OptLevel, PreparedDatabase, Raqlet, Value};
 use raqlet_dlir::{Atom, BodyElem, DlirProgram, Rule};
@@ -99,6 +102,52 @@ fn second_execution_performs_zero_index_rebuilds() {
     // genuinely new indexes, never reset.
     compiled.execute_datalog_prepared(&mut prepared).unwrap();
     assert_eq!(prepared.index_builds(), builds_after_first);
+}
+
+#[test]
+fn second_execution_performs_zero_plan_recompiles() {
+    let (raqlet, db, person) = snb_setup();
+    let options = CompileOptions::new(OptLevel::Full)
+        .with_param("personId", person)
+        .with_param("otherId", person + 7)
+        .with_param("maxDate", 20_200_101i64)
+        .with_param("firstName", "Alice");
+    let sq1 = raqlet.compile(raqlet_ldbc::SQ1.cypher, &options).unwrap();
+    let cq2 = raqlet.compile(raqlet_ldbc::CQ2.cypher, &options).unwrap();
+
+    let mut prepared = PreparedDatabase::new(db);
+    sq1.execute_datalog_prepared(&mut prepared).unwrap();
+    assert_eq!(prepared.plan_compiles(), 1, "the first run compiles the program once");
+    for _ in 0..3 {
+        sq1.execute_datalog_prepared(&mut prepared).unwrap();
+    }
+    assert_eq!(prepared.plan_compiles(), 1, "warm re-executions must compile nothing");
+
+    // A different program compiles exactly once more, then caches too.
+    cq2.execute_datalog_prepared(&mut prepared).unwrap();
+    cq2.execute_datalog_prepared(&mut prepared).unwrap();
+    assert_eq!(prepared.plan_compiles(), 2);
+}
+
+#[test]
+fn warm_executions_perform_zero_dictionary_reencoding() {
+    let (raqlet, db, person) = snb_setup();
+    let options = CompileOptions::new(OptLevel::Full).with_param("personId", person);
+    let compiled = raqlet.compile(raqlet_ldbc::SQ1.cypher, &options).unwrap();
+
+    let mut prepared = PreparedDatabase::new(db);
+    // The first run may intern program constants the EDB never mentioned.
+    compiled.execute_datalog_prepared(&mut prepared).unwrap();
+    let warm_entries = prepared.database().dict().len();
+    assert!(warm_entries > 0, "the SNB strings live in the shared dictionary");
+    for _ in 0..3 {
+        compiled.execute_datalog_prepared(&mut prepared).unwrap();
+    }
+    assert_eq!(
+        prepared.database().dict().len(),
+        warm_entries,
+        "warm runs must not re-encode any EDB string or constant"
+    );
 }
 
 #[test]

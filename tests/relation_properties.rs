@@ -49,12 +49,12 @@ fn advance_publishes_exactly_the_new_staged_tuples() {
             }
             let published = rel.advance();
             assert_eq!(published, expected_delta.len(), "case {case} round {round}");
-            let delta: BTreeSet<Tuple> = rel.delta().cloned().collect();
+            let delta: BTreeSet<Tuple> = rel.delta().collect();
             assert_eq!(delta, expected_delta, "case {case} round {round}");
             // Delta tuples were, by construction, not in the previous full
             // set, and are in the new full set.
             model.extend(expected_delta);
-            let full: BTreeSet<Tuple> = rel.iter().cloned().collect();
+            let full: BTreeSet<Tuple> = rel.iter().collect();
             assert_eq!(full, model, "case {case} round {round}");
             assert_eq!(rel.len(), model.len(), "case {case} round {round}");
         }
@@ -81,10 +81,8 @@ fn indexed_probes_agree_with_full_scans() {
         }
         for key in 0..8 {
             let key_value = [Value::Int(key)];
-            let probed: BTreeSet<Tuple> =
-                rel.probe_index(&[0], &key_value).unwrap().cloned().collect();
-            let scanned: BTreeSet<Tuple> =
-                rel.iter().filter(|t| t[0] == Value::Int(key)).cloned().collect();
+            let probed: BTreeSet<Tuple> = rel.probe_index(&[0], &key_value).unwrap().collect();
+            let scanned: BTreeSet<Tuple> = rel.iter().filter(|t| t[0] == Value::Int(key)).collect();
             assert_eq!(probed, scanned, "case {case} key {key}: index disagrees with scan");
         }
         // The two-column index must pin exact tuples.
