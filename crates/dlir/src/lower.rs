@@ -81,6 +81,44 @@ struct Lowerer<'a> {
     where_count: usize,
     with_count: usize,
     path_count: usize,
+    unwind_count: usize,
+}
+
+/// The edge EDBs one path segment may traverse: one `(declaration,
+/// reversed)` pair per resolvable label alternative, plus whether hops are
+/// restricted to the stored direction.
+struct PathEdbs {
+    decls: Vec<(RelationDecl, bool)>,
+    directed: bool,
+    /// The endpoint node labels (in stored orientation) the segment was
+    /// resolved against — used to enumerate the zero-hop base.
+    src_label: Option<String>,
+    dst_label: Option<String>,
+}
+
+impl PathEdbs {
+    /// All atoms representing one hop from role `from` to role `to`: one per
+    /// EDB for directed segments, two (both orientations) when undirected.
+    fn hop_atoms(&self, from: &str, to: &str) -> Vec<Atom> {
+        let edge_atom = |decl: &RelationDecl, first: &str, second: &str| {
+            let mut terms = vec![Term::Wildcard; decl.arity()];
+            terms[0] = Term::var(first);
+            terms[1] = Term::var(second);
+            Atom::new(decl.name.clone(), terms)
+        };
+        let mut out = Vec::new();
+        for (decl, reversed) in &self.decls {
+            let stored =
+                if *reversed { edge_atom(decl, to, from) } else { edge_atom(decl, from, to) };
+            out.push(stored);
+            if !self.directed {
+                let flipped =
+                    if *reversed { edge_atom(decl, from, to) } else { edge_atom(decl, to, from) };
+                out.push(flipped);
+            }
+        }
+        out
+    }
 }
 
 impl<'a> Lowerer<'a> {
@@ -96,6 +134,7 @@ impl<'a> Lowerer<'a> {
             where_count: 0,
             with_count: 0,
             path_count: 0,
+            unwind_count: 0,
         }
     }
 
@@ -105,6 +144,7 @@ impl<'a> Lowerer<'a> {
         for clause in &query.clauses {
             match clause {
                 PgirClause::Match(m) => self.lower_match(m)?,
+                PgirClause::Unwind(u) => self.lower_unwind(u)?,
                 PgirClause::Where(w) => self.lower_where(&w.predicate)?,
                 PgirClause::With(w) => {
                     let cols = self.lower_projection(&w.items, false)?;
@@ -203,12 +243,10 @@ impl<'a> Lowerer<'a> {
         self.match_count += 1;
         let rule_name = format!("Match{}", self.match_count);
 
-        // Expand auxiliary recursive IDBs for path patterns first, so the
-        // match rule can reference them.
-        let mut path_atoms: Vec<Vec<BodyElem>> = Vec::new();
         let mut head_vars = self.frontier_vars();
-        // Alternative bodies arising from undirected single-hop edges: each
-        // undirected edge doubles the number of generated rule bodies.
+        // Alternative bodies arising from undirected single-hop edges and
+        // alternative relationship types: each multiplies the number of
+        // generated rule bodies.
         let mut bodies: Vec<Vec<BodyElem>> = vec![Vec::new()];
         if let Some(atom) = self.frontier_atom() {
             for b in &mut bodies {
@@ -237,7 +275,7 @@ impl<'a> Lowerer<'a> {
                     push_unique(&mut head_vars, &n.var);
                 }
                 PatternElem::Edge(e) => {
-                    let (forward, backward) = self.edge_atoms(e)?;
+                    let variants = self.edge_atoms(e)?;
                     // Node-type atoms for both endpoints when labelled.
                     let mut endpoint_atoms = Vec::new();
                     for node in [&e.src, &e.dst] {
@@ -250,61 +288,50 @@ impl<'a> Lowerer<'a> {
                             self.var_types.insert(node.var.clone(), ValueType::Int);
                         }
                     }
-                    if e.directed {
-                        for b in &mut bodies {
-                            b.push(BodyElem::Atom(forward.0.clone()));
-                            for a in &endpoint_atoms {
-                                b.push(BodyElem::Atom(a.clone()));
-                            }
-                        }
-                    } else {
-                        // Duplicate every body: one copy uses the forward
-                        // direction, one the backward direction.
-                        let mut doubled = Vec::with_capacity(bodies.len() * 2);
-                        for b in &bodies {
+                    // Alternative labels multiply the generated rule bodies
+                    // (one body per resolvable EDB — their union); undirected
+                    // patterns double each again for the backward orientation.
+                    let mut multiplied = Vec::with_capacity(
+                        bodies.len() * variants.len() * if e.directed { 1 } else { 2 },
+                    );
+                    for b in &bodies {
+                        for (forward, backward) in &variants {
                             let mut fwd = b.clone();
                             fwd.push(BodyElem::Atom(forward.0.clone()));
-                            let mut bwd = b.clone();
-                            bwd.push(BodyElem::Atom(backward.clone()));
                             for a in &endpoint_atoms {
                                 fwd.push(BodyElem::Atom(a.clone()));
-                                bwd.push(BodyElem::Atom(a.clone()));
                             }
-                            doubled.push(fwd);
-                            doubled.push(bwd);
+                            multiplied.push(fwd);
+                            if !e.directed {
+                                let mut bwd = b.clone();
+                                bwd.push(BodyElem::Atom(backward.clone()));
+                                for a in &endpoint_atoms {
+                                    bwd.push(BodyElem::Atom(a.clone()));
+                                }
+                                multiplied.push(bwd);
+                            }
                         }
-                        bodies = doubled;
                     }
+                    bodies = multiplied;
                     push_unique(&mut head_vars, &e.src.var);
-                    if forward.1 {
+                    if variants.iter().all(|(forward, _)| forward.1) {
                         // The edge variable is bound to the edge's own id
-                        // column, as in the paper's `x1`.
+                        // column, as in the paper's `x1`. With alternative
+                        // labels it is only exported when *every* EDB binds
+                        // it, so each union body stays range-restricted.
                         push_unique(&mut head_vars, &e.var);
                     }
                     push_unique(&mut head_vars, &e.dst.var);
                 }
+                PatternElem::Chain(c) => {
+                    let elems = self.lower_chain(c)?;
+                    let (src, dst) = (c.src.clone(), c.dst().clone());
+                    self.attach_path_reference(&src, &dst, elems, &mut bodies, &mut head_vars)?;
+                }
                 PatternElem::Path(p) => {
-                    let atom_elems = self.lower_path(p)?;
-                    path_atoms.push(atom_elems);
-                    // Endpoint node-type atoms.
-                    for node in [&p.src, &p.dst] {
-                        let label = node.label.clone().or_else(|| self.node_label_of(&node.var));
-                        if let Some(label) = label {
-                            let atom = self.node_atom(&label, &node.var)?;
-                            for b in &mut bodies {
-                                b.push(BodyElem::Atom(atom.clone()));
-                            }
-                            self.bind_node(&node.var, &label);
-                        } else {
-                            self.var_types.insert(node.var.clone(), ValueType::Int);
-                        }
-                    }
-                    let elems = path_atoms.last().unwrap().clone();
-                    for b in &mut bodies {
-                        b.extend(elems.iter().cloned());
-                    }
-                    push_unique(&mut head_vars, &p.src.var);
-                    push_unique(&mut head_vars, &p.dst.var);
+                    let elems = self.lower_path(p)?;
+                    let (src, dst) = (p.src.clone(), p.dst.clone());
+                    self.attach_path_reference(&src, &dst, elems, &mut bodies, &mut head_vars)?;
                 }
             }
         }
@@ -318,161 +345,327 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    /// Build the edge EDB atom in the forward orientation (src→dst as written
-    /// in PGIR) and, for undirected patterns, the backward orientation.
-    /// Returns `((forward_atom, edge_var_bound), backward_atom)`.
-    fn edge_atoms(&mut self, e: &pgir::EdgePat) -> Result<((Atom, bool), Atom)> {
-        let Some(label) = &e.label else {
+    /// Build the edge EDB atoms for a single-hop pattern, one variant per
+    /// resolvable label alternative: the forward orientation (src→dst as
+    /// written in PGIR) and, for undirected patterns, the backward
+    /// orientation. Returns `((forward_atom, edge_var_bound), backward_atom)`
+    /// per variant.
+    #[allow(clippy::type_complexity)]
+    fn edge_atoms(&mut self, e: &pgir::EdgePat) -> Result<Vec<((Atom, bool), Atom)>> {
+        if e.labels.is_empty() {
             return Err(RaqletError::unsupported(
                 "relationship patterns without a type are not supported",
             ));
-        };
+        }
         let src_label = e.src.label.clone().or_else(|| self.node_label_of(&e.src.var));
         let dst_label = e.dst.label.clone().or_else(|| self.node_label_of(&e.dst.var));
-        let (edb, reversed) =
-            resolve_edge_edb(self.pg, label, src_label.as_deref(), dst_label.as_deref())?;
-        let decl = self.program.schema.require(&edb)?.clone();
 
-        let make = |first: &str, second: &str, bind_edge_var: bool| {
-            let mut terms = vec![Term::Wildcard; decl.arity()];
-            terms[0] = Term::var(first);
-            terms[1] = Term::var(second);
-            let mut edge_bound = false;
-            if bind_edge_var && decl.arity() > 2 {
-                terms[2] = Term::var(&e.var);
-                edge_bound = true;
+        let mut variants = Vec::new();
+        let mut seen: Vec<(String, bool)> = Vec::new();
+        for label in &e.labels {
+            let (edb, reversed) =
+                resolve_edge_edb(self.pg, label, src_label.as_deref(), dst_label.as_deref())?;
+            if seen.contains(&(edb.clone(), reversed)) {
+                // Two spellings of the same type (`:knows|KNOWS`) resolve to
+                // one EDB; keep a single variant.
+                continue;
             }
-            (Atom::new(decl.name.clone(), terms), edge_bound)
-        };
+            seen.push((edb.clone(), reversed));
+            let decl = self.program.schema.require(&edb)?.clone();
 
-        // `reversed` means the schema stores the edge dst→src relative to the
-        // pattern's reading order.
-        let (fwd_first, fwd_second) = if reversed {
-            (e.dst.var.clone(), e.src.var.clone())
-        } else {
-            (e.src.var.clone(), e.dst.var.clone())
-        };
-        let forward = make(&fwd_first, &fwd_second, true);
-        // The backward orientation (used by undirected patterns) binds the
-        // edge variable too, so that rules mentioning it stay range-restricted.
-        let backward = make(&fwd_second, &fwd_first, true).0;
+            let make = |first: &str, second: &str| {
+                let mut terms = vec![Term::Wildcard; decl.arity()];
+                terms[0] = Term::var(first);
+                terms[1] = Term::var(second);
+                let mut edge_bound = false;
+                if decl.arity() > 2 {
+                    terms[2] = Term::var(&e.var);
+                    edge_bound = true;
+                }
+                (Atom::new(decl.name.clone(), terms), edge_bound)
+            };
 
-        if forward.1 {
-            self.bindings.insert(
-                e.var.clone(),
-                Binding::Edge {
-                    edb: edb.clone(),
-                    reversed,
-                    src_var: e.src.var.clone(),
-                    dst_var: e.dst.var.clone(),
-                },
-            );
-            let edge_id_ty = decl.columns[2].ty;
-            self.var_types.insert(e.var.clone(), edge_id_ty);
+            // `reversed` means the schema stores the edge dst→src relative to
+            // the pattern's reading order.
+            let (fwd_first, fwd_second) = if reversed {
+                (e.dst.var.clone(), e.src.var.clone())
+            } else {
+                (e.src.var.clone(), e.dst.var.clone())
+            };
+            let forward = make(&fwd_first, &fwd_second);
+            // The backward orientation (used by undirected patterns) binds
+            // the edge variable too, so rules mentioning it stay
+            // range-restricted.
+            let backward = make(&fwd_second, &fwd_first).0;
+
+            if forward.1 {
+                let edge_id_ty = decl.columns[2].ty;
+                self.var_types.entry(e.var.clone()).or_insert(edge_id_ty);
+            }
+            variants.push((forward, backward));
         }
-        Ok((forward, backward))
+        // Property access on the edge variable re-joins one specific EDB,
+        // which is only well-defined when the alternatives collapse to a
+        // single EDB.
+        if let ([(edb, reversed)], [(forward, _)]) = (seen.as_slice(), variants.as_slice()) {
+            if forward.1 {
+                self.bindings.insert(
+                    e.var.clone(),
+                    Binding::Edge {
+                        edb: edb.clone(),
+                        reversed: *reversed,
+                        src_var: e.src.var.clone(),
+                        dst_var: e.dst.var.clone(),
+                    },
+                );
+            }
+        }
+        Ok(variants)
     }
 
-    /// Expand a variable-length / shortest-path pattern into an auxiliary
-    /// recursive IDB and return the body elements that reference it.
-    fn lower_path(&mut self, p: &pgir::PathPat) -> Result<Vec<BodyElem>> {
-        let Some(label) = &p.label else {
+    /// Shared tail for `Path` / `Chain` pattern elements: add endpoint
+    /// node-type atoms (when labelled) and the referencing body elements to
+    /// every rule body, and export the two endpoint variables. Chain
+    /// intermediates never reach here — they are enforced inside the chain
+    /// rules.
+    fn attach_path_reference(
+        &mut self,
+        src: &pgir::NodePat,
+        dst: &pgir::NodePat,
+        elems: Vec<BodyElem>,
+        bodies: &mut [Vec<BodyElem>],
+        head_vars: &mut Vec<String>,
+    ) -> Result<()> {
+        for node in [src, dst] {
+            let label = node.label.clone().or_else(|| self.node_label_of(&node.var));
+            if let Some(label) = label {
+                let atom = self.node_atom(&label, &node.var)?;
+                for b in bodies.iter_mut() {
+                    b.push(BodyElem::Atom(atom.clone()));
+                }
+                self.bind_node(&node.var, &label);
+            } else {
+                self.var_types.insert(node.var.clone(), ValueType::Int);
+            }
+        }
+        for b in bodies.iter_mut() {
+            b.extend(elems.iter().cloned());
+        }
+        push_unique(head_vars, &src.var);
+        push_unique(head_vars, &dst.var);
+        Ok(())
+    }
+
+    /// Resolve the edge EDBs a path segment may traverse: one per label
+    /// alternative, deduplicated when several spellings name the same EDB.
+    fn resolve_path_edbs(
+        &self,
+        labels: &[String],
+        src_label: Option<&str>,
+        dst_label: Option<&str>,
+        directed: bool,
+    ) -> Result<PathEdbs> {
+        if labels.is_empty() {
             return Err(RaqletError::unsupported(
                 "variable-length patterns without a relationship type are not supported",
             ));
-        };
-        let src_label = p.src.label.clone().or_else(|| self.node_label_of(&p.src.var));
-        let dst_label = p.dst.label.clone().or_else(|| self.node_label_of(&p.dst.var));
-        let (edb, reversed) =
-            resolve_edge_edb(self.pg, label, src_label.as_deref(), dst_label.as_deref())?;
-        let decl = self.program.schema.require(&edb)?.clone();
-
-        self.path_count += 1;
-        let needs_length = p.max_hops.is_some()
-            || p.min_hops > 1
-            || !matches!(p.semantics, pgir::PathSemantics::Reachability);
-        let name = match p.semantics {
-            pgir::PathSemantics::Reachability => format!("Path{}", self.path_count),
-            _ => format!("ShortestPath{}", self.path_count),
-        };
-
-        let edge_atom = |first: &str, second: &str| {
-            let mut terms = vec![Term::Wildcard; decl.arity()];
-            terms[0] = Term::var(first);
-            terms[1] = Term::var(second);
-            Atom::new(decl.name.clone(), terms)
-        };
-        // Orientations allowed for one hop, expressed as (from, to) pairs of
-        // role names; `reversed` swaps the stored columns.
-        let hop_atoms = |from: &str, to: &str| -> Vec<Atom> {
-            let stored = if reversed { edge_atom(to, from) } else { edge_atom(from, to) };
-            if p.directed {
-                vec![stored]
-            } else {
-                let flipped = if reversed { edge_atom(from, to) } else { edge_atom(to, from) };
-                vec![stored, flipped]
+        }
+        let mut decls: Vec<(RelationDecl, bool)> = Vec::new();
+        for label in labels {
+            let (edb, reversed) = resolve_edge_edb(self.pg, label, src_label, dst_label)?;
+            if decls.iter().any(|(d, r)| d.name == edb && *r == reversed) {
+                continue;
             }
-        };
+            let decl = self.program.schema.require(&edb)?.clone();
+            decls.push((decl, reversed));
+        }
+        Ok(PathEdbs {
+            decls,
+            directed,
+            src_label: src_label.map(str::to_string),
+            dst_label: dst_label.map(str::to_string),
+        })
+    }
 
+    /// Emit the base / recursive (and, for `min_hops == 0`, zero-hop) rules
+    /// of a path-segment IDB named `name` over the given hop EDBs. With
+    /// `with_length` the IDB is `(src, dst, len)`, otherwise `(src, dst)`.
+    fn emit_path_rules(
+        &mut self,
+        name: &str,
+        edbs: &PathEdbs,
+        min_hops: u32,
+        max_hops: Option<u32>,
+        with_length: bool,
+    ) -> Result<()> {
         // Declare the auxiliary IDB.
         let mut columns =
             vec![Column::new("src", ValueType::Int), Column::new("dst", ValueType::Int)];
-        if needs_length {
+        if with_length {
             columns.push(Column::new("len", ValueType::Int));
         }
-        self.program.schema.upsert(RelationDecl::new(name.clone(), columns, RelationKind::Idb));
+        self.program.schema.upsert(RelationDecl::new(name.to_string(), columns, RelationKind::Idb));
 
-        if needs_length {
-            // Base rules: one hop, length 1.
-            for atom in hop_atoms("s", "d") {
-                self.program.add_rule(Rule::new(
-                    Atom::new(name.clone(), vec![Term::var("s"), Term::var("d"), Term::int(1)]),
-                    vec![BodyElem::Atom(atom)],
-                ));
+        let head = |src: &str, dst: &str, len: Option<Term>| {
+            let mut terms = vec![Term::var(src), Term::var(dst)];
+            if let Some(l) = len {
+                terms.push(l);
             }
-            // Recursive rules: extend by one hop, length + 1 (bounded by
+            Atom::new(name.to_string(), terms)
+        };
+
+        // `*0..0` matches the zero-hop rows only: no hop rules at all —
+        // emitting the length-1 base would leak one-hop rows into consumers
+        // that (like chain steps) do not re-filter on the length column.
+        if max_hops != Some(0) {
+            // Base rules: one hop (length 1).
+            for atom in edbs.hop_atoms("s", "d") {
+                let len = with_length.then(|| Term::int(1));
+                self.program.add_rule(Rule::new(head("s", "d", len), vec![BodyElem::Atom(atom)]));
+            }
+            // Recursive rules: extend by one hop (length + 1, bounded by
             // max_hops when given, which also guarantees termination under
             // plain set semantics).
-            for atom in hop_atoms("m", "d") {
+            for atom in edbs.hop_atoms("m", "d") {
+                let rec_terms = if with_length {
+                    vec![Term::var("s"), Term::var("m"), Term::var("l0")]
+                } else {
+                    vec![Term::var("s"), Term::var("m")]
+                };
                 let mut body = vec![
-                    BodyElem::Atom(Atom::new(
-                        name.clone(),
-                        vec![Term::var("s"), Term::var("m"), Term::var("l0")],
-                    )),
+                    BodyElem::Atom(Atom::new(name.to_string(), rec_terms)),
                     BodyElem::Atom(atom),
-                    BodyElem::eq(
+                ];
+                if with_length {
+                    body.push(BodyElem::eq(
                         DlExpr::var("l"),
                         DlExpr::Arith {
                             op: ArithOp::Add,
                             lhs: Box::new(DlExpr::var("l0")),
                             rhs: Box::new(DlExpr::int(1)),
                         },
-                    ),
-                ];
-                if let Some(max) = p.max_hops {
-                    body.push(BodyElem::Constraint {
-                        op: CmpOp::Lt,
-                        lhs: DlExpr::var("l0"),
-                        rhs: DlExpr::int(max as i64),
-                    });
+                    ));
+                    if let Some(max) = max_hops {
+                        body.push(BodyElem::Constraint {
+                            op: CmpOp::Lt,
+                            lhs: DlExpr::var("l0"),
+                            rhs: DlExpr::int(max as i64),
+                        });
+                    }
                 }
-                self.program.add_rule(Rule::new(
-                    Atom::new(name.clone(), vec![Term::var("s"), Term::var("d"), Term::var("l")]),
-                    body,
+                let len = with_length.then(|| Term::var("l"));
+                self.program.add_rule(Rule::new(head("s", "d", len), body));
+            }
+        }
+        // Zero-hop base when min_hops == 0: every candidate node reaches
+        // itself in zero hops. Enumerating the candidates needs a node EDB,
+        // so at least one endpoint must carry a resolvable label — silently
+        // skipping the rule here would return wrong (zero-hop-less) results.
+        if min_hops == 0 {
+            let mut zero_atoms = Vec::new();
+            for label in [edbs.src_label.clone(), edbs.dst_label.clone()].into_iter().flatten() {
+                let atom = self.node_atom(&label, "s")?;
+                if !zero_atoms.contains(&atom) {
+                    zero_atoms.push(atom);
+                }
+            }
+            if zero_atoms.is_empty() {
+                return Err(RaqletError::unsupported(
+                    "zero-hop variable-length pattern (`*0..`) requires a node label on at \
+                     least one endpoint to enumerate the matching nodes",
                 ));
             }
-            // Zero-hop base when min_hops == 0.
-            if p.min_hops == 0 {
-                let label_for_zero = src_label.clone().or(dst_label.clone());
-                if let Some(l) = label_for_zero {
-                    let atom = self.node_atom(&l, "s")?;
-                    self.program.add_rule(Rule::new(
-                        Atom::new(name.clone(), vec![Term::var("s"), Term::var("s"), Term::int(0)]),
-                        vec![BodyElem::Atom(atom)],
-                    ));
-                }
+            let len = with_length.then(|| Term::int(0));
+            self.program.add_rule(Rule::new(
+                head("s", "s", len),
+                zero_atoms.into_iter().map(BodyElem::Atom).collect(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Expand a variable-length / shortest-path pattern into an auxiliary
+    /// recursive IDB and return the body elements that reference it.
+    fn lower_path(&mut self, p: &pgir::PathPat) -> Result<Vec<BodyElem>> {
+        let src_label = p.src.label.clone().or_else(|| self.node_label_of(&p.src.var));
+        let dst_label = p.dst.label.clone().or_else(|| self.node_label_of(&p.dst.var));
+        let edbs = self.resolve_path_edbs(
+            &p.labels,
+            src_label.as_deref(),
+            dst_label.as_deref(),
+            p.directed,
+        )?;
+
+        let shortest = !matches!(p.semantics, pgir::PathSemantics::Reachability);
+        if shortest && p.min_hops > 1 {
+            // The min lattice keeps the *globally* minimal length per pair;
+            // combining it with a `len >= min` filter would drop every pair
+            // whose true shortest path is below the minimum instead of
+            // returning its shortest path of length >= min.
+            return Err(RaqletError::semantic(
+                "shortestPath with a minimum hop count above 1 is not supported: the \
+                 shortest path per endpoint pair may be shorter than the requested minimum",
+            ));
+        }
+
+        self.path_count += 1;
+        let needs_length = p.max_hops.is_some() || shortest;
+        let name = if shortest {
+            format!("ShortestPath{}", self.path_count)
+        } else {
+            format!("Path{}", self.path_count)
+        };
+
+        if !needs_length && p.min_hops > 1 {
+            // `*min..` with an unbounded maximum: tracking every walk length
+            // would never terminate on cyclic data, and capping the length
+            // column at `min` would lose pairs only reachable by longer
+            // walks. Two phases instead: a bounded helper materialises walks
+            // of length exactly `min` (its recursion is capped at `min`
+            // hops), and an ordinary closure extends them hop by hop.
+            let seed = format!("{name}Seed");
+            self.emit_path_rules(&seed, &edbs, 1, Some(p.min_hops), true)?;
+            self.program.schema.upsert(RelationDecl::new(
+                name.clone(),
+                vec![Column::new("src", ValueType::Int), Column::new("dst", ValueType::Int)],
+                RelationKind::Idb,
+            ));
+            self.program.add_rule(Rule::new(
+                Atom::new(name.clone(), vec![Term::var("s"), Term::var("d")]),
+                vec![
+                    BodyElem::Atom(Atom::new(
+                        seed,
+                        vec![Term::var("s"), Term::var("d"), Term::var("l")],
+                    )),
+                    BodyElem::Constraint {
+                        op: CmpOp::Eq,
+                        lhs: DlExpr::var("l"),
+                        rhs: DlExpr::int(p.min_hops as i64),
+                    },
+                ],
+            ));
+            for atom in edbs.hop_atoms("m", "d") {
+                self.program.add_rule(Rule::new(
+                    Atom::new(name.clone(), vec![Term::var("s"), Term::var("d")]),
+                    vec![
+                        BodyElem::Atom(Atom::new(
+                            name.clone(),
+                            vec![Term::var("s"), Term::var("m")],
+                        )),
+                        BodyElem::Atom(atom),
+                    ],
+                ));
             }
-            if !matches!(p.semantics, pgir::PathSemantics::Reachability) {
+            return Ok(vec![BodyElem::Atom(Atom::new(
+                name,
+                vec![Term::var(&p.src.var), Term::var(&p.dst.var)],
+            ))]);
+        }
+
+        self.emit_path_rules(&name, &edbs, p.min_hops, p.max_hops, needs_length)?;
+
+        if needs_length {
+            if shortest {
                 // Shortest-path semantics: keep only the minimal length per
                 // (src, dst) pair during fixpoint evaluation so the program
                 // terminates even without an upper bound.
@@ -502,30 +695,171 @@ impl<'a> Lowerer<'a> {
             }
             Ok(elems)
         } else {
-            // Plain transitive closure (unbounded reachability, min 1 hop).
-            for atom in hop_atoms("s", "d") {
-                self.program.add_rule(Rule::new(
-                    Atom::new(name.clone(), vec![Term::var("s"), Term::var("d")]),
-                    vec![BodyElem::Atom(atom)],
-                ));
-            }
-            for atom in hop_atoms("m", "d") {
-                self.program.add_rule(Rule::new(
-                    Atom::new(name.clone(), vec![Term::var("s"), Term::var("d")]),
-                    vec![
-                        BodyElem::Atom(Atom::new(
-                            name.clone(),
-                            vec![Term::var("s"), Term::var("m")],
-                        )),
-                        BodyElem::Atom(atom),
-                    ],
-                ));
-            }
+            // Plain transitive closure (unbounded reachability, min 0/1 hop
+            // — the zero-hop base rule is emitted by `emit_path_rules`).
             Ok(vec![BodyElem::Atom(Atom::new(
                 name,
                 vec![Term::var(&p.src.var), Term::var(&p.dst.var)],
             ))])
         }
+    }
+
+    /// Expand a multi-hop `shortestPath` chain: one lattice-annotated path
+    /// IDB per step (each keeping the minimal hop count per endpoint pair),
+    /// joined through the existential intermediate nodes by a final IDB that
+    /// sums the per-step lengths and keeps the minimal total per (source,
+    /// target) pair. Per-step minima compose: lengths are additive, so the
+    /// minimal total via any intermediate is the sum of the per-step minima.
+    fn lower_chain(&mut self, c: &pgir::ChainPat) -> Result<Vec<BodyElem>> {
+        self.path_count += 1;
+        let sp_name = format!("ShortestPath{}", self.path_count);
+        let last = c.steps.len() - 1;
+
+        let mut body: Vec<BodyElem> = Vec::new();
+        let mut len_vars: Vec<String> = Vec::new();
+        let mut prev_label = c.src.label.clone().or_else(|| self.node_label_of(&c.src.var));
+        for (i, step) in c.steps.iter().enumerate() {
+            if step.min_hops > 1 {
+                return Err(RaqletError::semantic(
+                    "shortestPath with a minimum hop count above 1 is not supported: the \
+                     shortest path per endpoint pair may be shorter than the requested minimum",
+                ));
+            }
+            let is_last = i == last;
+            if !is_last && self.bindings.contains_key(&step.node.var) {
+                return Err(RaqletError::unsupported(format!(
+                    "intermediate node `{}` of a multi-hop shortestPath is already bound; \
+                     intermediate nodes are existential",
+                    step.node.var
+                )));
+            }
+            let node_label = step.node.label.clone().or_else(|| {
+                if is_last {
+                    self.node_label_of(&step.node.var)
+                } else {
+                    None
+                }
+            });
+
+            // Stored-orientation endpoints: `<-[...]-` steps run node→prev.
+            let inverted = step.directed && !step.forward;
+            let (res_src, res_dst) = if inverted {
+                (node_label.as_deref(), prev_label.as_deref())
+            } else {
+                (prev_label.as_deref(), node_label.as_deref())
+            };
+            let edbs = self.resolve_path_edbs(&step.labels, res_src, res_dst, step.directed)?;
+            let step_name = format!("{sp_name}Step{}", i + 1);
+            self.emit_path_rules(&step_name, &edbs, step.min_hops, step.max_hops, true)?;
+            self.program.set_lattice(step_name.clone(), LatticeMerge::MinOnColumn(2));
+
+            // Reference the step from the summing rule, chaining role
+            // variables s, m1, ..., d left to right.
+            let from_role = if i == 0 { "s".to_string() } else { format!("m{i}") };
+            let to_role = if is_last { "d".to_string() } else { format!("m{}", i + 1) };
+            let (first, second) =
+                if inverted { (to_role.clone(), from_role) } else { (from_role, to_role.clone()) };
+            let len_var = format!("l{}", i + 1);
+            body.push(BodyElem::Atom(Atom::new(
+                step_name,
+                vec![Term::var(&first), Term::var(&second), Term::var(&len_var)],
+            )));
+            // Enforce intermediate node labels inside the summing rule (the
+            // intermediates never reach the match rule).
+            if !is_last {
+                if let Some(l) = &node_label {
+                    body.push(BodyElem::Atom(self.node_atom(l, &to_role)?));
+                }
+            }
+            len_vars.push(len_var);
+            prev_label = node_label;
+        }
+
+        // l = l1 + l2 + ... summed left to right.
+        let total = len_vars
+            .iter()
+            .map(|v| DlExpr::var(v))
+            .reduce(|acc, v| DlExpr::Arith {
+                op: ArithOp::Add,
+                lhs: Box::new(acc),
+                rhs: Box::new(v),
+            })
+            .expect("chains have at least one step");
+        body.push(BodyElem::eq(DlExpr::var("l"), total));
+
+        self.program.schema.upsert(RelationDecl::new(
+            sp_name.clone(),
+            vec![
+                Column::new("src", ValueType::Int),
+                Column::new("dst", ValueType::Int),
+                Column::new("len", ValueType::Int),
+            ],
+            RelationKind::Idb,
+        ));
+        self.program.add_rule(Rule::new(
+            Atom::new(sp_name.clone(), vec![Term::var("s"), Term::var("d"), Term::var("l")]),
+            body,
+        ));
+        // Keep only the minimal *total* length per (source, target) pair —
+        // the same lattice the single-segment shortest path uses.
+        self.program.set_lattice(sp_name.clone(), LatticeMerge::MinOnColumn(2));
+
+        let len_var = self.fresh_var("len");
+        self.var_types.insert(len_var.clone(), ValueType::Int);
+        Ok(vec![BodyElem::Atom(Atom::new(
+            sp_name,
+            vec![Term::var(&c.src.var), Term::var(&c.dst().var), Term::var(&len_var)],
+        ))])
+    }
+
+    // ----- UNWIND -----------------------------------------------------------
+
+    /// Lower `UNWIND [v1, ...] AS x`: the list becomes an inline-constant EDB
+    /// (facts from literals, written as `UnwindList<k>(x) :- x = v.` rules so
+    /// the optimizer can propagate the constants), which is cross-joined into
+    /// the frontier exactly like a MATCH.
+    fn lower_unwind(&mut self, u: &pgir::UnwindConstruct) -> Result<()> {
+        if self.bindings.contains_key(&u.alias) {
+            return Err(RaqletError::semantic(format!(
+                "UNWIND alias `{}` is already bound",
+                u.alias
+            )));
+        }
+        if u.values.is_empty() {
+            return Err(RaqletError::semantic(
+                "UNWIND over an empty list produces no rows; Raqlet rejects it like IN []",
+            ));
+        }
+        self.unwind_count += 1;
+        let list_name = format!("UnwindList{}", self.unwind_count);
+        let rule_name = format!("Unwind{}", self.unwind_count);
+
+        let ty = u.values.iter().find_map(|v| v.value_type()).unwrap_or(ValueType::Int);
+        self.var_types.insert(u.alias.clone(), ty);
+        self.declare_idb(&list_name, std::slice::from_ref(&u.alias));
+        for v in &u.values {
+            self.program.add_rule(Rule::new(
+                Atom::new(list_name.clone(), vec![Term::var(&u.alias)]),
+                vec![BodyElem::eq(DlExpr::var(&u.alias), DlExpr::Const(v.clone()))],
+            ));
+        }
+
+        // Chain into the frontier: every current row is extended with one
+        // binding of the alias per list element.
+        let mut head_vars = self.frontier_vars();
+        let mut body = Vec::new();
+        if let Some(atom) = self.frontier_atom() {
+            body.push(BodyElem::Atom(atom));
+        }
+        body.push(BodyElem::Atom(Atom::new(list_name, vec![Term::var(&u.alias)])));
+        push_unique(&mut head_vars, &u.alias);
+        let head = Atom::new(rule_name.clone(), head_vars.iter().map(|v| Term::var(v)).collect());
+        self.declare_idb(&rule_name, &head_vars);
+        self.program.add_rule(Rule::new(head, body));
+
+        self.bindings.insert(u.alias.clone(), Binding::Scalar { ty });
+        self.frontier = Some((rule_name, head_vars));
+        Ok(())
     }
 
     // ----- WHERE ------------------------------------------------------------
@@ -1102,6 +1436,186 @@ mod tests {
         let match_rule = p.rules_for("Match1")[0];
         let body: Vec<String> = match_rule.body.iter().map(|b| b.to_string()).collect();
         assert!(body.iter().any(|b| b.contains("<= 2")), "{body:?}");
+    }
+
+    #[test]
+    fn zero_hop_unbounded_pattern_emits_the_zero_hop_base() {
+        // Regression: `*0..` used to lower to plain min-1-hop transitive
+        // closure because `needs_length` ignored `min_hops == 0`, silently
+        // losing the zero-hop rows.
+        let lowered = lower("MATCH (a:Person {id: 1})-[:KNOWS*0..]->(b:Person) RETURN b.id AS id");
+        let rules = lowered.program.rules_for("Path1");
+        // base + recursive + zero-hop; unbounded reachability stays
+        // length-free (a length column would not terminate on cycles).
+        assert_eq!(rules.len(), 3);
+        assert!(rules.iter().all(|r| r.head.arity() == 2));
+        let zero = rules
+            .iter()
+            .find(|r| r.head.terms[0] == r.head.terms[1])
+            .unwrap_or_else(|| panic!("no zero-hop rule in {rules:?}"));
+        assert!(zero.positive_dependencies().contains(&"Person"), "{zero}");
+    }
+
+    #[test]
+    fn zero_hop_bounded_pattern_emits_the_zero_hop_base_with_length() {
+        let lowered = lower("MATCH (a:Person {id: 1})-[:KNOWS*0..2]->(b:Person) RETURN b.id AS id");
+        let rules = lowered.program.rules_for("Path1");
+        assert!(rules.iter().all(|r| r.head.arity() == 3));
+        assert!(
+            rules
+                .iter()
+                .any(|r| r.head.terms[0] == r.head.terms[1] && r.head.terms[2] == Term::int(0)),
+            "missing zero-hop base: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn zero_only_bounds_emit_no_hop_rules() {
+        // `*0..0` matches only the zero-hop rows; the length-1 base rule
+        // would leak one-hop rows into consumers that do not re-filter on
+        // the length column (chain steps).
+        let lowered = lower("MATCH (a:Person {id: 1})-[:KNOWS*0..0]->(b:Person) RETURN b.id AS id");
+        let rules = lowered.program.rules_for("Path1");
+        assert_eq!(rules.len(), 1, "{rules:?}");
+        assert_eq!(rules[0].head.terms[0], rules[0].head.terms[1]);
+    }
+
+    #[test]
+    fn zero_hop_without_a_resolvable_label_is_an_error_not_a_silent_skip() {
+        let pg = parse_pg_schema(FIGURE2A).unwrap();
+        let pgir =
+            cypher_to_pgir("MATCH (a)-[:KNOWS*0..]->(b) RETURN 1 AS one", &LowerOptions::new())
+                .unwrap();
+        let err = lower_pgir(&pg, &pgir).unwrap_err();
+        assert!(matches!(err, RaqletError::Unsupported(_)), "{err}");
+        assert!(err.to_string().contains("zero-hop"), "{err}");
+    }
+
+    #[test]
+    fn shortest_path_with_min_hops_above_one_is_rejected_in_dlir_too() {
+        // The PGIR surface also rejects this; the DLIR check covers
+        // hand-built PGIR.
+        let pg = parse_pg_schema(FIGURE2A).unwrap();
+        let pgir = raqlet_pgir::PgirQuery {
+            clauses: vec![
+                raqlet_pgir::PgirClause::Match(raqlet_pgir::MatchConstruct {
+                    optional: false,
+                    patterns: vec![raqlet_pgir::PatternElem::Path(raqlet_pgir::PathPat {
+                        var: "p".into(),
+                        labels: vec!["KNOWS".into()],
+                        directed: false,
+                        src: raqlet_pgir::NodePat::new("a", Some("Person")),
+                        dst: raqlet_pgir::NodePat::new("b", Some("Person")),
+                        min_hops: 2,
+                        max_hops: None,
+                        semantics: raqlet_pgir::PathSemantics::Shortest,
+                    })],
+                }),
+                raqlet_pgir::PgirClause::Return(raqlet_pgir::ReturnConstruct {
+                    distinct: true,
+                    items: vec![raqlet_pgir::OutputItem::new(
+                        raqlet_pgir::PgirExpr::Var("b".into()),
+                        "b",
+                    )],
+                }),
+            ],
+        };
+        let err = lower_pgir(&pg, &pgir).unwrap_err();
+        assert!(matches!(err, RaqletError::Semantic(_)), "{err}");
+    }
+
+    #[test]
+    fn unwind_lowers_to_inline_constant_rules_joined_into_the_frontier() {
+        let lowered =
+            lower("UNWIND [1, 2, 3] AS pid MATCH (n:Person {id: pid}) RETURN n.firstName AS name");
+        let p = &lowered.program;
+        // One rule per list element, each binding the alias by equality.
+        let list_rules = p.rules_for("UnwindList1");
+        assert_eq!(list_rules.len(), 3);
+        assert!(list_rules[0].body.iter().any(|b| b.to_string() == "pid = 1"), "{list_rules:?}");
+        // The frontier rule joins the list (no prior frontier here).
+        let unwind = p.rules_for("Unwind1")[0];
+        assert!(unwind.positive_dependencies().contains(&"UnwindList1"));
+        // The downstream match rule chains through the unwind frontier.
+        let match1 = p.rules_for("Match1")[0];
+        assert!(match1.positive_dependencies().contains(&"Unwind1"));
+        // And the inline property constraint compares against the alias.
+        let names: Vec<_> = p.rules.iter().map(|r| r.head.relation.clone()).collect();
+        assert!(names.contains(&"Where1".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn empty_unwind_lists_are_rejected() {
+        let pg = parse_pg_schema(FIGURE2A).unwrap();
+        let pgir = cypher_to_pgir("UNWIND [] AS x RETURN x AS x", &LowerOptions::new()).unwrap();
+        assert!(matches!(lower_pgir(&pg, &pgir), Err(RaqletError::Semantic(_))));
+    }
+
+    #[test]
+    fn alternative_relationship_types_union_one_body_per_edb() {
+        // KNOWS resolves Person→Person, IS_LOCATED_IN resolves Person→City:
+        // the directed single-hop union produces one Match body per EDB.
+        let lowered = lower("MATCH (a:Person)-[:KNOWS|IS_LOCATED_IN]->(x) RETURN a.id AS id");
+        let rules = lowered.program.rules_for("Match1");
+        assert_eq!(rules.len(), 2);
+        let deps: Vec<_> = rules.iter().flat_map(|r| r.positive_dependencies()).collect();
+        assert!(deps.contains(&"Person_KNOWS_Person"), "{deps:?}");
+        assert!(deps.contains(&"Person_IS_LOCATED_IN_City"), "{deps:?}");
+    }
+
+    #[test]
+    fn undirected_alternative_types_double_each_union_body() {
+        let lowered = lower("MATCH (a:Person)-[:KNOWS|IS_LOCATED_IN]-(x) RETURN a.id AS id");
+        assert_eq!(lowered.program.rules_for("Match1").len(), 4);
+    }
+
+    #[test]
+    fn variable_length_alternative_types_produce_per_edb_hop_rules() {
+        let lowered =
+            lower("MATCH (a:Person {id:1})-[:KNOWS|IS_LOCATED_IN*]->(x) RETURN a.id AS id");
+        let rules = lowered.program.rules_for("Path1");
+        // Two base + two recursive rules (one per EDB each).
+        assert_eq!(rules.len(), 4);
+    }
+
+    #[test]
+    fn multi_hop_shortest_path_chains_per_step_lattice_idbs() {
+        let lowered = lower(
+            "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person)-[:IS_LOCATED_IN]->(c:City)) \
+             RETURN c.id AS cityId",
+        );
+        let p = &lowered.program;
+        // Each step IDB and the summing IDB carry the min lattice on len.
+        for name in ["ShortestPath1Step1", "ShortestPath1Step2", "ShortestPath1"] {
+            assert_eq!(p.lattice_for(name), LatticeMerge::MinOnColumn(2), "{name}");
+        }
+        // The summing rule joins both steps and adds the lengths.
+        let sp = p.rules_for("ShortestPath1")[0];
+        assert!(sp.positive_dependencies().contains(&"ShortestPath1Step1"), "{sp}");
+        assert!(sp.positive_dependencies().contains(&"ShortestPath1Step2"), "{sp}");
+        assert!(sp.body.iter().any(|b| b.to_string().contains("l1 + l2")), "{sp}");
+        // The match rule references only the summing IDB.
+        let match1 = p.rules_for("Match1")[0];
+        assert!(match1.positive_dependencies().contains(&"ShortestPath1"));
+        assert!(!match1.positive_dependencies().contains(&"ShortestPath1Step1"));
+        // The intermediate `b` is existential: it never reaches the match head.
+        assert!(!match1.head.variables().contains(&"b".to_string()), "{match1}");
+    }
+
+    #[test]
+    fn chain_with_bound_intermediate_is_rejected() {
+        let lowered = {
+            let pg = parse_pg_schema(FIGURE2A).unwrap();
+            let pgir = cypher_to_pgir(
+                "MATCH (b:Person {id: 2}) \
+                 MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b)-[:IS_LOCATED_IN]->(c:City)) \
+                 RETURN c.id AS cityId",
+                &LowerOptions::new(),
+            )
+            .unwrap();
+            lower_pgir(&pg, &pgir)
+        };
+        assert!(matches!(lowered, Err(RaqletError::Unsupported(_))), "{lowered:?}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use raqlet_common::cell::{Cell, ValueDict};
 use raqlet_common::hash::{FxHashMap, FxHashSet};
 use raqlet_common::{RaqletError, Relation, Result, Value};
 use raqlet_pgir::{
-    AggFunc, ArithOp, CmpOp, MatchConstruct, OutputItem, PathPat, PathSemantics, PatternElem,
+    AggFunc, ArithOp, ChainPat, CmpOp, MatchConstruct, OutputItem, PathPat, PatternElem,
     PgirClause, PgirExpr, PgirQuery,
 };
 
@@ -140,6 +140,17 @@ impl PropertyGraph {
         self.edges_from_index(&self.incoming, node, label)
     }
 
+    /// Outgoing edges of `node` whose label matches any of `labels` (all
+    /// labels when the slice is empty — `[:A|B]` alternatives).
+    pub fn outgoing_edges_any(&self, node: usize, labels: &[String]) -> Vec<usize> {
+        self.edges_from_index_any(&self.outgoing, node, labels)
+    }
+
+    /// Incoming edges of `node` whose label matches any of `labels`.
+    pub fn incoming_edges_any(&self, node: usize, labels: &[String]) -> Vec<usize> {
+        self.edges_from_index_any(&self.incoming, node, labels)
+    }
+
     fn edges_from_index(
         &self,
         index: &HashMap<(usize, String), Vec<usize>>,
@@ -155,6 +166,19 @@ impl PropertyGraph {
             .collect()
     }
 
+    fn edges_from_index_any(
+        &self,
+        index: &HashMap<(usize, String), Vec<usize>>,
+        node: usize,
+        labels: &[String],
+    ) -> Vec<usize> {
+        index
+            .iter()
+            .filter(|((n, l), _)| *n == node && edge_label_matches_any(l, labels))
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
     /// Neighbours reachable by one hop over `label` edges, respecting
     /// direction when `directed` is true.
     pub fn neighbours(&self, node: usize, label: Option<&str>, directed: bool) -> Vec<usize> {
@@ -165,6 +189,32 @@ impl PropertyGraph {
         }
         out
     }
+
+    /// Neighbours reachable by one hop over edges matching any of `labels`.
+    /// `directed` restricts hops to a stored direction; `forward` picks which
+    /// one (reading order vs. `<-[...]-`).
+    pub fn step_neighbours(
+        &self,
+        node: usize,
+        labels: &[String],
+        directed: bool,
+        forward: bool,
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        if !directed || forward {
+            out.extend(self.outgoing_edges_any(node, labels).iter().map(|&e| self.edges[e].dst));
+        }
+        if !directed || !forward {
+            out.extend(self.incoming_edges_any(node, labels).iter().map(|&e| self.edges[e].src));
+        }
+        out
+    }
+}
+
+/// True when an edge's stored label matches any of the requested label
+/// alternatives (an empty request matches everything).
+fn edge_label_matches_any(label: &str, wanted: &[String]) -> bool {
+    wanted.is_empty() || wanted.iter().any(|w| raqlet_common::schema::labels_match(label, w))
 }
 
 /// A value bound to a PGIR variable during graph execution.
@@ -251,6 +301,19 @@ impl GraphEngine {
                     }
                     output = Some((rel, columns));
                 }
+                PgirClause::Unwind(u) => {
+                    // Native UNWIND: each row fans out into one row per list
+                    // element, with the element bound to the alias.
+                    let mut fanned = Vec::with_capacity(rows.len() * u.values.len());
+                    for row in rows {
+                        for value in &u.values {
+                            let mut r = row.clone();
+                            r.insert(u.alias.clone(), Binding::Scalar(value.clone()));
+                            fanned.push(r);
+                        }
+                    }
+                    rows = fanned;
+                }
             }
             stats.intermediate_rows += rows.len();
         }
@@ -326,26 +389,22 @@ impl GraphEngine {
                         Some(Binding::Node(i)) => Some(*i),
                         _ => None,
                     };
-                    // Candidate edges.
+                    // Candidate edges (any label alternative matches).
                     let candidates: Vec<usize> = if let Some(s) = src_bound {
-                        let mut c = graph.outgoing_edges(s, e.label.as_deref());
+                        let mut c = graph.outgoing_edges_any(s, &e.labels);
                         if !e.directed {
-                            c.extend(graph.incoming_edges(s, e.label.as_deref()));
+                            c.extend(graph.incoming_edges_any(s, &e.labels));
                         }
                         c
                     } else if let Some(d) = dst_bound {
-                        let mut c = graph.incoming_edges(d, e.label.as_deref());
+                        let mut c = graph.incoming_edges_any(d, &e.labels);
                         if !e.directed {
-                            c.extend(graph.outgoing_edges(d, e.label.as_deref()));
+                            c.extend(graph.outgoing_edges_any(d, &e.labels));
                         }
                         c
                     } else {
                         (0..graph.edge_count())
-                            .filter(|&i| {
-                                e.label.as_deref().is_none_or(|l| {
-                                    raqlet_common::schema::labels_match(&graph.edge(i).label, l)
-                                })
-                            })
+                            .filter(|&i| edge_label_matches_any(&graph.edge(i).label, &e.labels))
                             .collect()
                     };
                     for edge_idx in candidates {
@@ -415,6 +474,41 @@ impl GraphEngine {
                     }
                 }
             }
+            PatternElem::Chain(c) => {
+                let dst = c.dst().clone();
+                for row in rows {
+                    stats.expansions += 1;
+                    let sources: Vec<usize> = match row.get(&c.src.var) {
+                        Some(Binding::Node(i)) => vec![*i],
+                        _ => match &c.src.label {
+                            Some(l) => graph.nodes_with_label(l),
+                            None => graph.all_nodes(),
+                        },
+                    };
+                    let target_filter: Option<usize> = match row.get(&dst.var) {
+                        Some(Binding::Node(i)) => Some(*i),
+                        _ => None,
+                    };
+                    for source in sources {
+                        let reached = self.traverse_chain(graph, source, c, &row);
+                        for (node, dist) in reached {
+                            if let Some(t) = target_filter {
+                                if t != node {
+                                    continue;
+                                }
+                            }
+                            if !node_label_matches(graph, node, dst.label.as_deref()) {
+                                continue;
+                            }
+                            let mut r = row.clone();
+                            r.insert(c.src.var.clone(), Binding::Node(source));
+                            r.insert(dst.var.clone(), Binding::Node(node));
+                            r.insert(c.var.clone(), Binding::Scalar(Value::Int(dist as i64)));
+                            out.push(r);
+                        }
+                    }
+                }
+            }
         }
         Ok(out)
     }
@@ -423,40 +517,65 @@ impl GraphEngine {
     /// semantics. Returns reached nodes with their hop distance (for
     /// reachability the minimal distance at which the node was first seen).
     fn traverse(&self, graph: &PropertyGraph, source: usize, p: &PathPat) -> Vec<(usize, u32)> {
-        let max = p.max_hops.unwrap_or(u32::MAX);
-        // BFS over *positive* hop counts: the source itself is only reached
-        // again through a cycle (distance ≥ 1), matching Cypher's semantics
-        // for `*1..` patterns on cyclic graphs.
-        let mut dist: HashMap<usize, u32> = HashMap::new();
-        let mut queue = VecDeque::new();
-        for next in graph.neighbours(source, p.label.as_deref(), p.directed) {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(next) {
-                e.insert(1);
-                queue.push_back(next);
-            }
-        }
-        while let Some(n) = queue.pop_front() {
-            let d = dist[&n];
-            if d >= max {
-                continue;
-            }
-            for next in graph.neighbours(n, p.label.as_deref(), p.directed) {
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(next) {
-                    e.insert(d + 1);
-                    queue.push_back(next);
+        // Incoming single-segment paths are normalised to forward direction
+        // by the PGIR lowering (endpoints swapped), so hops always read
+        // forward here. BFS already yields minimal distances, so for
+        // shortest-path semantics every surviving (node, d) pair is a
+        // shortest path; for plain reachability the distance is
+        // informational only.
+        bfs_segment(graph, source, &p.labels, p.directed, true, p.min_hops, p.max_hops)
+    }
+
+    /// Evaluate a multi-hop shortestPath chain from one source: compose the
+    /// per-step BFS minima left to right, keeping the minimal total distance
+    /// per reached node — the same per-step-minimum composition the DLIR
+    /// lowering performs (lengths are additive, so per-step minima compose).
+    fn traverse_chain(
+        &self,
+        graph: &PropertyGraph,
+        source: usize,
+        c: &ChainPat,
+        row: &Row,
+    ) -> Vec<(usize, u32)> {
+        let last = c.steps.len() - 1;
+        let mut frontier: HashMap<usize, u32> = HashMap::from([(source, 0)]);
+        for (i, step) in c.steps.iter().enumerate() {
+            let mut next: HashMap<usize, u32> = HashMap::new();
+            for (&node, &total) in &frontier {
+                for (reached, d) in bfs_segment(
+                    graph,
+                    node,
+                    &step.labels,
+                    step.directed,
+                    step.forward,
+                    step.min_hops,
+                    step.max_hops,
+                ) {
+                    if i < last {
+                        // Intermediate nodes are existential: enforce their
+                        // label (and a pre-bound variable, if any) here; the
+                        // final node is checked by the caller.
+                        if !node_label_matches(graph, reached, step.node.label.as_deref()) {
+                            continue;
+                        }
+                        if let Some(Binding::Node(b)) = row.get(&step.node.var) {
+                            if *b != reached {
+                                continue;
+                            }
+                        }
+                    }
+                    let candidate = total + d;
+                    next.entry(reached)
+                        .and_modify(|t| *t = (*t).min(candidate))
+                        .or_insert(candidate);
                 }
             }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
         }
-        // A zero-hop match (src = dst with no traversal) is only allowed when
-        // the pattern's minimum is 0, and it dominates any cyclic path back.
-        if p.min_hops == 0 {
-            dist.insert(source, 0);
-        }
-        // BFS already yields minimal distances, so for shortest-path
-        // semantics every surviving (node, d) pair is a shortest path; for
-        // plain reachability the distance is informational only.
-        let _ = PathSemantics::Reachability;
-        dist.into_iter().filter(|(_, d)| *d >= p.min_hops && *d <= max).collect()
+        frontier.into_iter().collect()
     }
 
     fn eval_projection(
@@ -551,6 +670,109 @@ impl GraphEngine {
         }
         Ok(out)
     }
+}
+
+/// BFS over one path segment from `source`: nodes reachable within
+/// `[min_hops, max_hops]` hops over edges matching `labels`, with the minimal
+/// hop distance each was first seen at. The source itself is only reached
+/// again through a cycle (distance ≥ 1) unless `min_hops == 0`, matching
+/// Cypher's semantics for `*1..` patterns on cyclic graphs.
+fn bfs_segment(
+    graph: &PropertyGraph,
+    source: usize,
+    labels: &[String],
+    directed: bool,
+    forward: bool,
+    min_hops: u32,
+    max_hops: Option<u32>,
+) -> Vec<(usize, u32)> {
+    if min_hops >= 2 {
+        // A plain BFS only knows each node's *minimal* distance, but a node
+        // whose minimal distance is below `min_hops` may still be reached by
+        // a longer walk inside the requested range (e.g. bouncing over an
+        // undirected edge) — the Datalog lowering enumerates those walks, so
+        // the graph engine must too.
+        return walk_segment(graph, source, labels, directed, forward, min_hops, max_hops);
+    }
+    let max = max_hops.unwrap_or(u32::MAX);
+    let mut dist: HashMap<usize, u32> = HashMap::new();
+    let mut queue = VecDeque::new();
+    if max >= 1 {
+        for next in graph.step_neighbours(source, labels, directed, forward) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(next) {
+                e.insert(1);
+                queue.push_back(next);
+            }
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        let d = dist[&n];
+        if d >= max {
+            continue;
+        }
+        for next in graph.step_neighbours(n, labels, directed, forward) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(next) {
+                e.insert(d + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    // A zero-hop match (src = dst with no traversal) is only allowed when the
+    // segment's minimum is 0, and it dominates any cyclic path back.
+    if min_hops == 0 {
+        dist.insert(source, 0);
+    }
+    dist.into_iter().filter(|(_, d)| *d >= min_hops && *d <= max).collect()
+}
+
+/// Walk-semantics traversal for `min_hops >= 2`: iterate exact-length
+/// frontier sets up to `max_hops` (or `min_hops` when unbounded), recording
+/// each node at the first qualifying walk length; for unbounded patterns the
+/// exactly-`min_hops` set is then extended by an ordinary BFS — mirroring the
+/// two-phase DLIR lowering.
+fn walk_segment(
+    graph: &PropertyGraph,
+    source: usize,
+    labels: &[String],
+    directed: bool,
+    forward: bool,
+    min_hops: u32,
+    max_hops: Option<u32>,
+) -> Vec<(usize, u32)> {
+    let cap = max_hops.unwrap_or(min_hops);
+    let mut result: HashMap<usize, u32> = HashMap::new();
+    let mut frontier: Vec<usize> = vec![source];
+    for l in 1..=cap {
+        let mut next: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for &n in &frontier {
+            next.extend(graph.step_neighbours(n, labels, directed, forward));
+        }
+        frontier = next.into_iter().collect();
+        if frontier.is_empty() {
+            break;
+        }
+        if l >= min_hops {
+            for &n in &frontier {
+                result.entry(n).or_insert(l);
+            }
+        }
+    }
+    if max_hops.is_none() {
+        // `*min..`: everything reachable from a walk of length exactly
+        // `min_hops` also qualifies, at that walk's length plus the
+        // extension.
+        let mut queue: VecDeque<usize> = frontier.into_iter().collect();
+        while let Some(n) = queue.pop_front() {
+            let d = result[&n];
+            for next in graph.step_neighbours(n, labels, directed, forward) {
+                if let std::collections::hash_map::Entry::Vacant(e) = result.entry(next) {
+                    e.insert(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    result.into_iter().collect()
 }
 
 fn node_label_matches(graph: &PropertyGraph, node: usize, label: Option<&str>) -> bool {
@@ -792,6 +1014,75 @@ mod tests {
         let result = run("MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN q.id AS id", &g);
         assert!(result.stats.expansions > 0);
         assert!(result.stats.intermediate_rows > 0);
+    }
+
+    #[test]
+    fn unwind_fans_each_row_out_per_list_element() {
+        let g = sample_graph();
+        let result = run(
+            "UNWIND [1, 3] AS pid MATCH (n:Person {id: pid}) \
+             RETURN n.firstName AS name",
+            &g,
+        );
+        assert_eq!(
+            result.rows.sorted(),
+            vec![vec![Value::str("Alice")], vec![Value::str("Carol")]]
+        );
+    }
+
+    #[test]
+    fn alternative_relationship_types_match_either_label() {
+        let g = sample_graph();
+        // Alice -KNOWS-> Bob and Alice -IS_LOCATED_IN-> Edinburgh.
+        let result =
+            run("MATCH (a:Person {id: 1})-[:KNOWS|IS_LOCATED_IN]->(x) RETURN x.id AS id", &g);
+        assert_eq!(result.rows.sorted(), vec![vec![Value::Int(2)], vec![Value::Int(100)]]);
+    }
+
+    #[test]
+    fn zero_hop_variable_length_includes_the_source() {
+        let g = sample_graph();
+        let result =
+            run("MATCH (a:Person {id: 1})-[:KNOWS*0..1]->(b:Person) RETURN b.id AS id", &g);
+        // Zero hops reaches Alice herself; one hop reaches Bob.
+        assert_eq!(result.rows.sorted(), vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn multi_hop_shortest_path_composes_per_step_minima() {
+        let g = sample_graph();
+        // Shortest KNOWS-path to any person, then their city: via Bob/Carol
+        // the chain reaches Glasgow; under walk semantics the undirected
+        // Alice–Bob edge also leads back to Alice (2 hops), then Edinburgh.
+        let result = run(
+            "MATCH p = shortestPath((a:Person {id: 1})-[:KNOWS*]-(b:Person)-[:IS_LOCATED_IN]->(c:City)) \
+             RETURN c.name AS name",
+            &g,
+        );
+        assert_eq!(
+            result.rows.sorted(),
+            vec![vec![Value::str("Edinburgh")], vec![Value::str("Glasgow")]]
+        );
+    }
+
+    #[test]
+    fn multi_hop_shortest_path_binds_the_minimal_total_length() {
+        let g = sample_graph();
+        // Glasgow is reachable via Bob (1 KNOWS hop + 1 location hop) and
+        // via Carol (2 + 1); Edinburgh via the walk back to Alice (2 + 1).
+        // The path variable carries the minimal total per city.
+        let result = run(
+            "MATCH p = shortestPath((a:Person {id: 1})-[:KNOWS*]-(b:Person)-[:IS_LOCATED_IN]->(c:City)) \
+             RETURN c.name AS name, p AS totalHops",
+            &g,
+        );
+        assert_eq!(
+            result.rows.sorted(),
+            vec![
+                vec![Value::str("Edinburgh"), Value::Int(3)],
+                vec![Value::str("Glasgow"), Value::Int(2)]
+            ]
+        );
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct SocialNetwork {
     /// (person, person, creationDate) friendships, stored once per direction
     /// they were created in (KNOWS is traversed undirected by the queries).
     pub knows: Vec<(i64, i64, i64)>,
+    /// (follower, followee, creationDate) follows — the second, sparser
+    /// person-to-person relation, used by the `:KNOWS|FOLLOWS` alternative
+    /// relationship-type queries.
+    pub follows: Vec<(i64, i64, i64)>,
     pub messages: Vec<Message>,
     pub tags: Vec<(i64, String)>,
     /// (person, message, creationDate) likes.
@@ -64,6 +68,7 @@ impl SocialNetwork {
             + self.cities.len()
             + self.countries.len()
             + self.knows.len()
+            + self.follows.len()
             + self.messages.len()
             + self.likes.len()
     }
@@ -159,6 +164,23 @@ pub fn generate(config: &GeneratorConfig) -> SocialNetwork {
                 network.knows.push((a, b, date));
             }
         }
+    }
+
+    // Follows: a sparser directed person→person relation (roughly half the
+    // density of KNOWS, no symmetry requirement, at most one followee per
+    // person so every edge is unique by construction). The first person
+    // always follows someone, keeping the benchmark parameter useful.
+    for i in 0..person_count {
+        if i != 0 && !rng.gen_bool(0.5) {
+            continue;
+        }
+        let j =
+            if i == 0 { rng.gen_range(1..person_count) } else { rng.gen_range(0..person_count) };
+        if i == j {
+            continue;
+        }
+        let date = 20_110_101 + rng.gen_range(0..80_000);
+        network.follows.push((1000 + i, 1000 + j, date));
     }
 
     // Messages: skew creators toward low ids (active users), occasional

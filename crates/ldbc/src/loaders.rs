@@ -114,6 +114,13 @@ pub fn to_database(network: &SocialNetwork) -> Database {
         }
     }
     {
+        let rel = db.get_or_create("Person_FOLLOWS_Person", 4);
+        for (a, b, date) in &network.follows {
+            row.start().int(*a).int(*b).int(next_edge_id()).int(*date);
+            rel.insert_cells(&row.cells);
+        }
+    }
+    {
         let rel = db.get_or_create("Person_IS_LOCATED_IN_City", 3);
         for p in &network.persons {
             row.start().int(p.id).int(p.city).int(next_edge_id());
@@ -209,6 +216,14 @@ pub fn to_property_graph(network: &SocialNetwork) -> PropertyGraph {
     for (a, b, date) in &network.knows {
         graph.add_edge(
             "KNOWS",
+            person_idx[a],
+            person_idx[b],
+            vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
+        );
+    }
+    for (a, b, date) in &network.follows {
+        graph.add_edge(
+            "FOLLOWS",
             person_idx[a],
             person_idx[b],
             vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],

@@ -104,9 +104,52 @@ pub const FRIEND_MESSAGE_COUNTS: BenchmarkQuery = BenchmarkQuery {
     recursive: false,
 };
 
+/// Profiles for an explicit list of persons — LDBC's multi-parameter lookup
+/// idiom, exercising `UNWIND` end-to-end (previously rejected in lowering).
+pub const UNWIND_PROFILES: BenchmarkQuery = BenchmarkQuery {
+    name: "UNW1",
+    description: "profiles for an explicit person-id list (UNWIND workload)",
+    cypher: "UNWIND [$personId, $otherId] AS pid\n\
+             MATCH (n:Person {id: pid})\n\
+             RETURN DISTINCT n.id AS personId, n.firstName AS firstName,\n\
+                    n.lastName AS lastName",
+    recursive: false,
+};
+
+/// Neighbours over either person-to-person relation — alternative
+/// relationship types (`:KNOWS|FOLLOWS`), previously rejected in lowering.
+pub const ALT_NEIGHBOURS: BenchmarkQuery = BenchmarkQuery {
+    name: "ALT1",
+    description: "persons connected by KNOWS or FOLLOWS (alternative rel types)",
+    cypher: "MATCH (p:Person {id: $personId})-[:KNOWS|FOLLOWS]-(f:Person)\n\
+             RETURN DISTINCT f.id AS personId",
+    recursive: false,
+};
+
+/// Closest cities: shortest KNOWS-path to any person, extended by their city
+/// — a multi-hop `shortestPath` pattern (previously rejected in lowering).
+pub const CQ13_CITIES: BenchmarkQuery = BenchmarkQuery {
+    name: "CQ13B",
+    description: "cities of persons on shortest KNOWS paths (multi-hop shortestPath)",
+    cypher: "MATCH sp = shortestPath((a:Person {id: $personId})-[:KNOWS*]-(b:Person)\
+-[:IS_LOCATED_IN]->(c:City))\n\
+             RETURN DISTINCT c.id AS cityId, c.name AS cityName",
+    recursive: true,
+};
+
 /// All queries, in the order the benchmark harness reports them.
-pub const ALL_QUERIES: &[BenchmarkQuery] =
-    &[SQ1, CQ2, SQ3, CQ1, REACHABILITY, CQ13, FRIEND_MESSAGE_COUNTS];
+pub const ALL_QUERIES: &[BenchmarkQuery] = &[
+    SQ1,
+    CQ2,
+    SQ3,
+    CQ1,
+    REACHABILITY,
+    CQ13,
+    FRIEND_MESSAGE_COUNTS,
+    UNWIND_PROFILES,
+    ALT_NEIGHBOURS,
+    CQ13_CITIES,
+];
 
 /// The two queries of the paper's Table 1.
 pub const TABLE1_QUERIES: &[BenchmarkQuery] = &[SQ1, CQ2];

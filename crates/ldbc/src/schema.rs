@@ -17,6 +17,7 @@ CREATE GRAPH {
   (tagType     : Tag     { id INT, name STRING }),
 
   (:personType)-[knowsType     : knows       { id INT, creationDate INT }]->(:personType),
+  (:personType)-[followsType   : follows     { id INT, creationDate INT }]->(:personType),
   (:personType)-[locationType  : isLocatedIn { id INT }]->(:cityType),
   (:cityType)-[partOfType      : isPartOf    { id INT }]->(:countryType),
   (:messageType)-[creatorType  : hasCreator  { id INT }]->(:personType),
@@ -30,6 +31,7 @@ CREATE GRAPH {
 /// for loaders and tests.
 pub const EDGE_EDB_NAMES: &[&str] = &[
     "Person_KNOWS_Person",
+    "Person_FOLLOWS_Person",
     "Person_IS_LOCATED_IN_City",
     "City_IS_PART_OF_Country",
     "Message_HAS_CREATOR_Person",
@@ -47,7 +49,7 @@ mod tests {
     fn schema_parses_and_generates_expected_edbs() {
         let pg = raqlet_cypher::parse_pg_schema(SNB_PG_SCHEMA).unwrap();
         assert_eq!(pg.nodes.len(), 5);
-        assert_eq!(pg.edges.len(), 7);
+        assert_eq!(pg.edges.len(), 8);
         let dl = raqlet_dlir::generate_dl_schema(&pg).unwrap();
         for name in EDGE_EDB_NAMES {
             assert!(dl.contains(name), "missing EDB {name}");

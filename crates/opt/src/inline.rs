@@ -120,6 +120,17 @@ fn inlinable(
     if defs.iter().any(|d| d.head.arity() != atom.arity()) {
         return false;
     }
+    // Substitution maps the definition's head *variables* onto the call
+    // arguments, so every head term must be a distinct variable: a constant
+    // head term (a fact such as a magic seed or an UNWIND list entry) or a
+    // repeated variable (`p(x, x)`) carries a binding the substitution would
+    // silently drop, changing the rule's meaning.
+    if defs.iter().any(|d| {
+        let vars = d.head.variables();
+        vars.len() != d.head.arity()
+    }) {
+        return false;
+    }
     true
 }
 
@@ -379,6 +390,37 @@ mod tests {
         });
         p.add_rule(deg);
         p.add_rule(Rule::new(Atom::with_vars("q", &["x", "d"]), vec![atom("deg", &["x", "d"])]));
+        p.add_output("q");
+        let (_, changed) = inline(&p, &InlineConfig::default());
+        assert!(!changed);
+    }
+
+    #[test]
+    fn constant_head_facts_are_never_inlined() {
+        // seed(1).   q(x, y) :- seed(x), e(x, y).
+        // Inlining the fact would substitute nothing (its head has no
+        // variables) and silently delete the `x = 1` restriction along with
+        // the binding of `x` — exactly what a magic seed or an UNWIND list
+        // entry looks like.
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::new("seed", vec![Term::int(1)]), vec![]));
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x", "y"]),
+            vec![atom("seed", &["x"]), atom("e", &["x", "y"])],
+        ));
+        p.add_output("q");
+        let (inlined, changed) = inline(&p, &InlineConfig::default());
+        assert!(!changed);
+        assert!(inlined.rules_for("q")[0].positive_dependencies().contains(&"seed"));
+    }
+
+    #[test]
+    fn repeated_head_variables_are_never_inlined() {
+        // refl(x, x) :- node(x).   q(a, b) :- refl(a, b).
+        // Mapping head vars onto call args would drop the a = b constraint.
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(Atom::with_vars("refl", &["x", "x"]), vec![atom("node", &["x"])]));
+        p.add_rule(Rule::new(Atom::with_vars("q", &["a", "b"]), vec![atom("refl", &["a", "b"])]));
         p.add_output("q");
         let (_, changed) = inline(&p, &InlineConfig::default());
         assert!(!changed);

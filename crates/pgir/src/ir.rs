@@ -37,12 +37,15 @@ impl PgirQuery {
     /// True if any pattern is a variable-length or shortest-path pattern.
     pub fn is_recursive(&self) -> bool {
         self.clauses.iter().any(|c| match c {
-            PgirClause::Match(m) => m.patterns.iter().any(|p| matches!(p, PatternElem::Path(_))),
+            PgirClause::Match(m) => {
+                m.patterns.iter().any(|p| matches!(p, PatternElem::Path(_) | PatternElem::Chain(_)))
+            }
             _ => false,
         })
     }
 
     /// Count clause constructs of each kind: (match, where, with, return).
+    /// `UNWIND` constructs are not counted (use [`PgirQuery::unwind_count`]).
     pub fn clause_counts(&self) -> (usize, usize, usize, usize) {
         let mut counts = (0, 0, 0, 0);
         for c in &self.clauses {
@@ -51,9 +54,15 @@ impl PgirQuery {
                 PgirClause::Where(_) => counts.1 += 1,
                 PgirClause::With(_) => counts.2 += 1,
                 PgirClause::Return(_) => counts.3 += 1,
+                PgirClause::Unwind(_) => {}
             }
         }
         counts
+    }
+
+    /// Number of `UNWIND` constructs.
+    pub fn unwind_count(&self) -> usize {
+        self.clauses.iter().filter(|c| matches!(c, PgirClause::Unwind(_))).count()
     }
 }
 
@@ -68,6 +77,18 @@ pub enum PgirClause {
     With(WithConstruct),
     /// Final projection.
     Return(ReturnConstruct),
+    /// `UNWIND <list> AS x`, normalised to a constant list: each incoming row
+    /// is extended with one binding of `alias` per list element.
+    Unwind(UnwindConstruct),
+}
+
+/// An `UNWIND` construct over a constant list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnwindConstruct {
+    /// The variable each element is bound to.
+    pub alias: String,
+    /// The list elements (parameters already substituted).
+    pub values: Vec<Value>,
 }
 
 /// A `MATCH` construct: a conjunction of pattern elements.
@@ -88,6 +109,9 @@ pub enum PatternElem {
     Edge(EdgePat),
     /// A variable-length or shortest-path pattern (recursive after lowering).
     Path(PathPat),
+    /// A shortest path over a multi-hop pattern: per-step path segments whose
+    /// hop counts are summed and minimised per (source, final target) pair.
+    Chain(ChainPat),
 }
 
 impl PatternElem {
@@ -97,6 +121,9 @@ impl PatternElem {
             PatternElem::Node(n) => vec![n.var.clone()],
             PatternElem::Edge(e) => vec![e.src.var.clone(), e.var.clone(), e.dst.var.clone()],
             PatternElem::Path(p) => vec![p.src.var.clone(), p.dst.var.clone()],
+            // Intermediate nodes of a chain are existential: only the two
+            // endpoints remain visible to later clauses.
+            PatternElem::Chain(c) => vec![c.src.var.clone(), c.dst().var.clone()],
         }
     }
 }
@@ -122,10 +149,10 @@ impl NodePat {
 pub struct EdgePat {
     /// Edge binding variable (always present after normalisation, e.g. `x1`).
     pub var: String,
-    /// Edge label, if constrained (alternative labels are expanded by the
-    /// lowering into one pattern per label under a union — currently a single
-    /// label or none).
-    pub label: Option<String>,
+    /// Edge label alternatives (`[:A|B]` keeps both; empty = unconstrained).
+    /// The DLIR lowering expands alternatives into one rule body per
+    /// resolvable edge EDB (a union).
+    pub labels: Vec<String>,
     /// True if the edge must be traversed in its stored direction only.
     pub directed: bool,
     /// Source node pattern (the stored direction's source).
@@ -150,8 +177,9 @@ pub enum PathSemantics {
 pub struct PathPat {
     /// Binding variable for the path (generated when anonymous).
     pub var: String,
-    /// Edge label constraint applied to every hop.
-    pub label: Option<String>,
+    /// Edge label alternatives applied to every hop (`[:A|B*]` lets each hop
+    /// traverse either type; empty = unconstrained, rejected by DLIR).
+    pub labels: Vec<String>,
     /// True if hops must follow the stored edge direction.
     pub directed: bool,
     /// Source node pattern.
@@ -164,6 +192,49 @@ pub struct PathPat {
     pub max_hops: Option<u32>,
     /// Reachability vs. shortest-path semantics.
     pub semantics: PathSemantics,
+}
+
+/// One step of a multi-hop shortest-path chain: a (possibly variable-length)
+/// relationship segment leading to `node`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainStep {
+    /// Edge label alternatives for every hop of this step.
+    pub labels: Vec<String>,
+    /// True if hops must follow a stored edge direction.
+    pub directed: bool,
+    /// True when the stored direction runs reading-order (previous node →
+    /// `node`); false for `<-[...]-` steps. Irrelevant when undirected.
+    pub forward: bool,
+    /// The node this step leads to (the chain's target for the last step;
+    /// an existential intermediate otherwise).
+    pub node: NodePat,
+    /// Minimum hops for this step (a plain relationship is `1..1`).
+    pub min_hops: u32,
+    /// Maximum hops; `None` = unbounded.
+    pub max_hops: Option<u32>,
+}
+
+/// A `shortestPath` over a multi-hop pattern. The total path length is the
+/// sum of the per-step hop counts, minimised per (source, final target) pair;
+/// intermediate nodes are existentially quantified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPat {
+    /// Binding variable for the path (generated when anonymous).
+    pub var: String,
+    /// The leftmost node pattern.
+    pub src: NodePat,
+    /// The steps, left to right (always at least two — single-step shortest
+    /// paths stay [`PathPat`]s).
+    pub steps: Vec<ChainStep>,
+    /// Shortest vs. all-shortest semantics (never plain reachability).
+    pub semantics: PathSemantics,
+}
+
+impl ChainPat {
+    /// The final target node pattern (the last step's node).
+    pub fn dst(&self) -> &NodePat {
+        &self.steps.last().expect("chain patterns have at least one step").node
+    }
 }
 
 /// A `WHERE` construct.
@@ -438,6 +509,16 @@ impl fmt::Display for PgirExpr {
     }
 }
 
+/// Render a label-alternative list for the compact display (`_` when
+/// unconstrained, `A|B` otherwise).
+fn labels_display(labels: &[String]) -> String {
+    if labels.is_empty() {
+        "_".to_string()
+    } else {
+        labels.join("|")
+    }
+}
+
 impl fmt::Display for PgirQuery {
     /// A compact textual rendering of the clause-construct sequence, used by
     /// the Figure 3b example binary and in tests.
@@ -458,7 +539,7 @@ impl fmt::Display for PgirQuery {
                             PatternElem::Edge(e) => writeln!(
                                 f,
                                 "  edge({}, {}, {}, src=node({}, {}), dst=node({}, {}))",
-                                e.label.as_deref().unwrap_or("_"),
+                                labels_display(&e.labels),
                                 e.var,
                                 if e.directed { "directed" } else { "undirected" },
                                 e.src.var,
@@ -469,7 +550,7 @@ impl fmt::Display for PgirQuery {
                             PatternElem::Path(p) => writeln!(
                                 f,
                                 "  path({}, {}, {:?}, {}..{}, src=node({}, {}), dst=node({}, {}))",
-                                p.label.as_deref().unwrap_or("_"),
+                                labels_display(&p.labels),
                                 p.var,
                                 p.semantics,
                                 p.min_hops,
@@ -479,6 +560,30 @@ impl fmt::Display for PgirQuery {
                                 p.dst.var,
                                 p.dst.label.as_deref().unwrap_or("_"),
                             )?,
+                            PatternElem::Chain(c) => {
+                                write!(
+                                    f,
+                                    "  chain({}, {:?}, node({}, {})",
+                                    c.var,
+                                    c.semantics,
+                                    c.src.var,
+                                    c.src.label.as_deref().unwrap_or("_"),
+                                )?;
+                                for step in &c.steps {
+                                    write!(
+                                        f,
+                                        " -[{}*{}..{}]- node({}, {})",
+                                        labels_display(&step.labels),
+                                        step.min_hops,
+                                        step.max_hops
+                                            .map(|m| m.to_string())
+                                            .unwrap_or_else(|| "*".into()),
+                                        step.node.var,
+                                        step.node.label.as_deref().unwrap_or("_"),
+                                    )?;
+                                }
+                                writeln!(f, ")")?;
+                            }
                         }
                     }
                 }
@@ -500,6 +605,11 @@ impl fmt::Display for PgirQuery {
                     for item in &r.items {
                         writeln!(f, "  {} AS {}", item.expr, item.alias)?;
                     }
+                }
+                PgirClause::Unwind(u) => {
+                    let items =
+                        u.values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+                    writeln!(f, "UNWIND [{items}] AS {}", u.alias)?;
                 }
             }
         }
@@ -577,7 +687,7 @@ mod tests {
     fn pattern_bound_vars() {
         let edge = PatternElem::Edge(EdgePat {
             var: "x1".into(),
-            label: Some("KNOWS".into()),
+            labels: vec!["KNOWS".into()],
             directed: true,
             src: NodePat::new("a", Some("Person")),
             dst: NodePat::new("b", Some("Person")),

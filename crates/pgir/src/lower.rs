@@ -72,14 +72,29 @@ impl<'a> Lowerer<'a> {
                 cy::Clause::Match(m) => self.lower_match(m, &mut clauses)?,
                 cy::Clause::With(p) => clauses.push(PgirClause::With(self.lower_with(p)?)),
                 cy::Clause::Return(p) => clauses.push(PgirClause::Return(self.lower_return(p)?)),
-                cy::Clause::Unwind { .. } => {
-                    return Err(RaqletError::unsupported(
-                        "UNWIND is not supported by the PGIR lowering yet",
-                    ))
+                cy::Clause::Unwind { expr, alias } => {
+                    clauses.push(PgirClause::Unwind(self.lower_unwind(expr, alias)?))
                 }
             }
         }
         Ok(PgirQuery { clauses })
+    }
+
+    /// Lower `UNWIND <list> AS alias`. The list must normalise to constants
+    /// (literals or bound parameters) so every backend can materialise it.
+    fn lower_unwind(&mut self, expr: &cy::Expr, alias: &str) -> Result<UnwindConstruct> {
+        let values = match expr {
+            cy::Expr::List(items) => {
+                items.iter().map(|e| self.constant_value(e)).collect::<Result<Vec<_>>>()?
+            }
+            other => {
+                return Err(RaqletError::unsupported(format!(
+                    "UNWIND requires a literal list, got `{other}`"
+                )))
+            }
+        };
+        self.used_vars.insert(alias.to_string());
+        Ok(UnwindConstruct { alias: alias.to_string(), values })
     }
 
     fn lower_match(&mut self, m: &cy::MatchClause, out: &mut Vec<PgirClause>) -> Result<()> {
@@ -117,10 +132,12 @@ impl<'a> Lowerer<'a> {
             return Ok(());
         }
 
-        if pattern.shortest.is_some() && pattern.steps.len() != 1 {
-            return Err(RaqletError::unsupported(
-                "shortestPath over multi-hop patterns is not supported",
-            ));
+        if let Some(kind) = pattern.shortest {
+            if pattern.steps.len() > 1 {
+                let chain = self.lower_chain(pattern, kind, start, predicates)?;
+                patterns.push(PatternElem::Chain(chain));
+                return Ok(());
+            }
         }
 
         let mut prev = start;
@@ -138,6 +155,72 @@ impl<'a> Lowerer<'a> {
             prev = next;
         }
         Ok(())
+    }
+
+    /// Lower a `shortestPath` over a multi-hop pattern into a chain: one
+    /// [`ChainStep`] per relationship, hop counts summed and minimised by the
+    /// DLIR lowering / engines. Intermediate nodes are existential, so
+    /// constraints that would re-expose them (inline properties, relationship
+    /// variables) are rejected.
+    fn lower_chain(
+        &mut self,
+        pattern: &cy::PathPattern,
+        kind: cy::ShortestKind,
+        start: NodePat,
+        predicates: &mut Vec<PgirExpr>,
+    ) -> Result<ChainPat> {
+        let mut steps = Vec::with_capacity(pattern.steps.len());
+        let last = pattern.steps.len() - 1;
+        for (i, (rel, node)) in pattern.steps.iter().enumerate() {
+            if rel.var.is_some() || !rel.properties.is_empty() {
+                return Err(RaqletError::unsupported(
+                    "relationship variables and properties inside a multi-hop shortestPath",
+                ));
+            }
+            if i < last && !node.properties.is_empty() {
+                return Err(RaqletError::unsupported(
+                    "inline properties on intermediate nodes of a multi-hop shortestPath",
+                ));
+            }
+            let (min_hops, max_hops) = match rel.length {
+                Some(len) => (len.min_hops(), len.max),
+                None => (1, Some(1)),
+            };
+            if matches!(max_hops, Some(max) if min_hops > max) {
+                return Err(RaqletError::semantic(format!(
+                    "variable-length bounds `*{min_hops}..{}` can never match",
+                    max_hops.unwrap()
+                )));
+            }
+            if min_hops > 1 {
+                return Err(RaqletError::semantic(
+                    "shortestPath with a minimum hop count above 1 is not supported: the \
+                     shortest path per endpoint pair may be shorter than the requested minimum",
+                ));
+            }
+            let (directed, forward) = match rel.direction {
+                cy::Direction::Outgoing => (true, true),
+                cy::Direction::Incoming => (true, false),
+                cy::Direction::Undirected => (false, true),
+            };
+            steps.push(ChainStep {
+                labels: rel.types.clone(),
+                directed,
+                forward,
+                node: self.lower_node(node, predicates)?,
+                min_hops,
+                max_hops,
+            });
+        }
+        let var = match &pattern.path_var {
+            Some(p) => p.clone(),
+            None => self.fresh_var(),
+        };
+        let semantics = match kind {
+            cy::ShortestKind::Single => PathSemantics::Shortest,
+            cy::ShortestKind::All => PathSemantics::AllShortest,
+        };
+        Ok(ChainPat { var, src: start, steps, semantics })
     }
 
     fn lower_node(
@@ -178,12 +261,12 @@ impl<'a> Lowerer<'a> {
             (_, _, Some(v)) => v.clone(),
             (_, _, None) => self.fresh_var(),
         };
-        if rel.types.len() > 1 {
+        let labels = rel.types.clone();
+        if labels.len() > 1 && !rel.properties.is_empty() {
             return Err(RaqletError::unsupported(
-                "alternative relationship types (`:A|B`) are not supported yet",
+                "inline properties on a relationship with alternative types (`:A|B`)",
             ));
         }
-        let label = rel.types.first().cloned();
         for (prop, value) in &rel.properties {
             let rhs = self.lower_expr(value)?;
             predicates.push(PgirExpr::eq(PgirExpr::prop(&var, prop), rhs));
@@ -198,21 +281,38 @@ impl<'a> Lowerer<'a> {
         };
 
         if !is_path {
-            return Ok(PatternElem::Edge(EdgePat { var, label, directed, src, dst }));
+            return Ok(PatternElem::Edge(EdgePat { var, labels, directed, src, dst }));
         }
 
         let (min_hops, max_hops) = match rel.length {
             Some(len) => (len.min_hops(), len.max),
             None => (1, None),
         };
+        if matches!(max_hops, Some(max) if min_hops > max) {
+            return Err(RaqletError::semantic(format!(
+                "variable-length bounds `*{min_hops}..{}` can never match",
+                max_hops.unwrap()
+            )));
+        }
         let semantics = match shortest {
             Some(cy::ShortestKind::Single) => PathSemantics::Shortest,
             Some(cy::ShortestKind::All) => PathSemantics::AllShortest,
             None => PathSemantics::Reachability,
         };
+        if !matches!(semantics, PathSemantics::Reachability) && min_hops > 1 {
+            // The auxiliary IDB keeps the *globally* minimal length per
+            // endpoint pair (the min lattice), so a `shortestPath` whose
+            // pattern demands `*2..` would silently drop pairs whose true
+            // shortest path has one hop instead of returning their shortest
+            // path of length >= 2. Reject rather than answer wrongly.
+            return Err(RaqletError::semantic(
+                "shortestPath with a minimum hop count above 1 is not supported: the \
+                 shortest path per endpoint pair may be shorter than the requested minimum",
+            ));
+        }
         Ok(PatternElem::Path(PathPat {
             var,
-            label,
+            labels,
             directed,
             src,
             dst,
@@ -388,22 +488,28 @@ impl<'a> Lowerer<'a> {
 
 fn collect_user_vars(query: &cy::Query, out: &mut HashSet<String>) {
     for clause in &query.clauses {
-        if let cy::Clause::Match(m) = clause {
-            for p in &m.patterns {
-                if let Some(v) = &p.path_var {
-                    out.insert(v.clone());
-                }
-                for n in p.nodes() {
-                    if let Some(v) = &n.var {
+        match clause {
+            cy::Clause::Match(m) => {
+                for p in &m.patterns {
+                    if let Some(v) = &p.path_var {
                         out.insert(v.clone());
                     }
-                }
-                for (r, _) in &p.steps {
-                    if let Some(v) = &r.var {
-                        out.insert(v.clone());
+                    for n in p.nodes() {
+                        if let Some(v) = &n.var {
+                            out.insert(v.clone());
+                        }
+                    }
+                    for (r, _) in &p.steps {
+                        if let Some(v) = &r.var {
+                            out.insert(v.clone());
+                        }
                     }
                 }
             }
+            cy::Clause::Unwind { alias, .. } => {
+                out.insert(alias.clone());
+            }
+            _ => {}
         }
     }
 }
@@ -429,7 +535,7 @@ mod tests {
         let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
         assert_eq!(m.patterns.len(), 1);
         let PatternElem::Edge(e) = &m.patterns[0] else { panic!("expected edge pattern") };
-        assert_eq!(e.label.as_deref(), Some("IS_LOCATED_IN"));
+        assert_eq!(e.labels, vec!["IS_LOCATED_IN"]);
         assert!(e.directed);
         assert_eq!(e.src.var, "n");
         assert_eq!(e.src.label.as_deref(), Some("Person"));
@@ -506,7 +612,7 @@ mod tests {
         assert_eq!(p.min_hops, 1);
         assert_eq!(p.max_hops, Some(3));
         assert_eq!(p.semantics, PathSemantics::Reachability);
-        assert_eq!(p.label.as_deref(), Some("KNOWS"));
+        assert_eq!(p.labels, vec!["KNOWS"]);
     }
 
     #[test]
@@ -635,12 +741,88 @@ mod tests {
     }
 
     #[test]
-    fn unwind_is_rejected() {
-        let ast = parse("UNWIND [1,2] AS x RETURN x").unwrap();
+    fn unwind_lowers_to_a_constant_list_construct() {
+        let q = lower("UNWIND [1, 2, 3] AS x RETURN x AS x");
+        let PgirClause::Unwind(u) = &q.clauses[0] else { panic!("expected UNWIND") };
+        assert_eq!(u.alias, "x");
+        assert_eq!(u.values, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(q.unwind_count(), 1);
+    }
+
+    #[test]
+    fn unwind_parameters_are_substituted_into_the_list() {
+        let opts = LowerOptions::new().with_param("ids", Value::Int(7));
+        let ast = parse("UNWIND [$ids, 9] AS x RETURN x AS x").unwrap();
+        let q = lower_query(&ast, &opts).unwrap();
+        let PgirClause::Unwind(u) = &q.clauses[0] else { panic!() };
+        assert_eq!(u.values, vec![Value::Int(7), Value::Int(9)]);
+    }
+
+    #[test]
+    fn unwind_of_non_list_expressions_is_rejected() {
+        let ast = parse("MATCH (n:Person) UNWIND n.id AS x RETURN x").unwrap();
         assert!(matches!(
             lower_query(&ast, &LowerOptions::new()),
             Err(RaqletError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn alternative_relationship_types_are_kept_as_label_alternatives() {
+        let q = lower("MATCH (a:Person)-[:LIKES|KNOWS]->(b:Person) RETURN b.id AS id");
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Edge(e) = &m.patterns[0] else { panic!() };
+        assert_eq!(e.labels, vec!["LIKES", "KNOWS"]);
+    }
+
+    #[test]
+    fn multi_hop_shortest_path_lowers_to_a_chain() {
+        let q = lower(
+            "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person)-[:IS_LOCATED_IN]->(c:City)) \
+             RETURN c.id AS id",
+        );
+        assert!(q.is_recursive());
+        let PgirClause::Match(m) = &q.clauses[0] else { panic!() };
+        let PatternElem::Chain(chain) = &m.patterns[0] else { panic!("expected chain") };
+        assert_eq!(chain.var, "p");
+        assert_eq!(chain.src.var, "a");
+        assert_eq!(chain.steps.len(), 2);
+        assert_eq!(chain.steps[0].labels, vec!["KNOWS"]);
+        assert!(!chain.steps[0].directed);
+        assert_eq!(chain.steps[0].max_hops, None);
+        assert_eq!(chain.steps[1].labels, vec!["IS_LOCATED_IN"]);
+        assert!(chain.steps[1].directed && chain.steps[1].forward);
+        assert_eq!((chain.steps[1].min_hops, chain.steps[1].max_hops), (1, Some(1)));
+        assert_eq!(chain.dst().var, "c");
+        assert_eq!(chain.semantics, PathSemantics::Shortest);
+    }
+
+    #[test]
+    fn empty_variable_length_bounds_are_rejected() {
+        for src in [
+            "MATCH (a:Person)-[:KNOWS*2..1]->(b:Person) RETURN b.id AS id",
+            "MATCH p = shortestPath((a:Person)-[:KNOWS*1..0]-(b:Person)-[:KNOWS]-(c:Person)) \
+             RETURN c.id AS id",
+        ] {
+            let ast = parse(src).unwrap();
+            let err = lower_query(&ast, &LowerOptions::new()).unwrap_err();
+            assert!(matches!(err, RaqletError::Semantic(_)), "{src}: {err}");
+        }
+    }
+
+    #[test]
+    fn shortest_path_with_min_hops_above_one_is_a_semantic_error() {
+        // The min lattice keeps the global minimum per pair, so `*2..` under
+        // shortestPath cannot be answered faithfully — it must error.
+        for src in [
+            "MATCH p = shortestPath((a:Person)-[:KNOWS*2..]-(b:Person)) RETURN b.id AS id",
+            "MATCH p = shortestPath((a:Person)-[:KNOWS*2..3]-(b:Person)-[:KNOWS]-(c:Person)) \
+             RETURN c.id AS id",
+        ] {
+            let ast = parse(src).unwrap();
+            let err = lower_query(&ast, &LowerOptions::new()).unwrap_err();
+            assert!(matches!(err, RaqletError::Semantic(_)), "{src}: {err}");
+        }
     }
 
     #[test]

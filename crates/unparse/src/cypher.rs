@@ -33,9 +33,27 @@ pub fn to_cypher(query: &PgirQuery) -> String {
                 let distinct = if r.distinct { "DISTINCT " } else { "" };
                 let _ = writeln!(out, "RETURN {}{}", distinct, items_to_cypher(&r.items));
             }
+            PgirClause::Unwind(u) => {
+                let items = u
+                    .values
+                    .iter()
+                    .map(|v| PgirExpr::Const(v.clone()).to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "UNWIND [{items}] AS {}", u.alias);
+            }
         }
     }
     out.trim_end().to_string()
+}
+
+/// Render a label-alternative list (`:A|B`); empty for unconstrained.
+fn labels_to_cypher(labels: &[String]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!(":{}", labels.join("|"))
+    }
 }
 
 fn match_to_cypher(m: &MatchConstruct) -> String {
@@ -46,10 +64,7 @@ fn match_to_cypher(m: &MatchConstruct) -> String {
         .map(|p| match p {
             PatternElem::Node(n) => node_to_cypher(&n.var, n.label.as_deref()),
             PatternElem::Edge(e) => {
-                let rel = match &e.label {
-                    Some(l) => format!("[{}:{}]", e.var, l),
-                    None => format!("[{}]", e.var),
-                };
+                let rel = format!("[{}{}]", e.var, labels_to_cypher(&e.labels));
                 let arrow = if e.directed { ">" } else { "" };
                 format!(
                     "{}-{}-{}{}",
@@ -60,7 +75,7 @@ fn match_to_cypher(m: &MatchConstruct) -> String {
                 )
             }
             PatternElem::Path(p) => {
-                let label = p.label.as_deref().map(|l| format!(":{l}")).unwrap_or_default();
+                let label = labels_to_cypher(&p.labels);
                 let bounds = match (p.min_hops, p.max_hops) {
                     (1, None) => "*".to_string(),
                     (min, None) => format!("*{min}.."),
@@ -77,6 +92,36 @@ fn match_to_cypher(m: &MatchConstruct) -> String {
                     PathSemantics::Reachability => body,
                     PathSemantics::Shortest => format!("{} = shortestPath({})", p.var, body),
                     PathSemantics::AllShortest => format!("{} = allShortestPaths({})", p.var, body),
+                }
+            }
+            PatternElem::Chain(c) => {
+                let mut body = node_to_cypher(&c.src.var, c.src.label.as_deref());
+                for step in &c.steps {
+                    let label = labels_to_cypher(&step.labels);
+                    // A `1..1` step is a plain relationship; everything else
+                    // keeps explicit bounds.
+                    let bounds = match (step.min_hops, step.max_hops) {
+                        (1, Some(1)) => String::new(),
+                        (1, None) => "*".to_string(),
+                        (min, None) => format!("*{min}.."),
+                        (min, Some(max)) => format!("*{min}..{max}"),
+                    };
+                    let (left, right) = match (step.directed, step.forward) {
+                        (true, true) => ("-", "->"),
+                        (true, false) => ("<-", "-"),
+                        (false, _) => ("-", "-"),
+                    };
+                    let _ = write!(
+                        body,
+                        "{left}[{label}{bounds}]{right}{}",
+                        node_to_cypher(&step.node.var, step.node.label.as_deref()),
+                    );
+                }
+                match c.semantics {
+                    PathSemantics::AllShortest => {
+                        format!("{} = allShortestPaths({})", c.var, body)
+                    }
+                    _ => format!("{} = shortestPath({})", c.var, body),
                 }
             }
         })
@@ -161,6 +206,35 @@ mod tests {
         );
         assert!(sp.contains("shortestPath("), "{sp}");
         assert!(sp.contains("[:KNOWS*]"), "{sp}");
+    }
+
+    #[test]
+    fn unwind_and_alternative_types_round_trip() {
+        let text = round_trip(
+            "UNWIND [1, 2] AS pid MATCH (n:Person)-[:KNOWS|LIKES]->(m:Person) \
+             RETURN n.id AS id",
+        );
+        assert!(text.contains("UNWIND [1, 2] AS pid"), "{text}");
+        assert!(text.contains(":KNOWS|LIKES]->"), "{text}");
+        // The rendering is a fixed point under re-parsing.
+        let reparsed = cypher_to_pgir(&text, &LowerOptions::new()).unwrap();
+        assert_eq!(to_cypher(&reparsed), text);
+    }
+
+    #[test]
+    fn multi_hop_shortest_path_chains_round_trip() {
+        let src =
+            "MATCH p = shortestPath((a:Person)-[:KNOWS*]-(b:Person)<-[:HAS_CREATOR]-(m:Message)) \
+                   RETURN m.id AS id";
+        let text = round_trip(src);
+        assert!(
+            text.contains(
+                "p = shortestPath((a:Person)-[:KNOWS*]-(b:Person)<-[:HAS_CREATOR]-(m:Message))"
+            ),
+            "{text}"
+        );
+        let reparsed = cypher_to_pgir(&text, &LowerOptions::new()).unwrap();
+        assert_eq!(to_cypher(&reparsed), text);
     }
 
     #[test]

@@ -42,6 +42,118 @@ fn sq1_person_profile() {
     check_query("SQ1", raqlet_ldbc::SQ1.cypher, &[]);
 }
 
+/// The variable-length / path-pattern matrix: every bound shape (`*0..`,
+/// `*0..2`, `*2..3`, exact, undirected, incoming), `shortestPath` (single and
+/// multi-hop), alternative relationship types, and `UNWIND` must agree
+/// row-for-row on the Datalog engine, both SQL profiles, and the graph
+/// engine. Each entry is also required to be non-empty, so the engines can
+/// not trivially "agree" on nothing.
+#[test]
+fn variable_length_and_path_matrix() {
+    let matrix: &[(&str, &str)] = &[
+        (
+            "*0.. directed (zero-hop regression)",
+            "MATCH (a:Person {id: $personId})-[:KNOWS*0..]->(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "*0..2 bounded zero-hop",
+            "MATCH (a:Person {id: $personId})-[:KNOWS*0..2]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "*2..3 undirected",
+            "MATCH (a:Person {id: $personId})-[:KNOWS*2..3]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "*1..2 incoming",
+            "MATCH (a:Person {id: $personId})<-[:KNOWS*1..2]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "*2.. unbounded with a minimum",
+            "MATCH (a:Person {id: $personId})-[:KNOWS*2..]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "*2 exact hop count",
+            "MATCH (a:Person {id: $personId})-[:KNOWS*2]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "shortestPath unbounded undirected",
+            "MATCH p = shortestPath((a:Person {id: $personId})-[:KNOWS*]-(b:Person)) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "shortestPath *0..",
+            "MATCH p = shortestPath((a:Person {id: $personId})-[:KNOWS*0..]-(b:Person)) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            ":A|B undirected",
+            "MATCH (a:Person {id: $personId})-[:KNOWS|FOLLOWS]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            ":A|B variable-length",
+            "MATCH (a:Person {id: $personId})-[:KNOWS|FOLLOWS*1..2]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "UNWIND joined into a match",
+            "UNWIND [$personId, $otherId] AS pid MATCH (n:Person {id: pid}) \
+             RETURN DISTINCT n.id AS id, n.firstName AS firstName",
+        ),
+        (
+            "multi-hop shortestPath",
+            "MATCH sp = shortestPath((a:Person {id: $personId})-[:KNOWS*]-(b:Person)\
+-[:IS_LOCATED_IN]->(c:City)) RETURN DISTINCT c.id AS cityId",
+        ),
+        (
+            "multi-hop shortestPath with a *0..0 step",
+            // A zero-only step must not leak one-hop rows: the chain
+            // collapses to a's own city on every engine.
+            "MATCH sp = shortestPath((a:Person {id: $personId})-[:KNOWS*0..0]-(b:Person)\
+-[:IS_LOCATED_IN]->(c:City)) RETURN DISTINCT c.id AS cityId",
+        ),
+    ];
+    let other = generate(&GeneratorConfig { scale: 0.4, seed: 7 }).persons[1].id;
+    for (name, cypher) in matrix {
+        check_query(name, cypher, &[("otherId", raqlet::Value::Int(other))]);
+    }
+}
+
+/// Acceptance pin for the `needs_length` bug: `*0..` must return the
+/// zero-hop row (the source itself) on every engine.
+#[test]
+fn zero_hop_rows_are_returned_on_all_engines() {
+    let (db, graph, person) = workload();
+    let raqlet = Raqlet::from_pg_schema(SNB_PG_SCHEMA).unwrap();
+    let options = CompileOptions::new(OptLevel::Full).with_param("personId", person);
+    let compiled = raqlet
+        .compile(
+            "MATCH (a:Person {id: $personId})-[:KNOWS*0..]->(b:Person) \
+             RETURN DISTINCT b.id AS id",
+            &options,
+        )
+        .unwrap();
+    let zero_hop_row = vec![raqlet::Value::Int(person)];
+    for (engine, rows) in [
+        ("datalog", compiled.execute_datalog(&db).unwrap()),
+        ("duckdb-sim", compiled.execute_sql(&db, SqlProfile::Duck).unwrap()),
+        ("hyper-sim", compiled.execute_sql(&db, SqlProfile::Hyper).unwrap()),
+        ("graph", compiled.execute_graph(&graph).unwrap()),
+    ] {
+        assert!(
+            rows.sorted().contains(&zero_hop_row),
+            "{engine}: zero-hop row {zero_hop_row:?} missing from {:?}",
+            rows.sorted()
+        );
+    }
+}
+
 #[test]
 fn sq3_direct_friends() {
     check_query("SQ3", raqlet_ldbc::SQ3.cypher, &[]);
