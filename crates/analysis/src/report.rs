@@ -6,7 +6,7 @@
 //! Section 4 of the paper.
 
 use raqlet_common::{RaqletError, Result};
-use raqlet_dlir::{stratify, DlirProgram};
+use raqlet_dlir::{stratify, DepGraph, DlirProgram};
 
 use crate::linearity::{linearity, Linearity};
 use crate::monotonicity::{monotonicity, Monotonicity};
@@ -26,6 +26,13 @@ pub struct AnalysisReport {
     pub termination_risks: Vec<TerminationRisk>,
     /// Number of strata when the program stratifies.
     pub stratum_count: Option<usize>,
+    /// Strongly connected components of the rule-head dependency graph
+    /// (the units the engine schedules), and how many of them need a
+    /// fixpoint loop (self- or mutual recursion). `looping_scc_count == 0`
+    /// means the whole program evaluates in single-round passes.
+    pub scc_count: usize,
+    /// SCCs that require iterating to fixpoint.
+    pub looping_scc_count: usize,
     /// True if any relation is recursive.
     pub recursive: bool,
 }
@@ -47,6 +54,10 @@ impl AnalysisReport {
         lines.push(format!(
             "strata:             {}",
             self.stratum_count.map(|n| n.to_string()).unwrap_or_else(|| "n/a".into())
+        ));
+        lines.push(format!(
+            "sccs:               {} ({} looping)",
+            self.scc_count, self.looping_scc_count
         ));
         lines.push(format!("termination risks:  {}", self.termination_risks.len()));
         lines
@@ -119,12 +130,23 @@ impl BackendCapabilities {
 pub fn analyze(program: &DlirProgram) -> AnalysisReport {
     let lin = linearity(program);
     let recursive = !matches!(lin, Linearity::NonRecursive);
+    let graph = DepGraph::build(program);
+    let mut heads: Vec<String> = Vec::new();
+    for rule in &program.rules {
+        if !heads.contains(&rule.head.relation) {
+            heads.push(rule.head.relation.clone());
+        }
+    }
+    let groups = graph.condense(&heads);
+    let looping_scc_count = groups.iter().filter(|g| g.looping).count();
     AnalysisReport {
         linearity: lin,
         mutual_groups: mutual_recursion_groups(program),
         monotonicity: monotonicity(program),
         termination_risks: termination(program),
         stratum_count: stratify(program).ok().map(|s| s.len()),
+        scc_count: groups.len(),
+        looping_scc_count,
         recursive,
     }
 }
@@ -211,7 +233,30 @@ mod tests {
         assert_eq!(report.monotonicity, Monotonicity::Monotonic);
         assert!(report.termination_risks.is_empty());
         assert_eq!(report.stratum_count, Some(1));
-        assert_eq!(report.summary().len(), 6);
+        assert_eq!(report.scc_count, 1);
+        assert_eq!(report.looping_scc_count, 1);
+        assert_eq!(report.summary().len(), 7);
+    }
+
+    #[test]
+    fn scc_counts_distinguish_looping_from_single_round_components() {
+        // tc loops; a downstream projection of it does not.
+        let mut p = linear_tc();
+        p.add_rule(Rule::new(Atom::with_vars("twice", &["x", "y"]), vec![atom("tc", &["x", "y"])]));
+        let report = analyze(&p);
+        assert_eq!(report.scc_count, 2);
+        assert_eq!(report.looping_scc_count, 1);
+
+        // A fully non-recursive program needs no fixpoint anywhere.
+        let mut flat = DlirProgram::default();
+        flat.add_rule(Rule::new(
+            Atom::with_vars("hop2", &["x", "z"]),
+            vec![atom("edge", &["x", "y"]), atom("edge", &["y", "z"])],
+        ));
+        let flat_report = analyze(&flat);
+        assert_eq!(flat_report.scc_count, 1);
+        assert_eq!(flat_report.looping_scc_count, 0);
+        assert!(!flat_report.recursive);
     }
 
     #[test]

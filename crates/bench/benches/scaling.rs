@@ -33,12 +33,19 @@ const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
 
 /// Report the workload's resident storage footprint (packed arenas, indexes
 /// and the shared value dictionary) so the scaling sweep records memory
-/// alongside time. Lines go to stdout and — like the timing records — are
-/// appended to `CRITERION_JSON` when set; the CI bench-smoke job asserts a
-/// non-zero value is reported.
-fn report_heap_bytes(scale: f64, db: &raqlet::Database) {
+/// alongside time. `index_bytes` breaks out the join-index share of
+/// `heap_bytes`, so index-memory regressions (building undeclared indexes)
+/// are visible separately from arena growth. Lines go to stdout and — like
+/// the timing records — are appended to `CRITERION_JSON` when set; the CI
+/// bench-smoke job asserts a non-zero value is reported.
+///
+/// `db` is the *fresh* workload (arena + dictionary bytes, comparable with
+/// earlier snapshots); `index_bytes` is measured on a warm
+/// [`PreparedDatabase`] after one execution, when the plan-declared indexes
+/// exist.
+fn report_heap_bytes(scale: f64, db: &raqlet::Database, index_bytes: usize) {
     let record = format!(
-        "{{\"id\":\"scaling/memory/sf{scale}\",\"heap_bytes\":{},\"tuples\":{}}}",
+        "{{\"id\":\"scaling/memory/sf{scale}\",\"heap_bytes\":{},\"index_bytes\":{index_bytes},\"tuples\":{}}}",
         db.heap_bytes(),
         db.total_tuples()
     );
@@ -55,7 +62,6 @@ fn scaling(c: &mut Criterion) {
     let scales: &[f64] = if quick_mode() { &[0.25, 0.5] } else { &[0.25, 0.5, 1.0, 2.0] };
     for &scale in scales {
         let workload = Workload::new(scale);
-        report_heap_bytes(scale, &workload.db);
         // The full-mode thread sweep targets the large scale factors where
         // per-round deltas are big enough to split; quick mode sweeps its
         // tiny scales anyway so CI exercises (and emits ids for) every
@@ -66,6 +72,11 @@ fn scaling(c: &mut Criterion) {
         group.sample_size(10);
         let unopt = workload.compile(REACHABILITY.cypher, OptLevel::None);
         let opt = workload.compile(REACHABILITY.cypher, OptLevel::Full);
+        // One warm execution materialises exactly the plan-declared indexes;
+        // record their footprint next to the fresh arena bytes.
+        let mut prepared = PreparedDatabase::new(workload.db.clone());
+        unopt.execute_datalog_prepared(&mut prepared).unwrap();
+        report_heap_bytes(scale, &workload.db, prepared.database().index_heap_bytes());
         group.bench_function(BenchmarkId::from_parameter("semi-naive"), |b| {
             b.iter(|| unopt.execute_datalog(&workload.db).unwrap())
         });
@@ -85,7 +96,6 @@ fn scaling(c: &mut Criterion) {
                 );
             }
         }
-        let mut prepared = PreparedDatabase::new(workload.db.clone());
         group.bench_function(BenchmarkId::from_parameter("semi-naive-warm"), |b| {
             b.iter(|| unopt.execute_datalog_prepared(&mut prepared).unwrap())
         });

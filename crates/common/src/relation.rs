@@ -810,6 +810,18 @@ impl Relation {
         self.indexes.insert(columns.to_vec(), index);
     }
 
+    /// Materialize every index in `column_sets` that does not already exist
+    /// (see [`Relation::ensure_index`]). This is the declaration hook for
+    /// compile-time index-requirements analysis: the engine's program plan
+    /// computes exactly which column sets its join schedules will probe and
+    /// declares them here once, up front, instead of relying on lazy builds
+    /// on first probe.
+    pub fn require_indexes(&mut self, column_sets: &[Vec<usize>]) {
+        for columns in column_sets {
+            self.ensure_index(columns);
+        }
+    }
+
     /// Probe a previously built index (see [`Relation::ensure_index`]) with
     /// a packed key (projected cells in column order). Returns `None` if no
     /// index exists over `columns`; otherwise an iterator over the live
@@ -924,13 +936,18 @@ impl Relation {
             + self.dedup.values().map(IdList::heap_bytes).sum::<usize>();
         let staged_dedup = self.staged_dedup.capacity() * (8 + size_of::<IdList>() + 8)
             + self.staged_dedup.values().map(IdList::heap_bytes).sum::<usize>();
-        let indexes: usize = self
-            .indexes
+        let dict_share = self.dict.heap_bytes() / Arc::strong_count(&self.dict).max(1);
+        vecs + dedup + staged_dedup + self.index_heap_bytes() + dict_share
+    }
+
+    /// Approximate heap footprint of the persistent hash indexes alone (a
+    /// subset of [`Relation::heap_bytes`]), so benchmarks can report index
+    /// overhead separately from arena storage.
+    pub fn index_heap_bytes(&self) -> usize {
+        self.indexes
             .iter()
             .map(|(cols, idx)| cols.capacity() * size_of::<usize>() + idx.heap_bytes())
-            .sum();
-        let dict_share = self.dict.heap_bytes() / Arc::strong_count(&self.dict).max(1);
-        vecs + dedup + staged_dedup + indexes + dict_share
+            .sum()
     }
 }
 
@@ -1107,6 +1124,12 @@ impl Database {
             .map(|r| r.heap_bytes() - r.dict().heap_bytes() / Arc::strong_count(r.dict()).max(1))
             .sum();
         relations + self.dict.heap_bytes()
+    }
+
+    /// Approximate heap footprint of persistent indexes across all stored
+    /// relations (see [`Relation::index_heap_bytes`]).
+    pub fn index_heap_bytes(&self) -> usize {
+        self.relations.values().map(|r| r.index_heap_bytes()).sum()
     }
 }
 

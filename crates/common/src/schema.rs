@@ -84,16 +84,24 @@ impl EdgeType {
     }
 }
 
-/// Compare a schema edge/node label with a query label.
+/// Canonical form of a node/edge label: underscores removed, lowercased.
 ///
 /// Cypher queries conventionally write edge labels in `SCREAMING_SNAKE_CASE`
 /// (`IS_LOCATED_IN`) while PG-Schema examples use `camelCase`
-/// (`isLocatedIn`). Raqlet matches them by comparing the labels with
-/// underscores removed, case-insensitively — exactly the correspondence used
-/// in the paper's running example.
+/// (`isLocatedIn`); both normalize to `islocatedin`, which is the key every
+/// label-driven lookup uses. Because normalization is lossy (`HasTag` and
+/// `HAS_TAG` collide), loaders must reject *distinct* label spellings that
+/// share a normal form at insert time — matching two spellings at lookup
+/// time is the feature, silently merging two different labels is not.
+pub fn normalize_label(label: &str) -> String {
+    label.chars().filter(|c| *c != '_').collect::<String>().to_ascii_lowercase()
+}
+
+/// Compare a schema edge/node label with a query label by normal form (see
+/// [`normalize_label`]) — exactly the correspondence used in the paper's
+/// running example.
 pub fn labels_match(schema_label: &str, query_label: &str) -> bool {
-    let norm = |s: &str| s.chars().filter(|c| *c != '_').collect::<String>().to_ascii_lowercase();
-    norm(schema_label) == norm(query_label)
+    normalize_label(schema_label) == normalize_label(query_label)
 }
 
 /// A property-graph schema: the input to Raqlet's data-model transformation.
@@ -111,16 +119,29 @@ impl PgSchema {
         Self::default()
     }
 
-    /// Add a node type. Errors if a node type with the same label exists.
+    /// Add a node type. Errors if a node type with the same label exists —
+    /// including a *differently spelled* label that normalizes to the same
+    /// form (label lookups are keyed by normal form, so `HasTag` and
+    /// `HAS_TAG` would silently merge; see [`normalize_label`]).
     pub fn add_node(&mut self, node: NodeType) -> Result<()> {
-        if self.nodes.iter().any(|n| n.label == node.label) {
-            return Err(RaqletError::schema(format!("duplicate node label `{}`", node.label)));
+        if let Some(existing) = self.nodes.iter().find(|n| labels_match(&n.label, &node.label)) {
+            if existing.label == node.label {
+                return Err(RaqletError::schema(format!("duplicate node label `{}`", node.label)));
+            }
+            return Err(RaqletError::schema(format!(
+                "node label `{}` collides with `{}` under label normalization \
+                 (underscores and case are ignored); rename one of them",
+                node.label, existing.label
+            )));
         }
         self.nodes.push(node);
         Ok(())
     }
 
-    /// Add an edge type. Errors if source or target node types are missing.
+    /// Add an edge type. Errors if source or target node types are missing,
+    /// or if a *differently spelled* edge label normalizes to the same form
+    /// as an existing one (an identical spelling between other endpoint
+    /// pairs stays legal — several edge types may share one label).
     pub fn add_edge(&mut self, edge: EdgeType) -> Result<()> {
         for endpoint in [&edge.src, &edge.dst] {
             if !self.nodes.iter().any(|n| n.type_name == *endpoint) {
@@ -129,6 +150,15 @@ impl PgSchema {
                     edge.label, endpoint
                 )));
             }
+        }
+        if let Some(existing) =
+            self.edges.iter().find(|e| e.label != edge.label && labels_match(&e.label, &edge.label))
+        {
+            return Err(RaqletError::schema(format!(
+                "edge label `{}` collides with `{}` under label normalization \
+                 (underscores and case are ignored); rename one of them",
+                edge.label, existing.label
+            )));
         }
         self.edges.push(edge);
         Ok(())
@@ -379,6 +409,40 @@ mod tests {
         assert!(s.add_edge(e.clone()).is_err());
         s.add_node(city()).unwrap();
         assert!(s.add_edge(e).is_ok());
+    }
+
+    #[test]
+    fn colliding_node_label_spellings_are_rejected() {
+        let mut s = PgSchema::new();
+        s.add_node(person()).unwrap();
+        // `PER_SON` is a distinct spelling but normalizes to `person`:
+        // lookups could not tell the two apart, so loading must fail loudly.
+        let mut clash = person();
+        clash.type_name = "perSonType".into();
+        clash.label = "PER_SON".into();
+        let err = s.add_node(clash).unwrap_err();
+        assert!(err.to_string().contains("collides"), "{err}");
+        assert!(err.to_string().contains("Person"), "{err}");
+    }
+
+    #[test]
+    fn colliding_edge_label_spellings_are_rejected() {
+        let mut s = PgSchema::new();
+        s.add_node(person()).unwrap();
+        s.add_node(city()).unwrap();
+        let edge = |label: &str| EdgeType {
+            type_name: format!("{label}Type"),
+            label: label.into(),
+            src: "personType".into(),
+            dst: "cityType".into(),
+            properties: vec![],
+        };
+        s.add_edge(edge("HasTag")).unwrap();
+        let err = s.add_edge(edge("HAS_TAG")).unwrap_err();
+        assert!(err.to_string().contains("collides"), "{err}");
+        // The *same* spelling between (possibly different) endpoints stays
+        // legal: several edge types may share one label.
+        assert!(s.add_edge(edge("HasTag")).is_ok());
     }
 
     #[test]

@@ -295,29 +295,35 @@ mod tests {
 
     fn sample_graph() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        let ada = g.add_node(
-            "Person",
-            vec![
-                ("id", Value::Int(42)),
-                ("firstName", Value::str("Ada")),
-                ("locationIP", Value::str("1.2.3.4")),
-            ],
-        );
-        let bob = g.add_node(
-            "Person",
-            vec![
-                ("id", Value::Int(43)),
-                ("firstName", Value::str("Bob")),
-                ("locationIP", Value::str("4.3.2.1")),
-            ],
-        );
-        let edi =
-            g.add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))]);
-        let gla =
-            g.add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))]);
-        g.add_edge("IS_LOCATED_IN", ada, edi, vec![("id", Value::Int(1))]);
-        g.add_edge("IS_LOCATED_IN", bob, gla, vec![("id", Value::Int(2))]);
-        g.add_edge("KNOWS", ada, bob, vec![("id", Value::Int(3))]);
+        let ada = g
+            .add_node(
+                "Person",
+                vec![
+                    ("id", Value::Int(42)),
+                    ("firstName", Value::str("Ada")),
+                    ("locationIP", Value::str("1.2.3.4")),
+                ],
+            )
+            .unwrap();
+        let bob = g
+            .add_node(
+                "Person",
+                vec![
+                    ("id", Value::Int(43)),
+                    ("firstName", Value::str("Bob")),
+                    ("locationIP", Value::str("4.3.2.1")),
+                ],
+            )
+            .unwrap();
+        let edi = g
+            .add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))])
+            .unwrap();
+        let gla = g
+            .add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))])
+            .unwrap();
+        g.add_edge("IS_LOCATED_IN", ada, edi, vec![("id", Value::Int(1))]).unwrap();
+        g.add_edge("IS_LOCATED_IN", bob, gla, vec![("id", Value::Int(2))]).unwrap();
+        g.add_edge("KNOWS", ada, bob, vec![("id", Value::Int(3))]).unwrap();
         g
     }
 

@@ -155,6 +155,47 @@ impl DepGraph {
     pub fn recursive_relations(&self) -> Vec<String> {
         self.nodes.iter().filter(|n| self.is_recursive(n)).cloned().collect()
     }
+
+    /// Condense the subgraph induced by `members` into its strongly
+    /// connected components, in dependency order (a component's
+    /// dependencies among `members` always precede it). Each group is
+    /// marked `looping` when a fixpoint is required: either the component
+    /// has more than one relation (mutual recursion) or its single relation
+    /// depends directly on itself. Members unknown to the graph (heads of
+    /// fact rules never referenced elsewhere, for example) come back as
+    /// non-looping singletons.
+    pub fn condense(&self, members: &[String]) -> Vec<SccGroup> {
+        let wanted: BTreeSet<&String> = members.iter().collect();
+        let mut groups = Vec::new();
+        let mut placed: BTreeSet<String> = BTreeSet::new();
+        for scc in self.sccs() {
+            let relations: Vec<String> = scc.into_iter().filter(|n| wanted.contains(n)).collect();
+            if relations.is_empty() {
+                continue;
+            }
+            placed.extend(relations.iter().cloned());
+            let looping = relations.len() > 1 || relations.iter().any(|r| self.depends_on(r, r));
+            groups.push(SccGroup { relations, looping });
+        }
+        for member in members {
+            if !placed.contains(member) {
+                groups.push(SccGroup { relations: vec![member.clone()], looping: false });
+            }
+        }
+        groups
+    }
+}
+
+/// One strongly connected component of the dependency graph, restricted to a
+/// caller-chosen set of relations (see [`DepGraph::condense`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccGroup {
+    /// The relations in the component.
+    pub relations: Vec<String>,
+    /// Whether evaluating the component requires iterating to fixpoint
+    /// (self- or mutual recursion). Non-looping components are fully
+    /// derivable in a single rule application round.
+    pub looping: bool,
 }
 
 #[cfg(test)]
@@ -248,6 +289,35 @@ mod tests {
         let pos_edge = sccs.iter().position(|s| s.contains(&"edge".to_string())).unwrap();
         let pos_tc = sccs.iter().position(|s| s.contains(&"tc".to_string())).unwrap();
         assert!(pos_edge < pos_tc, "dependencies must come before dependents: {sccs:?}");
+    }
+
+    #[test]
+    fn condensation_orders_components_and_marks_looping() {
+        // B :- A. (two single-relation components in one stratum, no loop)
+        let mut p = program_tc();
+        p.add_rule(Rule::new(
+            Atom::with_vars("twice", &["x", "y"]),
+            vec![BodyElem::Atom(Atom::with_vars("tc", &["x", "y"]))],
+        ));
+        let g = DepGraph::build(&p);
+        let groups = g.condense(&["twice".to_string(), "tc".to_string(), "ghost".to_string()]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], SccGroup { relations: vec!["tc".into()], looping: true });
+        assert_eq!(groups[1], SccGroup { relations: vec!["twice".into()], looping: false });
+        // Members the graph has never seen become trailing non-looping
+        // singletons.
+        assert_eq!(groups[2], SccGroup { relations: vec!["ghost".into()], looping: false });
+    }
+
+    #[test]
+    fn condensation_keeps_mutual_recursion_together() {
+        let g = DepGraph::build(&program_mutual());
+        let groups = g.condense(&["even".to_string(), "odd".to_string()]);
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].looping);
+        assert_eq!(groups[0].relations.len(), 2);
+        assert!(groups[0].relations.contains(&"even".to_string()));
+        assert!(groups[0].relations.contains(&"odd".to_string()));
     }
 
     #[test]

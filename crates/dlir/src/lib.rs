@@ -21,7 +21,7 @@ pub mod schema_gen;
 pub mod stratify;
 pub mod validate;
 
-pub use depgraph::{DepGraph, DepKind};
+pub use depgraph::{DepGraph, DepKind, SccGroup};
 pub use ir::*;
 pub use lower::{lower_pgir, lower_pgir_with_schema, LoweredQuery};
 pub use schema_gen::{edge_label_to_snake, generate_dl_schema};

@@ -6,9 +6,14 @@
 //!
 //! * strata are computed with [`raqlet_dlir::stratify()`] and evaluated bottom
 //!   up;
-//! * inside a stratum, rules are iterated to a fixpoint using either naive or
+//! * inside a stratum, the rule dependency graph is **condensed into strongly
+//!   connected components** ([`DepGraph::condense`]) and evaluated one SCC at
+//!   a time in dependency order. Non-looping components (no self- or mutual
+//!   recursion) evaluate in exactly **one round** with no delta machinery at
+//!   all; looping components run a fixpoint using either naive or
 //!   **semi-naive** evaluation (the default; naive is kept for the ablation
-//!   benchmarks);
+//!   benchmarks), with the frontier and working set restricted to the
+//!   component's own relations;
 //! * programs are *precompiled* into a `ProgramPlan`: validation,
 //!   stratification and per-rule slot resolution happen once, constants are
 //!   dictionary-encoded to packed [`Cell`]s, and every variable gets a fixed
@@ -20,10 +25,14 @@
 //!   delta of one recursive atom and probes *persistent* hash indexes on the
 //!   stable (full) sets of the other atoms. Index keys and probes are packed
 //!   cells — `u64` word compares, no string hashing, no refcount traffic.
-//!   Indexes are built lazily, once per (relation, bound-columns) pair, and
-//!   are extended in place as tuples are published (see
-//!   [`raqlet_common::Relation`]), so no index is ever rebuilt between
-//!   fixpoint iterations;
+//!   The exact column sets each relation needs are computed **at compile
+//!   time**: every join schedule is planned statically when the `ProgramPlan`
+//!   is built, its probe columns are collected into the plan's
+//!   `required_indexes` declaration, and evaluation materializes precisely
+//!   those (via [`raqlet_common::Relation::require_indexes`]) before the
+//!   first rule fires. Indexes are extended in place as tuples are published
+//!   (see [`raqlet_common::Relation`]), so no index is ever built — let alone
+//!   rebuilt — during fixpoint iteration;
 //! * derivations are *staged* inside the head relation and published at the
 //!   end of each round ([`raqlet_common::Relation::advance`]), which makes
 //!   the published tuples of a round exactly the next round's delta;
@@ -130,7 +139,15 @@ impl DatalogConfig {
 pub struct EvalStats {
     /// Number of strata evaluated.
     pub strata: usize,
-    /// Total fixpoint iterations across all strata.
+    /// Strongly connected components scheduled across all strata (only
+    /// components owning at least one fixpoint rule are counted).
+    pub sccs: usize,
+    /// Components that required fixpoint iteration (self- or mutual
+    /// recursion). `sccs - looping_sccs` components were fully evaluated in
+    /// a single round with no delta bookkeeping.
+    pub looping_sccs: usize,
+    /// Total evaluation rounds across all components (one per non-looping
+    /// component; round zero plus every delta round for looping ones).
     pub iterations: usize,
     /// Total number of rule applications (rule × iteration).
     pub rule_applications: usize,
@@ -296,8 +313,19 @@ impl DatalogEngine {
             db.get_or_create(name, *arity);
         }
 
+        // Materialize exactly the index requirements the compiled join
+        // schedules declared (plus lattice merge groups). Joins and
+        // negations are read-only from here on: evaluation never builds an
+        // undeclared index (`extend_with_atom` keeps a scan fallback as a
+        // correctness safety net for relations absent at this point).
+        for (name, column_sets) in &plan.required_indexes {
+            if let Some(rel) = db.get_mut(name) {
+                rel.require_indexes(column_sets);
+            }
+        }
+
         for stratum in &plan.strata {
-            if stratum.agg_rules.is_empty() && stratum.fix_rules.is_empty() {
+            if stratum.agg_rules.is_empty() && stratum.sccs.is_empty() {
                 continue;
             }
             self.evaluate_stratum(stratum, db, threads, &mut stats)?;
@@ -333,65 +361,32 @@ impl DatalogEngine {
             publish_derived(plan, db, derived)?;
         }
 
-        // Round zero: evaluate every fixpoint rule against the full database,
-        // staging derivations inside the head relations. Advancing publishes
-        // them and makes them the first delta.
-        for plan in &stratum.fix_rules {
-            stats.rule_applications += 1;
-            let derived = self.apply_rule(plan, db, None, threads, stats)?;
-            stats.tuples_derived += derived.rows;
-            stage_derived(plan, db, derived)?;
-        }
-        stats.iterations += 1;
-        let mut any_new = false;
-        for name in &stratum.relations {
-            if let Some(rel) = db.get_mut(name) {
-                any_new |= rel.advance() > 0;
-            }
-        }
-
-        // Fixpoint rounds: each recursive atom occurrence drives one
-        // delta-first join against the persistent indexes on the stable sets.
-        if stratum.recursive {
-            while any_new {
-                for plan in &stratum.fix_rules {
-                    if plan.recursive_positions.is_empty() {
-                        continue;
-                    }
-                    match self.config.strategy {
-                        EvalStrategy::Naive => {
-                            stats.rule_applications += 1;
-                            let derived = self.apply_rule(plan, db, None, threads, stats)?;
-                            stats.tuples_derived += derived.rows;
-                            stage_derived(plan, db, derived)?;
-                        }
-                        EvalStrategy::SemiNaive => {
-                            // One evaluation per recursive atom occurrence,
-                            // scanning the delta for that occurrence.
-                            for &pos in &plan.recursive_positions {
-                                let delta_empty = match &plan.body[pos] {
-                                    PlanElem::Atom(a) => {
-                                        db.get(&a.relation).is_none_or(|r| r.delta_is_empty())
-                                    }
-                                    _ => true,
-                                };
-                                if delta_empty {
-                                    continue;
-                                }
-                                stats.rule_applications += 1;
-                                let derived =
-                                    self.apply_rule(plan, db, Some(pos), threads, stats)?;
-                                stats.tuples_derived += derived.rows;
-                                stage_derived(plan, db, derived)?;
-                            }
-                        }
-                    }
+        // Components run in dependency order (the condensation of the rule
+        // dependency graph is acyclic), so by the time a component runs,
+        // everything it reads outside itself — lower strata and earlier
+        // components of this stratum — is fully published.
+        for scc in &stratum.sccs {
+            stats.sccs += 1;
+            if scc.looping {
+                stats.looping_sccs += 1;
+                self.evaluate_scc_fixpoint(scc, db, threads, stats)?;
+            } else {
+                // Non-looping component: every rule reads only fully
+                // computed relations, so one application per rule derives
+                // the complete result — publish directly, no delta
+                // machinery.
+                for plan in &scc.rules {
+                    stats.rule_applications += 1;
+                    let derived = self.apply_rule(plan, db, None, threads, stats)?;
+                    stats.tuples_derived += derived.rows;
+                    publish_derived(plan, db, derived)?;
                 }
                 stats.iterations += 1;
-                any_new = false;
-                for name in &stratum.relations {
+                // Lattice publication announces improvements in the next
+                // delta; drop that bookkeeping — nothing iterates here.
+                for name in &scc.relations {
                     if let Some(rel) = db.get_mut(name) {
-                        any_new |= rel.advance() > 0;
+                        rel.clear_rounds();
                     }
                 }
             }
@@ -408,6 +403,85 @@ impl DatalogEngine {
         Ok(())
     }
 
+    /// Iterate one looping component to fixpoint. The frontier (delta)
+    /// bookkeeping is confined to the component's own relations, and only
+    /// the component's rules are re-applied per round.
+    fn evaluate_scc_fixpoint(
+        &self,
+        scc: &SccPlan,
+        db: &mut Database,
+        threads: usize,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        // Round zero: evaluate every rule of the component against the full
+        // database, staging derivations inside the head relations. Advancing
+        // publishes them and makes them the first delta.
+        for plan in &scc.rules {
+            stats.rule_applications += 1;
+            let derived = self.apply_rule(plan, db, None, threads, stats)?;
+            stats.tuples_derived += derived.rows;
+            stage_derived(plan, db, derived)?;
+        }
+        stats.iterations += 1;
+        let mut any_new = false;
+        for name in &scc.relations {
+            if let Some(rel) = db.get_mut(name) {
+                any_new |= rel.advance() > 0;
+            }
+        }
+
+        // Fixpoint rounds: each recursive atom occurrence drives one
+        // delta-first join against the persistent indexes on the stable sets.
+        while any_new {
+            for plan in &scc.rules {
+                if plan.recursive_positions.is_empty() {
+                    continue;
+                }
+                match self.config.strategy {
+                    EvalStrategy::Naive => {
+                        stats.rule_applications += 1;
+                        let derived = self.apply_rule(plan, db, None, threads, stats)?;
+                        stats.tuples_derived += derived.rows;
+                        stage_derived(plan, db, derived)?;
+                    }
+                    EvalStrategy::SemiNaive => {
+                        // One evaluation per recursive atom occurrence,
+                        // scanning the delta for that occurrence.
+                        for &pos in &plan.recursive_positions {
+                            let delta_empty = match &plan.body[pos] {
+                                PlanElem::Atom(a) => {
+                                    db.get(&a.relation).is_none_or(|r| r.delta_is_empty())
+                                }
+                                _ => true,
+                            };
+                            if delta_empty {
+                                continue;
+                            }
+                            stats.rule_applications += 1;
+                            let derived = self.apply_rule(plan, db, Some(pos), threads, stats)?;
+                            stats.tuples_derived += derived.rows;
+                            stage_derived(plan, db, derived)?;
+                        }
+                    }
+                }
+            }
+            stats.iterations += 1;
+            any_new = false;
+            for name in &scc.relations {
+                if let Some(rel) = db.get_mut(name) {
+                    any_new |= rel.advance() > 0;
+                }
+            }
+        }
+
+        for name in &scc.relations {
+            if let Some(rel) = db.get_mut(name) {
+                rel.clear_rounds();
+            }
+        }
+        Ok(())
+    }
+
     /// Evaluate one rule, returning the derived head rows (packed). When
     /// `delta_pos` is given, the positive atom at that body position scans
     /// the relation's delta (its previous-round frontier) instead of the
@@ -418,17 +492,19 @@ impl DatalogEngine {
     fn apply_rule(
         &self,
         plan: &RulePlan,
-        db: &mut Database,
+        db: &Database,
         delta_pos: Option<usize>,
         threads: usize,
         stats: &mut EvalStats,
     ) -> Result<Derived> {
-        // The join order and every persistent index it (and the negations)
-        // will probe are decided up front on the calling thread; after this
-        // the join needs only `&Database`, so scan chunks can be evaluated
-        // concurrently on scoped worker threads.
-        let (order, prep) = plan_join(plan, db, delta_pos);
-        let db: &Database = db;
+        // The join order and probe-column schedule were computed once at
+        // compile time ([`RulePlan::compile`]); every index they name was
+        // materialized up front by [`DatalogEngine::evaluate_plan`]. The
+        // join therefore needs only `&Database`, so scan chunks can be
+        // evaluated concurrently on scoped worker threads.
+        let schedule = plan.schedule_for(delta_pos);
+        let order: &[usize] = &schedule.order;
+        let prep: &JoinPrep = &schedule.prep;
 
         // The driving scan: the delta slice for delta-driven applications;
         // for round-zero (and aggregate/naive) applications, the full arena
@@ -467,8 +543,6 @@ impl DatalogEngine {
             let workers = threads.min(nrows / self.config.parallel_threshold.max(1)).max(1);
             if workers > 1 && plan.agg.is_none() {
                 let chunk_rows = nrows.div_ceil(workers);
-                let order = &order;
-                let prep = &prep;
                 let mut results: Vec<Result<Derived>> = Vec::new();
                 std::thread::scope(|s| {
                     let handles: Vec<_> = scan
@@ -497,7 +571,7 @@ impl DatalogEngine {
                 return Ok(out);
             }
         }
-        derive_rows(plan, db, &order, &prep, scan)
+        derive_rows(plan, db, order, prep, scan)
     }
 }
 
@@ -615,51 +689,52 @@ fn join_body(
     Ok(envs)
 }
 
-/// Plan one rule application: compute the greedy bound-first processing
-/// order of the rule's positive atoms (the delta atom, if any, drives; then
-/// most-bound-columns-first, ties towards smaller relations) while building
-/// every persistent index the join — and any fully-bound negation — will
-/// probe. Bound-slot progression is simulated statically, including the
-/// bindings contributed by `=` assignment constraints as they become ready;
-/// this simulation agrees exactly with the runtime binding behaviour of
-/// `apply_ready_constraints`, so the returned [`JoinPrep`] column sets are
-/// precisely what the (read-only, possibly multi-threaded) join probes.
-fn plan_join(
-    plan: &RulePlan,
-    db: &mut Database,
-    delta_pos: Option<usize>,
-) -> (Vec<usize>, JoinPrep) {
+/// Plan one rule application **at compile time**: compute the greedy
+/// bound-first processing order of the rule's positive atoms (the delta
+/// atom, if any, drives; then most-bound-columns-first, ties towards the
+/// earliest body position) together with the probe-column schedule of every
+/// atom and fully-bound negation. Bound-slot progression is simulated
+/// statically, including the bindings contributed by `=` assignment
+/// constraints as they become ready; this simulation agrees exactly with
+/// the runtime binding behaviour of `apply_ready_constraints`, so the
+/// returned [`JoinPrep`] column sets are precisely what the (read-only,
+/// possibly multi-threaded) join probes. No index is built here — the
+/// schedule *declares* the (relation, columns) index requirements, which
+/// [`ProgramPlan::prepare`] aggregates and
+/// [`DatalogEngine::evaluate_plan`] materializes once up front.
+fn plan_join_static(body: &[PlanElem], nvars: usize, delta_pos: Option<usize>) -> JoinSchedule {
     let mut prep = JoinPrep {
-        atom_columns: vec![Vec::new(); plan.body.len()],
-        negation_columns: vec![None; plan.body.len()],
+        atom_columns: vec![Vec::new(); body.len()],
+        negation_columns: vec![None; body.len()],
     };
-    let mut bound = vec![false; plan.nvars];
+    let mut bound = vec![false; nvars];
     let mut order: Vec<usize> = Vec::new();
-    let mut remaining: Vec<usize> = plan
-        .body
+    let mut remaining: Vec<usize> = body
         .iter()
         .enumerate()
         .filter(|(i, e)| matches!(e, PlanElem::Atom(_)) && delta_pos != Some(*i))
         .map(|(i, _)| i)
         .collect();
 
-    propagate_assignments(plan, &mut bound);
+    propagate_assignments(body, &mut bound);
     if let Some(p) = delta_pos {
         order.push(p);
-        if let PlanElem::Atom(atom) = &plan.body[p] {
+        if let PlanElem::Atom(atom) = &body[p] {
             mark_atom(atom, &mut bound);
         }
-        propagate_assignments(plan, &mut bound);
+        propagate_assignments(body, &mut bound);
     }
 
     while !remaining.is_empty() {
         // Score: number of columns bound under the current variable set,
-        // then smaller relations first.
+        // ties towards the earliest body position. `max_by_key` keeps the
+        // *last* maximal element, so the position enters the key reversed:
+        // among equal bound-column counts the smallest body index wins.
         let (best_i, _) = remaining
             .iter()
             .enumerate()
             .map(|(i, &idx)| {
-                let PlanElem::Atom(atom) = &plan.body[idx] else { unreachable!() };
+                let PlanElem::Atom(atom) = &body[idx] else { unreachable!() };
                 let bound_cols = atom
                     .terms
                     .iter()
@@ -669,17 +744,15 @@ fn plan_join(
                         PlanTerm::Wildcard => false,
                     })
                     .count();
-                let size = db.get(&atom.relation).map(|r| r.len()).unwrap_or(0);
-                (i, (bound_cols as i64, -(size as i64)))
+                (i, (bound_cols, std::cmp::Reverse(idx)))
             })
             .max_by_key(|(_, score)| *score)
             .expect("remaining is non-empty");
         let idx = remaining.swap_remove(best_i);
         order.push(idx);
-        if let PlanElem::Atom(atom) = &plan.body[idx] {
+        if let PlanElem::Atom(atom) = &body[idx] {
             // The columns the join will probe this atom with are exactly the
-            // ones bound right now; build the index before the (read-only,
-            // possibly multi-threaded) join runs.
+            // ones bound right now.
             let columns: Vec<usize> = atom
                 .terms
                 .iter()
@@ -691,20 +764,15 @@ fn plan_join(
                 })
                 .map(|(i, _)| i)
                 .collect();
-            if !columns.is_empty() {
-                if let Some(rel) = db.get_mut(&atom.relation) {
-                    rel.ensure_index(&columns);
-                }
-            }
             prep.atom_columns[idx] = columns;
             mark_atom(atom, &mut bound);
         }
-        propagate_assignments(plan, &mut bound);
+        propagate_assignments(body, &mut bound);
     }
 
     // Negations run after every atom; when fully bound by then, they probe
     // an index over their non-wildcard columns.
-    for (idx, elem) in plan.body.iter().enumerate() {
+    for (idx, elem) in body.iter().enumerate() {
         let PlanElem::Negated(atom) = elem else { continue };
         let all_vars_bound =
             atom.terms.iter().all(|t| !matches!(t, PlanTerm::Slot(s) if !bound[*s]));
@@ -719,13 +787,10 @@ fn plan_join(
             .map(|(i, _)| i)
             .collect();
         if !columns.is_empty() {
-            if let Some(rel) = db.get_mut(&atom.relation) {
-                rel.ensure_index(&columns);
-            }
             prep.negation_columns[idx] = Some(columns);
         }
     }
-    (order, prep)
+    JoinSchedule { order, prep }
 }
 
 /// Mark every slot the atom binds.
@@ -739,12 +804,12 @@ fn mark_atom(atom: &PlanAtom, bound: &mut [bool]) {
 
 /// Propagate `slot = <ready expr>` assignment constraints into the bound
 /// set, to fixpoint. Shared by the static bound-slot simulations of
-/// `plan_join`, which must agree exactly with the runtime binding behaviour
-/// of `apply_ready_constraints`.
-fn propagate_assignments(plan: &RulePlan, bound: &mut [bool]) {
+/// `plan_join_static`, which must agree exactly with the runtime binding
+/// behaviour of `apply_ready_constraints`.
+fn propagate_assignments(body: &[PlanElem], bound: &mut [bool]) {
     loop {
         let mut changed = false;
-        for elem in &plan.body {
+        for elem in body {
             let PlanElem::Constraint { op, lhs, rhs, .. } = elem else { continue };
             if *op != raqlet_dlir::CmpOp::Eq {
                 continue;
@@ -766,7 +831,9 @@ fn propagate_assignments(plan: &RulePlan, bound: &mut [bool]) {
 }
 
 /// The per-rule-application probe schedule: which columns each body element
-/// probes with, computed once by `plan_join` and reused by every worker.
+/// probes with, computed once at compile time by `plan_join_static` and
+/// reused by every application and every worker.
+#[derive(Debug, Clone)]
 struct JoinPrep {
     /// For each body index holding a positive atom: the columns bound when
     /// the atom is reached in the prepared order (empty = plain scan; the
@@ -776,6 +843,16 @@ struct JoinPrep {
     /// variable is bound by then (probe the index over those columns),
     /// `None` for the scan fallback.
     negation_columns: Vec<Option<Vec<usize>>>,
+}
+
+/// One compiled join schedule: the atom processing order plus the probe
+/// columns of every body element. A rule carries one base schedule
+/// (round-zero / naive / aggregate applications) and one per candidate
+/// delta driver.
+#[derive(Debug, Clone)]
+struct JoinSchedule {
+    order: Vec<usize>,
+    prep: JoinPrep,
 }
 
 /// True if every slot of the expression is marked bound.
@@ -907,9 +984,16 @@ struct RulePlan {
     head_arity: usize,
     /// Merge semantics of the head relation.
     lattice: LatticeMerge,
-    /// Body positions holding positive atoms over this stratum's relations
-    /// (the candidate delta drivers). Empty for non-recursive rules.
+    /// Body positions holding positive atoms over this rule's own strongly
+    /// connected component (the candidate delta drivers). Empty for rules
+    /// of non-looping components.
     recursive_positions: Vec<usize>,
+    /// The compiled join schedule for full (round-zero / naive / aggregate)
+    /// applications.
+    base_schedule: JoinSchedule,
+    /// One compiled schedule per recursive position, keyed by that body
+    /// position (the delta driver).
+    delta_schedules: Vec<(usize, JoinSchedule)>,
     /// The rule's source text, for error messages.
     rule_src: String,
     nvars: usize,
@@ -926,6 +1010,64 @@ impl RulePlan {
     /// Stride of the packed head rows this plan derives.
     fn head_stride(&self) -> usize {
         self.head_arity.max(1)
+    }
+
+    /// The compiled join schedule for the given delta driver (`None` = the
+    /// base schedule).
+    fn schedule_for(&self, delta_pos: Option<usize>) -> &JoinSchedule {
+        match delta_pos {
+            None => &self.base_schedule,
+            Some(pos) => {
+                &self
+                    .delta_schedules
+                    .iter()
+                    .find(|(p, _)| *p == pos)
+                    .expect("delta position was compiled into the plan")
+                    .1
+            }
+        }
+    }
+
+    /// Record every (relation, probe columns) pair this rule's schedules —
+    /// and its head's lattice merge — need an index for.
+    fn collect_required_indexes(
+        &self,
+        required: &mut std::collections::BTreeMap<String, std::collections::BTreeSet<Vec<usize>>>,
+    ) {
+        let mut from_schedule = |schedule: &JoinSchedule| {
+            for (idx, elem) in self.body.iter().enumerate() {
+                match elem {
+                    PlanElem::Atom(atom) => {
+                        let columns = &schedule.prep.atom_columns[idx];
+                        if !columns.is_empty() {
+                            required
+                                .entry(atom.relation.clone())
+                                .or_default()
+                                .insert(columns.clone());
+                        }
+                    }
+                    PlanElem::Negated(atom) => {
+                        if let Some(columns) = &schedule.prep.negation_columns[idx] {
+                            required
+                                .entry(atom.relation.clone())
+                                .or_default()
+                                .insert(columns.clone());
+                        }
+                    }
+                    PlanElem::Constraint { .. } => {}
+                }
+            }
+        };
+        from_schedule(&self.base_schedule);
+        for (_, schedule) in &self.delta_schedules {
+            from_schedule(schedule);
+        }
+        // Lattice heads group on every column except the merge column when
+        // tuples are staged/published (see `Relation::lattice_insert_cells`).
+        if let LatticeMerge::MinOnColumn(col) | LatticeMerge::MaxOnColumn(col) = self.lattice {
+            let group_cols: Vec<usize> = (0..self.head_arity).filter(|&i| i != col).collect();
+            required.entry(self.head_relation.clone()).or_default().insert(group_cols);
+        }
     }
 }
 
@@ -979,7 +1121,7 @@ impl RulePlan {
     fn compile(
         rule: &Rule,
         dict: &std::sync::Arc<ValueDict>,
-        stratum_relations: &[String],
+        scc_relations: &[String],
         lattice: LatticeMerge,
     ) -> RulePlan {
         let mut table = SlotTable::default();
@@ -1013,9 +1155,16 @@ impl RulePlan {
             .iter()
             .enumerate()
             .filter_map(|(p, b)| match b.as_positive_atom() {
-                Some(a) if stratum_relations.contains(&a.relation) => Some(p),
+                Some(a) if scc_relations.contains(&a.relation) => Some(p),
                 _ => None,
             })
+            .collect();
+
+        let nvars = table.var_names.len();
+        let base_schedule = plan_join_static(&body, nvars, None);
+        let delta_schedules: Vec<(usize, JoinSchedule)> = recursive_positions
+            .iter()
+            .map(|&pos| (pos, plan_join_static(&body, nvars, Some(pos))))
             .collect();
 
         RulePlan {
@@ -1023,8 +1172,10 @@ impl RulePlan {
             head_arity: rule.head.arity(),
             lattice,
             recursive_positions,
+            base_schedule,
+            delta_schedules,
             rule_src: rule.to_string(),
-            nvars: table.var_names.len(),
+            nvars,
             var_names: table.var_names,
             body,
             head,
@@ -1034,17 +1185,31 @@ impl RulePlan {
     }
 }
 
-/// One stratum of a precompiled program.
+/// One strongly connected component of a stratum's rule dependency graph:
+/// the unit of fixpoint evaluation.
+#[derive(Debug)]
+pub(crate) struct SccPlan {
+    /// Relations derived in this component (whose deltas matter while the
+    /// component iterates).
+    relations: Vec<String>,
+    /// True when the component needs fixpoint rounds beyond round zero
+    /// (self- or mutual recursion); non-looping components evaluate in
+    /// exactly one round with no delta machinery.
+    looping: bool,
+    /// The component's fixpoint rules, in program order.
+    rules: Vec<RulePlan>,
+}
+
+/// One stratum of a precompiled program: aggregating rules, then the
+/// condensation of the stratum's rule dependency graph in dependency order.
 #[derive(Debug)]
 pub(crate) struct StratumPlan {
-    /// Relations derived in this stratum (whose deltas matter).
+    /// Relations derived in this stratum.
     relations: Vec<String>,
-    /// True when the stratum needs fixpoint rounds beyond round zero.
-    recursive: bool,
     /// Aggregating rules (evaluated once, published immediately).
     agg_rules: Vec<RulePlan>,
-    /// Fixpoint rules, in program order.
-    fix_rules: Vec<RulePlan>,
+    /// The stratum's strongly connected components, dependencies first.
+    sccs: Vec<SccPlan>,
 }
 
 /// A whole program, validated, stratified and compiled to slot/cell form —
@@ -1057,6 +1222,11 @@ pub(crate) struct ProgramPlan {
     /// Every IDB with its arity (created as empty relations up front).
     idbs: Vec<(String, usize)>,
     strata: Vec<StratumPlan>,
+    /// Every persistent index evaluation will probe, per relation: the
+    /// union of the probe columns of every compiled join schedule plus the
+    /// merge-group columns of lattice heads. [`DatalogEngine::evaluate_plan`]
+    /// materializes these once, up front; nothing else builds indexes.
+    required_indexes: Vec<(String, Vec<Vec<usize>>)>,
     /// The dictionary constants were encoded against; evaluation must run
     /// against a database sharing it.
     dict: std::sync::Arc<ValueDict>,
@@ -1064,7 +1234,10 @@ pub(crate) struct ProgramPlan {
 
 impl ProgramPlan {
     /// Validate, stratify and compile `program`, encoding constants against
-    /// `dict`.
+    /// `dict`. Within each stratum the rule dependency graph is condensed
+    /// into strongly connected components (dependencies first), each rule is
+    /// compiled against its own component's member set, and the
+    /// per-relation index requirements of every join schedule are collected.
     pub(crate) fn prepare(
         program: &DlirProgram,
         dict: &std::sync::Arc<ValueDict>,
@@ -1082,6 +1255,10 @@ impl ProgramPlan {
             })
             .collect();
 
+        let mut required: std::collections::BTreeMap<
+            String,
+            std::collections::BTreeSet<Vec<usize>>,
+        > = std::collections::BTreeMap::new();
         let mut strata = Vec::with_capacity(stratification.len());
         for stratum in &stratification.strata {
             let rules: Vec<&Rule> =
@@ -1093,25 +1270,49 @@ impl ProgramPlan {
                 }
             }
             let mut agg_rules = Vec::new();
-            let mut fix_rules = Vec::new();
-            for rule in &rules {
-                let plan = RulePlan::compile(
-                    rule,
-                    dict,
-                    &relations,
-                    program.lattice_for(&rule.head.relation),
-                );
-                if plan.agg.is_some() {
-                    agg_rules.push(plan);
-                } else {
-                    fix_rules.push(plan);
+            let mut sccs = Vec::new();
+            for group in graph.condense(&relations) {
+                let mut scc_rules = Vec::new();
+                for rule in &rules {
+                    if !group.relations.contains(&rule.head.relation) {
+                        continue;
+                    }
+                    let plan = RulePlan::compile(
+                        rule,
+                        dict,
+                        &group.relations,
+                        program.lattice_for(&rule.head.relation),
+                    );
+                    plan.collect_required_indexes(&mut required);
+                    if plan.agg.is_some() {
+                        agg_rules.push(plan);
+                    } else {
+                        scc_rules.push(plan);
+                    }
+                }
+                if !scc_rules.is_empty() {
+                    sccs.push(SccPlan {
+                        relations: group.relations,
+                        looping: group.looping,
+                        rules: scc_rules,
+                    });
                 }
             }
-            let recursive = fix_rules.iter().any(|p| !p.recursive_positions.is_empty())
-                || relations.iter().any(|r| graph.is_recursive(r));
-            strata.push(StratumPlan { relations, recursive, agg_rules, fix_rules });
+            strata.push(StratumPlan { relations, agg_rules, sccs });
         }
-        Ok(ProgramPlan { idbs, strata, dict: dict.clone() })
+        let required_indexes: Vec<(String, Vec<Vec<usize>>)> =
+            required.into_iter().map(|(name, sets)| (name, sets.into_iter().collect())).collect();
+        Ok(ProgramPlan { idbs, strata, required_indexes, dict: dict.clone() })
+    }
+
+    /// The index requirements of the compiled join schedules, per relation.
+    pub(crate) fn required_indexes(&self) -> &[(String, Vec<Vec<usize>>)] {
+        &self.required_indexes
+    }
+
+    /// True when `name` is derived by this program (an IDB head).
+    pub(crate) fn is_idb(&self, name: &str) -> bool {
+        self.idbs.iter().any(|(idb, _)| idb == name)
     }
 }
 
@@ -1849,6 +2050,53 @@ mod tests {
         assert!(result.stats.rule_applications > 0);
         assert!(result.stats.tuples_derived >= result.relation("tc").len());
         assert!(result.stats.strata >= 1);
+    }
+
+    #[test]
+    fn non_looping_sccs_evaluate_in_exactly_one_round() {
+        // hop2 and hop4 are non-recursive but hop4 reads hop2, so both land
+        // in one stratum as two non-looping components in dependency order.
+        let mut p = DlirProgram::default();
+        p.add_rule(Rule::new(
+            Atom::with_vars("hop2", &["x", "z"]),
+            vec![atom("edge", &["x", "y"]), atom("edge", &["y", "z"])],
+        ));
+        p.add_rule(Rule::new(
+            Atom::with_vars("hop4", &["x", "z"]),
+            vec![atom("hop2", &["x", "y"]), atom("hop2", &["y", "z"])],
+        ));
+        p.add_output("hop4");
+        let result = DatalogEngine::new().evaluate(&p, &chain_edges(8)).unwrap();
+        assert_eq!(result.stats.sccs, 2, "{:?}", result.stats);
+        assert_eq!(result.stats.looping_sccs, 0, "{:?}", result.stats);
+        assert_eq!(
+            result.stats.iterations, 2,
+            "each non-looping component must evaluate in exactly one round: {:?}",
+            result.stats
+        );
+        assert_eq!(result.relation("hop2").len(), 7);
+        assert_eq!(result.relation("hop4").len(), 5);
+    }
+
+    #[test]
+    fn looping_sccs_are_detected_and_iterated() {
+        let result = DatalogEngine::new().evaluate(&tc_program(), &chain_edges(6)).unwrap();
+        assert_eq!(result.stats.sccs, 1);
+        assert_eq!(result.stats.looping_sccs, 1);
+        assert!(result.stats.iterations >= 2);
+    }
+
+    #[test]
+    fn evaluation_builds_only_plan_declared_indexes() {
+        // For transitive closure the compiled schedules probe `edge` on its
+        // first column and nothing else: `tc` is always the driving scan.
+        let result = DatalogEngine::new().evaluate(&tc_program(), &chain_edges(6)).unwrap();
+        let edge = result.database.get("edge").unwrap();
+        assert!(edge.has_index(&[0]), "the declared probe index must exist");
+        assert_eq!(edge.index_count(), 1, "no undeclared index may be built");
+        assert_eq!(edge.index_build_count(), 1);
+        let tc = result.database.get("tc").unwrap();
+        assert_eq!(tc.index_count(), 0, "tc is never probed, so it needs no index");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 
 use raqlet_common::cell::{Cell, ValueDict};
 use raqlet_common::hash::{FxHashMap, FxHashSet};
+use raqlet_common::schema::normalize_label;
 use raqlet_common::{RaqletError, Relation, Result, Value};
 use raqlet_pgir::{
     AggFunc, ArithOp, ChainPat, CmpOp, MatchConstruct, OutputItem, PathPat, PatternElem,
@@ -46,16 +47,50 @@ pub struct GraphEdge {
 }
 
 /// An in-memory property graph with adjacency indexes.
+///
+/// Labels are normalized at **insert** time (underscores removed,
+/// lowercased — see [`normalize_label`]), so `nodes_with_label` and the
+/// per-node adjacency lookups are O(1) hash probes keyed by normal form
+/// instead of scans that re-normalize every stored entry per hop. The raw
+/// spelling is kept on each [`GraphNode`]/[`GraphEdge`]. Because
+/// normalization is lossy, inserting a label whose spelling differs from an
+/// earlier one with the same normal form (`HasTag` after `HAS_TAG`) is an
+/// error: the two would silently merge in every lookup.
 #[derive(Debug, Clone, Default)]
 pub struct PropertyGraph {
     nodes: Vec<GraphNode>,
     edges: Vec<GraphEdge>,
-    /// label -> node indexes.
+    /// normalized node label -> node indexes.
     by_label: HashMap<String, Vec<usize>>,
-    /// (src node, edge label) -> edge indexes.
-    outgoing: HashMap<(usize, String), Vec<usize>>,
-    /// (dst node, edge label) -> edge indexes.
-    incoming: HashMap<(usize, String), Vec<usize>>,
+    /// src node -> normalized edge label -> edge indexes.
+    outgoing: HashMap<usize, HashMap<String, Vec<usize>>>,
+    /// dst node -> normalized edge label -> edge indexes.
+    incoming: HashMap<usize, HashMap<String, Vec<usize>>>,
+    /// normalized node label -> first raw spelling seen.
+    node_label_spellings: HashMap<String, String>,
+    /// normalized edge label -> first raw spelling seen.
+    edge_label_spellings: HashMap<String, String>,
+}
+
+/// Record `label` in the spelling registry under its normal form, rejecting
+/// a spelling that differs from the one already registered for that form.
+fn register_spelling(
+    spellings: &mut HashMap<String, String>,
+    kind: &str,
+    label: &str,
+) -> Result<String> {
+    let norm = normalize_label(label);
+    match spellings.get(&norm) {
+        Some(first) if first != label => Err(RaqletError::schema(format!(
+            "{kind} label `{label}` collides with `{first}` under label normalization \
+             (underscores and case are ignored); rename one of them"
+        ))),
+        Some(_) => Ok(norm),
+        None => {
+            spellings.insert(norm.clone(), label.to_string());
+            Ok(norm)
+        }
+    }
 }
 
 impl PropertyGraph {
@@ -64,25 +99,29 @@ impl PropertyGraph {
         Self::default()
     }
 
-    /// Add a node, returning its index.
-    pub fn add_node(&mut self, label: &str, properties: Vec<(&str, Value)>) -> usize {
+    /// Add a node, returning its index. Errors if the label collides with a
+    /// differently spelled label already in the graph (same normal form).
+    pub fn add_node(&mut self, label: &str, properties: Vec<(&str, Value)>) -> Result<usize> {
+        let norm = register_spelling(&mut self.node_label_spellings, "node", label)?;
         let idx = self.nodes.len();
         self.nodes.push(GraphNode {
             label: label.to_string(),
             properties: properties.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         });
-        self.by_label.entry(label.to_string()).or_default().push(idx);
-        idx
+        self.by_label.entry(norm).or_default().push(idx);
+        Ok(idx)
     }
 
-    /// Add an edge, returning its index.
+    /// Add an edge, returning its index. Errors if the label collides with a
+    /// differently spelled label already in the graph (same normal form).
     pub fn add_edge(
         &mut self,
         label: &str,
         src: usize,
         dst: usize,
         properties: Vec<(&str, Value)>,
-    ) -> usize {
+    ) -> Result<usize> {
+        let norm = register_spelling(&mut self.edge_label_spellings, "edge", label)?;
         let idx = self.edges.len();
         self.edges.push(GraphEdge {
             label: label.to_string(),
@@ -90,9 +129,9 @@ impl PropertyGraph {
             dst,
             properties: properties.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         });
-        self.outgoing.entry((src, label.to_string())).or_default().push(idx);
-        self.incoming.entry((dst, label.to_string())).or_default().push(idx);
-        idx
+        self.outgoing.entry(src).or_default().entry(norm.clone()).or_default().push(idx);
+        self.incoming.entry(dst).or_default().entry(norm).or_default().push(idx);
+        Ok(idx)
     }
 
     /// Number of nodes.
@@ -115,13 +154,10 @@ impl PropertyGraph {
         &self.edges[idx]
     }
 
-    /// All node indexes with the given label (matched case-tolerantly).
+    /// All node indexes with the given label (matched case-tolerantly): one
+    /// hash probe on the label's normal form.
     pub fn nodes_with_label(&self, label: &str) -> Vec<usize> {
-        self.by_label
-            .iter()
-            .filter(|(l, _)| raqlet_common::schema::labels_match(l, label))
-            .flat_map(|(_, v)| v.iter().copied())
-            .collect()
+        self.by_label.get(&normalize_label(label)).cloned().unwrap_or_default()
     }
 
     /// All node indexes.
@@ -153,30 +189,31 @@ impl PropertyGraph {
 
     fn edges_from_index(
         &self,
-        index: &HashMap<(usize, String), Vec<usize>>,
+        index: &HashMap<usize, HashMap<String, Vec<usize>>>,
         node: usize,
         label: Option<&str>,
     ) -> Vec<usize> {
-        index
-            .iter()
-            .filter(|((n, l), _)| {
-                *n == node && label.is_none_or(|want| raqlet_common::schema::labels_match(l, want))
-            })
-            .flat_map(|(_, v)| v.iter().copied())
-            .collect()
+        let Some(per_label) = index.get(&node) else { return Vec::new() };
+        match label {
+            Some(want) => per_label.get(&normalize_label(want)).cloned().unwrap_or_default(),
+            None => per_label.values().flatten().copied().collect(),
+        }
     }
 
     fn edges_from_index_any(
         &self,
-        index: &HashMap<(usize, String), Vec<usize>>,
+        index: &HashMap<usize, HashMap<String, Vec<usize>>>,
         node: usize,
         labels: &[String],
     ) -> Vec<usize> {
-        index
-            .iter()
-            .filter(|((n, l), _)| *n == node && edge_label_matches_any(l, labels))
-            .flat_map(|(_, v)| v.iter().copied())
-            .collect()
+        let Some(per_label) = index.get(&node) else { return Vec::new() };
+        if labels.is_empty() {
+            return per_label.values().flatten().copied().collect();
+        }
+        let mut wanted: Vec<String> = labels.iter().map(|l| normalize_label(l)).collect();
+        wanted.sort();
+        wanted.dedup();
+        wanted.iter().filter_map(|w| per_label.get(w)).flatten().copied().collect()
     }
 
     /// Neighbours reachable by one hop over `label` edges, respecting
@@ -897,21 +934,26 @@ mod tests {
     /// in Edinburgh, Bob and Carol in Glasgow.
     fn sample_graph() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        let alice =
-            g.add_node("Person", vec![("id", Value::Int(1)), ("firstName", Value::str("Alice"))]);
-        let bob =
-            g.add_node("Person", vec![("id", Value::Int(2)), ("firstName", Value::str("Bob"))]);
-        let carol =
-            g.add_node("Person", vec![("id", Value::Int(3)), ("firstName", Value::str("Carol"))]);
-        let edinburgh =
-            g.add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))]);
-        let glasgow =
-            g.add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))]);
-        g.add_edge("KNOWS", alice, bob, vec![("id", Value::Int(10))]);
-        g.add_edge("KNOWS", bob, carol, vec![("id", Value::Int(11))]);
-        g.add_edge("IS_LOCATED_IN", alice, edinburgh, vec![("id", Value::Int(20))]);
-        g.add_edge("IS_LOCATED_IN", bob, glasgow, vec![("id", Value::Int(21))]);
-        g.add_edge("IS_LOCATED_IN", carol, glasgow, vec![("id", Value::Int(22))]);
+        let alice = g
+            .add_node("Person", vec![("id", Value::Int(1)), ("firstName", Value::str("Alice"))])
+            .unwrap();
+        let bob = g
+            .add_node("Person", vec![("id", Value::Int(2)), ("firstName", Value::str("Bob"))])
+            .unwrap();
+        let carol = g
+            .add_node("Person", vec![("id", Value::Int(3)), ("firstName", Value::str("Carol"))])
+            .unwrap();
+        let edinburgh = g
+            .add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))])
+            .unwrap();
+        let glasgow = g
+            .add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))])
+            .unwrap();
+        g.add_edge("KNOWS", alice, bob, vec![("id", Value::Int(10))]).unwrap();
+        g.add_edge("KNOWS", bob, carol, vec![("id", Value::Int(11))]).unwrap();
+        g.add_edge("IS_LOCATED_IN", alice, edinburgh, vec![("id", Value::Int(20))]).unwrap();
+        g.add_edge("IS_LOCATED_IN", bob, glasgow, vec![("id", Value::Int(21))]).unwrap();
+        g.add_edge("IS_LOCATED_IN", carol, glasgow, vec![("id", Value::Int(22))]).unwrap();
         g
     }
 
@@ -958,7 +1000,7 @@ mod tests {
     fn unbounded_reachability_handles_cycles() {
         let mut g = sample_graph();
         // close the cycle: Carol knows Alice.
-        g.add_edge("KNOWS", 2, 0, vec![("id", Value::Int(12))]);
+        g.add_edge("KNOWS", 2, 0, vec![("id", Value::Int(12))]).unwrap();
         let result = run("MATCH (a:Person {id: 1})-[:KNOWS*]->(b:Person) RETURN b.id AS id", &g);
         // Alice reaches Bob, Carol and (around the cycle) herself.
         assert_eq!(result.rows.len(), 3);
@@ -1096,5 +1138,42 @@ mod tests {
         assert_eq!(g.incoming_edges(1, Some("KNOWS")).len(), 1);
         assert_eq!(g.neighbours(1, Some("KNOWS"), false).len(), 2);
         assert_eq!(g.neighbours(1, Some("KNOWS"), true).len(), 1);
+    }
+
+    #[test]
+    fn label_lookups_stay_case_tolerant_after_normalization() {
+        // The schema spelling (`isLocatedIn`) and the Cypher spelling
+        // (`IS_LOCATED_IN`) must keep resolving to the same stored edges
+        // now that lookups are keyed by normal form.
+        let g = sample_graph();
+        assert_eq!(g.nodes_with_label("person").len(), 3);
+        assert_eq!(g.nodes_with_label("PERSON").len(), 3);
+        assert_eq!(g.outgoing_edges(0, Some("isLocatedIn")).len(), 1);
+        assert_eq!(g.outgoing_edges(0, Some("IS_LOCATED_IN")).len(), 1);
+        assert_eq!(g.incoming_edges(4, Some("islocatedin")).len(), 2);
+        assert_eq!(g.outgoing_edges_any(0, &["knows".into(), "isLocatedIn".into()]).len(), 2);
+        // Duplicate alternatives must not double-count the same edges.
+        assert_eq!(g.outgoing_edges_any(0, &["KNOWS".into(), "knows".into()]).len(), 1);
+        assert!(g.nodes_with_label("NoSuchLabel").is_empty());
+        assert!(g.outgoing_edges(0, Some("NoSuchLabel")).is_empty());
+    }
+
+    #[test]
+    fn colliding_label_spellings_are_rejected_at_insert() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("Person", vec![]).unwrap();
+        // Same spelling again: fine.
+        let b = g.add_node("Person", vec![]).unwrap();
+        // A different spelling with the same normal form would silently
+        // merge with `Person` in every lookup — reject it loudly.
+        let err = g.add_node("PER_SON", vec![]).unwrap_err();
+        assert!(err.to_string().contains("collides"), "{err}");
+        g.add_edge("HasTag", a, b, vec![]).unwrap();
+        g.add_edge("HasTag", b, a, vec![]).unwrap();
+        let err = g.add_edge("HAS_TAG", a, b, vec![]).unwrap_err();
+        assert!(err.to_string().contains("collides"), "{err}");
+        // The failed inserts left the graph unchanged.
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
     }
 }

@@ -189,6 +189,22 @@ impl PreparedDatabase {
             None => {
                 let plan = Arc::new(ProgramPlan::prepare(program, self.db.dict())?);
                 self.plan_compiles += 1;
+                // Pre-build the plan's declared indexes on the warm
+                // extensional relations right now, at prepare time: these
+                // are exactly the column sets the compiled join schedules
+                // will probe, they persist in the warm set, and every later
+                // execution reuses them verbatim. Relations the program also
+                // derives into are skipped — their indexes would cover
+                // derived rows and be discarded by the copy-on-write
+                // restore, so evaluation builds those per run instead.
+                for (name, column_sets) in plan.required_indexes() {
+                    if plan.is_idb(name) {
+                        continue;
+                    }
+                    if let Some(rel) = self.db.get_mut(name) {
+                        rel.require_indexes(column_sets);
+                    }
+                }
                 self.plans.insert(fingerprint, plan.clone());
                 plan
             }

@@ -166,44 +166,53 @@ pub fn to_property_graph(network: &SocialNetwork) -> PropertyGraph {
     let mut tag_idx = std::collections::HashMap::new();
 
     for p in &network.persons {
-        let idx = graph.add_node(
-            "Person",
-            vec![
-                ("id", Value::Int(p.id)),
-                ("firstName", Value::str(&p.first_name)),
-                ("lastName", Value::str(&p.last_name)),
-                ("gender", Value::str(&p.gender)),
-                ("birthday", Value::Int(p.birthday)),
-                ("creationDate", Value::Int(p.creation_date)),
-                ("locationIP", Value::str(&p.location_ip)),
-                ("browserUsed", Value::str(&p.browser_used)),
-            ],
-        );
+        let idx = graph
+            .add_node(
+                "Person",
+                vec![
+                    ("id", Value::Int(p.id)),
+                    ("firstName", Value::str(&p.first_name)),
+                    ("lastName", Value::str(&p.last_name)),
+                    ("gender", Value::str(&p.gender)),
+                    ("birthday", Value::Int(p.birthday)),
+                    ("creationDate", Value::Int(p.creation_date)),
+                    ("locationIP", Value::str(&p.location_ip)),
+                    ("browserUsed", Value::str(&p.browser_used)),
+                ],
+            )
+            .unwrap();
         person_idx.insert(p.id, idx);
     }
     for (id, name) in &network.cities {
-        let idx = graph.add_node("City", vec![("id", Value::Int(*id)), ("name", Value::str(name))]);
+        let idx = graph
+            .add_node("City", vec![("id", Value::Int(*id)), ("name", Value::str(name))])
+            .unwrap();
         city_idx.insert(*id, idx);
     }
     for (id, name) in &network.countries {
-        let idx =
-            graph.add_node("Country", vec![("id", Value::Int(*id)), ("name", Value::str(name))]);
+        let idx = graph
+            .add_node("Country", vec![("id", Value::Int(*id)), ("name", Value::str(name))])
+            .unwrap();
         country_idx.insert(*id, idx);
     }
     for (id, name) in &network.tags {
-        let idx = graph.add_node("Tag", vec![("id", Value::Int(*id)), ("name", Value::str(name))]);
+        let idx = graph
+            .add_node("Tag", vec![("id", Value::Int(*id)), ("name", Value::str(name))])
+            .unwrap();
         tag_idx.insert(*id, idx);
     }
     for m in &network.messages {
-        let idx = graph.add_node(
-            "Message",
-            vec![
-                ("id", Value::Int(m.id)),
-                ("creationDate", Value::Int(m.creation_date)),
-                ("content", Value::str(&m.content)),
-                ("length", Value::Int(m.length)),
-            ],
-        );
+        let idx = graph
+            .add_node(
+                "Message",
+                vec![
+                    ("id", Value::Int(m.id)),
+                    ("creationDate", Value::Int(m.creation_date)),
+                    ("content", Value::str(&m.content)),
+                    ("length", Value::Int(m.length)),
+                ],
+            )
+            .unwrap();
         message_idx.insert(m.id, idx);
     }
 
@@ -214,68 +223,84 @@ pub fn to_property_graph(network: &SocialNetwork) -> PropertyGraph {
         id
     };
     for (a, b, date) in &network.knows {
-        graph.add_edge(
-            "KNOWS",
-            person_idx[a],
-            person_idx[b],
-            vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
-        );
+        graph
+            .add_edge(
+                "KNOWS",
+                person_idx[a],
+                person_idx[b],
+                vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
+            )
+            .unwrap();
     }
     for (a, b, date) in &network.follows {
-        graph.add_edge(
-            "FOLLOWS",
-            person_idx[a],
-            person_idx[b],
-            vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
-        );
+        graph
+            .add_edge(
+                "FOLLOWS",
+                person_idx[a],
+                person_idx[b],
+                vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
+            )
+            .unwrap();
     }
     for p in &network.persons {
-        graph.add_edge(
-            "IS_LOCATED_IN",
-            person_idx[&p.id],
-            city_idx[&p.city],
-            vec![("id", Value::Int(next()))],
-        );
+        graph
+            .add_edge(
+                "IS_LOCATED_IN",
+                person_idx[&p.id],
+                city_idx[&p.city],
+                vec![("id", Value::Int(next()))],
+            )
+            .unwrap();
     }
     for (city, country) in &network.city_in_country {
-        graph.add_edge(
-            "IS_PART_OF",
-            city_idx[city],
-            country_idx[country],
-            vec![("id", Value::Int(next()))],
-        );
+        graph
+            .add_edge(
+                "IS_PART_OF",
+                city_idx[city],
+                country_idx[country],
+                vec![("id", Value::Int(next()))],
+            )
+            .unwrap();
     }
     for m in &network.messages {
-        graph.add_edge(
-            "HAS_CREATOR",
-            message_idx[&m.id],
-            person_idx[&m.creator],
-            vec![("id", Value::Int(next()))],
-        );
-        if let Some(parent) = m.reply_of {
-            graph.add_edge(
-                "REPLY_OF",
+        graph
+            .add_edge(
+                "HAS_CREATOR",
                 message_idx[&m.id],
-                message_idx[&parent],
+                person_idx[&m.creator],
                 vec![("id", Value::Int(next()))],
-            );
+            )
+            .unwrap();
+        if let Some(parent) = m.reply_of {
+            graph
+                .add_edge(
+                    "REPLY_OF",
+                    message_idx[&m.id],
+                    message_idx[&parent],
+                    vec![("id", Value::Int(next()))],
+                )
+                .unwrap();
         }
         for tag in &m.tags {
-            graph.add_edge(
-                "HAS_TAG",
-                message_idx[&m.id],
-                tag_idx[tag],
-                vec![("id", Value::Int(next()))],
-            );
+            graph
+                .add_edge(
+                    "HAS_TAG",
+                    message_idx[&m.id],
+                    tag_idx[tag],
+                    vec![("id", Value::Int(next()))],
+                )
+                .unwrap();
         }
     }
     for (person, message, date) in &network.likes {
-        graph.add_edge(
-            "LIKES",
-            person_idx[person],
-            message_idx[message],
-            vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
-        );
+        graph
+            .add_edge(
+                "LIKES",
+                person_idx[person],
+                message_idx[message],
+                vec![("id", Value::Int(next())), ("creationDate", Value::Int(*date))],
+            )
+            .unwrap();
     }
     graph
 }

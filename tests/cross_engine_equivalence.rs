@@ -125,6 +125,54 @@ fn variable_length_and_path_matrix() {
     }
 }
 
+/// Label lookups are normalization-tolerant on every engine: a query may
+/// spell `IS_LOCATED_IN` as `isLocatedIn` (and `KNOWS` as `knows`), including
+/// inside `:A|B` alternatives, and must return exactly the same rows as the
+/// canonical spelling. Pins the graph engine's keyed (normalized) label
+/// indexes against the pre-normalization full-scan behaviour.
+#[test]
+fn mixed_case_label_spellings_agree_across_engines() {
+    let pairs: &[(&str, &str, &str)] = &[
+        (
+            "single-hop mixed-case edge label",
+            "MATCH (a:Person {id: $personId})-[:IS_LOCATED_IN]->(c:City) \
+             RETURN DISTINCT c.id AS cityId",
+            "MATCH (a:person {id: $personId})-[:isLocatedIn]->(c:City) \
+             RETURN DISTINCT c.id AS cityId",
+        ),
+        (
+            ":A|B mixed-case alternatives",
+            "MATCH (a:Person {id: $personId})-[:KNOWS|FOLLOWS]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+            "MATCH (a:Person {id: $personId})-[:knows|Follows]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+        ),
+        (
+            "variable-length mixed-case label",
+            "MATCH (a:Person {id: $personId})-[:KNOWS*1..2]-(b:Person) \
+             RETURN DISTINCT b.id AS id",
+            "MATCH (a:Person {id: $personId})-[:Knows*1..2]-(b:PERSON) \
+             RETURN DISTINCT b.id AS id",
+        ),
+    ];
+    let (db, graph, person) = workload();
+    let raqlet = Raqlet::from_pg_schema(SNB_PG_SCHEMA).unwrap();
+    let options = CompileOptions::new(OptLevel::Full).with_param("personId", person);
+    for (name, canonical, mixed) in pairs {
+        let reference = raqlet.compile(canonical, &options).unwrap();
+        let expected = reference.execute_datalog(&db).unwrap().sorted();
+        assert!(!expected.is_empty(), "{name}: canonical result must be non-trivial");
+
+        let compiled = raqlet.compile(mixed, &options).unwrap();
+        let datalog = compiled.execute_datalog(&db).unwrap();
+        let graph_rows = compiled.execute_graph(&graph).unwrap();
+        let duck = compiled.execute_sql(&db, SqlProfile::Duck).unwrap();
+        assert_eq!(expected, datalog.sorted(), "{name}: mixed-case datalog diverged");
+        assert_eq!(expected, graph_rows.sorted(), "{name}: mixed-case graph diverged");
+        assert_eq!(expected, duck.sorted(), "{name}: mixed-case duckdb-sim diverged");
+    }
+}
+
 /// Acceptance pin for the `needs_length` bug: `*0..` must return the
 /// zero-hop row (the source itself) on every engine.
 #[test]

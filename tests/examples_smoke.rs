@@ -76,28 +76,34 @@ fn quickstart_output_is_stable() {
     .unwrap();
 
     let mut graph = PropertyGraph::new();
-    let ada = graph.add_node(
-        "Person",
-        vec![
-            ("id", Value::Int(42)),
-            ("firstName", Value::str("Ada")),
-            ("locationIP", Value::str("1.2.3.4")),
-        ],
-    );
-    let bob = graph.add_node(
-        "Person",
-        vec![
-            ("id", Value::Int(43)),
-            ("firstName", Value::str("Bob")),
-            ("locationIP", Value::str("4.3.2.1")),
-        ],
-    );
-    let edinburgh =
-        graph.add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))]);
-    let glasgow =
-        graph.add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))]);
-    graph.add_edge("IS_LOCATED_IN", ada, edinburgh, vec![("id", Value::Int(1))]);
-    graph.add_edge("IS_LOCATED_IN", bob, glasgow, vec![("id", Value::Int(2))]);
+    let ada = graph
+        .add_node(
+            "Person",
+            vec![
+                ("id", Value::Int(42)),
+                ("firstName", Value::str("Ada")),
+                ("locationIP", Value::str("1.2.3.4")),
+            ],
+        )
+        .unwrap();
+    let bob = graph
+        .add_node(
+            "Person",
+            vec![
+                ("id", Value::Int(43)),
+                ("firstName", Value::str("Bob")),
+                ("locationIP", Value::str("4.3.2.1")),
+            ],
+        )
+        .unwrap();
+    let edinburgh = graph
+        .add_node("City", vec![("id", Value::Int(100)), ("name", Value::str("Edinburgh"))])
+        .unwrap();
+    let glasgow = graph
+        .add_node("City", vec![("id", Value::Int(200)), ("name", Value::str("Glasgow"))])
+        .unwrap();
+    graph.add_edge("IS_LOCATED_IN", ada, edinburgh, vec![("id", Value::Int(1))]).unwrap();
+    graph.add_edge("IS_LOCATED_IN", bob, glasgow, vec![("id", Value::Int(2))]).unwrap();
 
     let datalog = compiled.execute_datalog(&db).unwrap();
     let duck = compiled.execute_sql(&db, SqlProfile::Duck).unwrap();

@@ -116,5 +116,7 @@ fn compiled_query_exposes_the_analysis_report() {
     assert!(compiled.analysis.recursive);
     assert!(compiled.analysis.linearity.is_linear_or_nonrecursive());
     assert!(compiled.analysis.stratum_count.is_some());
-    assert_eq!(compiled.analysis.summary().len(), 6);
+    assert!(compiled.analysis.scc_count >= 1);
+    assert!(compiled.analysis.looping_scc_count >= 1, "CQ1 is recursive");
+    assert_eq!(compiled.analysis.summary().len(), 7);
 }

@@ -176,6 +176,25 @@ fn interleaved_programs_share_the_warm_set_without_interference() {
 }
 
 #[test]
+fn only_plan_declared_indexes_are_materialized() {
+    // Transitive closure probes `edge` on its first column and nothing
+    // else — `tc` is always the driving scan. The compile-time
+    // index-requirements analysis must declare exactly that index, and
+    // evaluation must build no other.
+    let mut prepared = PreparedDatabase::new(chain_db(8));
+    prepared.run(&tc_program(), "tc").unwrap();
+    assert_eq!(prepared.index_builds(), 1, "exactly the declared edge index");
+    let edge = prepared.database().get("edge").unwrap();
+    assert!(edge.has_index(&[0]));
+    assert_eq!(edge.index_count(), 1, "no undeclared index may be built");
+
+    // Warm re-runs keep the declared set as-is: zero additional builds.
+    prepared.run(&tc_program(), "tc").unwrap();
+    assert_eq!(prepared.index_builds(), 1);
+    assert_eq!(prepared.database().get("edge").unwrap().index_count(), 1);
+}
+
+#[test]
 fn facts_added_between_runs_are_visible_and_extend_indexes() {
     let mut prepared = PreparedDatabase::new(chain_db(3));
     let program = tc_program();

@@ -215,10 +215,12 @@ fn compiled_query_agrees_across_engines_on_random_graphs() {
         let mut node_idx = std::collections::HashMap::new();
         for i in 0..12i64 {
             db.insert_fact("Person", vec![Value::Int(i), Value::str(format!("p{i}"))]).unwrap();
-            let idx = graph.add_node(
-                "Person",
-                vec![("id", Value::Int(i)), ("firstName", Value::str(format!("p{i}")))],
-            );
+            let idx = graph
+                .add_node(
+                    "Person",
+                    vec![("id", Value::Int(i)), ("firstName", Value::str(format!("p{i}")))],
+                )
+                .unwrap();
             node_idx.insert(i, idx);
         }
         db.get_or_create("Person_KNOWS_Person", 3);
@@ -231,7 +233,9 @@ fn compiled_query_agrees_across_engines_on_random_graphs() {
                 vec![Value::Int(*a), Value::Int(*b), Value::Int(eid as i64)],
             )
             .unwrap();
-            graph.add_edge("KNOWS", node_idx[a], node_idx[b], vec![("id", Value::Int(eid as i64))]);
+            graph
+                .add_edge("KNOWS", node_idx[a], node_idx[b], vec![("id", Value::Int(eid as i64))])
+                .unwrap();
         }
 
         let query = "MATCH (p:Person {id: $personId})-[:KNOWS]-(f:Person) \
