@@ -31,6 +31,7 @@ pub mod ids;
 pub mod relation;
 pub mod rng;
 pub mod schema;
+pub mod support;
 pub mod symbol;
 pub mod types;
 pub mod value;
@@ -40,6 +41,7 @@ pub use error::{RaqletError, Result};
 pub use relation::{Database, Relation, Tuple};
 pub use rng::SplitMix64;
 pub use schema::{DlSchema, PgSchema};
+pub use support::{SupportChange, SupportCounts};
 pub use symbol::{Interner, Symbol};
 pub use types::ValueType;
 pub use value::Value;

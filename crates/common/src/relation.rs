@@ -193,6 +193,15 @@ impl Index {
         }
     }
 
+    /// Drop every posting list (arena compaction rebuilds them with the
+    /// renumbered row ids).
+    fn clear(&mut self) {
+        match self {
+            Index::Single(_, map) => map.clear(),
+            Index::Multi(_, map) => map.clear(),
+        }
+    }
+
     /// Remove one row id from the posting list for `row`'s key.
     fn remove(&mut self, id: RowId, row: &[Cell]) {
         match self {
@@ -738,6 +747,47 @@ impl Relation {
         out
     }
 
+    /// Rebuild the arena without its tombstoned slots, renumbering row ids
+    /// and rebuilding the dedup table and every persistent index **in
+    /// place** (the same declared column sets; this is maintenance of
+    /// existing indexes, so [`Relation::index_build_count`] does not move).
+    ///
+    /// Arena slots are normally never reused, which makes repeated
+    /// retraction + re-derivation (incremental view maintenance) grow the
+    /// arena — and every full-set scan — without bound. Compaction restores
+    /// `nrows() == len()`. Must only be called between fixpoint rounds
+    /// (empty delta/staged state), since those hold row snapshots.
+    pub fn compact(&mut self) {
+        if self.nrows() == self.live {
+            return;
+        }
+        debug_assert!(
+            self.delta.is_empty() && self.staged.is_empty() && self.delta_next.is_empty(),
+            "compact during an active fixpoint round"
+        );
+        let old = std::mem::take(&mut self.cells);
+        self.cells = Vec::with_capacity(self.live * self.stride);
+        self.dedup.clear();
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+        self.live = 0;
+        for row in old.chunks_exact(self.stride) {
+            if !is_tombstone(row[0]) {
+                self.push_row(&row[..self.arity]);
+            }
+        }
+    }
+
+    /// Compact when at least half the arena (and a non-trivial slot count)
+    /// is tombstone garbage — the amortized-O(1)-per-write policy standing
+    /// views use after each maintenance pass.
+    pub fn maybe_compact(&mut self) {
+        if self.nrows() >= 64 && self.live * 2 <= self.nrows() {
+            self.compact();
+        }
+    }
+
     /// Tombstone one arena row: drop it from the live set, the dedup table
     /// and every index posting list.
     fn remove_row(&mut self, id: RowId) {
@@ -765,15 +815,24 @@ impl Relation {
     /// present in the full set.
     pub fn remove(&mut self, tuple: &[Value]) -> bool {
         let Some(row) = self.try_encode_row(tuple) else { return false };
+        self.remove_cells(&row)
+    }
+
+    /// [`Relation::remove`] for an already-encoded arity-wide packed row (the
+    /// incremental-maintenance retraction hot path). Tombstones the arena
+    /// row, updates the dedup table and every persistent index in place, and
+    /// drops any identical staged row. Returns true if the row was present
+    /// in the full set.
+    pub fn remove_cells(&mut self, row: &[Cell]) -> bool {
+        debug_assert_eq!(row.len(), self.arity, "arity mismatch in remove_cells");
         // Tombstone any matching staged row.
-        let hash = hash_cells(&row);
+        let hash = hash_cells(row);
         if let Some(ids) = self.staged_dedup.get(&hash) {
             let stride = self.stride;
             let arity = self.arity;
             let hit = ids.iter().copied().find(|&id| {
                 let start = id as usize * stride;
-                !is_tombstone(self.staged[start])
-                    && &self.staged[start..start + arity] == row.as_slice()
+                !is_tombstone(self.staged[start]) && &self.staged[start..start + arity] == row
             });
             if let Some(id) = hit {
                 self.staged[id as usize * stride] = TOMBSTONE_CELL;
@@ -785,7 +844,7 @@ impl Relation {
                 }
             }
         }
-        match self.find_cells(&row) {
+        match self.find_cells(row) {
             Some(id) => {
                 self.remove_row(id);
                 true
@@ -1287,6 +1346,44 @@ mod tests {
         r.remove(&t(&[5]));
         assert_eq!(r.staged_len(), 0);
         assert_eq!(r.advance(), 0);
+    }
+
+    #[test]
+    fn compact_drops_tombstones_without_counting_as_index_builds() {
+        let tuples: Vec<Tuple> = (0..100).map(|i| t(&[i, i + 1000])).collect();
+        let mut r = Relation::from_tuples(2, tuples).unwrap();
+        r.ensure_index(&[0]);
+        let builds = r.index_build_count();
+        for i in 0..80 {
+            assert!(r.remove(&t(&[i, i + 1000])));
+        }
+        let garbage = r.heap_bytes();
+        r.maybe_compact();
+        assert!(r.heap_bytes() < garbage, "compaction must shrink the arena");
+        assert_eq!(r.len(), 20);
+        assert_eq!(r.index_build_count(), builds, "postings are rebuilt in place, not re-built");
+        for i in 80..100 {
+            assert!(r.contains(&t(&[i, i + 1000])));
+            assert_eq!(r.probe_index(&[0], &[Value::Int(i)]).unwrap().count(), 1);
+        }
+        assert_eq!(r.probe_index(&[0], &[Value::Int(0)]).unwrap().count(), 0);
+        // Renumbered row ids stay consistent with later writes and removals.
+        assert!(r.insert(t(&[0, 1000])).unwrap());
+        assert!(r.remove(&t(&[99, 1099])));
+        assert_eq!(r.sorted().len(), 20);
+    }
+
+    #[test]
+    fn maybe_compact_leaves_mostly_live_relations_alone() {
+        let tuples: Vec<Tuple> = (0..100).map(|i| t(&[i])).collect();
+        let mut r = Relation::from_tuples(1, tuples).unwrap();
+        for i in 0..10 {
+            r.remove(&t(&[i]));
+        }
+        let before = r.heap_bytes();
+        r.maybe_compact(); // only 10% garbage: not worth rewriting the arena
+        assert_eq!(r.heap_bytes(), before);
+        assert_eq!(r.len(), 90);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Derivation-count bookkeeping for incremental view maintenance.
+//!
+//! Counting-based maintenance (the classic alternative to DRed for
+//! non-recursive rules) stores, per derived row, *how many* rule-body
+//! derivations currently produce it. Inserting upstream facts adds
+//! derivations; deleting upstream facts subtracts them; a derived row is
+//! physically retracted exactly when its count reaches zero. The counts key
+//! on packed [`Cell`] rows so the engine never decodes values on the
+//! maintenance path.
+
+use crate::cell::Cell;
+use crate::hash::FxHashMap;
+
+/// Per-derived-row derivation counts for one relation.
+///
+/// The map is keyed by the arity-wide packed row. Counts are signed while a
+/// delta batch is being folded in, but a consistent database never stores a
+/// negative total — [`SupportCounts::apply`] reports (and clamps) the
+/// transition so callers can translate count changes into physical
+/// insertions and retractions.
+#[derive(Debug, Clone, Default)]
+pub struct SupportCounts {
+    counts: FxHashMap<Vec<Cell>, i64>,
+}
+
+/// What happened to a row's liveness when a count delta was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportChange {
+    /// The row went from zero (absent) to a positive count: insert it.
+    BecameLive,
+    /// The row's count reached zero: retract it.
+    BecameDead,
+    /// The count changed but liveness did not.
+    Unchanged,
+}
+
+impl SupportCounts {
+    /// An empty count table.
+    pub fn new() -> Self {
+        SupportCounts::default()
+    }
+
+    /// Record `n` additional derivations of `row` (used while (re)building
+    /// the table from a full evaluation).
+    pub fn add(&mut self, row: &[Cell], n: i64) {
+        if n != 0 {
+            *self.counts.entry(row.to_vec()).or_insert(0) += n;
+        }
+    }
+
+    /// Apply a signed count delta to `row`, returning the liveness
+    /// transition. A negative resulting total indicates the caller's delta
+    /// computation retracted derivations that were never counted; the total
+    /// is clamped to zero (and reported as [`SupportChange::BecameDead`]) so
+    /// the stored state stays consistent.
+    pub fn apply(&mut self, row: &[Cell], delta: i64) -> SupportChange {
+        if delta == 0 {
+            return SupportChange::Unchanged;
+        }
+        let entry = self.counts.entry(row.to_vec()).or_insert(0);
+        let before = *entry;
+        *entry = (before + delta).max(0);
+        let after = *entry;
+        if after == 0 {
+            self.counts.remove(row);
+        }
+        match (before > 0, after > 0) {
+            (false, true) => SupportChange::BecameLive,
+            (true, false) => SupportChange::BecameDead,
+            _ => SupportChange::Unchanged,
+        }
+    }
+
+    /// The current derivation count of `row` (zero when absent).
+    pub fn count(&self, row: &[Cell]) -> i64 {
+        self.counts.get(row).copied().unwrap_or(0)
+    }
+
+    /// Number of rows with a positive count.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no row has a positive count.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Drop every count (used when a scoped recompute rebuilds the table).
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Approximate heap footprint of the table in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.counts
+            .keys()
+            .map(|k| k.len() * std::mem::size_of::<Cell>() + std::mem::size_of::<i64>())
+            .sum::<usize>()
+            + self.counts.capacity() * std::mem::size_of::<(Vec<Cell>, i64)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liveness_transitions() {
+        let mut counts = SupportCounts::new();
+        assert_eq!(counts.apply(&[1, 2], 2), SupportChange::BecameLive);
+        assert_eq!(counts.apply(&[1, 2], -1), SupportChange::Unchanged);
+        assert_eq!(counts.count(&[1, 2]), 1);
+        assert_eq!(counts.apply(&[1, 2], -1), SupportChange::BecameDead);
+        assert_eq!(counts.count(&[1, 2]), 0);
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn negative_totals_clamp_to_zero() {
+        let mut counts = SupportCounts::new();
+        counts.add(&[7], 1);
+        assert_eq!(counts.apply(&[7], -5), SupportChange::BecameDead);
+        // A later insertion starts from zero, not from the negative residue.
+        assert_eq!(counts.apply(&[7], 1), SupportChange::BecameLive);
+        assert_eq!(counts.count(&[7]), 1);
+    }
+
+    #[test]
+    fn zero_delta_is_a_no_op() {
+        let mut counts = SupportCounts::new();
+        assert_eq!(counts.apply(&[3], 0), SupportChange::Unchanged);
+        assert!(counts.is_empty());
+    }
+}

@@ -406,7 +406,7 @@ impl DatalogEngine {
     /// Iterate one looping component to fixpoint. The frontier (delta)
     /// bookkeeping is confined to the component's own relations, and only
     /// the component's rules are re-applied per round.
-    fn evaluate_scc_fixpoint(
+    pub(crate) fn evaluate_scc_fixpoint(
         &self,
         scc: &SccPlan,
         db: &mut Database,
@@ -423,12 +423,36 @@ impl DatalogEngine {
             stage_derived(plan, db, derived)?;
         }
         stats.iterations += 1;
-        let mut any_new = false;
         for name in &scc.relations {
             if let Some(rel) = db.get_mut(name) {
-                any_new |= rel.advance() > 0;
+                rel.advance();
             }
         }
+
+        self.scc_delta_rounds(scc, db, threads, stats)?;
+
+        for name in &scc.relations {
+            if let Some(rel) = db.get_mut(name) {
+                rel.clear_rounds();
+            }
+        }
+        Ok(())
+    }
+
+    /// Run a looping component's delta rounds to fixpoint, starting from the
+    /// deltas its relations currently expose (for normal evaluation, the
+    /// result of the round-zero [`Relation::advance`]; for incremental
+    /// maintenance, a frontier seeded from an external delta batch). The
+    /// caller owns [`Relation::clear_rounds`].
+    pub(crate) fn scc_delta_rounds(
+        &self,
+        scc: &SccPlan,
+        db: &mut Database,
+        threads: usize,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let mut any_new =
+            scc.relations.iter().any(|name| db.get(name).is_some_and(|r| !r.delta_is_empty()));
 
         // Fixpoint rounds: each recursive atom occurrence drives one
         // delta-first join against the persistent indexes on the stable sets.
@@ -473,12 +497,6 @@ impl DatalogEngine {
                 }
             }
         }
-
-        for name in &scc.relations {
-            if let Some(rel) = db.get_mut(name) {
-                rel.clear_rounds();
-            }
-        }
         Ok(())
     }
 
@@ -489,7 +507,7 @@ impl DatalogEngine {
     /// or in round zero the full arena of the first atom when it carries no
     /// bound columns — is partitioned across worker threads when it is large
     /// enough.
-    fn apply_rule(
+    pub(crate) fn apply_rule(
         &self,
         plan: &RulePlan,
         db: &Database,
@@ -587,14 +605,14 @@ struct Scan<'a> {
 
 /// Packed head rows derived by one rule application: `rows` stride-wide
 /// rows, concatenated (stride = head arity, or 1 for nullary heads).
-struct Derived {
-    cells: Vec<Cell>,
-    rows: usize,
-    stride: usize,
+pub(crate) struct Derived {
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) rows: usize,
+    pub(crate) stride: usize,
 }
 
 impl Derived {
-    fn new(stride: usize) -> Derived {
+    pub(crate) fn new(stride: usize) -> Derived {
         Derived { cells: Vec::new(), rows: 0, stride }
     }
 }
@@ -682,6 +700,134 @@ fn join_body(
     for (idx, elem) in plan.body.iter().enumerate() {
         let PlanElem::Negated(atom) = elem else { continue };
         apply_negation(&mut envs, atom, db, prep.negation_columns[idx].as_deref());
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    Ok(envs)
+}
+
+/// One pinned body position of an incremental-maintenance join: the positive
+/// (or, for negation seeding, negated) atom at `pos` ranges over the given
+/// packed rows instead of its stored relation.
+#[derive(Clone, Copy)]
+pub(crate) struct Pin<'a> {
+    /// Body position of the pinned atom.
+    pub(crate) pos: usize,
+    /// The stride-wide packed rows the atom ranges over.
+    pub(crate) rows: &'a [Cell],
+    /// Row stride of `rows`.
+    pub(crate) stride: usize,
+}
+
+/// Join a rule body with selected positive atom positions *pinned* to
+/// explicit delta-row slices: each pinned atom ranges over its `Pin`'s rows
+/// (cross-product across pins), while every remaining atom probes the
+/// database's current state. This is the incremental-maintenance work-horse:
+/// the signed multilinear delta expansion of counting maintenance, DRed
+/// over-deletion and insert propagation all reduce to pinned joins.
+///
+/// `neg_seed` optionally seeds the environments from rows of the *negated*
+/// atom at its position (deriving what a change to a negated relation gains
+/// or loses). `skip_negations` suppresses the negation checks at the given
+/// body indices — DRed over-deletion skips every negation over a changed
+/// relation (the old state may have satisfied it), and insert seeding from a
+/// freshly inserted negated row skips its own position (the check would veto
+/// every binding it produced). `init` replaces the initial unbound
+/// environment (DRed's backward re-derivation check seeds it from a
+/// candidate head row); all initial environments must bind the same slots.
+///
+/// Environments are returned with multiplicity (one per derivation path),
+/// which is exactly what derivation counting needs; set-semantics callers
+/// deduplicate at staging time.
+pub(crate) fn join_body_pinned(
+    plan: &RulePlan,
+    db: &Database,
+    pins: &[Pin],
+    neg_seed: Option<Pin>,
+    skip_negations: &[usize],
+    init: Option<Vec<Env>>,
+) -> Result<Vec<Env>> {
+    let mut envs: Vec<Env> = init.unwrap_or_else(|| vec![vec![UNBOUND_CELL; plan.nvars]]);
+    let mut pending_constraints: Vec<usize> = plan
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, PlanElem::Constraint { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
+
+    // Bind the seed rows first (every pinned atom behaves like a driving
+    // scan), so the remaining atoms join with at least the schedule's
+    // assumed bindings in place.
+    if let Some(seed) = neg_seed {
+        let PlanElem::Negated(atom) = &plan.body[seed.pos] else {
+            return Err(RaqletError::execution("negation seed must name a negated atom"));
+        };
+        let scan = Scan { pos: seed.pos, rows: seed.rows, stride: seed.stride };
+        envs = extend_with_atom(envs, atom, db, Some(scan), &[])?;
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+        apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
+    }
+    for pin in pins {
+        let PlanElem::Atom(atom) = &plan.body[pin.pos] else {
+            return Err(RaqletError::execution("pinned position must name a positive atom"));
+        };
+        let scan = Scan { pos: pin.pos, rows: pin.rows, stride: pin.stride };
+        envs = extend_with_atom(envs, atom, db, Some(scan), &[])?;
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+        apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Extend over the unpinned atoms in a compiled order. Driving from the
+    // first pin's schedule keeps its probe columns valid: pre-binding extra
+    // pins only grows the bound-variable set, and a probe column set is
+    // sound under any superset of the bindings it was planned for.
+    let schedule = match pins.first() {
+        Some(pin) => plan.ivm_schedule_for(pin.pos),
+        None => &plan.base_schedule,
+    };
+    for &idx in &schedule.order {
+        if pins.iter().any(|p| p.pos == idx) {
+            continue;
+        }
+        let PlanElem::Atom(atom) = &plan.body[idx] else { continue };
+        envs = extend_with_atom(envs, atom, db, None, &schedule.prep.atom_columns[idx])?;
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+        apply_ready_constraints(&mut envs, plan, &mut pending_constraints);
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    if let Some(first) = envs.first() {
+        for &idx in &pending_constraints {
+            let PlanElem::Constraint { lhs, rhs, src, .. } = &plan.body[idx] else { continue };
+            if !expr_ready(first, lhs) || !expr_ready(first, rhs) {
+                return Err(RaqletError::execution(format!(
+                    "constraint `{src}` in rule `{}` references unbound variables",
+                    plan.rule_src
+                )));
+            }
+        }
+    }
+
+    for (idx, elem) in plan.body.iter().enumerate() {
+        let PlanElem::Negated(atom) = elem else { continue };
+        if skip_negations.contains(&idx) {
+            continue;
+        }
+        apply_negation(&mut envs, atom, db, schedule.prep.negation_columns[idx].as_deref());
         if envs.is_empty() {
             return Ok(Vec::new());
         }
@@ -834,7 +980,7 @@ fn propagate_assignments(body: &[PlanElem], bound: &mut [bool]) {
 /// probes with, computed once at compile time by `plan_join_static` and
 /// reused by every application and every worker.
 #[derive(Debug, Clone)]
-struct JoinPrep {
+pub(crate) struct JoinPrep {
     /// For each body index holding a positive atom: the columns bound when
     /// the atom is reached in the prepared order (empty = plain scan; the
     /// driving atom always scans its slice).
@@ -850,7 +996,7 @@ struct JoinPrep {
 /// (round-zero / naive / aggregate applications) and one per candidate
 /// delta driver.
 #[derive(Debug, Clone)]
-struct JoinSchedule {
+pub(crate) struct JoinSchedule {
     order: Vec<usize>,
     prep: JoinPrep,
 }
@@ -919,12 +1065,12 @@ fn apply_ready_constraints(envs: &mut Vec<Env>, plan: &RulePlan, pending: &mut V
 
 /// A slot environment: one packed cell per rule variable, [`UNBOUND_CELL`]
 /// while unbound.
-type Env = Vec<Cell>;
+pub(crate) type Env = Vec<Cell>;
 
 /// A body/head term resolved against the rule's variable slot table, with
 /// constants pre-encoded to packed cells.
 #[derive(Debug, Clone)]
-enum PlanTerm {
+pub(crate) enum PlanTerm {
     /// A variable, identified by its slot.
     Slot(usize),
     /// A constant, encoded against the plan's dictionary.
@@ -935,9 +1081,9 @@ enum PlanTerm {
 
 /// An atom with slot-resolved terms.
 #[derive(Debug, Clone)]
-struct PlanAtom {
-    relation: String,
-    terms: Vec<PlanTerm>,
+pub(crate) struct PlanAtom {
+    pub(crate) relation: String,
+    pub(crate) terms: Vec<PlanTerm>,
 }
 
 impl PlanAtom {
@@ -950,7 +1096,7 @@ impl PlanAtom {
 /// both the value (for arithmetic/ordering) and its packed encoding (for
 /// equality fast paths and assignment).
 #[derive(Debug, Clone)]
-enum PlanExpr {
+pub(crate) enum PlanExpr {
     Slot(usize),
     Const(Value, Cell),
     Arith { op: raqlet_dlir::ArithOp, lhs: Box<PlanExpr>, rhs: Box<PlanExpr> },
@@ -958,7 +1104,7 @@ enum PlanExpr {
 
 /// One body element of a compiled rule, aligned with `Rule::body` indices.
 #[derive(Debug, Clone)]
-enum PlanElem {
+pub(crate) enum PlanElem {
     Atom(PlanAtom),
     Constraint { op: raqlet_dlir::CmpOp, lhs: PlanExpr, rhs: PlanExpr, src: String },
     Negated(PlanAtom),
@@ -966,7 +1112,7 @@ enum PlanElem {
 
 /// Slot-resolved aggregation spec.
 #[derive(Debug, Clone)]
-struct PlanAgg {
+pub(crate) struct PlanAgg {
     func: raqlet_dlir::AggFunc,
     input: Option<usize>,
     output: usize,
@@ -977,38 +1123,49 @@ struct PlanAgg {
 /// every variable name is replaced by a dense slot index and every constant
 /// by its packed cell, so environments are flat `u64` vectors.
 #[derive(Debug, Clone)]
-struct RulePlan {
+pub(crate) struct RulePlan {
     /// Head relation name.
-    head_relation: String,
+    pub(crate) head_relation: String,
     /// Head arity.
-    head_arity: usize,
+    pub(crate) head_arity: usize,
     /// Merge semantics of the head relation.
-    lattice: LatticeMerge,
+    pub(crate) lattice: LatticeMerge,
     /// Body positions holding positive atoms over this rule's own strongly
     /// connected component (the candidate delta drivers). Empty for rules
     /// of non-looping components.
-    recursive_positions: Vec<usize>,
+    pub(crate) recursive_positions: Vec<usize>,
     /// The compiled join schedule for full (round-zero / naive / aggregate)
     /// applications.
     base_schedule: JoinSchedule,
     /// One compiled schedule per recursive position, keyed by that body
     /// position (the delta driver).
     delta_schedules: Vec<(usize, JoinSchedule)>,
+    /// One compiled schedule per *non-recursive* positive position, keyed by
+    /// that body position. Normal evaluation never drives from these — they
+    /// exist for incremental maintenance, where any positive atom may carry
+    /// the external delta. Computed lazily on first use (cold
+    /// [`DatalogEngine::evaluate`] compiles plans per call, and eagerly
+    /// compiling a schedule per body position measurably slowed small cold
+    /// queries), and their index requirements are kept out of
+    /// [`ProgramPlan::required_indexes`] (folded into the separate
+    /// [`ProgramPlan::ivm_required_indexes`] set) so plain evaluation
+    /// neither plans nor materializes anything it will not probe.
+    ivm_schedules: std::sync::Arc<std::sync::OnceLock<Vec<(usize, JoinSchedule)>>>,
     /// The rule's source text, for error messages.
-    rule_src: String,
-    nvars: usize,
+    pub(crate) rule_src: String,
+    pub(crate) nvars: usize,
     /// Slot → variable name, for error messages.
     var_names: Vec<String>,
-    body: Vec<PlanElem>,
-    head: Vec<PlanTerm>,
-    agg: Option<PlanAgg>,
+    pub(crate) body: Vec<PlanElem>,
+    pub(crate) head: Vec<PlanTerm>,
+    pub(crate) agg: Option<PlanAgg>,
     /// The dictionary constants were encoded against.
-    dict: std::sync::Arc<ValueDict>,
+    pub(crate) dict: std::sync::Arc<ValueDict>,
 }
 
 impl RulePlan {
     /// Stride of the packed head rows this plan derives.
-    fn head_stride(&self) -> usize {
+    pub(crate) fn head_stride(&self) -> usize {
         self.head_arity.max(1)
     }
 
@@ -1024,6 +1181,65 @@ impl RulePlan {
                     .find(|(p, _)| *p == pos)
                     .expect("delta position was compiled into the plan")
                     .1
+            }
+        }
+    }
+
+    /// The lazily compiled per-position maintenance schedules (see the
+    /// `ivm_schedules` field).
+    fn ivm_position_schedules(&self) -> &[(usize, JoinSchedule)] {
+        self.ivm_schedules.get_or_init(|| {
+            self.body
+                .iter()
+                .enumerate()
+                .filter(|(pos, elem)| {
+                    matches!(elem, PlanElem::Atom(_)) && !self.recursive_positions.contains(pos)
+                })
+                .map(|(pos, _)| (pos, plan_join_static(&self.body, self.nvars, Some(pos))))
+                .collect()
+        })
+    }
+
+    /// The compiled join schedule driving from the positive atom at `pos` —
+    /// a recursive (delta) schedule or an incremental-maintenance one.
+    pub(crate) fn ivm_schedule_for(&self, pos: usize) -> &JoinSchedule {
+        self.delta_schedules
+            .iter()
+            .chain(self.ivm_position_schedules().iter())
+            .find(|(p, _)| *p == pos)
+            .map(|(_, s)| s)
+            .expect("every positive body position carries a compiled schedule")
+    }
+
+    /// Record the *additional* (relation, probe columns) pairs the
+    /// incremental-maintenance schedules need an index for, beyond what
+    /// [`RulePlan::collect_required_indexes`] already declared.
+    fn collect_ivm_indexes(
+        &self,
+        required: &mut std::collections::BTreeMap<String, std::collections::BTreeSet<Vec<usize>>>,
+    ) {
+        for (_, schedule) in self.ivm_position_schedules() {
+            for (idx, elem) in self.body.iter().enumerate() {
+                match elem {
+                    PlanElem::Atom(atom) => {
+                        let columns = &schedule.prep.atom_columns[idx];
+                        if !columns.is_empty() {
+                            required
+                                .entry(atom.relation.clone())
+                                .or_default()
+                                .insert(columns.clone());
+                        }
+                    }
+                    PlanElem::Negated(atom) => {
+                        if let Some(columns) = &schedule.prep.negation_columns[idx] {
+                            required
+                                .entry(atom.relation.clone())
+                                .or_default()
+                                .insert(columns.clone());
+                        }
+                    }
+                    PlanElem::Constraint { .. } => {}
+                }
             }
         }
     }
@@ -1166,7 +1382,6 @@ impl RulePlan {
             .iter()
             .map(|&pos| (pos, plan_join_static(&body, nvars, Some(pos))))
             .collect();
-
         RulePlan {
             head_relation: rule.head.relation.clone(),
             head_arity: rule.head.arity(),
@@ -1174,6 +1389,7 @@ impl RulePlan {
             recursive_positions,
             base_schedule,
             delta_schedules,
+            ivm_schedules: std::sync::Arc::new(std::sync::OnceLock::new()),
             rule_src: rule.to_string(),
             nvars,
             var_names: table.var_names,
@@ -1191,13 +1407,13 @@ impl RulePlan {
 pub(crate) struct SccPlan {
     /// Relations derived in this component (whose deltas matter while the
     /// component iterates).
-    relations: Vec<String>,
+    pub(crate) relations: Vec<String>,
     /// True when the component needs fixpoint rounds beyond round zero
     /// (self- or mutual recursion); non-looping components evaluate in
     /// exactly one round with no delta machinery.
-    looping: bool,
+    pub(crate) looping: bool,
     /// The component's fixpoint rules, in program order.
-    rules: Vec<RulePlan>,
+    pub(crate) rules: Vec<RulePlan>,
 }
 
 /// One stratum of a precompiled program: aggregating rules, then the
@@ -1205,11 +1421,11 @@ pub(crate) struct SccPlan {
 #[derive(Debug)]
 pub(crate) struct StratumPlan {
     /// Relations derived in this stratum.
-    relations: Vec<String>,
+    pub(crate) relations: Vec<String>,
     /// Aggregating rules (evaluated once, published immediately).
-    agg_rules: Vec<RulePlan>,
+    pub(crate) agg_rules: Vec<RulePlan>,
     /// The stratum's strongly connected components, dependencies first.
-    sccs: Vec<SccPlan>,
+    pub(crate) sccs: Vec<SccPlan>,
 }
 
 /// A whole program, validated, stratified and compiled to slot/cell form —
@@ -1220,8 +1436,8 @@ pub(crate) struct StratumPlan {
 #[derive(Debug)]
 pub(crate) struct ProgramPlan {
     /// Every IDB with its arity (created as empty relations up front).
-    idbs: Vec<(String, usize)>,
-    strata: Vec<StratumPlan>,
+    pub(crate) idbs: Vec<(String, usize)>,
+    pub(crate) strata: Vec<StratumPlan>,
     /// Every persistent index evaluation will probe, per relation: the
     /// union of the probe columns of every compiled join schedule plus the
     /// merge-group columns of lattice heads. [`DatalogEngine::evaluate_plan`]
@@ -1308,6 +1524,28 @@ impl ProgramPlan {
     /// The index requirements of the compiled join schedules, per relation.
     pub(crate) fn required_indexes(&self) -> &[(String, Vec<Vec<usize>>)] {
         &self.required_indexes
+    }
+
+    /// The index requirements of incremental maintenance: the union of
+    /// [`ProgramPlan::required_indexes`] and the probe columns of every
+    /// per-position maintenance schedule. Computed on demand — the
+    /// per-position schedules are lazy, and only
+    /// [`crate::PreparedDatabase::install_view`] (a once-per-view call)
+    /// needs this superset.
+    pub(crate) fn ivm_required_indexes(&self) -> Vec<(String, Vec<Vec<usize>>)> {
+        let mut required: std::collections::BTreeMap<
+            String,
+            std::collections::BTreeSet<Vec<usize>>,
+        > = std::collections::BTreeMap::new();
+        for (name, sets) in &self.required_indexes {
+            required.entry(name.clone()).or_default().extend(sets.iter().cloned());
+        }
+        for stratum in &self.strata {
+            for plan in stratum.agg_rules.iter().chain(stratum.sccs.iter().flat_map(|s| &s.rules)) {
+                plan.collect_ivm_indexes(&mut required);
+            }
+        }
+        required.into_iter().map(|(name, sets)| (name, sets.into_iter().collect())).collect()
     }
 
     /// True when `name` is derived by this program (an IDB head).
@@ -1547,7 +1785,7 @@ fn matches_negated(env: &Env, atom: &PlanAtom, relation: &Relation) -> bool {
 
 /// Instantiate the head for one environment, appending the packed row (plus
 /// the nullary pad, if any) to `out`.
-fn instantiate_head(plan: &RulePlan, env: &Env, out: &mut Derived) -> Result<()> {
+pub(crate) fn instantiate_head(plan: &RulePlan, env: &Env, out: &mut Derived) -> Result<()> {
     for t in &plan.head {
         match t {
             PlanTerm::Slot(s) => {
@@ -1662,7 +1900,7 @@ fn head_arity_mismatch(plan: &RulePlan, existing: usize) -> RaqletError {
 /// [`Relation::advance`]; lattice tuples are published immediately (the
 /// improvement must be observable within the round) but are announced in the
 /// next delta all the same.
-fn stage_derived(plan: &RulePlan, db: &mut Database, derived: Derived) -> Result<()> {
+pub(crate) fn stage_derived(plan: &RulePlan, db: &mut Database, derived: Derived) -> Result<()> {
     if derived.rows == 0 {
         return Ok(());
     }
@@ -1689,7 +1927,7 @@ fn stage_derived(plan: &RulePlan, db: &mut Database, derived: Derived) -> Result
 
 /// Publish derived rows immediately (used for the once-evaluated
 /// aggregation rules, whose output the same stratum's fixpoint rules read).
-fn publish_derived(plan: &RulePlan, db: &mut Database, derived: Derived) -> Result<()> {
+pub(crate) fn publish_derived(plan: &RulePlan, db: &mut Database, derived: Derived) -> Result<()> {
     if derived.rows == 0 {
         return Ok(());
     }

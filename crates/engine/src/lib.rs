@@ -12,6 +12,10 @@
 //! * [`prepared`] — warm execution: a [`PreparedDatabase`] keeps the EDB row
 //!   arenas and persistent indexes alive across runs, eliminating the
 //!   per-call clone+reindex tax;
+//! * [`ivm`] — incremental view maintenance: standing queries installed on a
+//!   [`PreparedDatabase`] absorb batches of extensional inserts and deletes
+//!   ([`EdbDelta`]) without recomputation, via per-SCC counting / DRed /
+//!   scoped-lattice strategies;
 //! * [`sql`] — a SQIR interpreter (CTE chains, recursive CTEs, hash or
 //!   nested-loop joins, aggregation, NOT EXISTS) with DuckDB-like and
 //!   HyPer-like profiles;
@@ -22,10 +26,12 @@
 
 pub mod datalog;
 pub mod graph;
+pub mod ivm;
 pub mod prepared;
 pub mod sql;
 
 pub use datalog::{DatalogConfig, DatalogEngine, EvalResult, EvalStats, EvalStrategy};
 pub use graph::{GraphEngine, GraphResult, GraphStats, PropertyGraph};
+pub use ivm::EdbDelta;
 pub use prepared::PreparedDatabase;
 pub use sql::{SqlEngine, SqlProfile, SqlResult, SqlStats, TableCatalog};

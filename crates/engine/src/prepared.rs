@@ -30,13 +30,29 @@
 //! [`PreparedDatabase::index_builds`] lets tests pin ("a second execution
 //! performs zero index rebuilds").
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use raqlet_common::{Database, Relation, Result, Tuple};
+use raqlet_common::{Database, Relation, Result, SupportCounts, Tuple};
 use raqlet_dlir::DlirProgram;
 
 use crate::datalog::{DatalogEngine, EvalStats, ProgramPlan};
+use crate::ivm::{self, EdbDelta};
+
+/// A standing query installed by [`PreparedDatabase::install_view`]: its
+/// compiled plan, its materialized derived relations (moved into the warm
+/// database for the duration of each maintenance pass, kept outside it the
+/// rest of the time so plain [`PreparedDatabase::run`] executions never see
+/// them), and the derivation-count tables of its counting-managed
+/// components.
+#[derive(Debug, Clone)]
+struct StandingQuery {
+    plan: Arc<ProgramPlan>,
+    output: String,
+    derived: Vec<(String, Relation)>,
+    counts: HashMap<String, SupportCounts>,
+    epoch: u64,
+}
 
 /// A warm Datalog working set that amortises EDB loading, index construction
 /// and program compilation across executions.
@@ -90,6 +106,10 @@ pub struct PreparedDatabase {
     /// rule plans) this working set has paid for. Stable across repeated
     /// executions of the same program.
     plan_compiles: usize,
+    /// Installed standing queries, maintained by [`PreparedDatabase::apply_delta`].
+    views: Vec<StandingQuery>,
+    /// Number of delta batches applied so far.
+    epoch: u64,
 }
 
 /// Fingerprint a program *exactly*: its rules and outputs (via the canonical
@@ -118,6 +138,8 @@ impl PreparedDatabase {
             restored_builds: 0,
             plans: HashMap::new(),
             plan_compiles: 0,
+            views: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -159,7 +181,13 @@ impl PreparedDatabase {
     /// discarded with the restore, so re-running such a program rebuilds
     /// them, and this counter honestly grows.
     pub fn index_builds(&self) -> usize {
-        self.db.index_builds() + self.restored_builds
+        let view_builds: usize = self
+            .views
+            .iter()
+            .flat_map(|v| v.derived.iter())
+            .map(|(_, rel)| rel.index_build_count())
+            .sum();
+        self.db.index_builds() + self.restored_builds + view_builds
     }
 
     /// Load one more fact into the warm set (extending any indexes on the
@@ -180,35 +208,7 @@ impl PreparedDatabase {
     /// cover derived rows and necessarily vanish with the restore;
     /// [`PreparedDatabase::index_builds`] still counts them.)
     pub fn run(&mut self, program: &DlirProgram, output: &str) -> Result<Relation> {
-        // Plan cache: compile once per distinct program. The plan encodes
-        // the program's constants against the warm dictionary, so a cache
-        // hit performs zero dictionary encoding as well.
-        let fingerprint = program_fingerprint(program);
-        let plan = match self.plans.get(&fingerprint) {
-            Some(plan) => plan.clone(),
-            None => {
-                let plan = Arc::new(ProgramPlan::prepare(program, self.db.dict())?);
-                self.plan_compiles += 1;
-                // Pre-build the plan's declared indexes on the warm
-                // extensional relations right now, at prepare time: these
-                // are exactly the column sets the compiled join schedules
-                // will probe, they persist in the warm set, and every later
-                // execution reuses them verbatim. Relations the program also
-                // derives into are skipped — their indexes would cover
-                // derived rows and be discarded by the copy-on-write
-                // restore, so evaluation builds those per run instead.
-                for (name, column_sets) in plan.required_indexes() {
-                    if plan.is_idb(name) {
-                        continue;
-                    }
-                    if let Some(rel) = self.db.get_mut(name) {
-                        rel.require_indexes(column_sets);
-                    }
-                }
-                self.plans.insert(fingerprint, plan.clone());
-                plan
-            }
-        };
+        let plan = self.plan_for(program)?;
 
         let heads = program.idb_names();
         // Copy-on-write: snapshot only the warm relations the program will
@@ -243,6 +243,197 @@ impl PreparedDatabase {
         self.last_stats = outcome?;
         self.executions += 1;
         Ok(result)
+    }
+
+    /// Plan cache: compile once per distinct program. The plan encodes the
+    /// program's constants against the warm dictionary, so a cache hit
+    /// performs zero dictionary encoding as well. On a compile, the plan's
+    /// declared indexes are pre-built on the warm extensional relations
+    /// right away: these are exactly the column sets the compiled join
+    /// schedules will probe, they persist in the warm set, and every later
+    /// execution reuses them verbatim. Relations the program also derives
+    /// into are skipped — their indexes would cover derived rows and be
+    /// discarded by the copy-on-write restore, so evaluation builds those
+    /// per run instead.
+    fn plan_for(&mut self, program: &DlirProgram) -> Result<Arc<ProgramPlan>> {
+        let fingerprint = program_fingerprint(program);
+        if let Some(plan) = self.plans.get(&fingerprint) {
+            return Ok(plan.clone());
+        }
+        let plan = Arc::new(ProgramPlan::prepare(program, self.db.dict())?);
+        self.plan_compiles += 1;
+        for (name, column_sets) in plan.required_indexes() {
+            if plan.is_idb(name) {
+                continue;
+            }
+            if let Some(rel) = self.db.get_mut(name) {
+                rel.require_indexes(column_sets);
+            }
+        }
+        self.plans.insert(fingerprint, plan.clone());
+        Ok(plan)
+    }
+
+    /// Install `program` as a standing query: evaluate it once against the
+    /// warm set, keep every derived relation materialized, and maintain them
+    /// incrementally on each subsequent [`PreparedDatabase::apply_delta`].
+    /// Returns the view's id for the [`PreparedDatabase::view`] accessors.
+    ///
+    /// The derived relations live *outside* the warm database between
+    /// maintenance passes, so plain [`PreparedDatabase::run`] executions
+    /// behave exactly as if no view were installed. Every index incremental
+    /// maintenance may probe (`ProgramPlan::ivm_required_indexes` — a
+    /// superset of the plan's declared evaluation indexes) is materialized
+    /// here, once; maintenance itself never builds an index.
+    pub fn install_view(&mut self, program: &DlirProgram, output: &str) -> Result<usize> {
+        let plan = self.plan_for(program)?;
+        ivm::validate_for_ivm(&plan, &self.db)?;
+        let ivm_indexes = plan.ivm_required_indexes();
+        for (name, column_sets) in &ivm_indexes {
+            if plan.is_idb(name) {
+                continue;
+            }
+            if let Some(rel) = self.db.get_mut(name) {
+                rel.require_indexes(column_sets);
+            }
+        }
+        let mut stats = match self.engine.evaluate_plan(&plan, &mut self.db) {
+            Ok(stats) => stats,
+            Err(err) => {
+                for (name, _) in &plan.idbs {
+                    self.db.remove(name);
+                }
+                return Err(err);
+            }
+        };
+        for (name, column_sets) in &ivm_indexes {
+            if !plan.is_idb(name) {
+                continue;
+            }
+            if let Some(rel) = self.db.get_mut(name) {
+                rel.require_indexes(column_sets);
+            }
+        }
+        let counts = ivm::build_support_counts(&self.engine, &plan, &self.db, &mut stats)?;
+        let derived: Vec<(String, Relation)> = plan
+            .idbs
+            .iter()
+            .map(|(name, arity)| {
+                (name.clone(), self.db.remove(name).unwrap_or_else(|| Relation::new(*arity)))
+            })
+            .collect();
+        self.views.push(StandingQuery {
+            plan,
+            output: output.to_string(),
+            derived,
+            counts,
+            epoch: self.epoch,
+        });
+        self.last_stats = stats;
+        Ok(self.views.len() - 1)
+    }
+
+    /// Apply a batch of extensional inserts and deletes to the warm set and
+    /// incrementally maintain every installed standing query — no plan
+    /// recompilation, no index construction, no from-scratch evaluation.
+    /// Returns the accumulated maintenance statistics (all-zero when the
+    /// batch nets to nothing, e.g. deleting absent rows).
+    ///
+    /// Deletes apply before inserts; see [`EdbDelta`]. Writing a relation
+    /// derived by an installed view is rejected before anything is applied
+    /// to that relation.
+    pub fn apply_delta(&mut self, delta: EdbDelta) -> Result<EvalStats> {
+        let guarded: HashSet<&str> = self
+            .views
+            .iter()
+            .flat_map(|v| v.plan.idbs.iter().map(|(name, _)| name.as_str()))
+            .collect();
+        let changes = ivm::apply_edb_delta(&mut self.db, &delta, &|name| guarded.contains(name))?;
+        drop(guarded);
+        self.epoch += 1;
+        let mut stats = EvalStats::default();
+        if changes.is_empty() {
+            for view in &mut self.views {
+                view.epoch = self.epoch;
+            }
+            return Ok(stats);
+        }
+        // Move each view's derived relations into the warm database for the
+        // maintenance pass and back out afterwards (O(1) map moves on the
+        // shared dictionary — no copies, no rebinds), so concurrent views
+        // and plain runs never observe one another's derivations.
+        let mut views = std::mem::take(&mut self.views);
+        let mut outcome = Ok(());
+        for view in &mut views {
+            for (name, rel) in view.derived.drain(..) {
+                self.db.set(name, rel);
+            }
+            let result = ivm::maintain(
+                &self.engine,
+                &view.plan,
+                &mut self.db,
+                &mut view.counts,
+                &changes,
+                &mut stats,
+            );
+            view.derived = view
+                .plan
+                .idbs
+                .iter()
+                .map(|(name, arity)| {
+                    (name.clone(), self.db.remove(name).unwrap_or_else(|| Relation::new(*arity)))
+                })
+                .collect();
+            view.epoch = self.epoch;
+            if outcome.is_ok() {
+                outcome = result;
+            }
+        }
+        self.views = views;
+        outcome?;
+        // Standing views retract and re-derive in place; without compaction
+        // the tombstone garbage makes every full-arena scan degrade linearly
+        // with batch count. Amortized O(1) per written row.
+        for name in changes.names() {
+            if let Some(rel) = self.db.get_mut(name) {
+                rel.maybe_compact();
+            }
+        }
+        for view in &mut self.views {
+            for (_, rel) in &mut view.derived {
+                rel.maybe_compact();
+            }
+        }
+        self.last_stats = stats.clone();
+        Ok(stats)
+    }
+
+    /// Number of installed standing queries.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The maintained output relation of the view returned by
+    /// [`PreparedDatabase::install_view`].
+    pub fn view(&self, id: usize) -> Option<&Relation> {
+        let view = self.views.get(id)?;
+        view.derived.iter().find(|(name, _)| *name == view.output).map(|(_, rel)| rel)
+    }
+
+    /// Any maintained derived relation of a view (differential tests compare
+    /// every intermediate, not just the output).
+    pub fn view_relation(&self, id: usize, name: &str) -> Option<&Relation> {
+        self.views.get(id)?.derived.iter().find(|(n, _)| n == name).map(|(_, rel)| rel)
+    }
+
+    /// The epoch (delta batches applied) a view was last maintained at.
+    pub fn view_epoch(&self, id: usize) -> Option<u64> {
+        self.views.get(id).map(|v| v.epoch)
+    }
+
+    /// Number of delta batches applied to this working set so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

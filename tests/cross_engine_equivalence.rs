@@ -261,6 +261,78 @@ fn shortest_path_agrees_between_datalog_and_graph_engines() {
     assert_eq!(datalog.len(), 1, "the target person is reachable");
 }
 
+/// Incremental maintenance is invisible to the cross-paradigm claim: after a
+/// random sequence of KNOWS insert/delete batches, the *maintained* Datalog
+/// view must hold exactly what every engine computes cold over the final
+/// database state.
+#[test]
+fn maintained_view_matches_cold_engines_after_delta_sequence() {
+    use raqlet::{EdbDelta, PreparedDatabase, Value};
+    use raqlet_common::SplitMix64;
+
+    let mut network = generate(&GeneratorConfig { scale: 0.4, seed: 7 });
+    let person = network.sample_person();
+    let raqlet = Raqlet::from_pg_schema(SNB_PG_SCHEMA).unwrap();
+    let options = CompileOptions::new(OptLevel::Full).with_param("personId", person);
+    let compiled = raqlet.compile(raqlet_ldbc::REACHABILITY.cypher, &options).unwrap();
+
+    let mut shadow = to_database(&network);
+    let mut prepared = PreparedDatabase::new(shadow.clone());
+    let view = prepared.install_view(compiled.dlir(), &compiled.output).unwrap();
+
+    let persons: Vec<i64> = network.persons.iter().map(|p| p.id).collect();
+    let mut rng = SplitMix64::seed_from_u64(0xCAFE);
+    let mut next_edge_id = 1_000_000i64;
+    for _ in 0..8 {
+        let mut delta = EdbDelta::new();
+        for _ in 0..4 {
+            let delete = rng.gen_bool(0.5);
+            if delete {
+                let rows = shadow.get("Person_KNOWS_Person").unwrap().sorted();
+                if rows.is_empty() {
+                    continue;
+                }
+                let row = rows[rng.gen_index(0..rows.len())].clone();
+                delta.delete("Person_KNOWS_Person", row.clone());
+                shadow.get_mut("Person_KNOWS_Person").unwrap().remove(&row);
+                // Keep the generator's edge list in sync so the property
+                // graph of the final state can be rebuilt from it.
+                if let (Value::Int(a), Value::Int(b), Value::Int(date)) =
+                    (&row[0], &row[1], &row[3])
+                {
+                    if let Some(i) =
+                        network.knows.iter().position(|(x, y, d)| x == a && y == b && d == date)
+                    {
+                        network.knows.remove(i);
+                    }
+                }
+            } else {
+                let a = persons[rng.gen_index(0..persons.len())];
+                let b = persons[rng.gen_index(0..persons.len())];
+                let date = 20_200_101i64;
+                next_edge_id += 1;
+                let tuple =
+                    vec![Value::Int(a), Value::Int(b), Value::Int(next_edge_id), Value::Int(date)];
+                delta.insert("Person_KNOWS_Person", tuple.clone());
+                shadow.insert_fact("Person_KNOWS_Person", tuple).unwrap();
+                network.knows.push((a, b, date));
+            }
+        }
+        prepared.apply_delta(delta).unwrap();
+    }
+
+    let maintained = prepared.view_relation(view, &compiled.output).unwrap().sorted();
+    let cold_datalog = compiled.execute_datalog(&shadow).unwrap();
+    let graph_rows = compiled.execute_graph(&to_property_graph(&network)).unwrap();
+    let duck = compiled.execute_sql(&shadow, SqlProfile::Duck).unwrap();
+    let hyper = compiled.execute_sql(&shadow, SqlProfile::Hyper).unwrap();
+    assert_eq!(maintained, cold_datalog.sorted(), "maintained vs cold datalog");
+    assert_eq!(maintained, graph_rows.sorted(), "maintained vs cold graph");
+    assert_eq!(maintained, duck.sorted(), "maintained vs cold duckdb-sim");
+    assert_eq!(maintained, hyper.sorted(), "maintained vs cold hyper-sim");
+    assert!(!maintained.is_empty(), "expected a non-trivial final state");
+}
+
 #[test]
 fn optimization_levels_never_change_results() {
     let (db, _, person) = workload();

@@ -194,6 +194,75 @@ fn only_plan_declared_indexes_are_materialized() {
     assert_eq!(prepared.database().get("edge").unwrap().index_count(), 1);
 }
 
+/// Maintenance hygiene: `apply_delta` must run entirely on the standing
+/// machinery — no program recompiles and no index builds beyond what
+/// `install_view` declared and materialized up front.
+#[test]
+fn apply_delta_compiles_no_plans_and_builds_no_undeclared_indexes() {
+    use raqlet::EdbDelta;
+
+    let mut prepared = PreparedDatabase::new(chain_db(8));
+    let program = tc_program();
+    prepared.install_view(&program, "tc").unwrap();
+    let compiles = prepared.plan_compiles();
+    let builds = prepared.index_builds();
+    assert!(builds > 0, "install_view materializes the declared maintenance indexes");
+
+    for i in 0..6i64 {
+        let mut delta = EdbDelta::new();
+        if i % 2 == 0 {
+            delta.insert("edge", vec![Value::Int(20 + i), Value::Int(21 + i)]);
+        } else {
+            delta.delete("edge", vec![Value::Int(i), Value::Int(i + 1)]);
+        }
+        prepared.apply_delta(delta).unwrap();
+        assert_eq!(prepared.plan_compiles(), compiles, "batch {i}: maintenance recompiled a plan");
+        assert_eq!(prepared.index_builds(), builds, "batch {i}: maintenance built a new index");
+    }
+}
+
+/// Installing a standing view must not perturb the warm execution path:
+/// `run` over the same prepared set returns exactly the pre-IVM results as
+/// long as no delta was applied, and derived state still never leaks.
+#[test]
+fn standing_views_leave_the_warm_path_untouched() {
+    let program = tc_program();
+    let mut baseline = PreparedDatabase::new(chain_db(10));
+    let expected = baseline.run(&program, "tc").unwrap().sorted();
+
+    let mut prepared = PreparedDatabase::new(chain_db(10));
+    let view = prepared.install_view(&program, "tc").unwrap();
+    for _ in 0..3 {
+        assert_eq!(prepared.run(&program, "tc").unwrap().sorted(), expected);
+    }
+    assert!(prepared.database().get("tc").is_none(), "derived state must not leak into the EDB");
+    assert_eq!(prepared.view_relation(view, "tc").unwrap().sorted(), expected);
+    assert_eq!(prepared.view_epoch(view), Some(0), "no delta was applied");
+}
+
+/// After maintenance, the warm execution path sees the mutated EDB: a fresh
+/// `run` agrees with both the maintained view and a cold engine.
+#[test]
+fn warm_runs_after_apply_delta_see_the_mutated_edb() {
+    use raqlet::EdbDelta;
+
+    let program = tc_program();
+    let mut prepared = PreparedDatabase::new(chain_db(6));
+    let view = prepared.install_view(&program, "tc").unwrap();
+
+    let mut delta = EdbDelta::new();
+    delta.delete("edge", vec![Value::Int(2), Value::Int(3)]);
+    delta.insert("edge", vec![Value::Int(6), Value::Int(7)]);
+    prepared.apply_delta(delta).unwrap();
+
+    let warm = prepared.run(&program, "tc").unwrap().sorted();
+    let maintained = prepared.view_relation(view, "tc").unwrap().sorted();
+    let cold =
+        DatalogEngine::new().run_output(&program, prepared.database(), "tc").unwrap().sorted();
+    assert_eq!(warm, maintained, "warm re-run vs maintained view");
+    assert_eq!(warm, cold, "warm re-run vs cold engine on the mutated EDB");
+}
+
 #[test]
 fn facts_added_between_runs_are_visible_and_extend_indexes() {
     let mut prepared = PreparedDatabase::new(chain_db(3));
