@@ -12,9 +12,28 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use raqlet::{OptLevel, PreparedDatabase, SqlProfile};
+use raqlet::{CancellationToken, OptLevel, PreparedDatabase, QueryGuard, SqlProfile};
 use raqlet_bench::{quick_mode, Workload};
 use raqlet_ldbc::TABLE1_QUERIES;
+
+/// An armed guard whose limits are generous enough that no Table 1 query can
+/// trip it: every checkpoint takes the armed (slow) path, so benching with
+/// this guard measures the governance overhead of deadline + tuple-budget +
+/// cancellation checks. CI asserts the `*-warm-guarded` rows stay within 1.1x
+/// of their `*-warm` twins.
+///
+/// Deliberately no memory budget: arming one additionally pays a
+/// `Database::heap_bytes` walk at every fixpoint-round boundary (the heap
+/// cannot be budgeted without being measured — ~5µs of fixed cost per round
+/// on the LDBC database, noticeable only on the ~13µs SQ1 row). The walk is
+/// gated on `memory_budget().is_some()` precisely so that callers who don't
+/// ask for heap governance never pay it.
+fn untrippable_guard() -> QueryGuard {
+    QueryGuard::new()
+        .with_deadline(Duration::from_secs(3600))
+        .with_tuple_budget(u64::MAX)
+        .with_cancellation(CancellationToken::new())
+}
 
 fn table1(c: &mut Criterion) {
     let workload = Workload::new(if quick_mode() { 0.25 } else { 1.0 });
@@ -39,6 +58,18 @@ fn table1(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("souffle-sim", "optimized-warm"), |b| {
             b.iter(|| opt.execute_datalog_prepared(&mut prepared).unwrap())
+        });
+        // Same warm rows with an armed-but-untripped QueryGuard: the pair
+        // quantifies the overhead of deadline/budget/cancellation checks.
+        let guard = untrippable_guard();
+        let mut prepared_guarded = PreparedDatabase::new(workload.db.clone());
+        group.bench_function(BenchmarkId::new("souffle-sim", "unoptimized-warm-guarded"), |b| {
+            b.iter(|| {
+                unopt.execute_datalog_prepared_guarded(&mut prepared_guarded, &guard).unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("souffle-sim", "optimized-warm-guarded"), |b| {
+            b.iter(|| opt.execute_datalog_prepared_guarded(&mut prepared_guarded, &guard).unwrap())
         });
         for profile in [SqlProfile::Duck, SqlProfile::Hyper] {
             group.bench_function(BenchmarkId::new(profile.name(), "unoptimized"), |b| {

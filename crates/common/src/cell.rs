@@ -42,7 +42,7 @@
 //! assert_eq!(dict.decode(n), Value::Int(-7));
 //! ```
 
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::hash::FxHashMap;
 use crate::value::Value;
@@ -152,6 +152,28 @@ impl ValueDict {
         Self::default()
     }
 
+    /// Take the read side of the dictionary lock, recovering from poison.
+    ///
+    /// The dictionary deliberately ignores `RwLock` poisoning: it is shared
+    /// by every relation of a database, so letting one panicking evaluation
+    /// thread poison it would take down every other user of the `Database`.
+    /// Recovery is sound because the dictionary is append-only and each
+    /// mutation keeps it canonical at every intermediate step: `strings` /
+    /// `bigints` are pushed before the id-map insert, and an id only escapes
+    /// to a caller after its entry is fully installed. A panic mid-insert can
+    /// at worst strand an entry whose id was never returned — unreachable,
+    /// never decoded, and re-interned under a fresh id on next sight —
+    /// leaving live cells exactly as canonical as before.
+    fn read_inner(&self) -> RwLockReadGuard<'_, DictInner> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Take the write side of the dictionary lock, recovering from poison
+    /// (see [`read_inner`](Self::read_inner) for why this is sound).
+    fn write_inner(&self) -> RwLockWriteGuard<'_, DictInner> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A fresh, empty, shareable dictionary.
     pub fn shared() -> Arc<ValueDict> {
         Arc::new(ValueDict::new())
@@ -167,10 +189,10 @@ impl ValueDict {
     }
 
     fn encode_bigint(&self, v: i64) -> Cell {
-        if let Some(&id) = self.inner.read().expect("dict poisoned").bigint_ids.get(&v) {
+        if let Some(&id) = self.read_inner().bigint_ids.get(&v) {
             return (TAG_BIGINT << TAG_SHIFT) | id as u64;
         }
-        let mut inner = self.inner.write().expect("dict poisoned");
+        let mut inner = self.write_inner();
         let id = match inner.bigint_ids.get(&v) {
             Some(&id) => id,
             None => {
@@ -185,10 +207,10 @@ impl ValueDict {
 
     /// Encode a string, interning it on first sight.
     pub fn encode_str(&self, s: &str) -> Cell {
-        if let Some(&id) = self.inner.read().expect("dict poisoned").string_ids.get(s) {
+        if let Some(&id) = self.read_inner().string_ids.get(s) {
             return (TAG_STR << TAG_SHIFT) | id as u64;
         }
-        let mut inner = self.inner.write().expect("dict poisoned");
+        let mut inner = self.write_inner();
         let id = match inner.string_ids.get(s) {
             Some(&id) => id,
             None => {
@@ -205,10 +227,10 @@ impl ValueDict {
     /// Encode an already-reference-counted string without copying it when it
     /// is new to the dictionary.
     pub fn encode_arc_str(&self, s: &Arc<str>) -> Cell {
-        if let Some(&id) = self.inner.read().expect("dict poisoned").string_ids.get(&**s) {
+        if let Some(&id) = self.read_inner().string_ids.get(&**s) {
             return (TAG_STR << TAG_SHIFT) | id as u64;
         }
-        let mut inner = self.inner.write().expect("dict poisoned");
+        let mut inner = self.write_inner();
         let id = match inner.string_ids.get(&**s) {
             Some(&id) => id,
             None => {
@@ -242,12 +264,12 @@ impl ValueDict {
                 if fits_inline(*i) {
                     Some(inline_int_cell(*i))
                 } else {
-                    let inner = self.inner.read().expect("dict poisoned");
+                    let inner = self.read_inner();
                     inner.bigint_ids.get(i).map(|&id| (TAG_BIGINT << TAG_SHIFT) | id as u64)
                 }
             }
             Value::Str(s) => {
-                let inner = self.inner.read().expect("dict poisoned");
+                let inner = self.read_inner();
                 inner.string_ids.get(&**s).map(|&id| (TAG_STR << TAG_SHIFT) | id as u64)
             }
             Value::Bool(b) => Some(bool_cell(*b)),
@@ -262,13 +284,13 @@ impl ValueDict {
         match tag(cell) {
             TAG_INT => Value::Int(((cell << 3) as i64) >> 3),
             TAG_STR => {
-                let inner = self.inner.read().expect("dict poisoned");
+                let inner = self.read_inner();
                 Value::Str(inner.strings[(cell & PAYLOAD_MASK) as usize].clone())
             }
             TAG_BOOL => Value::Bool(cell & 1 == 1),
             TAG_NULL => Value::Null,
             TAG_BIGINT => {
-                let inner = self.inner.read().expect("dict poisoned");
+                let inner = self.read_inner();
                 Value::Int(inner.bigints[(cell & PAYLOAD_MASK) as usize])
             }
             t => panic!("cannot decode internal cell tag {t}"),
@@ -281,7 +303,7 @@ impl ValueDict {
         match tag(cell) {
             TAG_INT => Some(((cell << 3) as i64) >> 3),
             TAG_BIGINT => {
-                let inner = self.inner.read().expect("dict poisoned");
+                let inner = self.read_inner();
                 Some(inner.bigints[(cell & PAYLOAD_MASK) as usize])
             }
             _ => None,
@@ -292,7 +314,7 @@ impl ValueDict {
     /// integers). Stable across executions that introduce no new values —
     /// warm prepared runs pin "zero re-encoding" through this.
     pub fn len(&self) -> usize {
-        let inner = self.inner.read().expect("dict poisoned");
+        let inner = self.read_inner();
         inner.strings.len() + inner.bigints.len()
     }
 
@@ -304,7 +326,7 @@ impl ValueDict {
     /// Approximate heap footprint of the dictionary: interned string bytes,
     /// id tables and overflow table.
     pub fn heap_bytes(&self) -> usize {
-        let inner = self.inner.read().expect("dict poisoned");
+        let inner = self.read_inner();
         let string_bytes: usize = inner.strings.iter().map(|s| s.len()).sum();
         let strings = inner.strings.capacity() * size_of::<Arc<str>>();
         let string_ids = inner.string_ids.capacity() * (size_of::<Arc<str>>() + 4 + 8);
@@ -373,6 +395,33 @@ mod tests {
         assert!(dict.try_encode_value(&Value::str("known")).is_some());
         assert!(dict.try_encode_value(&Value::Int(5)).is_some());
         assert_eq!(dict.len(), 1);
+    }
+
+    #[test]
+    fn dictionary_survives_a_panic_while_the_write_lock_is_held() {
+        let dict = ValueDict::new();
+        let ada = dict.encode_str("Ada");
+
+        // Poison the lock the only way an RwLock can be poisoned: panic while
+        // holding the write guard (readers never poison).
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = dict.inner.write().unwrap();
+            panic!("synthetic panic while holding the dict write lock");
+        }));
+        assert!(poisoned.is_err());
+        assert!(dict.inner.read().is_err(), "the std RwLock really is poisoned");
+
+        // Every dictionary operation still works and stays canonical.
+        assert_eq!(dict.encode_str("Ada"), ada);
+        assert_eq!(dict.decode(ada), Value::str("Ada"));
+        let bob = dict.encode_str("Bob");
+        assert_eq!(dict.decode(bob), Value::str("Bob"));
+        assert_eq!(dict.encode_int(i64::MAX), dict.encode_int(i64::MAX));
+        assert_eq!(dict.decode_int(dict.encode_int(i64::MAX)), Some(i64::MAX));
+        assert_eq!(dict.len(), 3);
+        assert!(dict.heap_bytes() > 0);
+        assert!(dict.try_encode_value(&Value::str("Ada")).is_some());
+        assert_eq!(dict.try_encode_value(&Value::str("never seen")), None);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Common error type shared by all Raqlet crates.
 
 use std::fmt;
+use std::time::Duration;
+
+use crate::stats::EvalStats;
 
 /// Convenience alias used across the workspace.
 pub type Result<T, E = RaqletError> = std::result::Result<T, E>;
@@ -57,6 +60,36 @@ pub enum RaqletError {
     Execution(String),
     /// Schema violation (duplicate relation, arity mismatch, ...).
     Schema(String),
+    /// The query guard's wall-clock deadline expired before evaluation
+    /// finished. Carries the counters accumulated up to the trip point.
+    Timeout {
+        /// Wall-clock time elapsed when the trip was observed, in
+        /// milliseconds (rounded up so a sub-millisecond trip reads as 1).
+        elapsed_ms: u64,
+        /// The requested deadline, in milliseconds.
+        limit_ms: u64,
+        /// Partial evaluation counters at the trip point (boxed to keep the
+        /// common error variants pointer-sized).
+        stats: Box<EvalStats>,
+    },
+    /// A query-guard resource budget (derived tuples or heap bytes) was
+    /// exhausted. Carries the counters accumulated up to the trip point.
+    BudgetExceeded {
+        /// Which budget tripped: `"tuples"` or `"heap_bytes"`.
+        resource: &'static str,
+        /// The measured consumption at the trip point.
+        used: u64,
+        /// The armed budget.
+        limit: u64,
+        /// Partial evaluation counters at the trip point.
+        stats: Box<EvalStats>,
+    },
+    /// The query's cooperative cancellation token was tripped. Carries the
+    /// counters accumulated up to the trip point.
+    Cancelled {
+        /// Partial evaluation counters at the trip point.
+        stats: Box<EvalStats>,
+    },
     /// Catch-all for internal invariant violations. Seeing this is a bug.
     Internal(String),
 }
@@ -97,9 +130,70 @@ impl RaqletError {
         RaqletError::Schema(message.into())
     }
 
+    /// Construct a timeout error from elapsed/limit durations (stats empty;
+    /// engines attach them via [`with_partial_stats`](Self::with_partial_stats)).
+    pub fn timeout(elapsed: Duration, limit: Duration) -> Self {
+        RaqletError::Timeout {
+            elapsed_ms: (elapsed.as_millis() as u64).max(1),
+            limit_ms: limit.as_millis() as u64,
+            stats: Box::default(),
+        }
+    }
+
+    /// Construct a budget-exceeded error (stats empty; engines attach them
+    /// via [`with_partial_stats`](Self::with_partial_stats)).
+    pub fn budget_exceeded(resource: &'static str, used: u64, limit: u64) -> Self {
+        RaqletError::BudgetExceeded { resource, used, limit, stats: Box::default() }
+    }
+
+    /// Construct a cancellation error (stats empty; engines attach them via
+    /// [`with_partial_stats`](Self::with_partial_stats)).
+    pub fn cancelled() -> Self {
+        RaqletError::Cancelled { stats: Box::default() }
+    }
+
     /// True if this error originated in the frontend (lexer or parser).
     pub fn is_syntax_error(&self) -> bool {
         matches!(self, RaqletError::Lex { .. } | RaqletError::Parse { .. })
+    }
+
+    /// True if this is a query-guard trip ([`Timeout`](Self::Timeout),
+    /// [`BudgetExceeded`](Self::BudgetExceeded), or
+    /// [`Cancelled`](Self::Cancelled)): the query exceeded an armed limit
+    /// rather than being invalid, so retrying with a larger allowance is
+    /// meaningful.
+    pub fn is_guard_trip(&self) -> bool {
+        matches!(
+            self,
+            RaqletError::Timeout { .. }
+                | RaqletError::BudgetExceeded { .. }
+                | RaqletError::Cancelled { .. }
+        )
+    }
+
+    /// The partial evaluation counters carried by a guard-trip error.
+    pub fn partial_stats(&self) -> Option<&EvalStats> {
+        match self {
+            RaqletError::Timeout { stats, .. }
+            | RaqletError::BudgetExceeded { stats, .. }
+            | RaqletError::Cancelled { stats, .. } => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// Attach partial evaluation counters to a guard-trip error.
+    ///
+    /// Checkpoints deep in the engines cannot see the run's counters, so
+    /// they raise trips with empty stats; each engine's entry point calls
+    /// this on the way out. Non-trip errors pass through unchanged.
+    pub fn with_partial_stats(mut self, partial: &EvalStats) -> Self {
+        if let RaqletError::Timeout { stats, .. }
+        | RaqletError::BudgetExceeded { stats, .. }
+        | RaqletError::Cancelled { stats } = &mut self
+        {
+            **stats = partial.clone();
+        }
+        self
     }
 }
 
@@ -121,12 +215,34 @@ impl fmt::Display for RaqletError {
             RaqletError::Optimization(m) => write!(f, "optimization error: {m}"),
             RaqletError::Execution(m) => write!(f, "execution error: {m}"),
             RaqletError::Schema(m) => write!(f, "schema error: {m}"),
+            RaqletError::Timeout { elapsed_ms, limit_ms, .. } => {
+                write!(f, "query timed out after {elapsed_ms}ms (deadline {limit_ms}ms)")
+            }
+            RaqletError::BudgetExceeded { resource, used, limit, .. } => {
+                write!(f, "query exceeded its {resource} budget: used {used} of {limit}")
+            }
+            RaqletError::Cancelled { .. } => write!(f, "query cancelled"),
             RaqletError::Internal(m) => write!(f, "internal error (please report): {m}"),
         }
     }
 }
 
 impl std::error::Error for RaqletError {}
+
+/// Extract a human-readable message from a panic payload (the `Box<dyn Any>`
+/// returned by `std::thread::JoinHandle::join` or `std::panic::catch_unwind`).
+///
+/// Used by the engines to convert a caught worker panic into a structured
+/// [`RaqletError::Internal`] instead of unwinding through scoped threads.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -174,5 +290,55 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(RaqletError::semantic("a"), RaqletError::semantic("a"));
         assert_ne!(RaqletError::semantic("a"), RaqletError::semantic("b"));
+    }
+
+    #[test]
+    fn guard_trips_are_recognised_and_carry_stats() {
+        let partial = EvalStats { iterations: 7, tuples_derived: 1234, ..EvalStats::default() };
+
+        let timeout = RaqletError::timeout(Duration::from_millis(120), Duration::from_millis(100))
+            .with_partial_stats(&partial);
+        assert!(timeout.is_guard_trip());
+        assert_eq!(timeout.partial_stats().unwrap().iterations, 7);
+        assert!(timeout.to_string().contains("120ms"), "{timeout}");
+        assert!(timeout.to_string().contains("100ms"), "{timeout}");
+
+        let budget = RaqletError::budget_exceeded("tuples", 1500, 1000);
+        assert!(budget.is_guard_trip());
+        assert!(budget.to_string().contains("1500"), "{budget}");
+
+        let cancelled = RaqletError::cancelled().with_partial_stats(&partial);
+        assert!(cancelled.is_guard_trip());
+        assert_eq!(cancelled.partial_stats().unwrap().tuples_derived, 1234);
+
+        assert!(!RaqletError::execution("x").is_guard_trip());
+        assert_eq!(RaqletError::execution("x").partial_stats(), None);
+    }
+
+    #[test]
+    fn with_partial_stats_is_a_no_op_on_other_variants() {
+        let partial = EvalStats { iterations: 3, ..EvalStats::default() };
+        let e = RaqletError::semantic("nope").with_partial_stats(&partial);
+        assert_eq!(e, RaqletError::semantic("nope"));
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_report_at_least_one_ms() {
+        let e = RaqletError::timeout(Duration::from_micros(50), Duration::ZERO);
+        match e {
+            RaqletError::Timeout { elapsed_ms, .. } => assert_eq!(elapsed_ms, 1),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let static_payload = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(static_payload.as_ref()), "static str");
+        let n = 42;
+        let string_payload = std::panic::catch_unwind(move || panic!("formatted {n}")).unwrap_err();
+        assert_eq!(panic_message(string_payload.as_ref()), "formatted 42");
+        let opaque = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_message(opaque.as_ref()), "opaque panic payload");
     }
 }

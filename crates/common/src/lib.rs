@@ -14,6 +14,10 @@
 //!   and the per-database [`cell::ValueDict`];
 //! * [`relation`] — in-memory relations (flat packed-row arenas) and
 //!   databases, shared by the Datalog and SQL execution substrates;
+//! * [`guard`] — cooperative execution governance: the [`guard::QueryGuard`]
+//!   deadlines/budgets/cancellation checked at engine checkpoints;
+//! * [`stats`] — evaluation counters ([`stats::EvalStats`]) shared by the
+//!   engines and by guard-trip errors;
 //! * [`hash`] — the fast multiply-xor hasher used on the storage hot paths;
 //! * [`symbol`] — a string interner so relation/variable names compare by id;
 //! * [`rng`] — a tiny deterministic PRNG for data generators and tests;
@@ -26,11 +30,13 @@
 
 pub mod cell;
 pub mod error;
+pub mod guard;
 pub mod hash;
 pub mod ids;
 pub mod relation;
 pub mod rng;
 pub mod schema;
+pub mod stats;
 pub mod support;
 pub mod symbol;
 pub mod types;
@@ -38,9 +44,11 @@ pub mod value;
 
 pub use cell::{Cell, ValueDict};
 pub use error::{RaqletError, Result};
+pub use guard::{CancellationToken, CheckPoint, InjectedFault, QueryGuard};
 pub use relation::{Database, Relation, Tuple};
 pub use rng::SplitMix64;
 pub use schema::{DlSchema, PgSchema};
+pub use stats::EvalStats;
 pub use support::{SupportChange, SupportCounts};
 pub use symbol::{Interner, Symbol};
 pub use types::ValueType;

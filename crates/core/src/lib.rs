@@ -33,7 +33,9 @@ use std::collections::HashMap;
 pub use raqlet_analysis::{
     analyze, check_backend, AnalysisReport, BackendCapabilities, Linearity, Monotonicity,
 };
-pub use raqlet_common::{Database, RaqletError, Relation, Result, Value};
+pub use raqlet_common::{
+    CancellationToken, Database, EvalStats, QueryGuard, RaqletError, Relation, Result, Value,
+};
 pub use raqlet_cypher::parse_pg_schema;
 pub use raqlet_dlir::{DlirProgram, LoweredQuery};
 pub use raqlet_engine::{
@@ -219,6 +221,16 @@ impl CompiledQuery {
         DatalogEngine::new().run_output(self.dlir(), db, &self.output)
     }
 
+    /// [`CompiledQuery::execute_datalog`] under an execution [`QueryGuard`]:
+    /// the guard's deadline, tuple/heap budgets and cancellation token are
+    /// checked at every engine checkpoint, and a trip surfaces as
+    /// [`RaqletError::Timeout`], [`RaqletError::BudgetExceeded`] or
+    /// [`RaqletError::Cancelled`] carrying partial [`EvalStats`]. `db` is
+    /// never modified either way.
+    pub fn execute_datalog_guarded(&self, db: &Database, guard: &QueryGuard) -> Result<Relation> {
+        Ok(DatalogEngine::new().evaluate_guarded(self.dlir(), db, guard)?.relation(&self.output))
+    }
+
     /// Execute the *unoptimized* program on the Datalog engine.
     pub fn execute_datalog_unoptimized(&self, db: &Database) -> Result<Relation> {
         DatalogEngine::new().run_output(&self.unoptimized, db, &self.output)
@@ -232,12 +244,38 @@ impl CompiledQuery {
         prepared.run(self.dlir(), &self.output)
     }
 
+    /// [`CompiledQuery::execute_datalog_prepared`] under an execution
+    /// [`QueryGuard`]. Failure is atomic: an errored, tripped, or panicking
+    /// run leaves the warm working set exactly as it was before the call
+    /// (see [`PreparedDatabase::run_guarded`]).
+    pub fn execute_datalog_prepared_guarded(
+        &self,
+        prepared: &mut PreparedDatabase,
+        guard: &QueryGuard,
+    ) -> Result<Relation> {
+        prepared.run_guarded(self.dlir(), &self.output, guard)
+    }
+
     /// Execute on the bundled SQL engine with the given profile.
     pub fn execute_sql(&self, db: &Database, profile: SqlProfile) -> Result<Relation> {
         let sqir = self.sqir()?;
         let catalog = TableCatalog::from_schema(&self.dlir_for_sql().schema);
         let engine = SqlEngine { profile };
         Ok(engine.execute(&sqir, db, &catalog)?.rows)
+    }
+
+    /// [`CompiledQuery::execute_sql`] under an execution [`QueryGuard`],
+    /// checked before each CTE and at every recursive-CTE fixpoint round.
+    pub fn execute_sql_guarded(
+        &self,
+        db: &Database,
+        profile: SqlProfile,
+        guard: &QueryGuard,
+    ) -> Result<Relation> {
+        let sqir = self.sqir()?;
+        let catalog = TableCatalog::from_schema(&self.dlir_for_sql().schema);
+        let engine = SqlEngine { profile };
+        Ok(engine.execute_guarded(&sqir, db, &catalog, guard)?.rows)
     }
 
     /// Execute the *unoptimized* program on the SQL engine.
@@ -252,6 +290,17 @@ impl CompiledQuery {
     /// (the Neo4j stand-in).
     pub fn execute_graph(&self, graph: &PropertyGraph) -> Result<Relation> {
         Ok(GraphEngine::new().execute(&self.pgir, graph)?.rows)
+    }
+
+    /// [`CompiledQuery::execute_graph`] under an execution [`QueryGuard`],
+    /// checked before every clause and once per binding row during pattern
+    /// expansion.
+    pub fn execute_graph_guarded(
+        &self,
+        graph: &PropertyGraph,
+        guard: &QueryGuard,
+    ) -> Result<Relation> {
+        Ok(GraphEngine::new().execute_guarded(&self.pgir, graph, guard)?.rows)
     }
 }
 

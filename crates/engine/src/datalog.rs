@@ -57,6 +57,8 @@
 use std::collections::HashMap;
 
 use raqlet_common::cell::{is_tombstone, Cell, ValueDict, NULL_CELL, UNBOUND_CELL};
+use raqlet_common::error::panic_message;
+use raqlet_common::guard::{CheckPoint, QueryGuard, JOIN_SCAN_PERIOD};
 use raqlet_common::{Database, RaqletError, Relation, Result, Value};
 use raqlet_dlir::{
     stratify, Aggregation, Atom, BodyElem, DepGraph, DlExpr, DlirProgram, LatticeMerge, Rule, Term,
@@ -134,30 +136,19 @@ impl DatalogConfig {
     }
 }
 
-/// Counters describing an evaluation run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct EvalStats {
-    /// Number of strata evaluated.
-    pub strata: usize,
-    /// Strongly connected components scheduled across all strata (only
-    /// components owning at least one fixpoint rule are counted).
-    pub sccs: usize,
-    /// Components that required fixpoint iteration (self- or mutual
-    /// recursion). `sccs - looping_sccs` components were fully evaluated in
-    /// a single round with no delta bookkeeping.
-    pub looping_sccs: usize,
-    /// Total evaluation rounds across all components (one per non-looping
-    /// component; round zero plus every delta round for looping ones).
-    pub iterations: usize,
-    /// Total number of rule applications (rule × iteration).
-    pub rule_applications: usize,
-    /// Total tuples derived (including duplicates discarded by set
-    /// semantics).
-    pub tuples_derived: usize,
-    /// Worker tasks spawned for partitioned rule applications (0 when every
-    /// rule ran on the calling thread). Both delta-driven and round-zero
-    /// applications count.
-    pub parallel_tasks: usize,
+// `EvalStats` moved to `raqlet_common` so guard-trip errors can carry partial
+// counters; re-exported here so existing `raqlet_engine::EvalStats` (and
+// `datalog::EvalStats`) references keep working.
+pub use raqlet_common::stats::EvalStats;
+
+/// Check the heap budget at a round/SCC boundary. `Database::heap_bytes`
+/// walks every relation (and the dictionary), so the measurement is only
+/// taken when a memory budget is actually armed.
+fn check_db_memory(guard: &QueryGuard, db: &Database) -> Result<()> {
+    if guard.memory_budget().is_some() {
+        guard.check_memory(db.heap_bytes())?;
+    }
+    Ok(())
 }
 
 /// The result of evaluating a program.
@@ -243,6 +234,22 @@ impl DatalogEngine {
 
     /// Evaluate `program` over the extensional database `edb`.
     pub fn evaluate(&self, program: &DlirProgram, edb: &Database) -> Result<EvalResult> {
+        self.evaluate_guarded(program, edb, &QueryGuard::new())
+    }
+
+    /// Evaluate `program` over `edb` under an execution guard: the deadline,
+    /// budgets and cancellation token of `guard` are checked at fixpoint
+    /// rounds, SCC boundaries, parallel chunk starts and periodically inside
+    /// join scans. A tripped guard returns [`RaqletError::Timeout`],
+    /// [`RaqletError::BudgetExceeded`] or [`RaqletError::Cancelled`] carrying
+    /// the partial [`EvalStats`] accumulated so far; `edb` is never modified
+    /// either way.
+    pub fn evaluate_guarded(
+        &self,
+        program: &DlirProgram,
+        edb: &Database,
+        guard: &QueryGuard,
+    ) -> Result<EvalResult> {
         // Working database: only the extensional relations the program
         // actually references (in rule bodies or as outputs) are copied in.
         // It shares the extensional database's value dictionary, so the
@@ -277,7 +284,7 @@ impl DatalogEngine {
             }
         }
 
-        let stats = self.evaluate_in_place(program, &mut db)?;
+        let stats = self.evaluate_in_place(program, &mut db, guard)?;
         Ok(EvalResult { database: db, stats })
     }
 
@@ -290,15 +297,21 @@ impl DatalogEngine {
         &self,
         program: &DlirProgram,
         db: &mut Database,
+        guard: &QueryGuard,
     ) -> Result<EvalStats> {
         let plan = ProgramPlan::prepare(program, db.dict())?;
-        self.evaluate_plan(&plan, db)
+        self.evaluate_plan(&plan, db, guard)
     }
 
     /// Evaluate a precompiled [`ProgramPlan`] against `db` (the plan-cache
     /// fast path of [`crate::PreparedDatabase`]). The plan must have been
     /// prepared against `db`'s value dictionary.
-    pub(crate) fn evaluate_plan(&self, plan: &ProgramPlan, db: &mut Database) -> Result<EvalStats> {
+    pub(crate) fn evaluate_plan(
+        &self,
+        plan: &ProgramPlan,
+        db: &mut Database,
+        guard: &QueryGuard,
+    ) -> Result<EvalStats> {
         if !std::sync::Arc::ptr_eq(&plan.dict, db.dict()) {
             return Err(RaqletError::execution(
                 "program plan was prepared against a different value dictionary",
@@ -328,7 +341,12 @@ impl DatalogEngine {
             if stratum.agg_rules.is_empty() && stratum.sccs.is_empty() {
                 continue;
             }
-            self.evaluate_stratum(stratum, db, threads, &mut stats)?;
+            if let Err(e) = self.evaluate_stratum(stratum, db, threads, &mut stats, guard) {
+                // Deep checkpoints raise guard trips with empty counters (they
+                // cannot see this run's stats); patch the partials in here so
+                // callers learn how far evaluation got.
+                return Err(e.with_partial_stats(&stats));
+            }
         }
         Ok(stats)
     }
@@ -349,14 +367,16 @@ impl DatalogEngine {
         db: &mut Database,
         threads: usize,
         stats: &mut EvalStats,
+        guard: &QueryGuard,
     ) -> Result<()> {
         // Aggregating rules are never recursive, and stratification places
         // everything they read in a strictly lower stratum — so they are
         // evaluated once, *before* the fixpoint rules of this stratum (which
         // may consume their output). Their output is published immediately.
         for plan in &stratum.agg_rules {
+            guard.checkpoint(CheckPoint::Scc)?;
             stats.rule_applications += 1;
-            let derived = self.apply_rule(plan, db, None, threads, stats)?;
+            let derived = self.apply_rule(plan, db, None, threads, stats, guard)?;
             stats.tuples_derived += derived.rows;
             publish_derived(plan, db, derived)?;
         }
@@ -366,10 +386,12 @@ impl DatalogEngine {
         // everything it reads outside itself — lower strata and earlier
         // components of this stratum — is fully published.
         for scc in &stratum.sccs {
+            guard.checkpoint(CheckPoint::Scc)?;
+            check_db_memory(guard, db)?;
             stats.sccs += 1;
             if scc.looping {
                 stats.looping_sccs += 1;
-                self.evaluate_scc_fixpoint(scc, db, threads, stats)?;
+                self.evaluate_scc_fixpoint(scc, db, threads, stats, guard)?;
             } else {
                 // Non-looping component: every rule reads only fully
                 // computed relations, so one application per rule derives
@@ -377,7 +399,7 @@ impl DatalogEngine {
                 // machinery.
                 for plan in &scc.rules {
                     stats.rule_applications += 1;
-                    let derived = self.apply_rule(plan, db, None, threads, stats)?;
+                    let derived = self.apply_rule(plan, db, None, threads, stats, guard)?;
                     stats.tuples_derived += derived.rows;
                     publish_derived(plan, db, derived)?;
                 }
@@ -412,13 +434,14 @@ impl DatalogEngine {
         db: &mut Database,
         threads: usize,
         stats: &mut EvalStats,
+        guard: &QueryGuard,
     ) -> Result<()> {
         // Round zero: evaluate every rule of the component against the full
         // database, staging derivations inside the head relations. Advancing
         // publishes them and makes them the first delta.
         for plan in &scc.rules {
             stats.rule_applications += 1;
-            let derived = self.apply_rule(plan, db, None, threads, stats)?;
+            let derived = self.apply_rule(plan, db, None, threads, stats, guard)?;
             stats.tuples_derived += derived.rows;
             stage_derived(plan, db, derived)?;
         }
@@ -429,7 +452,7 @@ impl DatalogEngine {
             }
         }
 
-        self.scc_delta_rounds(scc, db, threads, stats)?;
+        self.scc_delta_rounds(scc, db, threads, stats, guard)?;
 
         for name in &scc.relations {
             if let Some(rel) = db.get_mut(name) {
@@ -450,6 +473,7 @@ impl DatalogEngine {
         db: &mut Database,
         threads: usize,
         stats: &mut EvalStats,
+        guard: &QueryGuard,
     ) -> Result<()> {
         let mut any_new =
             scc.relations.iter().any(|name| db.get(name).is_some_and(|r| !r.delta_is_empty()));
@@ -457,6 +481,8 @@ impl DatalogEngine {
         // Fixpoint rounds: each recursive atom occurrence drives one
         // delta-first join against the persistent indexes on the stable sets.
         while any_new {
+            guard.checkpoint(CheckPoint::FixpointRound)?;
+            check_db_memory(guard, db)?;
             for plan in &scc.rules {
                 if plan.recursive_positions.is_empty() {
                     continue;
@@ -464,7 +490,7 @@ impl DatalogEngine {
                 match self.config.strategy {
                     EvalStrategy::Naive => {
                         stats.rule_applications += 1;
-                        let derived = self.apply_rule(plan, db, None, threads, stats)?;
+                        let derived = self.apply_rule(plan, db, None, threads, stats, guard)?;
                         stats.tuples_derived += derived.rows;
                         stage_derived(plan, db, derived)?;
                     }
@@ -482,7 +508,8 @@ impl DatalogEngine {
                                 continue;
                             }
                             stats.rule_applications += 1;
-                            let derived = self.apply_rule(plan, db, Some(pos), threads, stats)?;
+                            let derived =
+                                self.apply_rule(plan, db, Some(pos), threads, stats, guard)?;
                             stats.tuples_derived += derived.rows;
                             stage_derived(plan, db, derived)?;
                         }
@@ -514,6 +541,7 @@ impl DatalogEngine {
         delta_pos: Option<usize>,
         threads: usize,
         stats: &mut EvalStats,
+        guard: &QueryGuard,
     ) -> Result<Derived> {
         // The join order and probe-column schedule were computed once at
         // compile time ([`RulePlan::compile`]); every index they name was
@@ -568,12 +596,25 @@ impl DatalogEngine {
                         .chunks(chunk_rows * scan.stride)
                         .map(|slice| {
                             let piece = Scan { pos: scan.pos, rows: slice, stride: scan.stride };
-                            s.spawn(move || derive_rows(plan, db, order, prep, Some(piece)))
+                            s.spawn(move || {
+                                guard.checkpoint(CheckPoint::ParallelChunk)?;
+                                derive_rows(plan, db, order, prep, Some(piece), guard)
+                            })
                         })
                         .collect();
-                    results.extend(
-                        handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")),
-                    );
+                    // A panicking worker must not unwind through the scope
+                    // (which would re-raise on the calling thread and abandon
+                    // its siblings' results): contain the panic here and
+                    // surface it as a structured internal error. Every handle
+                    // is joined either way, so no worker outlives the call.
+                    results.extend(handles.into_iter().map(|h| {
+                        h.join().unwrap_or_else(|payload| {
+                            Err(RaqletError::internal(format!(
+                                "evaluation worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            )))
+                        })
+                    }));
                 });
                 stats.parallel_tasks += results.len();
                 // Merge the per-worker buffers in chunk order so derivation
@@ -581,15 +622,29 @@ impl DatalogEngine {
                 // matches a sequential scan of the same rows. Deduplication
                 // happens when the caller stages into the head relation.
                 let mut out = Derived::new(plan.head_stride());
+                let mut first_err: Option<RaqletError> = None;
                 for worker in results {
-                    let worker = worker?;
-                    out.rows += worker.rows;
-                    out.cells.extend(worker.cells);
+                    match worker {
+                        Ok(part) => {
+                            out.rows += part.rows;
+                            out.cells.extend(part.cells);
+                        }
+                        // Keep draining: errors must not discard sibling
+                        // results silently mid-merge, and the first error in
+                        // chunk order is the one a sequential scan would hit.
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    }
                 }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                guard.add_tuples(out.rows);
                 return Ok(out);
             }
         }
-        derive_rows(plan, db, order, prep, scan)
+        let out = derive_rows(plan, db, order, prep, scan, guard)?;
+        guard.add_tuples(out.rows);
+        Ok(out)
     }
 }
 
@@ -627,8 +682,9 @@ fn derive_rows(
     order: &[usize],
     prep: &JoinPrep,
     scan: Option<Scan>,
+    guard: &QueryGuard,
 ) -> Result<Derived> {
-    let bindings = join_body(plan, db, order, prep, scan)?;
+    let bindings = join_body(plan, db, order, prep, scan, guard)?;
     match &plan.agg {
         None => {
             let mut out = Derived::new(plan.head_stride());
@@ -652,6 +708,7 @@ fn join_body(
     order: &[usize],
     prep: &JoinPrep,
     scan: Option<Scan>,
+    guard: &QueryGuard,
 ) -> Result<Vec<Env>> {
     let mut envs: Vec<Env> = vec![vec![UNBOUND_CELL; plan.nvars]];
 
@@ -673,7 +730,7 @@ fn join_body(
             Some(s) if s.pos == idx => Some(*s),
             _ => None,
         };
-        envs = extend_with_atom(envs, atom, db, scan_here, &prep.atom_columns[idx])?;
+        envs = extend_with_atom(envs, atom, db, scan_here, &prep.atom_columns[idx], guard)?;
         if envs.is_empty() {
             return Ok(Vec::new());
         }
@@ -747,6 +804,7 @@ pub(crate) fn join_body_pinned(
     neg_seed: Option<Pin>,
     skip_negations: &[usize],
     init: Option<Vec<Env>>,
+    guard: &QueryGuard,
 ) -> Result<Vec<Env>> {
     let mut envs: Vec<Env> = init.unwrap_or_else(|| vec![vec![UNBOUND_CELL; plan.nvars]]);
     let mut pending_constraints: Vec<usize> = plan
@@ -766,7 +824,7 @@ pub(crate) fn join_body_pinned(
             return Err(RaqletError::execution("negation seed must name a negated atom"));
         };
         let scan = Scan { pos: seed.pos, rows: seed.rows, stride: seed.stride };
-        envs = extend_with_atom(envs, atom, db, Some(scan), &[])?;
+        envs = extend_with_atom(envs, atom, db, Some(scan), &[], guard)?;
         if envs.is_empty() {
             return Ok(Vec::new());
         }
@@ -777,7 +835,7 @@ pub(crate) fn join_body_pinned(
             return Err(RaqletError::execution("pinned position must name a positive atom"));
         };
         let scan = Scan { pos: pin.pos, rows: pin.rows, stride: pin.stride };
-        envs = extend_with_atom(envs, atom, db, Some(scan), &[])?;
+        envs = extend_with_atom(envs, atom, db, Some(scan), &[], guard)?;
         if envs.is_empty() {
             return Ok(Vec::new());
         }
@@ -800,7 +858,7 @@ pub(crate) fn join_body_pinned(
             continue;
         }
         let PlanElem::Atom(atom) = &plan.body[idx] else { continue };
-        envs = extend_with_atom(envs, atom, db, None, &schedule.prep.atom_columns[idx])?;
+        envs = extend_with_atom(envs, atom, db, None, &schedule.prep.atom_columns[idx], guard)?;
         if envs.is_empty() {
             return Ok(Vec::new());
         }
@@ -876,6 +934,8 @@ fn plan_join_static(body: &[PlanElem], nvars: usize, delta_pos: Option<usize>) -
         // ties towards the earliest body position. `max_by_key` keeps the
         // *last* maximal element, so the position enters the key reversed:
         // among equal bound-column counts the smallest body index wins.
+        // The loop guard proves `remaining` non-empty, so a maximum exists.
+        #[allow(clippy::expect_used)]
         let (best_i, _) = remaining
             .iter()
             .enumerate()
@@ -1171,6 +1231,10 @@ impl RulePlan {
 
     /// The compiled join schedule for the given delta driver (`None` = the
     /// base schedule).
+    // Plan compilation builds one delta schedule per recursive body position
+    // before any evaluation runs; a miss is a plan-construction bug, not a
+    // runtime condition.
+    #[allow(clippy::expect_used)]
     fn schedule_for(&self, delta_pos: Option<usize>) -> &JoinSchedule {
         match delta_pos {
             None => &self.base_schedule,
@@ -1202,6 +1266,9 @@ impl RulePlan {
 
     /// The compiled join schedule driving from the positive atom at `pos` —
     /// a recursive (delta) schedule or an incremental-maintenance one.
+    // `collect_ivm_indexes` compiles a schedule for every positive body
+    // position up front; a miss is a plan-construction bug.
+    #[allow(clippy::expect_used)]
     pub(crate) fn ivm_schedule_for(&self, pos: usize) -> &JoinSchedule {
         self.delta_schedules
             .iter()
@@ -1568,6 +1635,7 @@ fn extend_with_atom(
     db: &Database,
     scan: Option<Scan>,
     bound_columns: &[usize],
+    guard: &QueryGuard,
 ) -> Result<Vec<Env>> {
     {
         let arity = db.get(&atom.relation).map(|r| r.arity()).unwrap_or(atom.arity());
@@ -1584,11 +1652,26 @@ fn extend_with_atom(
 
     let Some(relation) = db.get(&atom.relation) else { return Ok(Vec::new()) };
 
+    // Deadline/cancellation latency must be bounded even when one rule
+    // application joins millions of candidate rows in a single round: tick
+    // a local counter per candidate and consult the guard every
+    // `JOIN_SCAN_PERIOD` candidates (one untaken branch per row when the
+    // guard is unarmed).
+    let mut ticker: u64 = 0;
+    let mut tick = move || -> Result<()> {
+        ticker += 1;
+        if ticker.is_multiple_of(JOIN_SCAN_PERIOD) {
+            guard.checkpoint(CheckPoint::JoinScan)?;
+        }
+        Ok(())
+    };
+
     let mut out = Vec::new();
     if let Some(scan) = scan {
         let arity = atom.arity().min(scan.stride);
         for env in envs {
             for row in scan.rows.chunks_exact(scan.stride) {
+                tick()?;
                 if is_tombstone(row[0]) {
                     continue;
                 }
@@ -1608,6 +1691,7 @@ fn extend_with_atom(
             }));
             if let Some(candidates) = relation.probe_index_cells(bound_columns, &key) {
                 for row in candidates {
+                    tick()?;
                     if let Some(new_env) = match_row(&env, atom, row) {
                         out.push(new_env);
                     }
@@ -1619,6 +1703,7 @@ fn extend_with_atom(
         // row; `match_row` filters.
         for env in envs {
             for row in relation.iter_rows() {
+                tick()?;
                 if let Some(new_env) = match_row(&env, atom, row) {
                     out.push(new_env);
                 }

@@ -16,6 +16,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use raqlet_common::cell::{Cell, ValueDict};
+use raqlet_common::guard::{CheckPoint, QueryGuard};
 use raqlet_common::hash::{FxHashMap, FxHashSet};
 use raqlet_common::schema::normalize_label;
 use raqlet_common::{RaqletError, Relation, Result, Value};
@@ -297,14 +298,29 @@ impl GraphEngine {
 
     /// Execute a PGIR query against a property graph.
     pub fn execute(&self, query: &PgirQuery, graph: &PropertyGraph) -> Result<GraphResult> {
+        self.execute_guarded(query, graph, &QueryGuard::new())
+    }
+
+    /// [`GraphEngine::execute`] under an execution [`QueryGuard`]: the guard
+    /// is checked before every clause and once per binding row during pattern
+    /// expansion, so deadlines, budgets and cancellation interrupt a
+    /// combinatorial MATCH between row expansions. Intermediate binding rows
+    /// count against the guard's tuple budget.
+    pub fn execute_guarded(
+        &self,
+        query: &PgirQuery,
+        graph: &PropertyGraph,
+        guard: &QueryGuard,
+    ) -> Result<GraphResult> {
         let mut rows: Vec<Row> = vec![HashMap::new()];
         let mut stats = GraphStats::default();
         let mut output: Option<(Relation, Vec<String>)> = None;
 
         for clause in &query.clauses {
+            guard.checkpoint(CheckPoint::GraphStep)?;
             match clause {
                 PgirClause::Match(m) => {
-                    rows = self.eval_match(m, graph, rows, &mut stats)?;
+                    rows = self.eval_match(m, graph, rows, &mut stats, guard)?;
                 }
                 PgirClause::Where(w) => {
                     let mut kept = Vec::with_capacity(rows.len());
@@ -353,6 +369,7 @@ impl GraphEngine {
                 }
             }
             stats.intermediate_rows += rows.len();
+            guard.add_tuples(rows.len());
         }
 
         let (rows, columns) =
@@ -366,13 +383,14 @@ impl GraphEngine {
         graph: &PropertyGraph,
         rows: Vec<Row>,
         stats: &mut GraphStats,
+        guard: &QueryGuard,
     ) -> Result<Vec<Row>> {
         if m.optional {
             return Err(RaqletError::unsupported("OPTIONAL MATCH on the graph engine"));
         }
         let mut rows = rows;
         for pattern in &m.patterns {
-            rows = self.expand_pattern(pattern, graph, rows, stats)?;
+            rows = self.expand_pattern(pattern, graph, rows, stats, guard)?;
         }
         Ok(rows)
     }
@@ -383,11 +401,13 @@ impl GraphEngine {
         graph: &PropertyGraph,
         rows: Vec<Row>,
         stats: &mut GraphStats,
+        guard: &QueryGuard,
     ) -> Result<Vec<Row>> {
         let mut out = Vec::new();
         match pattern {
             PatternElem::Node(n) => {
                 for row in rows {
+                    guard.checkpoint(CheckPoint::GraphStep)?;
                     stats.expansions += 1;
                     match row.get(&n.var) {
                         Some(Binding::Node(idx)) => {
@@ -417,6 +437,7 @@ impl GraphEngine {
             }
             PatternElem::Edge(e) => {
                 for row in rows {
+                    guard.checkpoint(CheckPoint::GraphStep)?;
                     stats.expansions += 1;
                     let src_bound = match row.get(&e.src.var) {
                         Some(Binding::Node(i)) => Some(*i),
@@ -479,6 +500,7 @@ impl GraphEngine {
             }
             PatternElem::Path(p) => {
                 for row in rows {
+                    guard.checkpoint(CheckPoint::GraphStep)?;
                     stats.expansions += 1;
                     let sources: Vec<usize> = match row.get(&p.src.var) {
                         Some(Binding::Node(i)) => vec![*i],
@@ -514,6 +536,7 @@ impl GraphEngine {
             PatternElem::Chain(c) => {
                 let dst = c.dst().clone();
                 for row in rows {
+                    guard.checkpoint(CheckPoint::GraphStep)?;
                     stats.expansions += 1;
                     let sources: Vec<usize> = match row.get(&c.src.var) {
                         Some(Binding::Node(i)) => vec![*i],

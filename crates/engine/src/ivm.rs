@@ -42,6 +42,7 @@
 use std::collections::HashMap;
 
 use raqlet_common::cell::{is_tombstone, Cell, UNBOUND_CELL};
+use raqlet_common::guard::{CheckPoint, QueryGuard};
 use raqlet_common::hash::{FxHashMap, FxHashSet};
 use raqlet_common::{Database, RaqletError, Result, SupportChange, SupportCounts, Tuple};
 use raqlet_dlir::LatticeMerge;
@@ -303,6 +304,7 @@ pub(crate) fn build_support_counts(
     plan: &ProgramPlan,
     db: &Database,
     stats: &mut EvalStats,
+    guard: &QueryGuard,
 ) -> Result<HashMap<String, SupportCounts>> {
     let threads = engine.config.effective_threads();
     let mut counts = HashMap::new();
@@ -312,7 +314,7 @@ pub(crate) fn build_support_counts(
                 continue;
             }
             for rule in &scc.rules {
-                let derived = engine.apply_rule(rule, db, None, threads, stats)?;
+                let derived = engine.apply_rule(rule, db, None, threads, stats, guard)?;
                 let table: &mut SupportCounts =
                     counts.entry(rule.head_relation.clone()).or_default();
                 let arity = rule.head_arity;
@@ -341,10 +343,12 @@ pub(crate) fn maintain(
     counts: &mut HashMap<String, SupportCounts>,
     edb: &ChangeSet,
     stats: &mut EvalStats,
+    guard: &QueryGuard,
 ) -> Result<()> {
     let threads = engine.config.effective_threads();
     let mut changes = edb.clone();
     for stratum in &plan.strata {
+        guard.checkpoint(CheckPoint::IvmStep)?;
         let mut stratum_changed = false;
         maintain_agg_rules(
             engine,
@@ -354,6 +358,7 @@ pub(crate) fn maintain(
             &mut changes,
             &mut stratum_changed,
             stats,
+            guard,
         )?;
         for scc in &stratum.sccs {
             maintain_scc(
@@ -365,6 +370,7 @@ pub(crate) fn maintain(
                 &mut changes,
                 &mut stratum_changed,
                 stats,
+                guard,
             )?;
         }
         if stratum_changed {
@@ -377,6 +383,7 @@ pub(crate) fn maintain(
 /// Aggregating heads are non-monotone under both insertion and deletion
 /// (a count shrinks, a min moves), so any input change recomputes the head
 /// relation in place and reports the row-level diff downstream.
+#[allow(clippy::too_many_arguments)]
 fn maintain_agg_rules(
     engine: &DatalogEngine,
     stratum: &StratumPlan,
@@ -385,6 +392,7 @@ fn maintain_agg_rules(
     changes: &mut ChangeSet,
     stratum_changed: &mut bool,
     stats: &mut EvalStats,
+    guard: &QueryGuard,
 ) -> Result<()> {
     if stratum.agg_rules.is_empty() {
         return Ok(());
@@ -406,7 +414,7 @@ fn maintain_agg_rules(
         clear_rows(db, head, &old);
         for rule in &rules {
             stats.rule_applications += 1;
-            let derived = engine.apply_rule(rule, db, None, threads, stats)?;
+            let derived = engine.apply_rule(rule, db, None, threads, stats, guard)?;
             stats.tuples_derived += derived.rows;
             publish_derived(rule, db, derived)?;
         }
@@ -427,10 +435,12 @@ fn maintain_scc(
     changes: &mut ChangeSet,
     stratum_changed: &mut bool,
     stats: &mut EvalStats,
+    guard: &QueryGuard,
 ) -> Result<()> {
     if !scc.rules.iter().any(|r| rule_inputs_changed(r, &scc.relations, changes)) {
         return Ok(());
     }
+    guard.checkpoint(CheckPoint::IvmStep)?;
     *stratum_changed = true;
     stats.sccs += 1;
     let lattice = scc.rules.iter().any(|r| !matches!(r.lattice, LatticeMerge::Set));
@@ -447,38 +457,41 @@ fn maintain_scc(
                     .any(|&pos| changed_at(r, pos, changes).has_del())
             });
         if has_del {
-            recompute_scc(engine, scc, db, threads, None, changes, stats)
+            recompute_scc(engine, scc, db, threads, None, changes, stats, guard)
         } else {
             if scc.looping {
                 stats.looping_sccs += 1;
             }
-            lattice_monotone_scc(engine, scc, db, threads, changes, stats)
+            lattice_monotone_scc(engine, scc, db, threads, changes, stats, guard)
         }
     } else if too_wide {
         let counting = counting_managed(scc).then_some(&mut *counts);
         if scc.looping {
             stats.looping_sccs += 1;
         }
-        recompute_scc(engine, scc, db, threads, counting, changes, stats)
+        recompute_scc(engine, scc, db, threads, counting, changes, stats, guard)
     } else if scc.looping {
         stats.looping_sccs += 1;
-        if dred_scc(engine, scc, db, threads, changes, stats)? {
+        if dred_scc(engine, scc, db, threads, changes, stats, guard)? {
             Ok(())
         } else {
             // The over-deletion grew past the point where DRed can beat a
             // scoped recompute; marking mutated nothing, so recomputing the
             // component in place is a clean restart.
-            recompute_scc(engine, scc, db, threads, None, changes, stats)
+            recompute_scc(engine, scc, db, threads, None, changes, stats, guard)
         }
     } else if neg_changed {
-        recompute_scc(engine, scc, db, threads, Some(counts), changes, stats)
+        recompute_scc(engine, scc, db, threads, Some(counts), changes, stats, guard)
     } else {
-        counting_scc(scc, db, counts, changes, stats)
+        counting_scc(scc, db, counts, changes, stats, guard)
     }
 }
 
 /// The net change pinned at a positive body position (which
 /// `positive_changed_positions` guaranteed exists).
+// Callers only pass positions returned by `positive_changed_positions`, which
+// filters on exactly this lookup succeeding.
+#[allow(clippy::expect_used)]
 fn changed_at<'c>(plan: &RulePlan, pos: usize, changes: &'c ChangeSet) -> &'c RelChange {
     let PlanElem::Atom(atom) = &plan.body[pos] else {
         unreachable!("changed position must hold a positive atom")
@@ -579,6 +592,7 @@ fn diff_into_changes(db: &Database, name: &str, old: &[Vec<Cell>], changes: &mut
 /// re-run the component's rules (full fixpoint for looping ones), rebuild
 /// its counting tables when it is counting-managed, and report the diff.
 /// The fallback for every case the incremental strategies exclude.
+#[allow(clippy::too_many_arguments)]
 fn recompute_scc(
     engine: &DatalogEngine,
     scc: &SccPlan,
@@ -587,6 +601,7 @@ fn recompute_scc(
     mut counts: Option<&mut HashMap<String, SupportCounts>>,
     changes: &mut ChangeSet,
     stats: &mut EvalStats,
+    guard: &QueryGuard,
 ) -> Result<()> {
     let old: Vec<(String, Vec<Vec<Cell>>)> =
         scc.relations.iter().map(|n| (n.clone(), snapshot_rows(db, n))).collect();
@@ -599,13 +614,16 @@ fn recompute_scc(
         }
     }
     if scc.looping {
-        engine.evaluate_scc_fixpoint(scc, db, threads, stats)?;
+        engine.evaluate_scc_fixpoint(scc, db, threads, stats, guard)?;
     } else {
         for rule in &scc.rules {
             stats.rule_applications += 1;
-            let derived = engine.apply_rule(rule, db, None, threads, stats)?;
+            let derived = engine.apply_rule(rule, db, None, threads, stats, guard)?;
             stats.tuples_derived += derived.rows;
             if let Some(counts) = counts.as_deref_mut() {
+                // The loop right above this one (re)inserted a count table
+                // for every head relation of the component.
+                #[allow(clippy::expect_used)]
                 let table = counts.get_mut(&rule.head_relation).expect("cleared above");
                 let arity = rule.head_arity;
                 for row in derived.cells.chunks_exact(derived.stride) {
@@ -632,6 +650,7 @@ fn counting_scc(
     counts: &mut HashMap<String, SupportCounts>,
     changes: &mut ChangeSet,
     stats: &mut EvalStats,
+    guard: &QueryGuard,
 ) -> Result<()> {
     let name = scc.relations[0].clone();
     let mut delta_counts: FxHashMap<Vec<Cell>, i64> = FxHashMap::default();
@@ -641,6 +660,7 @@ fn counting_scc(
             continue;
         }
         for subset in 1u32..(1u32 << positions.len()) {
+            guard.checkpoint(CheckPoint::IvmStep)?;
             let selected: Vec<usize> = positions
                 .iter()
                 .enumerate()
@@ -671,7 +691,7 @@ fn counting_scc(
                 }
                 let sign: i64 = if n_ins % 2 == 1 { 1 } else { -1 };
                 stats.rule_applications += 1;
-                let envs = join_body_pinned(rule, db, &pins, None, &[], None)?;
+                let envs = join_body_pinned(rule, db, &pins, None, &[], None, guard)?;
                 stats.tuples_derived += envs.len();
                 let mut derived = Derived::new(rule.head_stride());
                 for env in &envs {
@@ -725,6 +745,7 @@ fn lattice_monotone_scc(
     threads: usize,
     changes: &mut ChangeSet,
     stats: &mut EvalStats,
+    guard: &QueryGuard,
 ) -> Result<()> {
     let old: Vec<(String, Vec<Vec<Cell>>)> =
         scc.relations.iter().map(|n| (n.clone(), snapshot_rows(db, n))).collect();
@@ -742,6 +763,7 @@ fn lattice_monotone_scc(
                 None,
                 &[],
                 None,
+                guard,
             )?;
             stats.tuples_derived += envs.len();
             let mut derived = Derived::new(rule.head_stride());
@@ -758,7 +780,7 @@ fn lattice_monotone_scc(
         }
     }
     if scc.looping {
-        engine.scc_delta_rounds(scc, db, threads, stats)?;
+        engine.scc_delta_rounds(scc, db, threads, stats, guard)?;
     }
     for name in &scc.relations {
         if let Some(rel) = db.get_mut(name) {
@@ -821,6 +843,7 @@ fn env_from_head(plan: &RulePlan, row: &[Cell]) -> Option<Env> {
 /// cheaper correct move (DRed's known overshoot on densely connected
 /// components: one cut edge can transitively mark, remove and re-derive the
 /// entire reachable set). The caller falls back to [`recompute_scc`].
+#[allow(clippy::too_many_arguments)]
 fn dred_scc(
     engine: &DatalogEngine,
     scc: &SccPlan,
@@ -828,6 +851,7 @@ fn dred_scc(
     threads: usize,
     changes: &mut ChangeSet,
     stats: &mut EvalStats,
+    guard: &QueryGuard,
 ) -> Result<bool> {
     // Marking is pure bookkeeping over the stored state, so bailing out at
     // any point before phase 2 leaves nothing to undo.
@@ -863,7 +887,11 @@ fn dred_scc(
         let name = &rule.head_relation;
         let Some(rel) = db.get(name) else { return Ok(()) };
         let arity = rule.head_arity;
+        // `cand`/`frontier` are seeded with every relation of the component
+        // before marking begins; rule heads are component relations.
+        #[allow(clippy::expect_used)]
         let set = cand.get_mut(name).expect("component relation");
+        #[allow(clippy::expect_used)]
         let front = frontier.get_mut(name).expect("component relation");
         for row in derived.cells.chunks_exact(derived.stride) {
             let key = &row[..arity];
@@ -894,18 +922,21 @@ fn dred_scc(
                 })
                 .collect();
             stats.rule_applications += 1;
-            let envs = join_body_pinned(rule, db, &pins, None, &skip, None)?;
+            let envs = join_body_pinned(rule, db, &pins, None, &skip, None, guard)?;
             mark(db, rule, &envs, &mut cand, &mut frontier, stats)?;
         }
         for &idx in &skip {
             let PlanElem::Negated(atom) = &rule.body[idx] else { continue };
+            // `skip` holds positions from `negated_changed_positions`, which
+            // filters on exactly this lookup succeeding.
+            #[allow(clippy::expect_used)]
             let change = changes.changed(&atom.relation).expect("changed negation");
             if !change.has_ins() {
                 continue;
             }
             let seed = Pin { pos: idx, rows: &change.ins, stride: change.stride };
             stats.rule_applications += 1;
-            let envs = join_body_pinned(rule, db, &[], Some(seed), &skip, None)?;
+            let envs = join_body_pinned(rule, db, &[], Some(seed), &skip, None, guard)?;
             mark(db, rule, &envs, &mut cand, &mut frontier, stats)?;
         }
     }
@@ -913,6 +944,7 @@ fn dred_scc(
     // Phase 1 cascade: marks propagate through the recursive positions
     // (marked rows are still stored, so sibling premises remain joinable).
     loop {
+        guard.checkpoint(CheckPoint::IvmStep)?;
         if overshoot(&cand) {
             return Ok(false);
         }
@@ -931,8 +963,15 @@ fn dred_scc(
                 }
                 let stride = info.get(&atom.relation).map(|&(_, s)| s).unwrap_or(1);
                 stats.rule_applications += 1;
-                let envs =
-                    join_body_pinned(rule, db, &[Pin { pos, rows, stride }], None, &skip, None)?;
+                let envs = join_body_pinned(
+                    rule,
+                    db,
+                    &[Pin { pos, rows, stride }],
+                    None,
+                    &skip,
+                    None,
+                    guard,
+                )?;
                 mark(db, rule, &envs, &mut cand, &mut frontier, stats)?;
             }
         }
@@ -944,6 +983,9 @@ fn dred_scc(
         if set.is_empty() {
             continue;
         }
+        // Maintenance moved every component relation into the warm database
+        // before this pass (see `PreparedDatabase::apply_delta`).
+        #[allow(clippy::expect_used)]
         let rel = db.get_mut(name).expect("component relation");
         for row in set {
             rel.remove_cells(row);
@@ -969,10 +1011,14 @@ fn dred_scc(
             for rule in scc.rules.iter().filter(|p| p.head_relation == *name) {
                 let Some(env0) = env_from_head(rule, &row) else { continue };
                 stats.rule_applications += 1;
-                let envs = join_body_pinned(rule, db, &[], None, &[], Some(vec![env0]))?;
+                let envs = join_body_pinned(rule, db, &[], None, &[], Some(vec![env0]), guard)?;
                 if !envs.is_empty() {
+                    // Component relations live in the warm database for the
+                    // whole pass, and `refront` is seeded with all of them.
+                    #[allow(clippy::expect_used)]
                     let rel = db.get_mut(name).expect("component relation");
                     rel.insert_cells(&row[..arity]);
+                    #[allow(clippy::expect_used)]
                     let front = refront.get_mut(name).expect("component relation");
                     RelChange::push_padded(front, &row, arity, arity.max(1));
                     break;
@@ -981,6 +1027,7 @@ fn dred_scc(
         }
     }
     loop {
+        guard.checkpoint(CheckPoint::IvmStep)?;
         let current = std::mem::take(&mut refront);
         refront = scc.relations.iter().map(|n| (n.clone(), Vec::new())).collect();
         if current.values().all(|rows| rows.is_empty()) {
@@ -995,8 +1042,15 @@ fn dred_scc(
                 }
                 let stride = info.get(&atom.relation).map(|&(_, s)| s).unwrap_or(1);
                 stats.rule_applications += 1;
-                let envs =
-                    join_body_pinned(rule, db, &[Pin { pos, rows, stride }], None, &[], None)?;
+                let envs = join_body_pinned(
+                    rule,
+                    db,
+                    &[Pin { pos, rows, stride }],
+                    None,
+                    &[],
+                    None,
+                    guard,
+                )?;
                 stats.tuples_derived += envs.len();
                 let mut derived = Derived::new(rule.head_stride());
                 for env in &envs {
@@ -1011,6 +1065,9 @@ fn dred_scc(
                         if let Some(rel) = db.get_mut(head) {
                             rel.insert_cells(key);
                         }
+                        // `refront` is re-seeded with every component
+                        // relation at the top of each round.
+                        #[allow(clippy::expect_used)]
                         refront.get_mut(head).expect("component relation").extend_from_slice(row);
                     }
                 }
@@ -1034,6 +1091,7 @@ fn dred_scc(
                 None,
                 &[],
                 None,
+                guard,
             )?;
             stats.tuples_derived += envs.len();
             let mut derived = Derived::new(rule.head_stride());
@@ -1044,6 +1102,8 @@ fn dred_scc(
         }
         for idx in negated_changed_positions(rule, &scc.relations, changes) {
             let PlanElem::Negated(atom) = &rule.body[idx] else { continue };
+            // `negated_changed_positions` filters on this lookup succeeding.
+            #[allow(clippy::expect_used)]
             let change = changes.changed(&atom.relation).expect("changed negation");
             if !change.has_del() {
                 continue;
@@ -1052,7 +1112,7 @@ fn dred_scc(
             // negation check stays on, verifying the gain in the new state.
             let seed = Pin { pos: idx, rows: &change.del, stride: change.stride };
             stats.rule_applications += 1;
-            let envs = join_body_pinned(rule, db, &[], Some(seed), &[], None)?;
+            let envs = join_body_pinned(rule, db, &[], Some(seed), &[], None, guard)?;
             stats.tuples_derived += envs.len();
             let mut derived = Derived::new(rule.head_stride());
             for env in &envs {
@@ -1067,7 +1127,7 @@ fn dred_scc(
             rel.advance();
         }
     }
-    engine.scc_delta_rounds(scc, db, threads, stats)?;
+    engine.scc_delta_rounds(scc, db, threads, stats, guard)?;
     for name in &scc.relations {
         if let Some(rel) = db.get_mut(name) {
             rel.clear_rounds();

@@ -21,10 +21,24 @@
 //!   HyPer-like profiles;
 //! * [`graph`] — a property-graph store plus a clause-by-clause PGIR
 //!   interpreter — the Neo4j stand-in executing the original Cypher query.
+//!
+//! Every engine entry point has a `*_guarded` variant taking a
+//! [`raqlet_common::QueryGuard`] — a wall-clock deadline, derived-tuple and
+//! heap budgets, and a cooperative cancellation token, checked at fixpoint
+//! rounds, SCC boundaries, parallel chunks and traversal steps. The `fault`
+//! module (compiled for tests and the `fault-inject` feature only) sweeps
+//! deterministic fault schedules across those checkpoints to prove failure
+//! atomicity.
 
 #![deny(missing_docs)]
+// Robustness: the engine's non-test code must not unwrap/expect its way into
+// a panic on a reachable path — every justified exception carries an
+// `#[allow]` with its invariant spelled out. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod datalog;
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod fault;
 pub mod graph;
 pub mod ivm;
 pub mod prepared;

@@ -31,13 +31,34 @@
 //! performs zero index rebuilds").
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use raqlet_common::{Database, Relation, Result, SupportCounts, Tuple};
+use raqlet_common::error::panic_message;
+use raqlet_common::{Database, QueryGuard, RaqletError, Relation, Result, SupportCounts, Tuple};
 use raqlet_dlir::DlirProgram;
 
 use crate::datalog::{DatalogEngine, EvalStats, ProgramPlan};
 use crate::ivm::{self, EdbDelta};
+
+/// Rollback snapshot of one standing query: its derived relations, support
+/// counts and epoch, captured before an armed guarded delta mutates them.
+type ViewSnapshot = (Vec<(String, Relation)>, HashMap<String, SupportCounts>, u64);
+
+/// Run `f` with panics converted to [`RaqletError::Internal`]. Evaluation
+/// mutates the warm database in place, so a panic must not unwind through
+/// the callers here — they restore the pre-call state on *error return*,
+/// and this adapter turns the panic into exactly that. `AssertUnwindSafe`
+/// is sound because every caller restores or discards the touched state
+/// before the error escapes.
+fn contain_panics<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        Err(RaqletError::internal(format!(
+            "evaluation panicked: {}",
+            panic_message(payload.as_ref())
+        )))
+    })
+}
 
 /// A standing query installed by [`PreparedDatabase::install_view`]: its
 /// compiled plan, its materialized derived relations (moved into the warm
@@ -208,6 +229,27 @@ impl PreparedDatabase {
     /// cover derived rows and necessarily vanish with the restore;
     /// [`PreparedDatabase::index_builds`] still counts them.)
     pub fn run(&mut self, program: &DlirProgram, output: &str) -> Result<Relation> {
+        self.run_guarded(program, output, &QueryGuard::new())
+    }
+
+    /// [`PreparedDatabase::run`] under an execution [`QueryGuard`]: the
+    /// guard's deadline, budgets and cancellation token are checked at every
+    /// engine checkpoint, and a trip surfaces as
+    /// [`RaqletError::Timeout`] / [`RaqletError::BudgetExceeded`] /
+    /// [`RaqletError::Cancelled`] carrying the partial [`EvalStats`].
+    ///
+    /// Failure is atomic with respect to the warm state: whether the run
+    /// errors, trips the guard, or panics mid-evaluation (contained — it
+    /// never unwinds out of this call), every relation it created is dropped
+    /// and every pre-existing relation it derived into is restored from its
+    /// pre-run snapshot. Only the shared value dictionary may have grown —
+    /// it is append-only, so warm executions are unaffected.
+    pub fn run_guarded(
+        &mut self,
+        program: &DlirProgram,
+        output: &str,
+        guard: &QueryGuard,
+    ) -> Result<Relation> {
         let plan = self.plan_for(program)?;
 
         let heads = program.idb_names();
@@ -220,7 +262,7 @@ impl PreparedDatabase {
         let created: Vec<String> =
             heads.iter().filter(|name| self.db.get(name.as_str()).is_none()).cloned().collect();
 
-        let outcome = self.engine.evaluate_plan(&plan, &mut self.db);
+        let outcome = contain_panics(|| self.engine.evaluate_plan(&plan, &mut self.db, guard));
         let result = match &outcome {
             Ok(_) => self.db.get(output).cloned().unwrap_or_else(|| Relation::new(0)),
             Err(_) => Relation::new(0),
@@ -286,6 +328,21 @@ impl PreparedDatabase {
     /// superset of the plan's declared evaluation indexes) is materialized
     /// here, once; maintenance itself never builds an index.
     pub fn install_view(&mut self, program: &DlirProgram, output: &str) -> Result<usize> {
+        self.install_view_guarded(program, output, &QueryGuard::new())
+    }
+
+    /// [`PreparedDatabase::install_view`] under an execution [`QueryGuard`].
+    /// The guard covers both the initial materialization and the
+    /// support-count construction. On any error, guard trip, or contained
+    /// panic, every relation the installation created in the warm set is
+    /// removed and no view is registered — the working set is exactly as it
+    /// was before the call (modulo append-only dictionary growth).
+    pub fn install_view_guarded(
+        &mut self,
+        program: &DlirProgram,
+        output: &str,
+        guard: &QueryGuard,
+    ) -> Result<usize> {
         let plan = self.plan_for(program)?;
         ivm::validate_for_ivm(&plan, &self.db)?;
         let ivm_indexes = plan.ivm_required_indexes();
@@ -297,8 +354,22 @@ impl PreparedDatabase {
                 rel.require_indexes(column_sets);
             }
         }
-        let mut stats = match self.engine.evaluate_plan(&plan, &mut self.db) {
-            Ok(stats) => stats,
+        let outcome = contain_panics(|| {
+            let mut stats = self.engine.evaluate_plan(&plan, &mut self.db, guard)?;
+            for (name, column_sets) in &ivm_indexes {
+                if !plan.is_idb(name) {
+                    continue;
+                }
+                if let Some(rel) = self.db.get_mut(name) {
+                    rel.require_indexes(column_sets);
+                }
+            }
+            let counts =
+                ivm::build_support_counts(&self.engine, &plan, &self.db, &mut stats, guard)?;
+            Ok((stats, counts))
+        });
+        let (stats, counts) = match outcome {
+            Ok(pair) => pair,
             Err(err) => {
                 for (name, _) in &plan.idbs {
                     self.db.remove(name);
@@ -306,15 +377,6 @@ impl PreparedDatabase {
                 return Err(err);
             }
         };
-        for (name, column_sets) in &ivm_indexes {
-            if !plan.is_idb(name) {
-                continue;
-            }
-            if let Some(rel) = self.db.get_mut(name) {
-                rel.require_indexes(column_sets);
-            }
-        }
-        let counts = ivm::build_support_counts(&self.engine, &plan, &self.db, &mut stats)?;
         let derived: Vec<(String, Relation)> = plan
             .idbs
             .iter()
@@ -343,12 +405,89 @@ impl PreparedDatabase {
     /// derived by an installed view is rejected before anything is applied
     /// to that relation.
     pub fn apply_delta(&mut self, delta: EdbDelta) -> Result<EvalStats> {
+        self.apply_delta_guarded(delta, &QueryGuard::new())
+    }
+
+    /// [`PreparedDatabase::apply_delta`] under an execution [`QueryGuard`],
+    /// checked at every incremental-maintenance step.
+    ///
+    /// When the guard is armed, the call is additionally *atomic*: before
+    /// anything is mutated, the delta-touched extensional relations, every
+    /// view's derived relations, support counts and epoch, and the working
+    /// set's own epoch are snapshotted, and any error, guard trip, or
+    /// contained panic rolls all of them back — a failed batch leaves the
+    /// warm set and every standing view bit-identical to before the call
+    /// (modulo append-only dictionary growth). The unarmed path
+    /// (plain [`PreparedDatabase::apply_delta`]) skips the snapshots and
+    /// keeps its zero-copy cost profile.
+    pub fn apply_delta_guarded(
+        &mut self,
+        delta: EdbDelta,
+        guard: &QueryGuard,
+    ) -> Result<EvalStats> {
+        // Rollback snapshots, taken only on the armed path so the common
+        // unguarded batch stays snapshot-free.
+        let rollback = if guard.is_armed() {
+            let mut edb_names: Vec<&str> = delta
+                .inserts()
+                .iter()
+                .chain(delta.deletes().iter())
+                .map(|(name, _)| name.as_str())
+                .collect();
+            edb_names.sort_unstable();
+            edb_names.dedup();
+            let edb: Vec<(String, Option<Relation>)> = edb_names
+                .into_iter()
+                .map(|name| (name.to_string(), self.db.get(name).cloned()))
+                .collect();
+            let views: Vec<ViewSnapshot> =
+                self.views.iter().map(|v| (v.derived.clone(), v.counts.clone(), v.epoch)).collect();
+            Some((edb, views, self.epoch))
+        } else {
+            None
+        };
+
+        let outcome = self.apply_delta_inner(&delta, guard);
+        match outcome {
+            Ok(stats) => Ok(stats),
+            Err(err) => {
+                if let Some((edb, views, epoch)) = rollback {
+                    for (name, snapshot) in edb {
+                        match snapshot {
+                            Some(rel) => self.db.set(name, rel),
+                            None => {
+                                self.db.remove(&name);
+                            }
+                        }
+                    }
+                    for (view, (derived, counts, view_epoch)) in self.views.iter_mut().zip(views) {
+                        // A view's derived relations may still be inside the
+                        // warm database if maintenance failed mid-pass; the
+                        // snapshot replaces them wholesale, so drop the
+                        // partially maintained copies from the warm set.
+                        for (name, _) in &view.plan.idbs {
+                            self.db.remove(name);
+                        }
+                        view.derived = derived;
+                        view.counts = counts;
+                        view.epoch = view_epoch;
+                    }
+                    self.epoch = epoch;
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// The mutating body of [`PreparedDatabase::apply_delta_guarded`];
+    /// failure cleanup (rollback on the armed path) lives in the caller.
+    fn apply_delta_inner(&mut self, delta: &EdbDelta, guard: &QueryGuard) -> Result<EvalStats> {
         let guarded: HashSet<&str> = self
             .views
             .iter()
             .flat_map(|v| v.plan.idbs.iter().map(|(name, _)| name.as_str()))
             .collect();
-        let changes = ivm::apply_edb_delta(&mut self.db, &delta, &|name| guarded.contains(name))?;
+        let changes = ivm::apply_edb_delta(&mut self.db, delta, &|name| guarded.contains(name))?;
         drop(guarded);
         self.epoch += 1;
         let mut stats = EvalStats::default();
@@ -368,14 +507,17 @@ impl PreparedDatabase {
             for (name, rel) in view.derived.drain(..) {
                 self.db.set(name, rel);
             }
-            let result = ivm::maintain(
-                &self.engine,
-                &view.plan,
-                &mut self.db,
-                &mut view.counts,
-                &changes,
-                &mut stats,
-            );
+            let result = contain_panics(|| {
+                ivm::maintain(
+                    &self.engine,
+                    &view.plan,
+                    &mut self.db,
+                    &mut view.counts,
+                    &changes,
+                    &mut stats,
+                    guard,
+                )
+            });
             view.derived = view
                 .plan
                 .idbs

@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 
 use raqlet_common::cell::{Cell, ValueDict};
+use raqlet_common::guard::{CheckPoint, QueryGuard};
 use raqlet_common::hash::FxHashMap;
 use raqlet_common::schema::DlSchema;
 use raqlet_common::{Database, RaqletError, Relation, Result, Value};
@@ -143,12 +144,27 @@ impl SqlEngine {
         db: &Database,
         catalog: &TableCatalog,
     ) -> Result<SqlResult> {
+        self.execute_guarded(query, db, catalog, &QueryGuard::new())
+    }
+
+    /// [`SqlEngine::execute`] under an execution [`QueryGuard`]: the guard is
+    /// checked before each CTE materialization and at every recursive-CTE
+    /// fixpoint round, so deadlines, budgets and cancellation interrupt a
+    /// runaway recursive query between rounds.
+    pub fn execute_guarded(
+        &self,
+        query: &SqirQuery,
+        db: &Database,
+        catalog: &TableCatalog,
+        guard: &QueryGuard,
+    ) -> Result<SqlResult> {
         let mut scope = db.clone();
         let mut names = catalog.clone();
         let mut stats = SqlStats::default();
         for cte in &query.ctes {
+            guard.checkpoint(CheckPoint::Scc)?;
             names.register(&cte.name, cte.columns.clone());
-            let relation = self.evaluate_cte(cte, &scope, &names, &mut stats)?;
+            let relation = self.evaluate_cte(cte, &scope, &names, &mut stats, guard)?;
             stats.ctes_materialised += 1;
             scope.set(cte.name.clone(), relation);
         }
@@ -162,6 +178,7 @@ impl SqlEngine {
         scope: &Database,
         names: &TableCatalog,
         stats: &mut SqlStats,
+        guard: &QueryGuard,
     ) -> Result<Relation> {
         let arity = cte.columns.len();
         if !cte.recursive {
@@ -192,6 +209,10 @@ impl SqlEngine {
             .collect::<Result<_>>()?;
         let mut delta = all.clone();
         while !delta.is_empty() {
+            guard.checkpoint(CheckPoint::FixpointRound)?;
+            if guard.memory_budget().is_some() {
+                guard.check_memory(all.heap_bytes())?;
+            }
             stats.recursive_iterations += 1;
             let mut derived = Relation::with_dict(arity, scope.dict().clone());
             for (branch, filtered) in cte.recursive_branches().iter().zip(&prefiltered) {
@@ -206,6 +227,7 @@ impl SqlEngine {
                 derived.merge(&rel)?;
             }
             let new = derived.difference(&all);
+            guard.add_tuples(new.len());
             all.merge(&new)?;
             delta = new;
         }
@@ -574,6 +596,8 @@ fn greedy_join_order(
     }
     while !remaining.is_empty() {
         let joined: Vec<&str> = order.iter().map(|&i| tables[i].0.alias.as_str()).collect();
+        // The loop guard proves `remaining` non-empty, so a maximum exists.
+        #[allow(clippy::expect_used)]
         let best = remaining
             .iter()
             .enumerate()
