@@ -1,0 +1,169 @@
+//! Durability layer throughput and the snapshot-load speedup record.
+//!
+//! The store under test is a [`DurableDatabase`] created from the SNB EDB at
+//! each scale factor. Benchmark ids:
+//!
+//! * `durability/sf{S}/checkpoint` — one full checkpoint: compact the EDB,
+//!   encode + CRC the arena snapshot, fsync, atomic-rename rotation;
+//! * `durability/sf{S}/wal-append` — one `log_delta` round-trip (insert a
+//!   fresh KNOWS edge, then delete it): two encoded, fsync'd WAL frames plus
+//!   the in-memory applies;
+//! * `durability/sf{S}/cold-open` — `DurableDatabase::open` on a
+//!   checkpointed store: read + CRC-verify the snapshot, rebuild the
+//!   `PreparedDatabase`, scan the (empty) WAL.
+//!
+//! The headline record, `durability/load-speedup/sf{S}` (stdout +
+//! `CRITERION_JSON`), reports `regenerate_ns / open_ns`: cold-opening the
+//! snapshot vs regenerating the same scale factor via the generator
+//! (`generate` + `to_database` + `DurableDatabase::create` into a fresh
+//! directory). Both sides restore the same end state — an open, durable
+//! store holding the SNB EDB — because a restart that regenerates instead
+//! of reloading must still re-persist to get its durability back; store
+//! directory cleanup and the teardown of each in-memory database happen
+//! outside the timed region. Both sides are measured in the same session
+//! with the same outlier-robust min-over-chunk-means estimator the `ivm`
+//! bench uses.
+//! The full run records the SF-1 row in `BENCH_pr9.json`; in quick mode
+//! (`RAQLET_BENCH_QUICK=1`, the CI smoke job) the SF-0.25 record is emitted
+//! and the speedup asserted ≥ 10x, pinning the point of the snapshot format:
+//! reloading packed arenas must beat regeneration by an order of magnitude.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raqlet::{Database, DurableDatabase, EdbDelta, Value};
+use raqlet_bench::quick_mode;
+use raqlet_ldbc::{generate, to_database, GeneratorConfig};
+
+/// Unique store directory under the system temp dir — never the workspace,
+/// so benches leave `git status` clean.
+fn store_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("raqlet-bench-durability-{}-{tag}", std::process::id()))
+}
+
+/// The SNB EDB at `scale`, regenerated the way a non-durable restart would.
+fn regenerate(scale: f64) -> Database {
+    to_database(&generate(&GeneratorConfig { scale, seed: 42 }))
+}
+
+/// One WAL round-trip: log a fresh KNOWS edge, then log its deletion. The
+/// store state is identical afterwards, so iterations are independent.
+fn wal_round_trip(store: &mut DurableDatabase, edge: &[Value]) {
+    let mut ins = EdbDelta::new();
+    ins.insert("Person_KNOWS_Person", edge.to_vec());
+    store.log_delta(ins).unwrap();
+    let mut del = EdbDelta::new();
+    del.delete("Person_KNOWS_Person", edge.to_vec());
+    store.log_delta(del).unwrap();
+}
+
+/// How many chunk-means the robust estimator takes the minimum over (same
+/// rationale as the `ivm` bench: discard descheduling blips on both sides of
+/// the ratio).
+const CHUNKS: u32 = 5;
+
+fn emit(record: &str) {
+    println!("  {record}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            use std::io::Write as _;
+            let _ = writeln!(file, "{record}");
+        }
+    }
+}
+
+fn durability(c: &mut Criterion) {
+    let scales: &[f64] = if quick_mode() { &[0.25] } else { &[0.25, 1.0] };
+    for &scale in scales {
+        let dir = store_dir(&format!("sf{scale}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = DurableDatabase::create(&dir, regenerate(scale)).unwrap();
+        store.checkpoint().unwrap();
+        let edge = vec![
+            Value::Int(1),
+            Value::Int(5_000_000),
+            Value::Int(9_000_000),
+            Value::Int(20_200_101),
+        ];
+
+        let mut group = c.benchmark_group(format!("durability/sf{scale}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("checkpoint"), |b| {
+            b.iter(|| store.checkpoint().unwrap())
+        });
+        group.bench_function(BenchmarkId::from_parameter("wal-append"), |b| {
+            b.iter(|| wal_round_trip(&mut store, &edge))
+        });
+        // Leave the store checkpointed at its final epoch with an empty WAL,
+        // so cold-open measures exactly the snapshot path.
+        store.checkpoint().unwrap();
+        drop(store);
+        group.bench_function(BenchmarkId::from_parameter("cold-open"), |b| {
+            b.iter(|| drop(DurableDatabase::open(&dir).unwrap()))
+        });
+        group.finish();
+
+        // The headline ratio, measured outside criterion so it can be
+        // computed (and asserted) in-process. The regeneration side must
+        // end where the open side ends — with a durable store on disk — so
+        // it times `generate` + `to_database` + `DurableDatabase::create`;
+        // clearing the target directory is done before each timed run. Both
+        // sides time construction only: tearing down the in-memory database
+        // is not part of a restart, so drops happen outside the timed
+        // region (for the open side that means holding each chunk's stores
+        // alive until the chunk's clock is read).
+        let reps = if quick_mode() { 5 } else { 10 };
+        let mut open = f64::INFINITY;
+        for _ in 0..CHUNKS {
+            let mut held = Vec::with_capacity(reps as usize);
+            let start = Instant::now();
+            for _ in 0..reps {
+                held.push(DurableDatabase::open(&dir).unwrap());
+            }
+            open = open.min(start.elapsed().as_nanos() as f64 / f64::from(reps));
+            drop(held);
+        }
+        let rdir = store_dir(&format!("regen-sf{scale}"));
+        let mut regen = f64::INFINITY;
+        for _ in 0..CHUNKS {
+            let mut total = 0.0;
+            for _ in 0..reps {
+                let _ = std::fs::remove_dir_all(&rdir);
+                let start = Instant::now();
+                let store = DurableDatabase::create(&rdir, regenerate(scale)).unwrap();
+                total += start.elapsed().as_nanos() as f64;
+                drop(store);
+            }
+            regen = regen.min(total / f64::from(reps));
+        }
+        let _ = std::fs::remove_dir_all(&rdir);
+        let speedup = regen / open;
+        emit(&format!(
+            "{{\"id\":\"durability/load-speedup/sf{scale}\",\"speedup\":{speedup:.2},\
+             \"open_ns\":{open:.0},\"regenerate_ns\":{regen:.0}}}"
+        ));
+        if quick_mode() && scale == 0.25 {
+            assert!(
+                speedup >= 10.0,
+                "cold snapshot open must beat regeneration by >= 10x at SF 0.25, \
+                 got {speedup:.2}x ({open:.0} ns vs {regen:.0} ns)"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+fn config() -> Criterion {
+    let measurement =
+        if quick_mode() { Duration::from_millis(150) } else { Duration::from_secs(2) };
+    let warm_up = if quick_mode() { Duration::from_millis(50) } else { Duration::from_millis(500) };
+    Criterion::default().measurement_time(measurement).warm_up_time(warm_up)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = durability
+}
+criterion_main!(benches);

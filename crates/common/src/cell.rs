@@ -44,6 +44,7 @@
 
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::error::{RaqletError, Result};
 use crate::hash::FxHashMap;
 use crate::value::Value;
 
@@ -110,6 +111,23 @@ pub const fn is_tombstone(cell: Cell) -> bool {
 #[inline]
 pub const fn is_unbound(cell: Cell) -> bool {
     cell == UNBOUND_CELL
+}
+
+/// True if `cell` is a valid *value* encoding relative to a dictionary with
+/// `n_strings` interned strings and `n_bigints` overflow integers: it
+/// decodes without panicking and is not a storage- or engine-internal
+/// marker. The persistence layer validates every loaded arena cell through
+/// this before trusting it.
+pub const fn is_valid_value_cell(cell: Cell, n_strings: usize, n_bigints: usize) -> bool {
+    let payload = cell & PAYLOAD_MASK;
+    match tag(cell) {
+        TAG_INT => true,
+        TAG_STR => (payload as usize) < n_strings,
+        TAG_BOOL => payload <= 1,
+        TAG_NULL => payload == 0,
+        TAG_BIGINT => (payload as usize) < n_bigints,
+        _ => false,
+    }
 }
 
 /// Decode the integer payload of a cell without touching the dictionary.
@@ -323,6 +341,57 @@ impl ValueDict {
         self.len() == 0
     }
 
+    /// Snapshot the dictionary's two id-ordered tables — the interned
+    /// strings and the big-integer overflow values — for raw export by the
+    /// persistence layer. Entry `i` of each table carries id `i`, so a cell
+    /// encoded against this dictionary decodes identically against any
+    /// dictionary rebuilt from these tables with
+    /// [`ValueDict::from_tables`]. The dictionary is append-only, so the
+    /// tables are a consistent prefix even if another thread interns
+    /// concurrently.
+    pub fn export_tables(&self) -> (Vec<Arc<str>>, Vec<i64>) {
+        let inner = self.read_inner();
+        (inner.strings.clone(), inner.bigints.clone())
+    }
+
+    /// Rebuild a dictionary from id-ordered tables produced by
+    /// [`ValueDict::export_tables`] (the persistence load path): entry `i`
+    /// is re-interned under id `i`, so cells encoded against the exported
+    /// dictionary stay valid verbatim. Fails if either table contains a
+    /// duplicate entry or exceeds the 32-bit id space — a rebuilt
+    /// dictionary must be exactly as canonical as the one exported, and a
+    /// loader surfaces that failure as data corruption.
+    pub fn from_tables(strings: Vec<Arc<str>>, bigints: Vec<i64>) -> Result<ValueDict> {
+        if strings.len() > u32::MAX as usize || bigints.len() > u32::MAX as usize {
+            return Err(RaqletError::internal("dictionary table exceeds the 32-bit id space"));
+        }
+        let mut inner = DictInner::default();
+        inner.string_ids.reserve(strings.len());
+        for (id, s) in strings.iter().enumerate() {
+            if inner.string_ids.insert(s.clone(), id as u32).is_some() {
+                return Err(RaqletError::internal(format!(
+                    "duplicate string {s:?} in dictionary table"
+                )));
+            }
+        }
+        inner.strings = strings;
+        inner.bigint_ids.reserve(bigints.len());
+        for (id, &v) in bigints.iter().enumerate() {
+            if inner.bigint_ids.insert(v, id as u32).is_some() {
+                return Err(RaqletError::internal(format!(
+                    "duplicate big integer {v} in dictionary overflow table"
+                )));
+            }
+            if fits_inline(v) {
+                return Err(RaqletError::internal(format!(
+                    "inline-range integer {v} in dictionary overflow table"
+                )));
+            }
+        }
+        inner.bigints = bigints;
+        Ok(ValueDict { inner: RwLock::new(inner) })
+    }
+
     /// Approximate heap footprint of the dictionary: interned string bytes,
     /// id tables and overflow table.
     pub fn heap_bytes(&self) -> usize {
@@ -422,6 +491,62 @@ mod tests {
         assert!(dict.heap_bytes() > 0);
         assert!(dict.try_encode_value(&Value::str("Ada")).is_some());
         assert_eq!(dict.try_encode_value(&Value::str("never seen")), None);
+    }
+
+    #[test]
+    fn cell_validation_tracks_dictionary_bounds_and_rejects_markers() {
+        let dict = ValueDict::new();
+        let s = dict.encode_str("only");
+        let big = dict.encode_int(i64::MAX);
+        for cell in [s, big, dict.encode_int(7), bool_cell(true), NULL_CELL] {
+            assert!(is_valid_value_cell(cell, 1, 1), "{cell:#x}");
+        }
+        // Out-of-bounds dictionary ids are invalid.
+        assert!(!is_valid_value_cell(s, 0, 1));
+        assert!(!is_valid_value_cell(big, 1, 0));
+        assert!(!is_valid_value_cell(s + 1, 1, 1), "string id 1 with one string");
+        // Internal markers are never valid values.
+        assert!(!is_valid_value_cell(TOMBSTONE_CELL, usize::MAX, usize::MAX));
+        assert!(!is_valid_value_cell(UNBOUND_CELL, usize::MAX, usize::MAX));
+        // Malformed bool/null payloads are invalid.
+        assert!(!is_valid_value_cell(bool_cell(true) | 2, 1, 1));
+        assert!(!is_valid_value_cell(NULL_CELL | 1, 1, 1));
+    }
+
+    #[test]
+    fn exported_tables_rebuild_an_id_identical_dictionary() {
+        let dict = ValueDict::new();
+        let ada = dict.encode_str("Ada");
+        let bob = dict.encode_str("Bob");
+        let big = dict.encode_int(i64::MAX);
+        let neg = dict.encode_int(i64::MIN);
+
+        let (strings, bigints) = dict.export_tables();
+        assert_eq!(strings.len(), 2);
+        assert_eq!(bigints.len(), 2);
+        let rebuilt = ValueDict::from_tables(strings, bigints).unwrap();
+
+        // Ids — and therefore previously encoded cells — survive verbatim.
+        assert_eq!(rebuilt.decode(ada), Value::str("Ada"));
+        assert_eq!(rebuilt.decode(bob), Value::str("Bob"));
+        assert_eq!(rebuilt.decode(big), Value::Int(i64::MAX));
+        assert_eq!(rebuilt.decode(neg), Value::Int(i64::MIN));
+        assert_eq!(rebuilt.len(), dict.len());
+        // And re-encoding produces the same cells, so the rebuilt
+        // dictionary is as canonical as the original.
+        assert_eq!(rebuilt.encode_str("Ada"), ada);
+        assert_eq!(rebuilt.encode_int(i64::MAX), big);
+        assert_eq!(rebuilt.len(), dict.len());
+    }
+
+    #[test]
+    fn from_tables_rejects_non_canonical_tables() {
+        let dup_strings = vec![Arc::<str>::from("x"), Arc::<str>::from("x")];
+        assert!(ValueDict::from_tables(dup_strings, Vec::new()).is_err());
+        assert!(ValueDict::from_tables(Vec::new(), vec![i64::MAX, i64::MAX]).is_err());
+        // Inline-range values never reach the overflow table when encoding;
+        // a table containing one is corrupt.
+        assert!(ValueDict::from_tables(Vec::new(), vec![42]).is_err());
     }
 
     #[test]

@@ -60,6 +60,36 @@ pub enum RaqletError {
     Execution(String),
     /// Schema violation (duplicate relation, arity mismatch, ...).
     Schema(String),
+    /// A filesystem operation performed by the durability layer failed.
+    ///
+    /// Carries structured context instead of a `std::io::Error` so the error
+    /// stays `Clone + Eq` like every other variant; the OS message (or the
+    /// injected-fault description, under crash testing) is preserved in
+    /// `message`.
+    Io {
+        /// The operation that failed (`"create"`, `"write"`, `"fsync"`,
+        /// `"rename"`, `"truncate"`, `"read"`, `"open"`, `"remove"`).
+        op: &'static str,
+        /// The file (or directory) the operation targeted.
+        path: String,
+        /// The underlying OS error or injected-fault description.
+        message: String,
+    },
+    /// On-disk data failed validation during snapshot load or WAL recovery:
+    /// bad magic, version/checksum mismatch, truncated section, impossible
+    /// length, or a decoded value that violates a format invariant.
+    Corrupt {
+        /// The file in which the corruption was detected.
+        path: String,
+        /// The section being decoded when the check failed (`"header"`,
+        /// `"dict"`, `"relation \`edge\`"`, `"frame"`).
+        section: String,
+        /// Byte offset (from the start of the file) at which the check
+        /// failed.
+        offset: u64,
+        /// What the check expected versus what it found.
+        message: String,
+    },
     /// The query guard's wall-clock deadline expired before evaluation
     /// finished. Carries the counters accumulated up to the trip point.
     Timeout {
@@ -128,6 +158,33 @@ impl RaqletError {
     /// Construct a schema error.
     pub fn schema(message: impl Into<String>) -> Self {
         RaqletError::Schema(message.into())
+    }
+
+    /// Construct an I/O error with operation and path context.
+    pub fn io(op: &'static str, path: impl Into<String>, message: impl Into<String>) -> Self {
+        RaqletError::Io { op, path: path.into(), message: message.into() }
+    }
+
+    /// Construct a corruption error with file, section and offset context.
+    pub fn corrupt(
+        path: impl Into<String>,
+        section: impl Into<String>,
+        offset: u64,
+        message: impl Into<String>,
+    ) -> Self {
+        RaqletError::Corrupt {
+            path: path.into(),
+            section: section.into(),
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// True if this error came from the durability layer — either the
+    /// filesystem failed ([`Io`](Self::Io)) or on-disk data failed
+    /// validation ([`Corrupt`](Self::Corrupt)).
+    pub fn is_storage_error(&self) -> bool {
+        matches!(self, RaqletError::Io { .. } | RaqletError::Corrupt { .. })
     }
 
     /// Construct a timeout error from elapsed/limit durations (stats empty;
@@ -215,6 +272,12 @@ impl fmt::Display for RaqletError {
             RaqletError::Optimization(m) => write!(f, "optimization error: {m}"),
             RaqletError::Execution(m) => write!(f, "execution error: {m}"),
             RaqletError::Schema(m) => write!(f, "schema error: {m}"),
+            RaqletError::Io { op, path, message } => {
+                write!(f, "i/o error: {op} on `{path}`: {message}")
+            }
+            RaqletError::Corrupt { path, section, offset, message } => {
+                write!(f, "corrupt store file `{path}`: {section} at byte {offset}: {message}")
+            }
             RaqletError::Timeout { elapsed_ms, limit_ms, .. } => {
                 write!(f, "query timed out after {elapsed_ms}ms (deadline {limit_ms}ms)")
             }
@@ -284,6 +347,30 @@ mod tests {
         };
         assert!(e.to_string().contains("recursive-sql"));
         assert!(e.to_string().contains("mutual recursion"));
+    }
+
+    #[test]
+    fn io_and_corrupt_errors_carry_full_source_context() {
+        let io = RaqletError::io("fsync", "/data/wal.raq", "No space left on device");
+        assert!(io.is_storage_error());
+        assert_eq!(io.to_string(), "i/o error: fsync on `/data/wal.raq`: No space left on device");
+
+        let corrupt = RaqletError::corrupt(
+            "/data/snapshot.raq",
+            "relation `edge`",
+            4096,
+            "checksum mismatch",
+        );
+        assert!(corrupt.is_storage_error());
+        let s = corrupt.to_string();
+        assert!(s.contains("/data/snapshot.raq"), "{s}");
+        assert!(s.contains("relation `edge`"), "{s}");
+        assert!(s.contains("4096"), "{s}");
+        assert!(s.contains("checksum mismatch"), "{s}");
+
+        assert!(!RaqletError::execution("x").is_storage_error());
+        assert!(!io.is_guard_trip());
+        assert!(!corrupt.is_syntax_error());
     }
 
     #[test]

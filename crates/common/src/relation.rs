@@ -459,6 +459,58 @@ impl Relation {
         true
     }
 
+    /// Pre-allocate arena and dedup capacity for `additional` more rows —
+    /// the persistence bulk-load path calls this with the exact row count
+    /// read from a snapshot header so loading never reallocates.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.cells.reserve(additional * self.stride);
+        self.dedup.reserve(additional);
+    }
+
+    /// Bulk-install an already-encoded, tombstone-free arena into this
+    /// fresh (empty, index-free) relation: `cells` becomes the arena
+    /// verbatim and the dedup table is built in a single pass — one hash
+    /// per row instead of the find-then-push pair every
+    /// [`Relation::insert_cells`] pays. This is the snapshot loader's fast
+    /// path (cold-open time is dominated by arena reconstruction).
+    ///
+    /// Returns the id of the first duplicate row, if any; the relation is
+    /// partially built in that case and must be discarded (the snapshot
+    /// loader treats a duplicate as corruption).
+    pub fn load_rows(&mut self, cells: Vec<Cell>) -> Option<usize> {
+        debug_assert!(
+            self.cells.is_empty() && self.indexes.is_empty(),
+            "load_rows needs a fresh relation"
+        );
+        debug_assert!(self.arity > 0, "nullary relations go through insert_cells");
+        debug_assert_eq!(cells.len() % self.stride, 0, "cells must be whole rows");
+        let nrows = cells.len() / self.stride;
+        self.cells = cells;
+        self.dedup.reserve(nrows);
+        let (arity, stride) = (self.arity, self.stride);
+        let cells = &self.cells;
+        for id in 0..nrows {
+            let row = &cells[id * stride..id * stride + arity];
+            match self.dedup.entry(hash_cells(row)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let dup = e
+                        .get()
+                        .iter()
+                        .any(|&p| &cells[p as usize * stride..p as usize * stride + arity] == row);
+                    if dup {
+                        return Some(id);
+                    }
+                    e.into_mut().push(id as RowId);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(IdList::One(id as RowId));
+                }
+            }
+        }
+        self.live = nrows;
+        None
+    }
+
     /// Stage a tuple for the current fixpoint round. The tuple becomes
     /// visible only after [`Relation::advance`]. Returns `Ok(true)` if the
     /// tuple is new (present neither in the full set nor already staged).
@@ -1150,6 +1202,13 @@ impl Database {
     /// Iterate over `(name, relation)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
         self.relations.iter()
+    }
+
+    /// Iterate over `(name, relation)` pairs mutably (unspecified order).
+    /// The persistence layer compacts every arena through this before a
+    /// snapshot export.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Relation)> {
+        self.relations.iter_mut()
     }
 
     /// Names of all stored relations, sorted.

@@ -45,6 +45,10 @@ pub use raqlet_engine::{
 pub use raqlet_opt::{OptLevel, OptimizedProgram, PassConfig, TargetBackend};
 pub use raqlet_pgir::{LowerOptions, PgirQuery};
 pub use raqlet_sqir::{SqirQuery, SqlLowerOptions};
+pub use raqlet_storage::{
+    counting_hook, CrashSchedule, DurableDatabase, IoFault, IoFaultHook, IoOp, StoreOptions,
+    ViewSpec,
+};
 pub use raqlet_unparse::{to_cypher, to_souffle, to_sql, SouffleOptions, SqlDialect};
 
 use raqlet_common::schema::{DlSchema, PgSchema};

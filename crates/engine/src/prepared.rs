@@ -577,6 +577,32 @@ impl PreparedDatabase {
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    /// Compact every warm extensional relation's arena (drop tombstoned
+    /// slots; see [`Relation::compact`]). Afterwards each arena is
+    /// *canonical* — `nrows == len`, live rows contiguous in insertion
+    /// order — which is the form the `raqlet_storage` snapshot writer
+    /// persists: exporting a compacted arena and re-inserting its rows in
+    /// file order reproduces the arena bit-for-bit. Between calls the warm
+    /// set holds no active fixpoint state, so compaction here is always
+    /// legal.
+    pub fn compact_edb(&mut self) {
+        for (_, rel) in self.db.iter_mut() {
+            rel.compact();
+        }
+    }
+
+    /// Re-anchor the delta epoch — and every installed view's maintenance
+    /// epoch — at `epoch`. The durability layer calls this after loading a
+    /// snapshot so the recovered working set resumes at the snapshot's
+    /// durable epoch instead of zero, and WAL replay can assert that each
+    /// recovered frame advances the epoch contiguously.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        for view in &mut self.views {
+            view.epoch = epoch;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! Little-endian byte-level encoding helpers shared by the snapshot format
+//! and the WAL frame codec, plus a bounds-checked reader that turns every
+//! malformed read into a structured [`RaqletError::Corrupt`] carrying the
+//! file, the section and the byte offset at which the check failed.
+
+use raqlet_common::{RaqletError, Result};
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Write a length-prefixed byte string (u32 length + raw bytes).
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// A bounds-checked cursor over one decoded payload. `base` is the payload's
+/// offset within the containing file, so corruption errors report absolute
+/// file offsets.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    base: u64,
+    path: &'a str,
+    section: String,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(
+        bytes: &'a [u8],
+        base: u64,
+        path: &'a str,
+        section: impl Into<String>,
+    ) -> Self {
+        Reader { bytes, pos: 0, base, path, section: section.into() }
+    }
+
+    /// Rename the section reported by subsequent errors (a relation section
+    /// upgrades from `"relation"` to ``"relation `edge`"`` once its name has
+    /// been decoded).
+    pub(crate) fn set_section(&mut self, section: impl Into<String>) {
+        self.section = section.into();
+    }
+
+    /// A corruption error at the cursor's current absolute file offset.
+    pub(crate) fn corrupt(&self, message: impl Into<String>) -> RaqletError {
+        RaqletError::corrupt(self.path, self.section.clone(), self.base + self.pos as u64, message)
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt(format!("need {n} bytes, {} remain", self.remaining())));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        // take() returned exactly 4 bytes, so the conversion cannot fail.
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub(crate) fn str(&mut self) -> Result<&'a str> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|e| self.corrupt(format!("invalid UTF-8: {e}")))
+    }
+
+    /// Assert the payload is fully consumed — trailing bytes mean the
+    /// declared lengths and the section length disagree.
+    pub(crate) fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes after payload", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_round_trips_and_bounds_checks() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_bytes(&mut buf, b"edge");
+
+        let mut r = Reader::new(&buf, 100, "f", "test");
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.str().unwrap(), "edge");
+        r.finish().unwrap();
+
+        let err = r.u8().unwrap_err();
+        match err {
+            RaqletError::Corrupt { offset, section, .. } => {
+                assert_eq!(offset, 100 + buf.len() as u64);
+                assert_eq!(section, "test");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_corruption_not_a_panic() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xFF, 0xFE]);
+        let mut r = Reader::new(&buf, 0, "f", "dict");
+        assert!(matches!(r.str().unwrap_err(), RaqletError::Corrupt { .. }));
+    }
+}

@@ -1,0 +1,354 @@
+//! Fault-injectable filesystem layer.
+//!
+//! PR 8's guard machinery made *execution* faults deterministic: a
+//! [`raqlet_common::guard::FaultHook`] fires at a chosen checkpoint hit.
+//! This module extends the same discipline across the process boundary.
+//! Every filesystem operation the durability layer performs funnels through
+//! [`Io`], which counts operations and consults an optional [`IoFaultHook`]
+//! before each one. A hook can fail a single operation (a transient OS
+//! error) or *crash* the store — for an in-flight write, optionally leaving
+//! a torn prefix of the buffer on disk, exactly the artifact a real power
+//! cut leaves behind. After a crash every further operation on the same
+//! store fails, as if the process had died at that point; reopening the
+//! directory with a fresh [`crate::DurableDatabase`] is the "restart".
+//!
+//! Failures surface as structured [`RaqletError::Io`] values carrying the
+//! operation, the path and the underlying message — never a panic.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use raqlet_common::{RaqletError, Result, SplitMix64};
+
+/// The filesystem operations the durability layer performs, as seen by an
+/// [`IoFaultHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Creating (or truncating to empty) a file.
+    Create,
+    /// Writing bytes to an open file.
+    Write,
+    /// Flushing a file's data to stable storage (`fsync`).
+    Sync,
+    /// Atomically renaming a file (snapshot publication, WAL rotation).
+    Rename,
+    /// Truncating a recovered WAL at its last valid frame boundary.
+    Truncate,
+    /// Removing a stale file.
+    Remove,
+}
+
+impl IoOp {
+    /// The operation name used in [`RaqletError::Io`] context.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOp::Create => "create",
+            IoOp::Write => "write",
+            IoOp::Sync => "fsync",
+            IoOp::Rename => "rename",
+            IoOp::Truncate => "truncate",
+            IoOp::Remove => "remove",
+        }
+    }
+}
+
+/// A fault injected by an [`IoFaultHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Fail this one operation with an I/O error. The store stays usable —
+    /// this models a transient OS failure (`ENOSPC`, `EINTR`, ...).
+    Error,
+    /// Die at this operation. For a write, `torn_prefix` bytes of the
+    /// buffer (clamped to its length) reach the disk first — the torn tail
+    /// a real crash leaves behind; for any other operation nothing happens.
+    /// This and every subsequent operation of the store then fail.
+    Crash {
+        /// Bytes of an in-flight write that reach disk before the death.
+        torn_prefix: usize,
+    },
+}
+
+/// Deterministic I/O fault hook: consulted before each filesystem operation
+/// with the operation kind and the 1-based operation counter; returning a
+/// fault injects it. The counter is per-store, so a seed-derived hook
+/// reproduces the identical crash point on every run.
+pub type IoFaultHook = dyn Fn(IoOp, u64) -> Option<IoFault> + Send + Sync;
+
+/// A seed-derived single-crash schedule, mirroring
+/// `raqlet_engine::fault::FaultSchedule`: the store dies at a pseudo-random
+/// operation hit in `1..=max_ops`, leaving a pseudo-random torn prefix if
+/// that operation is a write. Sweeping seeds sweeps the crash point across
+/// every snapshot-write, rename, WAL-append and fsync the workload performs.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashSchedule {
+    /// The 1-based operation hit at which the store dies.
+    pub crash_at: u64,
+    /// Bytes of an in-flight write that reach disk before the death.
+    pub torn_prefix: usize,
+}
+
+impl CrashSchedule {
+    /// Derive a schedule from a seed. Equal seeds yield equal schedules;
+    /// `max_ops` is the operation count of the workload being swept (use
+    /// [`counting_hook`] on a dry run to measure it).
+    pub fn from_seed(seed: u64, max_ops: u64) -> Self {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let crash_at = 1 + rng.next_u64() % max_ops.max(1);
+        let torn_prefix = (rng.next_u64() % 8192) as usize;
+        CrashSchedule { crash_at, torn_prefix }
+    }
+
+    /// The schedule as an installable [`IoFaultHook`].
+    pub fn hook(self) -> Arc<IoFaultHook> {
+        Arc::new(move |op, hit| {
+            if hit == self.crash_at {
+                let torn = if op == IoOp::Write { self.torn_prefix } else { 0 };
+                Some(IoFault::Crash { torn_prefix: torn })
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// A hook that never faults but records the highest operation hit it saw —
+/// a dry run under this measures a workload's operation count so crash
+/// schedules can be sized to cover every injection point.
+pub fn counting_hook() -> (Arc<IoFaultHook>, Arc<AtomicU64>) {
+    let count = Arc::new(AtomicU64::new(0));
+    let seen = count.clone();
+    let hook: Arc<IoFaultHook> = Arc::new(move |_, hit| {
+        seen.fetch_max(hit, Ordering::Relaxed);
+        None
+    });
+    (hook, count)
+}
+
+/// The store's filesystem gateway: performs real I/O, counts operations,
+/// and injects faults from the configured hook. One instance per
+/// [`crate::DurableDatabase`].
+pub(crate) struct Io {
+    hook: Option<Arc<IoFaultHook>>,
+    hits: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl std::fmt::Debug for Io {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Io")
+            .field("hook", &self.hook.as_ref().map(|_| "<fault hook>"))
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("crashed", &self.crashed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Outcome of the pre-operation fault check.
+enum Checked {
+    /// Proceed with the real operation.
+    Proceed,
+    /// An injected crash on a write: put this many buffer bytes on disk,
+    /// then fail.
+    TornWrite(usize),
+}
+
+impl Io {
+    pub(crate) fn new(hook: Option<Arc<IoFaultHook>>) -> Self {
+        Io { hook, hits: AtomicU64::new(0), crashed: AtomicBool::new(false) }
+    }
+
+    /// Total filesystem operations attempted through this gateway.
+    pub(crate) fn ops(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// True once an injected crash has killed the store.
+    pub(crate) fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    fn err(op: IoOp, path: &Path, message: impl Into<String>) -> RaqletError {
+        RaqletError::io(op.name(), path.display().to_string(), message)
+    }
+
+    /// Count the operation, consult the hook, and translate any injected
+    /// fault. After a crash every operation fails without reaching the hook.
+    fn check(&self, op: IoOp, path: &Path) -> Result<Checked> {
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(Self::err(op, path, "store crashed by injected fault"));
+        }
+        let hit = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        let Some(hook) = &self.hook else { return Ok(Checked::Proceed) };
+        match hook(op, hit) {
+            None => Ok(Checked::Proceed),
+            Some(IoFault::Error) => {
+                Err(Self::err(op, path, format!("injected transient fault at i/o hit {hit}")))
+            }
+            Some(IoFault::Crash { torn_prefix }) => {
+                self.crashed.store(true, Ordering::Relaxed);
+                if op == IoOp::Write {
+                    Ok(Checked::TornWrite(torn_prefix))
+                } else {
+                    Err(Self::err(op, path, format!("injected crash at i/o hit {hit}")))
+                }
+            }
+        }
+    }
+
+    /// Create `path` (truncating any existing file) for writing.
+    pub(crate) fn create(&self, path: &Path) -> Result<File> {
+        match self.check(IoOp::Create, path)? {
+            Checked::Proceed => {}
+            Checked::TornWrite(_) => unreachable!("crash on non-write returns Err"),
+        }
+        File::create(path).map_err(|e| Self::err(IoOp::Create, path, e.to_string()))
+    }
+
+    /// Open `path` for appending.
+    pub(crate) fn open_append(&self, path: &Path) -> Result<File> {
+        match self.check(IoOp::Create, path)? {
+            Checked::Proceed => {}
+            Checked::TornWrite(_) => unreachable!("crash on non-write returns Err"),
+        }
+        OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| Self::err(IoOp::Create, path, e.to_string()))
+    }
+
+    /// Write the whole buffer. Under an injected crash, a prefix of the
+    /// buffer may genuinely reach the file (and is flushed so the torn tail
+    /// is really on disk for the recovery path to find) before the error.
+    pub(crate) fn write_all(&self, file: &mut File, path: &Path, buf: &[u8]) -> Result<()> {
+        match self.check(IoOp::Write, path)? {
+            Checked::Proceed => {
+                file.write_all(buf).map_err(|e| Self::err(IoOp::Write, path, e.to_string()))
+            }
+            Checked::TornWrite(keep) => {
+                let keep = keep.min(buf.len());
+                // Best-effort: the process is "dying"; whatever lands, lands.
+                let _ = file.write_all(&buf[..keep]);
+                let _ = file.sync_data();
+                Err(Self::err(
+                    IoOp::Write,
+                    path,
+                    format!(
+                        "injected crash mid-write ({keep} of {} bytes reached disk)",
+                        buf.len()
+                    ),
+                ))
+            }
+        }
+    }
+
+    /// `fsync` the file's data.
+    pub(crate) fn sync(&self, file: &File, path: &Path) -> Result<()> {
+        match self.check(IoOp::Sync, path)? {
+            Checked::Proceed => {}
+            Checked::TornWrite(_) => unreachable!("crash on non-write returns Err"),
+        }
+        file.sync_data().map_err(|e| Self::err(IoOp::Sync, path, e.to_string()))
+    }
+
+    /// `fsync` a directory, making completed renames inside it durable.
+    pub(crate) fn sync_dir(&self, dir: &Path) -> Result<()> {
+        match self.check(IoOp::Sync, dir)? {
+            Checked::Proceed => {}
+            Checked::TornWrite(_) => unreachable!("crash on non-write returns Err"),
+        }
+        let handle = File::open(dir).map_err(|e| Self::err(IoOp::Sync, dir, e.to_string()))?;
+        handle.sync_all().map_err(|e| Self::err(IoOp::Sync, dir, e.to_string()))
+    }
+
+    /// Atomically rename `from` to `to` (replacing `to` if it exists).
+    pub(crate) fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        match self.check(IoOp::Rename, from)? {
+            Checked::Proceed => {}
+            Checked::TornWrite(_) => unreachable!("crash on non-write returns Err"),
+        }
+        std::fs::rename(from, to).map_err(|e| Self::err(IoOp::Rename, from, e.to_string()))
+    }
+
+    /// Truncate the file at `path` to `len` bytes.
+    pub(crate) fn truncate(&self, file: &File, path: &Path, len: u64) -> Result<()> {
+        match self.check(IoOp::Truncate, path)? {
+            Checked::Proceed => {}
+            Checked::TornWrite(_) => unreachable!("crash on non-write returns Err"),
+        }
+        file.set_len(len).map_err(|e| Self::err(IoOp::Truncate, path, e.to_string()))
+    }
+
+    /// Remove the file at `path`.
+    pub(crate) fn remove(&self, path: &Path) -> Result<()> {
+        match self.check(IoOp::Remove, path)? {
+            Checked::Proceed => {}
+            Checked::TornWrite(_) => unreachable!("crash on non-write returns Err"),
+        }
+        std::fs::remove_file(path).map_err(|e| Self::err(IoOp::Remove, path, e.to_string()))
+    }
+}
+
+/// Read a whole file without fault injection, yielding `None` if it does
+/// not exist (any other error is surfaced). Recovery reads are not crash
+/// points — a crash while *reading* leaves no disk artifact — so reads stay
+/// outside the operation counter; failures still surface as structured
+/// [`RaqletError::Io`].
+pub(crate) fn read_file_if_exists(path: &Path) -> Result<Option<Vec<u8>>> {
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(RaqletError::io("read", path.display().to_string(), e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_hook_measures_operation_hits() {
+        let (hook, count) = counting_hook();
+        let io = Io::new(Some(hook));
+        let dir = std::env::temp_dir().join(format!("raqlet-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        let mut f = io.create(&path).unwrap();
+        io.write_all(&mut f, &path, b"abc").unwrap();
+        io.sync(&f, &path).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+        assert_eq!(io.ops(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_crash_leaves_a_torn_prefix_and_kills_the_store() {
+        let schedule = CrashSchedule { crash_at: 2, torn_prefix: 4 };
+        let io = Io::new(Some(schedule.hook()));
+        let dir = std::env::temp_dir().join(format!("raqlet-io-crash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        let mut f = io.create(&path).unwrap();
+        let err = io.write_all(&mut f, &path, b"0123456789").unwrap_err();
+        assert!(matches!(err, RaqletError::Io { .. }), "{err}");
+        assert!(io.is_crashed());
+        // Exactly the torn prefix reached the disk.
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123");
+        // Every subsequent operation fails without touching the file.
+        assert!(io.sync(&f, &path).is_err());
+        assert!(io.write_all(&mut f, &path, b"xy").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let a = CrashSchedule::from_seed(7, 100);
+        let b = CrashSchedule::from_seed(7, 100);
+        assert_eq!(a.crash_at, b.crash_at);
+        assert_eq!(a.torn_prefix, b.torn_prefix);
+        assert!(a.crash_at >= 1 && a.crash_at <= 100);
+    }
+}

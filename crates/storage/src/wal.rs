@@ -1,0 +1,276 @@
+//! The fact write-ahead log: length-prefixed, checksummed frames of
+//! [`EdbDelta`] batches, fsync'd per batch.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! file    := magic "RAQWAL01" (8 bytes), frame*
+//! frame   := payload_len u32, payload, crc32(payload) u32
+//! payload := epoch u64, n_inserts u32, op*, n_deletes u32, op*
+//! op      := name_len u32, name utf8, arity u32, value*
+//! value   := tag u8, body
+//!            tag 0 = i64 (8 bytes)   tag 1 = str (u32 len + utf8)
+//!            tag 2 = bool (1 byte)   tag 3 = null (no body)
+//! ```
+//!
+//! Each frame's `epoch` is the database epoch the batch *produces* —
+//! replaying frame `e` on a database at epoch `e - 1` yields epoch `e`.
+//!
+//! [`scan`] implements the torn-tail rule: it walks frames forward and
+//! stops at the first frame whose length prefix overruns the file, whose
+//! checksum mismatches, or whose payload fails to decode. Everything
+//! before that point is durable and is replayed; everything from it on is
+//! a torn or corrupt tail, and recovery truncates the file back to
+//! `valid_len` so the log is appendable again. A scan never errors — a
+//! mangled log simply yields fewer frames.
+
+use std::path::{Path, PathBuf};
+
+use raqlet_common::{Result, Value};
+use raqlet_engine::EdbDelta;
+
+use crate::codec::{put_bytes, put_i64, put_u32, put_u64, Reader};
+use crate::crc::crc32;
+use crate::io::Io;
+
+/// The 8-byte file magic ("RAQ WAL, format 01").
+pub(crate) const MAGIC: &[u8; 8] = b"RAQWAL01";
+
+const TAG_INT: u8 = 0;
+const TAG_STR: u8 = 1;
+const TAG_BOOL: u8 = 2;
+const TAG_NULL: u8 = 3;
+
+fn put_ops(payload: &mut Vec<u8>, ops: &[(String, Vec<Value>)]) {
+    put_u32(payload, ops.len() as u32);
+    for (name, tuple) in ops {
+        put_bytes(payload, name.as_bytes());
+        put_u32(payload, tuple.len() as u32);
+        for value in tuple {
+            match value {
+                Value::Int(v) => {
+                    payload.push(TAG_INT);
+                    put_i64(payload, *v);
+                }
+                Value::Str(s) => {
+                    payload.push(TAG_STR);
+                    put_bytes(payload, s.as_bytes());
+                }
+                Value::Bool(b) => {
+                    payload.push(TAG_BOOL);
+                    payload.push(*b as u8);
+                }
+                Value::Null => payload.push(TAG_NULL),
+            }
+        }
+    }
+}
+
+/// Serialize one delta batch into a complete frame (`len | payload | crc`).
+pub(crate) fn encode_frame(epoch: u64, delta: &EdbDelta) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, epoch);
+    put_ops(&mut payload, delta.inserts());
+    put_ops(&mut payload, delta.deletes());
+
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    put_u32(&mut frame, crc32(&payload));
+    frame
+}
+
+fn read_ops(r: &mut Reader<'_>, into_inserts: bool, delta: &mut EdbDelta) -> Result<()> {
+    let n = r.u32()? as usize;
+    for _ in 0..n {
+        let name = r.str()?.to_string();
+        let arity = r.u32()? as usize;
+        let mut tuple = Vec::with_capacity(arity.min(64));
+        for _ in 0..arity {
+            let value = match r.u8()? {
+                TAG_INT => Value::Int(r.i64()?),
+                TAG_STR => Value::str(r.str()?),
+                TAG_BOOL => match r.u8()? {
+                    0 => Value::Bool(false),
+                    1 => Value::Bool(true),
+                    other => return Err(r.corrupt(format!("invalid bool byte {other}"))),
+                },
+                TAG_NULL => Value::Null,
+                tag => return Err(r.corrupt(format!("invalid value tag {tag}"))),
+            };
+            tuple.push(value);
+        }
+        if into_inserts {
+            delta.insert(name, tuple);
+        } else {
+            delta.delete(name, tuple);
+        }
+    }
+    Ok(())
+}
+
+/// Decode one frame payload into `(epoch, delta)`.
+fn decode_payload(payload: &[u8], base: u64, path: &str) -> Result<(u64, EdbDelta)> {
+    let mut r = Reader::new(payload, base, path, "frame");
+    let epoch = r.u64()?;
+    let mut delta = EdbDelta::new();
+    read_ops(&mut r, true, &mut delta)?;
+    read_ops(&mut r, false, &mut delta)?;
+    r.finish()?;
+    Ok((epoch, delta))
+}
+
+/// The result of scanning a WAL file's bytes.
+pub(crate) struct Scan {
+    /// Every decodable frame before the first torn/corrupt one, in file
+    /// order: `(epoch, delta, end)` where `end` is the byte offset just
+    /// past the frame — the length to truncate to if recovery stops here.
+    pub(crate) frames: Vec<(u64, EdbDelta, u64)>,
+    /// Byte length of the valid prefix (magic + whole good frames). The
+    /// file should be truncated to this length to become appendable again.
+    /// `0` means the magic itself is missing or wrong — recreate the file.
+    pub(crate) valid_len: u64,
+}
+
+/// Walk `bytes` forward, collecting frames until the torn-tail rule fires.
+pub(crate) fn scan(bytes: &[u8], path: &str) -> Scan {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Scan { frames: Vec::new(), valid_len: 0 };
+    }
+    let mut frames = Vec::new();
+    let mut pos = MAGIC.len();
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining < 4 {
+            break; // torn length prefix
+        }
+        #[allow(clippy::expect_used)] // Invariant: the slice is exactly 4 bytes.
+        let len =
+            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4-byte slice")) as usize;
+        let start = pos + 4;
+        let Some(end) = start.checked_add(len).filter(|end| end + 4 <= bytes.len()) else {
+            break; // torn payload or checksum
+        };
+        let payload = &bytes[start..end];
+        #[allow(clippy::expect_used)] // Invariant: bounds checked above; the slice is 4 bytes.
+        let stored = u32::from_le_bytes(bytes[end..end + 4].try_into().expect("4-byte slice"));
+        if stored != crc32(payload) {
+            break; // corrupt frame
+        }
+        let Ok((epoch, delta)) = decode_payload(payload, start as u64, path) else {
+            break; // checksum collided with garbage — still a dead tail
+        };
+        pos = end + 4;
+        frames.push((epoch, delta, pos as u64));
+    }
+    Scan { frames, valid_len: pos as u64 }
+}
+
+/// An open, appendable WAL file.
+#[derive(Debug)]
+pub(crate) struct Wal {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Create a fresh log at `path` (truncating any existing file), write
+    /// the magic and fsync it.
+    pub(crate) fn create(io: &Io, path: &Path) -> Result<Wal> {
+        let mut file = io.create(path)?;
+        io.write_all(&mut file, path, MAGIC)?;
+        io.sync(&file, path)?;
+        Ok(Wal { file, path: path.to_path_buf() })
+    }
+
+    /// Open an existing log at `path` for appending. The caller is
+    /// responsible for having truncated it to its valid prefix first.
+    pub(crate) fn open(io: &Io, path: &Path) -> Result<Wal> {
+        let file = io.open_append(path)?;
+        Ok(Wal { file, path: path.to_path_buf() })
+    }
+
+    /// Append one encoded frame and fsync — the durability point for a
+    /// delta batch.
+    pub(crate) fn append(&mut self, io: &Io, frame: &[u8]) -> Result<()> {
+        io.write_all(&mut self.file, &self.path, frame)?;
+        io.sync(&self.file, &self.path)
+    }
+}
+
+/// Truncate the log file at `path` to `valid_len` bytes and fsync, undoing
+/// a torn tail. (Free function rather than a method: it runs before the
+/// file is opened for append.)
+pub(crate) fn truncate_to_valid(io: &Io, path: &Path, valid_len: u64) -> Result<()> {
+    let file = io.open_append(path)?;
+    io.truncate(&file, path, valid_len)?;
+    io.sync(&file, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_common::Value;
+
+    fn sample_delta() -> EdbDelta {
+        let mut d = EdbDelta::new();
+        d.insert("edge", vec![Value::Int(1), Value::Int(2)])
+            .insert("person", vec![Value::str("Ada"), Value::Bool(true), Value::Null])
+            .delete("edge", vec![Value::Int(9), Value::Int(9)]);
+        d
+    }
+
+    fn file_with(frames: &[(u64, EdbDelta)]) -> Vec<u8> {
+        let mut bytes = MAGIC.to_vec();
+        for (epoch, delta) in frames {
+            bytes.extend_from_slice(&encode_frame(*epoch, delta));
+        }
+        bytes
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let delta = sample_delta();
+        let bytes = file_with(&[(5, delta.clone()), (6, EdbDelta::new())]);
+        let scan = scan(&bytes, "wal");
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.frames[0].0, 5);
+        assert_eq!(scan.frames[0].1.inserts(), delta.inserts());
+        assert_eq!(scan.frames[0].1.deletes(), delta.deletes());
+        assert_eq!(scan.frames[1].0, 6);
+        assert!(scan.frames[1].1.is_empty());
+        assert_eq!(scan.frames[1].2, bytes.len() as u64);
+    }
+
+    #[test]
+    fn a_torn_tail_keeps_the_valid_prefix() {
+        let full = file_with(&[(1, sample_delta()), (2, sample_delta())]);
+        let one = file_with(&[(1, sample_delta())]);
+        // Cut the second frame anywhere — prefix survives, tail is dropped.
+        for cut in one.len() + 1..full.len() {
+            let s = scan(&full[..cut], "wal");
+            assert_eq!(s.valid_len, one.len() as u64, "cut {cut}");
+            assert_eq!(s.frames.len(), 1, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn a_corrupt_frame_stops_the_scan() {
+        let mut bytes = file_with(&[(1, sample_delta()), (2, sample_delta())]);
+        let one_len = file_with(&[(1, sample_delta())]).len();
+        bytes[one_len + 10] ^= 0xFF; // mangle the second frame's payload
+        let s = scan(&bytes, "wal");
+        assert_eq!(s.frames.len(), 1);
+        assert_eq!(s.valid_len, one_len as u64);
+    }
+
+    #[test]
+    fn a_missing_magic_yields_an_empty_scan() {
+        assert_eq!(scan(b"", "wal").valid_len, 0);
+        assert_eq!(scan(b"NOTAWAL0rest", "wal").valid_len, 0);
+        let s = scan(MAGIC, "wal");
+        assert_eq!(s.valid_len, MAGIC.len() as u64);
+        assert!(s.frames.is_empty());
+    }
+}
