@@ -1,0 +1,183 @@
+//! The `raqcheck` driver: one entry point that runs DLIR validation's
+//! semantic checks and the full lint suite over a program, resolves each
+//! finding's severity against a [`SeverityConfig`], and returns the
+//! surviving [`Diagnostic`]s (deny first, then warn; `allow`ed findings are
+//! dropped).
+//!
+//! ```
+//! use raqlet_analysis::raqcheck::RaqCheck;
+//! use raqlet_dlir::ir::{Atom, BodyElem, DlirProgram, Rule};
+//! use raqlet_common::schema::DlSchema;
+//!
+//! let mut program = DlirProgram::new(DlSchema::new());
+//! program.add_rule(Rule::new(
+//!     Atom::with_vars("q", &["x", "a"]),
+//!     vec![
+//!         BodyElem::Atom(Atom::with_vars("r", &["x"])),
+//!         BodyElem::Atom(Atom::with_vars("s", &["a"])),
+//!     ],
+//! ));
+//! let diags = RaqCheck::new().check(&program);
+//! assert!(diags.iter().any(|d| d.code.as_str() == "RAQ003"));
+//! ```
+
+use raqlet_common::diag::{Diagnostic, Severity, SeverityConfig};
+use raqlet_dlir::ir::DlirProgram;
+use raqlet_dlir::validate::check_program;
+
+use crate::dataflow::analyze_dataflow;
+use crate::lints;
+use crate::stats::EdbStats;
+
+/// The configured analyzer. Construct once, run [`RaqCheck::check`] per
+/// program.
+#[derive(Debug, Clone, Default)]
+pub struct RaqCheck {
+    config: SeverityConfig,
+    stats: Option<EdbStats>,
+}
+
+impl RaqCheck {
+    /// An analyzer with default severities and no statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An analyzer with a custom severity configuration.
+    pub fn with_config(config: SeverityConfig) -> Self {
+        RaqCheck { config, stats: None }
+    }
+
+    /// Supply EDB statistics, enabling the advisory plan lints (RAQ008) and
+    /// stats-backed emptiness propagation.
+    pub fn with_stats(mut self, stats: EdbStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The active severity configuration.
+    pub fn config(&self) -> &SeverityConfig {
+        &self.config
+    }
+
+    /// Run every check over the program. Diagnostics come back with
+    /// severities resolved against the configuration, `allow`ed findings
+    /// removed, and deny-level findings ordered before warnings.
+    pub fn check(&self, program: &DlirProgram) -> Vec<Diagnostic> {
+        let flow = analyze_dataflow(program, self.stats.as_ref());
+
+        let mut diags = check_program(program);
+        diags.extend(lints::lint_unused_relations(program, &flow));
+        diags.extend(lints::lint_never_firing(program, &flow));
+        diags.extend(lints::lint_cartesian_products(program));
+        diags.extend(lints::lint_type_mismatches(program, &flow));
+        diags.extend(lints::lint_duplicate_rules(program));
+        diags.extend(lints::lint_unbound_outputs(program));
+        if let Some(stats) = &self.stats {
+            diags.extend(lints::lint_plan_order(program, stats));
+        }
+
+        let mut diags: Vec<Diagnostic> = diags
+            .into_iter()
+            .map(|d| d.with_severity(&self.config))
+            .filter(|d| d.severity != Severity::Allow)
+            .collect();
+        // Deny findings first, then warnings; stable within a severity so
+        // rule order is preserved.
+        diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        diags
+    }
+
+    /// True if any finding for this program is deny-level.
+    pub fn has_deny(&self, program: &DlirProgram) -> bool {
+        self.check(program).iter().any(Diagnostic::is_deny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_common::diag::DiagCode;
+    use raqlet_common::schema::{Column, DlSchema, RelationDecl, RelationKind};
+    use raqlet_common::ValueType;
+    use raqlet_dlir::ir::{Atom, BodyElem, Rule};
+
+    fn schema() -> DlSchema {
+        let mut s = DlSchema::new();
+        s.add(RelationDecl::new(
+            "edge",
+            vec![Column::new("src", ValueType::Int), Column::new("dst", ValueType::Int)],
+            RelationKind::BaseTable,
+        ))
+        .unwrap();
+        s.add(RelationDecl::new(
+            "other",
+            vec![Column::new("id", ValueType::Int)],
+            RelationKind::BaseTable,
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let mut p = DlirProgram::new(schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x", "y"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+        ));
+        p.add_output("q");
+        assert!(RaqCheck::new().check(&p).is_empty());
+    }
+
+    #[test]
+    fn deny_findings_sort_before_warnings() {
+        let mut p = DlirProgram::new(schema());
+        // Cartesian product (warn) …
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x", "a"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+                BodyElem::Atom(Atom::with_vars("other", &["a"])),
+            ],
+        ));
+        // … and an arity mismatch (deny).
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x", "y"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y", "z"]))],
+        ));
+        let diags = RaqCheck::new().check(&p);
+        assert!(diags.len() >= 2);
+        assert_eq!(diags[0].code, DiagCode::ArityMismatch);
+        assert!(diags[0].is_deny());
+    }
+
+    #[test]
+    fn allow_suppresses_a_lint() {
+        let mut p = DlirProgram::new(schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x", "a"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+                BodyElem::Atom(Atom::with_vars("other", &["a"])),
+            ],
+        ));
+        let config = SeverityConfig::new().set(DiagCode::CartesianProduct, Severity::Allow);
+        assert!(RaqCheck::with_config(config).check(&p).is_empty());
+        assert!(!RaqCheck::new().check(&p).is_empty());
+    }
+
+    #[test]
+    fn has_deny_reflects_escalation() {
+        let mut p = DlirProgram::new(schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("q", &["x", "a"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+                BodyElem::Atom(Atom::with_vars("other", &["a"])),
+            ],
+        ));
+        assert!(!RaqCheck::new().has_deny(&p));
+        assert!(RaqCheck::with_config(SeverityConfig::deny_all()).has_deny(&p));
+    }
+}

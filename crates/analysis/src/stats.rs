@@ -1,0 +1,145 @@
+//! EDB statistics collected from a live [`Database`]: per-relation row
+//! counts and per-column distinct counts.
+//!
+//! The stats feed two consumers: the `raqcheck` advisory plan lints (RAQ008 —
+//! a join order that scans a large unfiltered relation first), and — as the
+//! ROADMAP records — they are the input contract for future cost-based
+//! recursive plan selection. Collection is a single pass over each
+//! relation's packed rows; distinct counts hash the raw dictionary-encoded
+//! cells, so no value decoding happens.
+
+use std::collections::{BTreeMap, HashSet};
+
+use raqlet_common::{Database, Relation};
+
+/// Statistics for one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Number of live tuples.
+    pub rows: usize,
+    /// Distinct values per column (same arity as the relation).
+    pub distinct: Vec<usize>,
+}
+
+impl RelationStats {
+    /// Collect stats from one relation in a single pass.
+    pub fn collect(relation: &Relation) -> Self {
+        let arity = relation.arity();
+        let mut seen: Vec<HashSet<raqlet_common::Cell>> = vec![HashSet::new(); arity];
+        for row in relation.iter_rows() {
+            for (col, cell) in row.iter().enumerate() {
+                seen[col].insert(*cell);
+            }
+        }
+        RelationStats { rows: relation.len(), distinct: seen.iter().map(HashSet::len).collect() }
+    }
+
+    /// Selectivity estimate of an equality filter on `column`: `rows /
+    /// distinct[column]` (the classic uniform-distribution estimate).
+    /// Returns `rows` when the column is unknown or has no distinct values.
+    pub fn filtered_rows(&self, column: usize) -> usize {
+        match self.distinct.get(column) {
+            Some(&d) if d > 0 => self.rows.div_ceil(d),
+            _ => self.rows,
+        }
+    }
+}
+
+/// Per-relation statistics snapshot of a database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdbStats {
+    relations: BTreeMap<String, RelationStats>,
+}
+
+impl EdbStats {
+    /// An empty snapshot (no relations known).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collect statistics for every relation in the database.
+    pub fn collect(db: &Database) -> Self {
+        let mut relations = BTreeMap::new();
+        for (name, relation) in db.iter() {
+            relations.insert(name.clone(), RelationStats::collect(relation));
+        }
+        EdbStats { relations }
+    }
+
+    /// Insert or replace stats for one relation (used by tests and by
+    /// callers maintaining stats incrementally).
+    pub fn insert(&mut self, name: impl Into<String>, stats: RelationStats) {
+        self.relations.insert(name.into(), stats);
+    }
+
+    /// Stats for one relation, if known.
+    pub fn get(&self, name: &str) -> Option<&RelationStats> {
+        self.relations.get(name)
+    }
+
+    /// Row count for one relation, if known.
+    pub fn rows(&self, name: &str) -> Option<usize> {
+        self.relations.get(name).map(|s| s.rows)
+    }
+
+    /// Number of relations with stats.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when no relation has stats.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate over `(name, stats)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &RelationStats)> {
+        self.relations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqlet_common::Value;
+
+    fn db_with(name: &str, rows: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        db.get_or_create(name, 2);
+        for (a, b) in rows {
+            db.insert_fact(name, vec![Value::Int(*a), Value::Int(*b)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn collects_rows_and_distincts() {
+        let db = db_with("edge", &[(1, 2), (1, 3), (2, 3)]);
+        let stats = EdbStats::collect(&db);
+        let edge = stats.get("edge").unwrap();
+        assert_eq!(edge.rows, 3);
+        assert_eq!(edge.distinct, vec![2, 2]);
+        assert_eq!(stats.rows("edge"), Some(3));
+        assert_eq!(stats.rows("missing"), None);
+    }
+
+    #[test]
+    fn filtered_rows_uses_distinct_counts() {
+        let db = db_with("edge", &[(1, 2), (1, 3), (2, 3), (2, 4)]);
+        let stats = EdbStats::collect(&db);
+        let edge = stats.get("edge").unwrap();
+        // 4 rows / 2 distinct sources = 2 expected rows per source.
+        assert_eq!(edge.filtered_rows(0), 2);
+        // Unknown column falls back to the full row count.
+        assert_eq!(edge.filtered_rows(9), 4);
+    }
+
+    #[test]
+    fn empty_relation_has_zero_stats() {
+        let mut db = Database::new();
+        db.get_or_create("empty", 3);
+        let stats = EdbStats::collect(&db);
+        assert_eq!(stats.get("empty").unwrap().rows, 0);
+        assert_eq!(stats.get("empty").unwrap().distinct, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,458 @@
+//! Coded diagnostics: the output format of `raqcheck`, Raqlet's static
+//! analyzer and lint layer.
+//!
+//! Every finding the compiler's semantic checks or the DLIR lint suite can
+//! produce is a [`Diagnostic`] carrying a stable [`DiagCode`] (`RAQ0xx` for
+//! lints, `RAQ1xx` for semantic errors), a [`Severity`], a human-readable
+//! message, optional rule provenance (which rule, and which surface construct
+//! it was lowered from) and an optional suggestion. Severities are
+//! configurable per code through a [`SeverityConfig`], mirroring the
+//! allow/warn/deny model of `rustc` lints:
+//!
+//! * [`Severity::Deny`] findings abort compilation (the classic semantic
+//!   errors from DLIR validation keep this default);
+//! * [`Severity::Warn`] findings are surfaced but do not block;
+//! * [`Severity::Allow`] findings are suppressed entirely.
+//!
+//! The types live in `raqlet_common` so that both the DLIR validator (which
+//! cannot depend on the analysis crate) and the `raqcheck` analyzer in
+//! `raqlet_analysis` share one diagnostic currency; the analyzer re-exports
+//! everything here. See `docs/diagnostics.md` for the full code table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::RaqletError;
+
+/// How a diagnostic is acted upon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed: the finding is dropped before it reaches the caller.
+    Allow,
+    /// Reported but non-blocking.
+    Warn,
+    /// Blocking: `validate` (and any caller honouring deny semantics) turns
+    /// the diagnostic into a [`RaqletError::Semantic`].
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case name used by renderings and the severity configuration.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable identifier of one diagnostic class.
+///
+/// `RAQ0xx` codes are lints produced by the `raqcheck` analyzer in
+/// `raqlet_analysis`; `RAQ1xx` codes are the semantic checks DLIR validation
+/// and stratification have always enforced, now carrying codes instead of
+/// bare strings. Adding a code here requires documenting it in
+/// `docs/diagnostics.md` — CI greps the table against [`DiagCode::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// RAQ001: a derived relation is unreachable from every output.
+    UnusedRelation,
+    /// RAQ002: a rule's constraints are contradictory; it can never fire.
+    NeverFiringRule,
+    /// RAQ003: a rule body joins atom groups sharing no variables
+    /// (cartesian product).
+    CartesianProduct,
+    /// RAQ004: a variable inside a negated atom is not bound by any positive
+    /// atom (unsafe negation).
+    UnboundUnderNegation,
+    /// RAQ005: the rules of one IDB derive incompatible types for a column.
+    ColumnTypeMismatch,
+    /// RAQ006: a rule duplicates (up to variable renaming) an earlier rule of
+    /// the same relation.
+    DuplicateRule,
+    /// RAQ007: an output's entire derivation carries no constant — magic
+    /// sets cannot specialize it and the full closure is materialized.
+    UnboundOutputHead,
+    /// RAQ008: EDB statistics place a large unfiltered relation first in a
+    /// rule body (advisory plan lint).
+    PlanUnfilteredFirst,
+    /// RAQ101: an atom's arity differs from its schema declaration.
+    ArityMismatch,
+    /// RAQ102: a head variable is not bound by the rule body.
+    UnboundHeadVariable,
+    /// RAQ103: a variable in a comparison constraint is unbound.
+    UnboundConstraintVariable,
+    /// RAQ104: an aggregate's input variable is unbound.
+    UnboundAggregateInput,
+    /// RAQ105: an `.output` relation is never defined.
+    UndefinedOutput,
+    /// RAQ106: negation occurs inside a recursive cycle (not stratifiable).
+    NegationCycle,
+    /// RAQ107: aggregation occurs inside a recursive cycle (not
+    /// stratifiable).
+    AggregationCycle,
+}
+
+impl DiagCode {
+    /// Every code the toolchain can emit, in code order. CI uses this (via
+    /// the `raqcheck` example's `--list-codes` flag) to assert the
+    /// diagnostics documentation covers the full set.
+    pub const ALL: &'static [DiagCode] = &[
+        DiagCode::UnusedRelation,
+        DiagCode::NeverFiringRule,
+        DiagCode::CartesianProduct,
+        DiagCode::UnboundUnderNegation,
+        DiagCode::ColumnTypeMismatch,
+        DiagCode::DuplicateRule,
+        DiagCode::UnboundOutputHead,
+        DiagCode::PlanUnfilteredFirst,
+        DiagCode::ArityMismatch,
+        DiagCode::UnboundHeadVariable,
+        DiagCode::UnboundConstraintVariable,
+        DiagCode::UnboundAggregateInput,
+        DiagCode::UndefinedOutput,
+        DiagCode::NegationCycle,
+        DiagCode::AggregationCycle,
+    ];
+
+    /// The stable `RAQxxx` code string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DiagCode::UnusedRelation => "RAQ001",
+            DiagCode::NeverFiringRule => "RAQ002",
+            DiagCode::CartesianProduct => "RAQ003",
+            DiagCode::UnboundUnderNegation => "RAQ004",
+            DiagCode::ColumnTypeMismatch => "RAQ005",
+            DiagCode::DuplicateRule => "RAQ006",
+            DiagCode::UnboundOutputHead => "RAQ007",
+            DiagCode::PlanUnfilteredFirst => "RAQ008",
+            DiagCode::ArityMismatch => "RAQ101",
+            DiagCode::UnboundHeadVariable => "RAQ102",
+            DiagCode::UnboundConstraintVariable => "RAQ103",
+            DiagCode::UnboundAggregateInput => "RAQ104",
+            DiagCode::UndefinedOutput => "RAQ105",
+            DiagCode::NegationCycle => "RAQ106",
+            DiagCode::AggregationCycle => "RAQ107",
+        }
+    }
+
+    /// One-line description of the defect class (the doc-table summary).
+    pub fn summary(&self) -> &'static str {
+        match self {
+            DiagCode::UnusedRelation => "derived relation unreachable from every output",
+            DiagCode::NeverFiringRule => "rule can never fire (contradictory constraints)",
+            DiagCode::CartesianProduct => "rule body is a cartesian product (no shared variables)",
+            DiagCode::UnboundUnderNegation => "variable bound only under negation",
+            DiagCode::ColumnTypeMismatch => "column types disagree across rules of one relation",
+            DiagCode::DuplicateRule => "rule duplicates an earlier rule (up to renaming)",
+            DiagCode::UnboundOutputHead => {
+                "output derivation carries no constant; magic sets cannot specialize"
+            }
+            DiagCode::PlanUnfilteredFirst => {
+                "join order places a large unfiltered relation first (stats advisory)"
+            }
+            DiagCode::ArityMismatch => "atom arity differs from the schema declaration",
+            DiagCode::UnboundHeadVariable => "head variable not bound by the body",
+            DiagCode::UnboundConstraintVariable => "constraint variable unbound",
+            DiagCode::UnboundAggregateInput => "aggregate input variable unbound",
+            DiagCode::UndefinedOutput => "output relation never defined",
+            DiagCode::NegationCycle => "negation inside a recursive cycle",
+            DiagCode::AggregationCycle => "aggregation inside a recursive cycle",
+        }
+    }
+
+    /// The severity a code carries unless a [`SeverityConfig`] overrides it:
+    /// the `RAQ1xx` semantic checks and unsafe negation deny (they have
+    /// always been hard errors), every other lint warns.
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            DiagCode::UnusedRelation
+            | DiagCode::NeverFiringRule
+            | DiagCode::CartesianProduct
+            | DiagCode::ColumnTypeMismatch
+            | DiagCode::DuplicateRule
+            | DiagCode::UnboundOutputHead
+            | DiagCode::PlanUnfilteredFirst => Severity::Warn,
+            DiagCode::UnboundUnderNegation
+            | DiagCode::ArityMismatch
+            | DiagCode::UnboundHeadVariable
+            | DiagCode::UnboundConstraintVariable
+            | DiagCode::UnboundAggregateInput
+            | DiagCode::UndefinedOutput
+            | DiagCode::NegationCycle
+            | DiagCode::AggregationCycle => Severity::Deny,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-code severity overrides, with [`DiagCode::default_severity`] as the
+/// baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeverityConfig {
+    overrides: BTreeMap<DiagCode, Severity>,
+}
+
+impl SeverityConfig {
+    /// The default configuration: every code at its default severity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A configuration escalating every code to [`Severity::Deny`] — the
+    /// "corpus must lint clean" mode used by CI and the golden tests.
+    pub fn deny_all() -> Self {
+        let mut c = Self::new();
+        for code in DiagCode::ALL {
+            c.overrides.insert(*code, Severity::Deny);
+        }
+        c
+    }
+
+    /// Override one code's severity (builder style).
+    pub fn set(mut self, code: DiagCode, severity: Severity) -> Self {
+        self.overrides.insert(code, severity);
+        self
+    }
+
+    /// The effective severity of a code under this configuration.
+    pub fn severity_of(&self, code: DiagCode) -> Severity {
+        self.overrides.get(&code).copied().unwrap_or_else(|| code.default_severity())
+    }
+}
+
+/// One analyzer or validator finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code identifying the defect class.
+    pub code: DiagCode,
+    /// Effective severity (default, unless resolved against a
+    /// [`SeverityConfig`] via [`Diagnostic::with_severity`]).
+    pub severity: Severity,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// The relation the finding is about, when one is identifiable.
+    pub relation: Option<String>,
+    /// Index of the offending rule in `DlirProgram::rules`.
+    pub rule_index: Option<usize>,
+    /// Canonical rendering of the offending rule.
+    pub rule: Option<String>,
+    /// The surface construct the rule was lowered from (e.g. `MATCH #1`,
+    /// `UNWIND`, `RETURN`) when the lowering recorded provenance.
+    pub provenance: Option<String>,
+    /// What to do about it.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            relation: None,
+            rule_index: None,
+            rule: None,
+            provenance: None,
+            suggestion: None,
+        }
+    }
+
+    /// Attach the relation the finding is about.
+    pub fn with_relation(mut self, relation: impl Into<String>) -> Self {
+        self.relation = Some(relation.into());
+        self
+    }
+
+    /// Attach rule provenance: the rule's index, its canonical rendering,
+    /// and (when the lowering recorded one) the surface construct it came
+    /// from.
+    pub fn with_rule(
+        mut self,
+        index: usize,
+        rendering: impl Into<String>,
+        provenance: Option<&str>,
+    ) -> Self {
+        self.rule_index = Some(index);
+        self.rule = Some(rendering.into());
+        self.provenance = provenance.map(str::to_string);
+        self
+    }
+
+    /// Attach a suggestion.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Resolve the severity against a configuration.
+    pub fn with_severity(mut self, config: &SeverityConfig) -> Self {
+        self.severity = config.severity_of(self.code);
+        self
+    }
+
+    /// True if this diagnostic blocks compilation.
+    pub fn is_deny(&self) -> bool {
+        self.severity == Severity::Deny
+    }
+
+    /// Human-readable rendering:
+    ///
+    /// ```text
+    /// warn[RAQ003]: rule joins 2 unconnected atom groups ...
+    ///   --> rule #1 `q(x, y) :- a(x), b(y).` (from MATCH #1)
+    ///   help: share a variable between the groups or split the rule
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if let (Some(i), Some(rule)) = (self.rule_index, &self.rule) {
+            out.push_str(&format!("\n  --> rule #{i} `{rule}`"));
+            if let Some(p) = &self.provenance {
+                out.push_str(&format!(" (from {p})"));
+            }
+        } else if let Some(rel) = &self.relation {
+            out.push_str(&format!("\n  --> relation `{rel}`"));
+        }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!("\n  help: {s}"));
+        }
+        out
+    }
+
+    /// Machine-readable single-line JSON rendering (hand-built — the
+    /// workspace is dependency-free). Keys: `code`, `severity`, `message`,
+    /// and whichever of `relation`, `rule_index`, `rule`, `provenance`,
+    /// `suggestion` are present.
+    pub fn machine(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut fields = vec![
+            format!("\"code\":\"{}\"", self.code),
+            format!("\"severity\":\"{}\"", self.severity),
+            format!("\"message\":\"{}\"", esc(&self.message)),
+        ];
+        if let Some(r) = &self.relation {
+            fields.push(format!("\"relation\":\"{}\"", esc(r)));
+        }
+        if let Some(i) = self.rule_index {
+            fields.push(format!("\"rule_index\":{i}"));
+        }
+        if let Some(r) = &self.rule {
+            fields.push(format!("\"rule\":\"{}\"", esc(r)));
+        }
+        if let Some(p) = &self.provenance {
+            fields.push(format!("\"provenance\":\"{}\"", esc(p)));
+        }
+        if let Some(s) = &self.suggestion {
+            fields.push(format!("\"suggestion\":\"{}\"", esc(s)));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+
+    /// Convert into the semantic error `validate` raises for deny-level
+    /// findings. The code travels in the message so existing string-typed
+    /// error handling keeps working while callers gain a stable prefix.
+    pub fn into_error(self) -> RaqletError {
+        RaqletError::Semantic(format!("{}: {}", self.code, self.message))
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_documented() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in DiagCode::ALL {
+            assert!(seen.insert(code.as_str()), "duplicate code {code}");
+            assert!(!code.summary().is_empty());
+        }
+        assert_eq!(seen.len(), DiagCode::ALL.len());
+    }
+
+    #[test]
+    fn default_severities_split_lints_from_errors() {
+        assert_eq!(DiagCode::CartesianProduct.default_severity(), Severity::Warn);
+        assert_eq!(DiagCode::ArityMismatch.default_severity(), Severity::Deny);
+        assert_eq!(DiagCode::UnboundUnderNegation.default_severity(), Severity::Deny);
+    }
+
+    #[test]
+    fn severity_config_overrides_and_deny_all() {
+        let config = SeverityConfig::new().set(DiagCode::CartesianProduct, Severity::Allow);
+        assert_eq!(config.severity_of(DiagCode::CartesianProduct), Severity::Allow);
+        assert_eq!(config.severity_of(DiagCode::DuplicateRule), Severity::Warn);
+        let deny = SeverityConfig::deny_all();
+        for code in DiagCode::ALL {
+            assert_eq!(deny.severity_of(*code), Severity::Deny);
+        }
+    }
+
+    #[test]
+    fn render_includes_code_rule_and_suggestion() {
+        let d = Diagnostic::new(DiagCode::CartesianProduct, "2 unconnected atom groups")
+            .with_rule(3, "q(x, y) :- a(x), b(y).", Some("MATCH #1"))
+            .with_suggestion("share a variable between the groups");
+        let r = d.render();
+        assert!(r.starts_with("warn[RAQ003]: 2 unconnected atom groups"), "{r}");
+        assert!(r.contains("rule #3 `q(x, y) :- a(x), b(y).` (from MATCH #1)"), "{r}");
+        assert!(r.contains("help: share a variable"), "{r}");
+    }
+
+    #[test]
+    fn machine_rendering_is_escaped_json() {
+        let d = Diagnostic::new(DiagCode::NeverFiringRule, "x = \"a\" and x = \"b\"")
+            .with_relation("q")
+            .with_suggestion("drop the rule");
+        let m = d.machine();
+        assert!(m.starts_with('{') && m.ends_with('}'), "{m}");
+        assert!(m.contains("\"code\":\"RAQ002\""), "{m}");
+        assert!(m.contains("\\\"a\\\""), "{m}");
+        assert!(m.contains("\"relation\":\"q\""), "{m}");
+    }
+
+    #[test]
+    fn into_error_carries_the_code() {
+        let e = Diagnostic::new(DiagCode::ArityMismatch, "atom `edge` has arity 3").into_error();
+        assert_eq!(e.to_string(), "semantic error: RAQ101: atom `edge` has arity 3");
+    }
+
+    #[test]
+    fn severity_resolution_against_config() {
+        let config = SeverityConfig::new().set(DiagCode::CartesianProduct, Severity::Deny);
+        let d = Diagnostic::new(DiagCode::CartesianProduct, "x").with_severity(&config);
+        assert!(d.is_deny());
+    }
+}

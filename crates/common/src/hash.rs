@@ -46,6 +46,8 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // Invariant: `chunks_exact(8)` only yields 8-byte slices.
+            #[allow(clippy::expect_used)]
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();

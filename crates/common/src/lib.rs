@@ -21,14 +21,22 @@
 //! * [`hash`] — the fast multiply-xor hasher used on the storage hot paths;
 //! * [`symbol`] — a string interner so relation/variable names compare by id;
 //! * [`rng`] — a tiny deterministic PRNG for data generators and tests;
+//! * [`diag`] — coded diagnostics ([`diag::Diagnostic`], `RAQxxx` codes,
+//!   allow/warn/deny severities) shared by DLIR validation and the
+//!   `raqcheck` analyzer;
 //! * [`error`] — the common error type.
 //!
 //! The crate is dependency-free on purpose so every layer of the compiler can
 //! use it without pulling anything external into the build.
 
 #![deny(missing_docs)]
+// Robustness: non-test code must not unwrap/expect its way into a panic on a
+// reachable path — every justified exception carries an `#[allow]` with its
+// invariant spelled out. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cell;
+pub mod diag;
 pub mod error;
 pub mod guard;
 pub mod hash;
@@ -43,6 +51,7 @@ pub mod types;
 pub mod value;
 
 pub use cell::{Cell, ValueDict};
+pub use diag::{DiagCode, Diagnostic, Severity, SeverityConfig};
 pub use error::{RaqletError, Result};
 pub use guard::{CancellationToken, CheckPoint, InjectedFault, QueryGuard};
 pub use relation::{Database, Relation, Tuple};

@@ -972,6 +972,9 @@ impl Relation {
     /// matching tuples for `key`, decoded.
     pub fn probe(&mut self, columns: &[usize], key: &[Value]) -> Vec<Tuple> {
         self.ensure_index(columns);
+        // Invariant: `ensure_index` just created (or found) the index, so the
+        // probe cannot miss.
+        #[allow(clippy::expect_used)]
         self.probe_index(columns, key).expect("index exists after ensure_index").collect()
     }
 

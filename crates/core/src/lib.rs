@@ -31,7 +31,8 @@
 use std::collections::HashMap;
 
 pub use raqlet_analysis::{
-    analyze, check_backend, AnalysisReport, BackendCapabilities, Linearity, Monotonicity,
+    analyze, check_backend, AnalysisReport, BackendCapabilities, DiagCode, Diagnostic, EdbStats,
+    Linearity, Monotonicity, RaqCheck, Severity, SeverityConfig,
 };
 pub use raqlet_common::{
     CancellationToken, Database, EvalStats, QueryGuard, RaqletError, Relation, Result, Value,
@@ -218,6 +219,20 @@ impl CompiledQuery {
     /// Check the compiled query against a backend's capabilities.
     pub fn check_backend(&self, caps: &BackendCapabilities) -> Result<AnalysisReport> {
         raqlet_analysis::check_backend(self.dlir(), caps)
+    }
+
+    /// Run the `raqcheck` static analyzer over the unoptimized program with
+    /// default severities. Lints run on the *unoptimized* DLIR so findings
+    /// map back to the query as written, before optimizer rewrites mask or
+    /// remove the offending rules. See `docs/diagnostics.md`.
+    pub fn check(&self) -> Vec<Diagnostic> {
+        RaqCheck::new().check(&self.unoptimized)
+    }
+
+    /// [`CompiledQuery::check`] with a caller-configured analyzer (custom
+    /// severities and/or EDB statistics for the advisory plan lints).
+    pub fn check_with(&self, checker: &RaqCheck) -> Vec<Diagnostic> {
+        checker.check(&self.unoptimized)
     }
 
     /// Execute on the bundled Datalog engine (the Soufflé stand-in).

@@ -91,6 +91,10 @@ impl DepGraph {
 
                 let deps: Vec<String> =
                     self.graph.dependencies_of(v).iter().map(|(d, _)| d.clone()).collect();
+                // Invariant: `v` got index/lowlink entries at the top of this
+                // call, and `w` gets them inside `strongconnect` (first arm)
+                // or already has an index (second arm's guard).
+                #[allow(clippy::unwrap_used)]
                 for w in deps {
                     if !self.indices.contains_key(&w) {
                         self.strongconnect(&w);

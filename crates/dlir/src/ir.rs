@@ -357,7 +357,11 @@ pub enum LatticeMerge {
 }
 
 /// A DLIR rule: `head :- body.` plus optional aggregation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores [`Rule::provenance`]: two rules lowered from
+/// different surface constructs are still the same rule, so optimizer passes
+/// (duplicate elimination, inlining) treat them identically.
+#[derive(Debug, Clone)]
 pub struct Rule {
     /// Head atom (an IDB).
     pub head: Atom,
@@ -365,12 +369,28 @@ pub struct Rule {
     pub body: Vec<BodyElem>,
     /// Optional aggregation applied to the body's bindings.
     pub aggregation: Option<Aggregation>,
+    /// The surface construct this rule was lowered from (e.g. `MATCH #1`,
+    /// `UNWIND`, `RETURN`), when the frontend recorded it. Used by
+    /// diagnostics to name the user's clause instead of a rule index.
+    pub provenance: Option<String>,
+}
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.body == other.body && self.aggregation == other.aggregation
+    }
 }
 
 impl Rule {
     /// A rule with no aggregation.
     pub fn new(head: Atom, body: Vec<BodyElem>) -> Self {
-        Rule { head, body, aggregation: None }
+        Rule { head, body, aggregation: None, provenance: None }
+    }
+
+    /// Attach surface provenance (builder style).
+    pub fn with_provenance(mut self, provenance: impl Into<String>) -> Self {
+        self.provenance = Some(provenance.into());
+        self
     }
 
     /// Names of relations referenced positively in the body.

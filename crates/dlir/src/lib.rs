@@ -14,6 +14,11 @@
 //!   recursive cycle);
 //! * [`mod@validate`] — safety (range restriction) and arity validation.
 
+// Robustness: non-test code must not unwrap/expect its way into a panic on a
+// reachable path — every justified exception carries an `#[allow]` with its
+// invariant spelled out. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod depgraph;
 pub mod ir;
 pub mod lower;
@@ -26,4 +31,4 @@ pub use ir::*;
 pub use lower::{lower_pgir, lower_pgir_with_schema, LoweredQuery};
 pub use schema_gen::{edge_label_to_snake, generate_dl_schema};
 pub use stratify::{stratify, Stratification};
-pub use validate::validate;
+pub use validate::{bound_with_equalities, check_program, validate};

@@ -141,21 +141,44 @@ impl<'a> Lowerer<'a> {
     fn run(mut self, query: &PgirQuery) -> Result<LoweredQuery> {
         let mut output_columns = Vec::new();
         let mut saw_return = false;
+        let mut clause_counts: HashMap<&'static str, usize> = HashMap::new();
         for clause in &query.clauses {
-            match clause {
-                PgirClause::Match(m) => self.lower_match(m)?,
-                PgirClause::Unwind(u) => self.lower_unwind(u)?,
-                PgirClause::Where(w) => self.lower_where(&w.predicate)?,
+            // Stamp every rule a clause produces with the surface construct
+            // it came from, so diagnostics can name the user's clause.
+            let rules_before = self.program.rules.len();
+            let kind = match clause {
+                PgirClause::Match(m) => {
+                    self.lower_match(m)?;
+                    "MATCH"
+                }
+                PgirClause::Unwind(u) => {
+                    self.lower_unwind(u)?;
+                    "UNWIND"
+                }
+                PgirClause::Where(w) => {
+                    self.lower_where(&w.predicate)?;
+                    "WHERE"
+                }
                 PgirClause::With(w) => {
                     let cols = self.lower_projection(&w.items, false)?;
                     if let Some(having) = &w.having {
                         self.lower_where(having)?;
                     }
                     let _ = cols;
+                    "WITH"
                 }
                 PgirClause::Return(r) => {
                     output_columns = self.lower_projection(&r.items, true)?;
                     saw_return = true;
+                    "RETURN"
+                }
+            };
+            let n = clause_counts.entry(kind).or_insert(0);
+            *n += 1;
+            let label = format!("{kind} #{n}");
+            for rule in &mut self.program.rules[rules_before..] {
+                if rule.provenance.is_none() {
+                    rule.provenance = Some(label.clone());
                 }
             }
         }
@@ -525,8 +548,11 @@ impl<'a> Lowerer<'a> {
             }
             // Recursive rules: extend by one hop (length + 1, bounded by
             // max_hops when given, which also guarantees termination under
-            // plain set semantics).
-            for atom in edbs.hop_atoms("m", "d") {
+            // plain set semantics). With `max_hops == 1` the extension can
+            // never fire (the `l0 < 1` guard excludes every base row, and a
+            // zero-hop row only extends to rows the base already produces),
+            // so skip it rather than emit a dead rule.
+            for atom in if max_hops == Some(1) { vec![] } else { edbs.hop_atoms("m", "d") } {
                 let rec_terms = if with_length {
                     vec![Term::var("s"), Term::var("m"), Term::var("l0")]
                 } else {
@@ -775,7 +801,9 @@ impl<'a> Lowerer<'a> {
             prev_label = node_label;
         }
 
-        // l = l1 + l2 + ... summed left to right.
+        // l = l1 + l2 + ... summed left to right. Invariant: the chain has at
+        // least one step, so the reduce cannot be empty.
+        #[allow(clippy::expect_used)]
         let total = len_vars
             .iter()
             .map(|v| DlExpr::var(v))

@@ -72,7 +72,7 @@ pub fn stratify(program: &DlirProgram) -> Result<Stratification> {
                 || dep == rule.head.relation
             {
                 return Err(RaqletError::semantic(format!(
-                    "program is not stratifiable: `{}` depends on `{}` through negation inside a cycle",
+                    "RAQ106: program is not stratifiable: `{}` depends on `{}` through negation inside a cycle",
                     rule.head.relation, dep
                 )));
             }
@@ -83,7 +83,7 @@ pub fn stratify(program: &DlirProgram) -> Result<Stratification> {
                 let cyclic = sccs[head_scc].len() > 1 || dep == rule.head.relation;
                 if same_scc && cyclic {
                     return Err(RaqletError::semantic(format!(
-                        "program is not stratifiable: `{}` aggregates over `{}` inside a cycle",
+                        "RAQ107: program is not stratifiable: `{}` aggregates over `{}` inside a cycle",
                         rule.head.relation, dep
                     )));
                 }

@@ -1,9 +1,15 @@
 //! DLIR program validation: safety (range restriction), arity checks, and
 //! output sanity. Run before analysis, optimization and execution.
+//!
+//! Findings are produced as coded [`Diagnostic`]s (`RAQ101`–`RAQ105`) so the
+//! `raqcheck` analyzer can merge them with its lint suite; [`validate`] keeps
+//! the classic hard-error interface by raising the first deny-severity
+//! diagnostic as a [`raqlet_common::RaqletError::Semantic`].
 
 use std::collections::BTreeSet;
 
-use raqlet_common::{RaqletError, Result};
+use raqlet_common::diag::{DiagCode, Diagnostic};
+use raqlet_common::Result;
 
 use crate::ir::{BodyElem, DlExpr, DlirProgram, Rule, Term};
 
@@ -15,61 +21,80 @@ use crate::ir::{BodyElem, DlExpr, DlirProgram, Rule, Term};
 ///    negated atom, or on either side of a constraint is bound by a positive
 ///    body atom or by an equality with a bound expression.
 /// 3. **Outputs**: every `.output` relation is derived by at least one rule.
+///
+/// The first deny-severity finding is returned as a semantic error; use
+/// [`check_program`] to collect every finding as a structured diagnostic.
 pub fn validate(program: &DlirProgram) -> Result<()> {
-    for rule in &program.rules {
-        validate_arities(program, rule)?;
-        validate_safety(rule)?;
+    for diag in check_program(program) {
+        if diag.is_deny() {
+            return Err(diag.into_error());
+        }
+    }
+    Ok(())
+}
+
+/// Run every validation check and return all findings as coded diagnostics
+/// (at their default severities) instead of stopping at the first error.
+pub fn check_program(program: &DlirProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (index, rule) in program.rules.iter().enumerate() {
+        check_arities(program, rule, index, &mut diags);
+        check_safety(rule, index, &mut diags);
     }
     for output in &program.outputs {
         if !program.is_idb(output) && program.schema.get(output).is_none() {
-            return Err(RaqletError::semantic(format!(
-                "output relation `{output}` is never defined"
-            )));
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::UndefinedOutput,
+                    format!("output relation `{output}` is never defined"),
+                )
+                .with_relation(output.clone())
+                .with_suggestion("add a rule deriving it or declare it in the schema"),
+            );
         }
     }
-    Ok(())
+    diags
 }
 
-fn validate_arities(program: &DlirProgram, rule: &Rule) -> Result<()> {
-    let check = |relation: &str, arity: usize| -> Result<()> {
+/// Attach rule provenance (index, rendering, surface construct) to a
+/// diagnostic in one place so every check reports rules uniformly.
+fn at_rule(diag: Diagnostic, rule: &Rule, index: usize) -> Diagnostic {
+    diag.with_relation(rule.head.relation.clone()).with_rule(
+        index,
+        rule.to_string(),
+        rule.provenance.as_deref(),
+    )
+}
+
+fn check_arities(program: &DlirProgram, rule: &Rule, index: usize, diags: &mut Vec<Diagnostic>) {
+    let mut check = |relation: &str, arity: usize| {
         if let Some(decl) = program.schema.get(relation) {
             if decl.arity() != arity {
-                return Err(RaqletError::semantic(format!(
-                    "atom `{relation}` has arity {arity} but the schema declares arity {}",
-                    decl.arity()
-                )));
+                diags.push(at_rule(
+                    Diagnostic::new(
+                        DiagCode::ArityMismatch,
+                        format!(
+                            "atom `{relation}` has arity {arity} but the schema declares arity {}",
+                            decl.arity()
+                        ),
+                    ),
+                    rule,
+                    index,
+                ));
             }
         }
-        Ok(())
     };
-    check(&rule.head.relation, rule.head.arity())?;
+    check(&rule.head.relation, rule.head.arity());
     for elem in &rule.body {
         if let Some(atom) = elem.as_any_atom() {
-            check(&atom.relation, atom.arity())?;
+            check(&atom.relation, atom.arity());
         }
     }
-    Ok(())
 }
 
-fn validate_safety(rule: &Rule) -> Result<()> {
+fn check_safety(rule: &Rule, index: usize, diags: &mut Vec<Diagnostic>) {
     // Variables bound by positive atoms.
-    let mut bound: BTreeSet<String> = rule.bound_variables();
-
-    // Equality constraints can bind a fresh variable from an expression whose
-    // variables are already bound (e.g. `l = l0 + 1`, `p = cityId`). Iterate
-    // until no new variables become bound.
-    loop {
-        let mut changed = false;
-        for elem in &rule.body {
-            if let BodyElem::Constraint { op: crate::ir::CmpOp::Eq, lhs, rhs } = elem {
-                changed |= try_bind(&mut bound, lhs, rhs);
-                changed |= try_bind(&mut bound, rhs, lhs);
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    let bound = bound_with_equalities(rule);
 
     // Head variables must be bound (unless the head is produced by an
     // aggregation output variable).
@@ -80,9 +105,16 @@ fn validate_safety(rule: &Rule) -> Result<()> {
                 continue;
             }
             if !bound.contains(v) {
-                return Err(RaqletError::semantic(format!(
-                    "unsafe rule `{rule}`: head variable `{v}` is not bound by a positive body atom"
-                )));
+                diags.push(at_rule(
+                    Diagnostic::new(
+                        DiagCode::UnboundHeadVariable,
+                        format!(
+                            "unsafe rule `{rule}`: head variable `{v}` is not bound by a positive body atom"
+                        ),
+                    ),
+                    rule,
+                    index,
+                ));
             }
         }
     }
@@ -93,9 +125,19 @@ fn validate_safety(rule: &Rule) -> Result<()> {
             for term in &atom.terms {
                 if let Term::Var(v) = term {
                     if !bound.contains(v) {
-                        return Err(RaqletError::semantic(format!(
-                            "unsafe rule `{rule}`: variable `{v}` in negated atom `{atom}` is unbound"
-                        )));
+                        diags.push(at_rule(
+                            Diagnostic::new(
+                                DiagCode::UnboundUnderNegation,
+                                format!(
+                                    "unsafe rule `{rule}`: variable `{v}` in negated atom `{atom}` is unbound"
+                                ),
+                            )
+                            .with_suggestion(
+                                "bind the variable with a positive atom or use a wildcard `_`",
+                            ),
+                            rule,
+                            index,
+                        ));
                     }
                 }
             }
@@ -113,9 +155,16 @@ fn validate_safety(rule: &Rule) -> Result<()> {
                 side.variables(&mut vars);
                 for v in vars {
                     if !bound.contains(&v) {
-                        return Err(RaqletError::semantic(format!(
-                            "unsafe rule `{rule}`: variable `{v}` in constraint is unbound"
-                        )));
+                        diags.push(at_rule(
+                            Diagnostic::new(
+                                DiagCode::UnboundConstraintVariable,
+                                format!(
+                                    "unsafe rule `{rule}`: variable `{v}` in constraint is unbound"
+                                ),
+                            ),
+                            rule,
+                            index,
+                        ));
                     }
                 }
             }
@@ -126,13 +175,38 @@ fn validate_safety(rule: &Rule) -> Result<()> {
     if let Some(agg) = &rule.aggregation {
         if let Some(input) = &agg.input_var {
             if !bound.contains(input) {
-                return Err(RaqletError::semantic(format!(
-                    "unsafe rule `{rule}`: aggregate input `{input}` is unbound"
-                )));
+                diags.push(at_rule(
+                    Diagnostic::new(
+                        DiagCode::UnboundAggregateInput,
+                        format!("unsafe rule `{rule}`: aggregate input `{input}` is unbound"),
+                    ),
+                    rule,
+                    index,
+                ));
             }
         }
     }
-    Ok(())
+}
+
+/// Variables bound by positive atoms, closed under equality-constraint
+/// propagation: an equality can bind a fresh variable from an expression whose
+/// variables are already bound (e.g. `l = l0 + 1`, `p = cityId`). Shared with
+/// the analyzer's lint suite.
+pub fn bound_with_equalities(rule: &Rule) -> BTreeSet<String> {
+    let mut bound: BTreeSet<String> = rule.bound_variables();
+    loop {
+        let mut changed = false;
+        for elem in &rule.body {
+            if let BodyElem::Constraint { op: crate::ir::CmpOp::Eq, lhs, rhs } = elem {
+                changed |= try_bind(&mut bound, lhs, rhs);
+                changed |= try_bind(&mut bound, rhs, lhs);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    bound
 }
 
 /// If `target` is a single unbound variable and every variable of `source` is
@@ -156,6 +230,7 @@ fn try_bind(bound: &mut BTreeSet<String>, target: &DlExpr, source: &DlExpr) -> b
 mod tests {
     use super::*;
     use crate::ir::{Atom, CmpOp, DlirProgram, Term};
+    use raqlet_common::diag::Severity;
     use raqlet_common::schema::{Column, DlSchema, RelationDecl, RelationKind};
     use raqlet_common::ValueType;
 
@@ -186,6 +261,7 @@ mod tests {
         ));
         p.add_output("tc");
         assert!(validate(&p).is_ok());
+        assert!(check_program(&p).is_empty());
     }
 
     #[test]
@@ -197,6 +273,11 @@ mod tests {
         ));
         let err = validate(&p).unwrap_err();
         assert!(err.to_string().contains("arity"));
+        assert!(err.to_string().contains("RAQ101"));
+        let diags = check_program(&p);
+        assert_eq!(diags[0].code, DiagCode::ArityMismatch);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert_eq!(diags[0].rule_index, Some(0));
     }
 
     #[test]
@@ -208,6 +289,7 @@ mod tests {
         ));
         let err = validate(&p).unwrap_err();
         assert!(err.to_string().contains("`w`"));
+        assert_eq!(check_program(&p)[0].code, DiagCode::UnboundHeadVariable);
     }
 
     #[test]
@@ -243,6 +325,7 @@ mod tests {
             ],
         ));
         assert!(validate(&p).is_err());
+        assert_eq!(check_program(&p)[0].code, DiagCode::UnboundUnderNegation);
     }
 
     #[test]
@@ -269,6 +352,7 @@ mod tests {
             ],
         ));
         assert!(validate(&p).is_err());
+        assert_eq!(check_program(&p)[0].code, DiagCode::UnboundConstraintVariable);
     }
 
     #[test]
@@ -276,6 +360,9 @@ mod tests {
         let mut p = DlirProgram::new(edge_schema());
         p.add_output("missing");
         assert!(validate(&p).is_err());
+        let diags = check_program(&p);
+        assert_eq!(diags[0].code, DiagCode::UndefinedOutput);
+        assert_eq!(diags[0].relation.as_deref(), Some("missing"));
     }
 
     #[test]
@@ -302,5 +389,19 @@ mod tests {
         });
         p.add_rule(rule);
         assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn check_program_collects_multiple_findings() {
+        let mut p = DlirProgram::new(edge_schema());
+        p.add_rule(Rule::new(
+            Atom::with_vars("r", &["x", "w"]),
+            vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y", "z"]))],
+        ));
+        p.add_output("missing");
+        let codes: Vec<DiagCode> = check_program(&p).into_iter().map(|d| d.code).collect();
+        assert!(codes.contains(&DiagCode::ArityMismatch));
+        assert!(codes.contains(&DiagCode::UnboundHeadVariable));
+        assert!(codes.contains(&DiagCode::UndefinedOutput));
     }
 }

@@ -51,6 +51,11 @@
 //! assert!(!sql.program.idb_names().iter().any(|n| n.starts_with("Magic_")));
 //! ```
 
+// Robustness: non-test code must not unwrap/expect its way into a panic on a
+// reachable path — every justified exception carries an `#[allow]` with its
+// invariant spelled out. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod constprop;
 pub mod dead;
 pub mod inline;

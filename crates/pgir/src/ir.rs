@@ -233,6 +233,9 @@ pub struct ChainPat {
 impl ChainPat {
     /// The final target node pattern (the last step's node).
     pub fn dst(&self) -> &NodePat {
+        // Invariant: lowering only builds `ChainPat`s with >= 2 steps (a
+        // single-step chain stays a plain `PathPat`).
+        #[allow(clippy::expect_used)]
         &self.steps.last().expect("chain patterns have at least one step").node
     }
 }

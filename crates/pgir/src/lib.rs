@@ -10,6 +10,11 @@
 //! sequence of clause constructs (`MATCH`, `WHERE`, `WITH`, `RETURN`) whose
 //! contents are fully normalised (see [`ir`] and [`lower`]).
 
+// Robustness: non-test code must not unwrap/expect its way into a panic on a
+// reachable path — every justified exception carries an `#[allow]` with its
+// invariant spelled out. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ir;
 pub mod lower;
 

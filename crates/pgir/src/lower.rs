@@ -186,11 +186,12 @@ impl<'a> Lowerer<'a> {
                 Some(len) => (len.min_hops(), len.max),
                 None => (1, Some(1)),
             };
-            if matches!(max_hops, Some(max) if min_hops > max) {
-                return Err(RaqletError::semantic(format!(
-                    "variable-length bounds `*{min_hops}..{}` can never match",
-                    max_hops.unwrap()
-                )));
+            if let Some(max) = max_hops {
+                if min_hops > max {
+                    return Err(RaqletError::semantic(format!(
+                        "variable-length bounds `*{min_hops}..{max}` can never match"
+                    )));
+                }
             }
             if min_hops > 1 {
                 return Err(RaqletError::semantic(
@@ -288,11 +289,12 @@ impl<'a> Lowerer<'a> {
             Some(len) => (len.min_hops(), len.max),
             None => (1, None),
         };
-        if matches!(max_hops, Some(max) if min_hops > max) {
-            return Err(RaqletError::semantic(format!(
-                "variable-length bounds `*{min_hops}..{}` can never match",
-                max_hops.unwrap()
-            )));
+        if let Some(max) = max_hops {
+            if min_hops > max {
+                return Err(RaqletError::semantic(format!(
+                    "variable-length bounds `*{min_hops}..{max}` can never match"
+                )));
+            }
         }
         let semantics = match shortest {
             Some(cy::ShortestKind::Single) => PathSemantics::Shortest,

@@ -182,6 +182,9 @@ impl<'a> Lowering<'a> {
                     });
                     // The bound references the *projected* length; rewrite it
                     // to the underlying expression instead of an alias.
+                    // Invariant: a conjunct was pushed just above, so
+                    // `last_mut` cannot be empty.
+                    #[allow(clippy::unwrap_used)]
                     if let Some(item) = branch.items.get(col) {
                         let expr = item.expr.clone();
                         let last = branch.where_conjuncts.last_mut().unwrap();

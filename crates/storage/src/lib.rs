@@ -3,11 +3,11 @@
 //!
 //! The paper's storage layer is deliberately "a serialization format in all
 //! but name": relations are packed `u64` cell arenas over an append-only
-//! value dictionary. This crate exploits that — a [snapshot](crate::snapshot)
-//! is the arenas and dictionary tables dumped verbatim with per-section
-//! CRC-32 checksums, and loading one rebuilds the database without
-//! re-encoding a single value. Between snapshots, every
-//! [`EdbDelta`] batch is appended to a [WAL](crate::wal) as a
+//! value dictionary. This crate exploits that — a snapshot (the `snapshot`
+//! module) is the arenas and dictionary tables dumped verbatim with
+//! per-section CRC-32 checksums, and loading one rebuilds the database
+//! without re-encoding a single value. Between snapshots, every
+//! [`EdbDelta`] batch is appended to a WAL (the `wal` module) as a
 //! length-prefixed, checksummed, fsync'd frame stamped with the epoch it
 //! produces.
 //!

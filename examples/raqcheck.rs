@@ -1,0 +1,134 @@
+//! `raqcheck` as a lint binary: run the static analyzer over the full LDBC
+//! SNB query corpus plus the queries the other examples compile, and report
+//! every diagnostic.
+//!
+//! ```sh
+//! cargo run --example raqcheck               # lint at default severities
+//! cargo run --example raqcheck -- --deny-all # escalate every lint to deny
+//! cargo run --example raqcheck -- --machine  # one JSON object per finding
+//! cargo run --example raqcheck -- --list-codes
+//! ```
+//!
+//! The process exits nonzero if any deny-level diagnostic is produced — CI
+//! runs this with `--deny-all` to pin "the corpus and the examples lint
+//! clean". EDB statistics are collected from a small generated SNB database
+//! so the advisory plan lints (RAQ008) see real row counts.
+
+use std::process::ExitCode;
+
+use raqlet::{
+    CompileOptions, DiagCode, Diagnostic, EdbStats, OptLevel, RaqCheck, Raqlet, SeverityConfig,
+    Value,
+};
+use raqlet_ldbc::{generate, to_database, GeneratorConfig, ALL_QUERIES, SNB_PG_SCHEMA};
+
+/// Queries compiled by the other examples, linted here so "the examples lint
+/// clean" is enforceable in one place. Each entry is (name, schema, query).
+const EXAMPLE_QUERIES: &[(&str, &str, &str)] = &[
+    (
+        "quickstart",
+        "CREATE GRAPH {
+            (personType : Person { id INT, firstName STRING, locationIP STRING }),
+            (cityType : City { id INT, name STRING }),
+            (:personType)-[locationType: isLocatedIn { id INT }]->(:cityType)
+        }",
+        "MATCH (n:Person {id:42})-[:IS_LOCATED_IN]->(p:City)
+         RETURN DISTINCT n.firstName AS firstName, p.id AS cityId",
+    ),
+    (
+        "program_analysis",
+        "CREATE GRAPH {
+            (fnType : Function { id INT, name STRING }),
+            (:fnType)-[callType: calls { id INT }]->(:fnType)
+        }",
+        "MATCH (m:Function {id: 1})-[:CALLS*]->(f:Function)
+         RETURN DISTINCT f.name AS function",
+    ),
+];
+
+fn corpus_options() -> CompileOptions {
+    CompileOptions::new(OptLevel::Full)
+        .with_param("personId", Value::Int(1001))
+        .with_param("otherId", Value::Int(1008))
+        .with_param("maxDate", Value::Int(20_200_101))
+        .with_param("firstName", Value::str("Alice"))
+}
+
+fn print_finding(diag: &Diagnostic, machine: bool) {
+    if machine {
+        println!("{}", diag.machine());
+    } else {
+        for line in diag.render().lines() {
+            println!("    {line}");
+        }
+    }
+}
+
+fn main() -> raqlet::Result<ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-codes") {
+        for code in DiagCode::ALL {
+            println!("{}\t{}\t{}", code.as_str(), code.default_severity(), code.summary());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let machine = args.iter().any(|a| a == "--machine");
+    let deny_all = args.iter().any(|a| a == "--deny-all");
+
+    let config = if deny_all { SeverityConfig::deny_all() } else { SeverityConfig::new() };
+
+    // Stats from a small deterministic SNB database: the advisory plan
+    // lints see the row counts a real execution would.
+    let network = generate(&GeneratorConfig { scale: 0.25, seed: 42 });
+    let stats = EdbStats::collect(&to_database(&network));
+    let checker = RaqCheck::with_config(config.clone()).with_stats(stats);
+
+    let mut findings = 0usize;
+    let mut denies = 0usize;
+    let mut lint = |name: &str, diags: Vec<Diagnostic>| {
+        if diags.is_empty() {
+            if !machine {
+                println!("  {name}: clean");
+            }
+            return;
+        }
+        if !machine {
+            println!("  {name}: {} finding(s)", diags.len());
+        }
+        for diag in &diags {
+            print_finding(diag, machine);
+        }
+        findings += diags.len();
+        denies += diags.iter().filter(|d| d.is_deny()).count();
+    };
+
+    if !machine {
+        println!("== raqcheck: LDBC SNB corpus ({} queries) ==", ALL_QUERIES.len());
+    }
+    let raqlet = Raqlet::from_pg_schema(SNB_PG_SCHEMA)?;
+    let options = corpus_options();
+    for q in ALL_QUERIES {
+        let compiled = raqlet.compile(q.cypher, &options)?;
+        lint(q.name, compiled.check_with(&checker));
+    }
+
+    if !machine {
+        println!("== raqcheck: example queries ({}) ==", EXAMPLE_QUERIES.len());
+    }
+    for (name, schema, query) in EXAMPLE_QUERIES {
+        let raqlet = Raqlet::from_pg_schema(schema)?;
+        let compiled = raqlet.compile(query, &CompileOptions::new(OptLevel::Full))?;
+        // No stats for the toy schemas — structural lints only.
+        lint(name, compiled.check_with(&RaqCheck::with_config(config.clone())));
+    }
+
+    if !machine {
+        println!(
+            "== {} finding(s), {} deny-level, across {} queries ==",
+            findings,
+            denies,
+            ALL_QUERIES.len() + EXAMPLE_QUERIES.len()
+        );
+    }
+    Ok(if denies > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}

@@ -1,0 +1,573 @@
+//! Golden diagnostics for the `raqcheck` static analyzer.
+//!
+//! Each RAQ0xx lint and RAQ1xx hard check gets a minimal trigger program
+//! that pins its code, severity, and message text, so a change to any
+//! diagnostic's surface is a deliberate edit to this file. On top of the
+//! goldens, the LDBC SNB corpus and the example queries are asserted clean
+//! with every lint escalated to deny, and the advisory plan lints are
+//! exercised against statistics collected from a live generated database.
+
+use raqlet::{
+    CompileOptions, DiagCode, Diagnostic, EdbStats, OptLevel, RaqCheck, Raqlet, Severity,
+    SeverityConfig, Value,
+};
+use raqlet_common::schema::{Column, DlSchema, RelationDecl, RelationKind};
+use raqlet_common::ValueType;
+use raqlet_dlir::ir::{Atom, BodyElem, DlExpr, DlirProgram, Rule, Term};
+use raqlet_ldbc::{generate, to_database, GeneratorConfig, ALL_QUERIES, SNB_PG_SCHEMA};
+
+/// A tiny EDB schema shared by every golden trigger program.
+fn schema() -> DlSchema {
+    let mut s = DlSchema::new();
+    s.add(RelationDecl::new(
+        "edge",
+        vec![Column::new("src", ValueType::Int), Column::new("dst", ValueType::Int)],
+        RelationKind::BaseTable,
+    ))
+    .unwrap();
+    let mut person = RelationDecl::new(
+        "person",
+        vec![Column::new("id", ValueType::Int), Column::new("name", ValueType::Text)],
+        RelationKind::NodeEdb,
+    );
+    person.key = vec![0];
+    s.add(person).unwrap();
+    s
+}
+
+/// Run the default checker over a hand-built program.
+fn check(program: &DlirProgram) -> Vec<Diagnostic> {
+    RaqCheck::new().check(program)
+}
+
+/// The single diagnostic with `code`, asserting it is present exactly once.
+fn only(diags: &[Diagnostic], code: DiagCode) -> Diagnostic {
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == code).collect();
+    assert_eq!(hits.len(), 1, "expected exactly one {code}, got {diags:?}");
+    hits[0].clone()
+}
+
+// ---------------------------------------------------------------------------
+// RAQ001..RAQ008 — lint goldens
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_raq001_unused_relation() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("out", &["x"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+    ));
+    p.add_rule(Rule::new(
+        Atom::with_vars("orphan", &["x"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+    ));
+    p.add_output("out");
+    let d = only(&check(&p), DiagCode::UnusedRelation);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.relation.as_deref(), Some("orphan"));
+    assert_eq!(
+        d.message,
+        "relation `orphan` is derived by 1 rule(s) but is unreachable from every output"
+    );
+}
+
+#[test]
+fn golden_raq002_never_firing_rule() {
+    // q(x) :- edge(x, y), y < 0, y > 0.  (y is refined to bottom)
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x"]),
+        vec![
+            BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+            BodyElem::eq(DlExpr::var("y"), DlExpr::int(1)),
+            BodyElem::eq(DlExpr::var("y"), DlExpr::int(2)),
+        ],
+    ));
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::NeverFiringRule);
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.starts_with("rule can never fire: "), "{}", d.message);
+    assert_eq!(d.rule_index, Some(0));
+}
+
+#[test]
+fn golden_raq003_cartesian_product() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x", "a"]),
+        vec![
+            BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+            BodyElem::Atom(Atom::with_vars("person", &["a", "n"])),
+        ],
+    ));
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::CartesianProduct);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(
+        d.message,
+        "rule body joins 2 groups of atoms that share no variables (cartesian product)"
+    );
+    assert!(d.suggestion.is_some());
+}
+
+#[test]
+fn golden_raq004_unbound_under_negation_is_deny() {
+    // q(x) :- edge(x, _), !person(z, _).   z is unbound.
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x"]),
+        vec![
+            BodyElem::Atom(Atom::new("edge", vec![Term::var("x"), Term::Wildcard])),
+            BodyElem::Negated(Atom::new("person", vec![Term::var("z"), Term::Wildcard])),
+        ],
+    ));
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::UnboundUnderNegation);
+    assert_eq!(d.severity, Severity::Deny);
+    assert!(
+        d.message.contains("variable `z` in negated atom") && d.message.contains("is unbound"),
+        "{}",
+        d.message
+    );
+    assert_eq!(
+        d.suggestion.as_deref(),
+        Some("bind the variable with a positive atom or use a wildcard `_`")
+    );
+}
+
+#[test]
+fn golden_raq005_column_type_mismatch() {
+    // q(x) :- edge(x, _) derives Int; q("a") :- edge(_, _) derives Text.
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x"]),
+        vec![BodyElem::Atom(Atom::new("edge", vec![Term::var("x"), Term::Wildcard]))],
+    ));
+    p.add_rule(Rule::new(
+        Atom::new("q", vec![Term::Const(Value::str("a"))]),
+        vec![BodyElem::Atom(Atom::new("edge", vec![Term::Wildcard, Term::Wildcard]))],
+    ));
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::ColumnTypeMismatch);
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.starts_with("rules of `q` derive both "), "{}", d.message);
+}
+
+#[test]
+fn golden_raq006_duplicate_rule() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x", "y"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+    ));
+    // Alpha-equivalent duplicate under renamed variables.
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["a", "b"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["a", "b"]))],
+    ));
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::DuplicateRule);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.message, "rule duplicates rule #0 for `q` (identical up to variable renaming)");
+    assert_eq!(d.rule_index, Some(1));
+    assert_eq!(d.suggestion.as_deref(), Some("remove the duplicate rule"));
+}
+
+#[test]
+fn golden_raq007_unbound_output_head() {
+    // Transitive closure with no constant anywhere in the cone.
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("tc", &["x", "y"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+    ));
+    p.add_rule(Rule::new(
+        Atom::with_vars("tc", &["x", "y"]),
+        vec![
+            BodyElem::Atom(Atom::with_vars("tc", &["x", "z"])),
+            BodyElem::Atom(Atom::with_vars("edge", &["z", "y"])),
+        ],
+    ));
+    p.add_output("tc");
+    let d = only(&check(&p), DiagCode::UnboundOutputHead);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(
+        d.message,
+        "recursive derivation of output `tc` carries no constant: magic sets cannot specialize \
+         it and the full closure will be materialized"
+    );
+    assert_eq!(d.relation.as_deref(), Some("tc"));
+}
+
+#[test]
+fn golden_raq008_plan_unfiltered_first() {
+    use raqlet_analysis::RelationStats;
+    // q(n) :- person(p, n), edge(p, f), f = 7.  person large+unfiltered first.
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["n"]),
+        vec![
+            BodyElem::Atom(Atom::with_vars("person", &["p", "n"])),
+            BodyElem::Atom(Atom::with_vars("edge", &["p", "f"])),
+            BodyElem::eq(DlExpr::var("f"), DlExpr::int(7)),
+        ],
+    ));
+    p.add_output("q");
+    let mut stats = EdbStats::new();
+    stats.insert("person", RelationStats { rows: 100_000, distinct: vec![100_000, 40_000] });
+    stats.insert("edge", RelationStats { rows: 90_000, distinct: vec![50_000, 50_000] });
+    let diags = RaqCheck::new().with_stats(stats).check(&p);
+    let d = only(&diags, DiagCode::PlanUnfilteredFirst);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(
+        d.message,
+        "join order scans `person` (100000 rows) unfiltered first; starting from `edge` \
+         (90000 rows) would drive the join with less data"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// RAQ101..RAQ105 — hard-check goldens (deny by default)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_raq101_arity_mismatch() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["x"]))],
+    ));
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::ArityMismatch);
+    assert_eq!(d.severity, Severity::Deny);
+    assert_eq!(d.message, "atom `edge` has arity 1 but the schema declares arity 2");
+}
+
+#[test]
+fn golden_raq102_unbound_head_variable() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["w"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+    ));
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::UnboundHeadVariable);
+    assert_eq!(d.severity, Severity::Deny);
+    assert!(
+        d.message.contains("head variable `w` is not bound by a positive body atom"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn golden_raq103_unbound_constraint_variable() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x"]),
+        vec![
+            BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+            BodyElem::Constraint {
+                op: raqlet_dlir::ir::CmpOp::Lt,
+                lhs: DlExpr::var("zzz"),
+                rhs: DlExpr::int(10),
+            },
+        ],
+    ));
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::UnboundConstraintVariable);
+    assert_eq!(d.severity, Severity::Deny);
+    assert!(d.message.contains("variable `zzz` in constraint is unbound"), "{}", d.message);
+}
+
+#[test]
+fn golden_raq104_unbound_aggregate_input() {
+    use raqlet_dlir::ir::{AggFunc, Aggregation};
+    let mut p = DlirProgram::new(schema());
+    let mut rule = Rule::new(
+        Atom::with_vars("q", &["g", "c"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["g", "y"]))],
+    );
+    rule.aggregation = Some(Aggregation {
+        func: AggFunc::Sum,
+        input_var: Some("zz".into()),
+        output_var: "c".into(),
+        group_by: vec!["g".into()],
+        distinct: false,
+    });
+    p.add_rule(rule);
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::UnboundAggregateInput);
+    assert_eq!(d.severity, Severity::Deny);
+    assert!(d.message.contains("aggregate input `zz` is unbound"), "{}", d.message);
+}
+
+#[test]
+fn golden_raq105_undefined_output() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x"]),
+        vec![BodyElem::Atom(Atom::with_vars("edge", &["x", "y"]))],
+    ));
+    p.add_output("nowhere");
+    let d = only(&check(&p), DiagCode::UndefinedOutput);
+    assert_eq!(d.severity, Severity::Deny);
+    assert_eq!(d.message, "output relation `nowhere` is never defined");
+}
+
+// ---------------------------------------------------------------------------
+// Severity configuration and rendering
+// ---------------------------------------------------------------------------
+
+#[test]
+fn severity_overrides_escalate_and_suppress() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x", "a"]),
+        vec![
+            BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+            BodyElem::Atom(Atom::with_vars("person", &["a", "n"])),
+        ],
+    ));
+    p.add_output("q");
+
+    // Escalate RAQ003 to deny.
+    let deny = SeverityConfig::new().set(DiagCode::CartesianProduct, Severity::Deny);
+    let checker = RaqCheck::with_config(deny);
+    let diags = checker.check(&p);
+    assert_eq!(only(&diags, DiagCode::CartesianProduct).severity, Severity::Deny);
+    assert!(checker.has_deny(&p));
+
+    // Suppress RAQ003 entirely.
+    let allow = SeverityConfig::new().set(DiagCode::CartesianProduct, Severity::Allow);
+    let diags = RaqCheck::with_config(allow).check(&p);
+    assert!(!diags.iter().any(|d| d.code == DiagCode::CartesianProduct), "{diags:?}");
+}
+
+#[test]
+fn rendering_is_stable_for_humans_and_machines() {
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(
+        Rule::new(
+            Atom::with_vars("q", &["x", "a"]),
+            vec![
+                BodyElem::Atom(Atom::with_vars("edge", &["x", "y"])),
+                BodyElem::Atom(Atom::with_vars("person", &["a", "n"])),
+            ],
+        )
+        .with_provenance("MATCH #1"),
+    );
+    p.add_output("q");
+    let d = only(&check(&p), DiagCode::CartesianProduct);
+    let rendered = d.render();
+    assert!(rendered.starts_with("warn[RAQ003]: "), "{rendered}");
+    assert!(rendered.contains("--> rule #0 `q(x, a) :- edge(x, y), person(a, n).`"), "{rendered}");
+    assert!(rendered.contains("(from MATCH #1)"), "{rendered}");
+    assert!(rendered.contains("help: "), "{rendered}");
+
+    let machine = d.machine();
+    assert!(machine.starts_with("{\"code\":\"RAQ003\""), "{machine}");
+    assert!(machine.contains("\"severity\":\"warn\""), "{machine}");
+    assert!(machine.contains("\"rule_index\":0"), "{machine}");
+}
+
+#[test]
+fn deny_diagnostics_order_first() {
+    // One deny (RAQ004) and one warn (RAQ003) in the same program: the deny
+    // sorts first so callers can truncate output safely.
+    let mut p = DlirProgram::new(schema());
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["x", "a"]),
+        vec![
+            BodyElem::Atom(Atom::new("edge", vec![Term::var("x"), Term::Wildcard])),
+            BodyElem::Atom(Atom::with_vars("person", &["a", "n"])),
+            BodyElem::Negated(Atom::new("person", vec![Term::var("z"), Term::Wildcard])),
+        ],
+    ));
+    p.add_output("q");
+    let diags = check(&p);
+    assert!(diags.len() >= 2, "{diags:?}");
+    assert_eq!(diags[0].severity, Severity::Deny);
+    assert_eq!(diags[0].code, DiagCode::UnboundUnderNegation);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus and compile-pipeline integration
+// ---------------------------------------------------------------------------
+
+fn corpus_options() -> CompileOptions {
+    CompileOptions::new(OptLevel::Full)
+        .with_param("personId", Value::Int(1001))
+        .with_param("otherId", Value::Int(1008))
+        .with_param("maxDate", Value::Int(20_200_101))
+        .with_param("firstName", Value::str("Alice"))
+}
+
+#[test]
+fn corpus_lints_clean_even_at_deny_all() {
+    let raqlet = Raqlet::from_pg_schema(SNB_PG_SCHEMA).expect("schema compiles");
+    let options = corpus_options();
+    let checker = RaqCheck::with_config(SeverityConfig::deny_all());
+    for q in ALL_QUERIES {
+        let compiled = raqlet.compile(q.cypher, &options).expect("corpus compiles");
+        let diags = compiled.check_with(&checker);
+        assert!(
+            diags.is_empty(),
+            "{} should lint clean, got:\n{}",
+            q.name,
+            diags.iter().map(|d| d.render()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
+
+#[test]
+fn compiled_query_check_flags_cartesian_cypher() {
+    // Two disconnected MATCH patterns — a genuine cartesian product in the
+    // source query, surfaced through the public `CompiledQuery::check`.
+    let raqlet = Raqlet::from_pg_schema(SNB_PG_SCHEMA).expect("schema compiles");
+    let compiled = raqlet
+        .compile(
+            "MATCH (a:Person), (b:City) RETURN a.id AS pid, b.id AS cid",
+            &CompileOptions::new(OptLevel::Full),
+        )
+        .expect("query compiles");
+    let diags = compiled.check();
+    assert!(
+        diags.iter().any(|d| d.code == DiagCode::CartesianProduct),
+        "expected RAQ003, got {diags:?}"
+    );
+}
+
+#[test]
+fn clean_query_has_no_findings() {
+    let raqlet = Raqlet::from_pg_schema(SNB_PG_SCHEMA).expect("schema compiles");
+    let compiled = raqlet
+        .compile(
+            "MATCH (p:Person {id: 1})-[:KNOWS]->(q:Person) RETURN q.firstName AS name",
+            &CompileOptions::new(OptLevel::Full),
+        )
+        .expect("query compiles");
+    let diags = compiled.check();
+    assert!(diags.is_empty(), "expected clean, got {diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Live-database statistics
+// ---------------------------------------------------------------------------
+
+/// An intentionally badly-ordered join over the SNB schema: scan `Message`
+/// (the largest relation) unfiltered first, then a filtered `Person`.
+fn worst_first_program() -> DlirProgram {
+    let mut schema = DlSchema::new();
+    schema
+        .add(RelationDecl::new(
+            "Message",
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("content", ValueType::Text),
+                Column::new("creationDate", ValueType::Int),
+                Column::new("creator", ValueType::Int),
+            ],
+            RelationKind::NodeEdb,
+        ))
+        .unwrap();
+    schema
+        .add(RelationDecl::new(
+            "Person",
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("firstName", ValueType::Text),
+                Column::new("lastName", ValueType::Text),
+                Column::new("birthday", ValueType::Int),
+                Column::new("creationDate", ValueType::Int),
+                Column::new("locationIP", ValueType::Text),
+                Column::new("browserUsed", ValueType::Text),
+                Column::new("gender", ValueType::Text),
+            ],
+            RelationKind::NodeEdb,
+        ))
+        .unwrap();
+    let mut p = DlirProgram::new(schema);
+    p.add_rule(Rule::new(
+        Atom::with_vars("q", &["c"]),
+        vec![
+            BodyElem::Atom(Atom::new(
+                "Message",
+                vec![Term::var("m"), Term::var("c"), Term::Wildcard, Term::var("p")],
+            )),
+            BodyElem::Atom(Atom::new(
+                "Person",
+                vec![
+                    Term::var("p"),
+                    Term::var("fn"),
+                    Term::Wildcard,
+                    Term::Wildcard,
+                    Term::Wildcard,
+                    Term::Wildcard,
+                    Term::Wildcard,
+                    Term::Wildcard,
+                ],
+            )),
+            // The filter touches only the Person side: Message stays a
+            // genuinely unfiltered full scan.
+            BodyElem::eq(DlExpr::var("fn"), DlExpr::Const(Value::str("Alice"))),
+        ],
+    ));
+    p.add_output("q");
+    p
+}
+
+#[test]
+fn live_sf025_stats_feed_the_plan_lints() {
+    // Stats straight from a generated SF-0.25 database: every relation is
+    // below the advisory threshold, so even a worst-first join order stays
+    // quiet — the lint is advisory and scale-aware, not structural.
+    let db = to_database(&generate(&GeneratorConfig { scale: 0.25, seed: 42 }));
+    let stats = EdbStats::collect(&db);
+    let persons = stats.rows("Person").expect("Person collected");
+    let messages = stats.rows("Message").expect("Message collected");
+    assert!(persons > 0 && messages > persons, "persons={persons} messages={messages}");
+
+    let diags = RaqCheck::new().with_stats(stats).check(&worst_first_program());
+    assert!(
+        !diags.iter().any(|d| d.code == DiagCode::PlanUnfilteredFirst),
+        "SF-0.25 relations are below the advisory threshold, got {diags:?}"
+    );
+}
+
+#[test]
+fn live_large_scale_stats_fire_the_plan_lint() {
+    // The same worst-first program over a larger generated database crosses
+    // the row threshold and draws the advisory warning.
+    let db = to_database(&generate(&GeneratorConfig { scale: 8.0, seed: 42 }));
+    let stats = EdbStats::collect(&db);
+    assert!(stats.rows("Message").unwrap_or(0) >= 1024, "scale 8 should generate >= 1024 messages");
+
+    let diags = RaqCheck::new().with_stats(stats).check(&worst_first_program());
+    let d = only(&diags, DiagCode::PlanUnfilteredFirst);
+    assert!(d.message.contains("`Message`"), "{}", d.message);
+    assert_eq!(d.severity, Severity::Warn);
+}
+
+// ---------------------------------------------------------------------------
+// Code table hygiene
+// ---------------------------------------------------------------------------
+
+#[test]
+fn code_table_is_complete_and_ordered() {
+    assert!(Severity::Deny > Severity::Warn);
+    assert!(Severity::Warn > Severity::Allow);
+    // Every code renders as RAQNNN and carries a non-empty summary.
+    for code in DiagCode::ALL {
+        let s = code.as_str();
+        assert!(s.starts_with("RAQ") && s.len() == 6, "{s}");
+        assert!(!code.summary().is_empty(), "{s} has no summary");
+    }
+    // RAQ1xx hard checks all default to deny.
+    for code in DiagCode::ALL {
+        if code.as_str().starts_with("RAQ1") {
+            assert_eq!(code.default_severity(), Severity::Deny, "{code}");
+        }
+    }
+}
